@@ -1,0 +1,64 @@
+"""Index construction scaling (engineering extension).
+
+The paper's index is built once offline; this benchmark measures how the
+two build phases scale with database size:
+
+* learning the partition (pair-support counting + single-linkage), and
+* building the table (supercoordinate assignment + clustering sort),
+
+confirming the near-linear behaviour that makes signature tables viable
+for the "gigabytes or terabytes" the paper's introduction targets.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.partitioning import correlation_graph, partition_items
+from repro.core.table import SignatureTable
+from repro.eval.reporting import ExperimentTable
+
+
+def test_build_scaling(ctx, emit, timed):
+    k = ctx.profile["default_k"]
+    result = ExperimentTable(
+        title=f"Index build scaling — T10.I6.Dx, K={k}",
+        columns=[
+            "db_size",
+            "partition s",
+            "table build s",
+            "occupied entries",
+        ],
+        notes=ctx.notes(),
+    )
+    for size in ctx.profile["db_sizes"]:
+        spec = f"T10.I6.D{size}"
+        indexed, _ = ctx.database(spec)
+        started = time.perf_counter()
+        scheme = partition_items(
+            indexed, num_signatures=k, max_transactions=50_000, rng=ctx.seed
+        )
+        partition_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        table = SignatureTable.build(indexed, scheme)
+        table_seconds = time.perf_counter() - started
+        result.add_row(
+            db_size=size,
+            **{
+                "partition s": partition_seconds,
+                "table build s": table_seconds,
+                "occupied entries": table.num_entries_occupied,
+            },
+        )
+    emit(result, "build_scaling")
+
+    sizes = np.asarray(result.column("db_size"), dtype=float)
+    build_seconds = np.asarray(result.column("table build s"), dtype=float)
+    # Near-linear scaling: time ratio stays within ~4x of the size ratio.
+    size_ratio = sizes[-1] / sizes[0]
+    time_ratio = max(build_seconds[-1], 1e-6) / max(build_seconds[0], 1e-6)
+    assert time_ratio < 4.0 * size_ratio
+
+    spec = ctx.profile["large_spec"]
+    indexed, _ = ctx.database(spec)
+    timed(lambda: correlation_graph(indexed, max_transactions=10_000))

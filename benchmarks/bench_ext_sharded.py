@@ -1,0 +1,59 @@
+"""Extension: sharded (scatter-gather) signature index.
+
+Splits the profile's large database into shards with one signature table
+each (sharing the item partition), and checks the scatter-gather merge is
+exact while the per-shard tables stay individually small.
+"""
+
+import numpy as np
+
+from repro.core.sharded import ShardedSignatureIndex
+from repro.core.similarity import MatchRatioSimilarity
+from repro.eval.metrics import values_match
+from repro.eval.reporting import ExperimentTable
+
+
+def test_ext_sharded_index(ctx, emit, timed):
+    spec = ctx.profile["large_spec"]
+    indexed, _ = ctx.database(spec)
+    scheme = ctx.scheme(spec, ctx.profile["default_k"])
+    queries = ctx.queries(spec)
+    sim = MatchRatioSimilarity()
+    truths = ctx.truths(spec, sim)
+
+    result = ExperimentTable(
+        title=f"Sharded index — {spec}, K={ctx.profile['default_k']}",
+        columns=["shards", "acc%", "mean accessed", "mean prune%"],
+        notes=ctx.notes(),
+    )
+    sharded_indexes = {}
+    for num_shards in [1, 2, 4, 8]:
+        sharded = ShardedSignatureIndex.from_database(
+            indexed, scheme, num_shards=num_shards
+        )
+        sharded_indexes[num_shards] = sharded
+        found, accessed, prune = [], [], []
+        for target, truth in zip(queries, truths):
+            neighbor, stats = sharded.nearest(target, sim)
+            found.append(neighbor.similarity)
+            accessed.append(stats.transactions_accessed)
+            prune.append(stats.pruning_efficiency)
+        accuracy = 100.0 * np.mean(
+            [values_match(f, t) for f, t in zip(found, truths)]
+        )
+        result.add_row(
+            shards=num_shards,
+            **{
+                "acc%": accuracy,
+                "mean accessed": float(np.mean(accessed)),
+                "mean prune%": float(np.mean(prune)),
+            },
+        )
+    emit(result, "ext_sharded")
+
+    # Scatter-gather is exact at every shard count.
+    assert all(row["acc%"] == 100.0 for row in result.rows)
+
+    sharded = sharded_indexes[4]
+    target = queries[0]
+    timed(lambda: sharded.nearest(target, sim))

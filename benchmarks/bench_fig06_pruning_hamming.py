@@ -1,0 +1,15 @@
+"""Figure 6: pruning efficiency vs database size, hamming distance.
+
+Sweeps T10.I6.Dx for K in the profile's set (paper: 13, 14, 15) and runs
+every holdout query to completion; reports the mean percentage of
+transactions pruned by the branch-and-bound search.
+"""
+
+from figure_common import run_pruning_figure
+from repro.core.similarity import HammingSimilarity
+
+
+def test_fig06_pruning_vs_db_size_hamming(ctx, emit, timed):
+    run_pruning_figure(
+        HammingSimilarity(), ctx, emit, timed, "fig06_pruning_hamming"
+    )

@@ -1,0 +1,15 @@
+"""Figure 7: accuracy vs early-termination level, hamming distance.
+
+On the profile's large dataset (paper: T10.I6.D800K), terminate the search
+after 0.2 %-2 % of the data and report how often the true nearest
+neighbour (by similarity value) was still found.
+"""
+
+from figure_common import run_termination_figure
+from repro.core.similarity import HammingSimilarity
+
+
+def test_fig07_accuracy_vs_termination_hamming(ctx, emit, timed):
+    run_termination_figure(
+        HammingSimilarity(), ctx, emit, timed, "fig07_accuracy_hamming"
+    )

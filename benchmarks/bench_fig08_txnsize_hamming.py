@@ -1,0 +1,14 @@
+"""Figure 8: accuracy vs average transaction size, hamming distance.
+
+Sweeps Tx.I6 at a fixed 2 % early-termination level; denser data makes the
+problem harder, so accuracy is expected to fall with the transaction size.
+"""
+
+from figure_common import run_txn_size_figure
+from repro.core.similarity import HammingSimilarity
+
+
+def test_fig08_accuracy_vs_txn_size_hamming(ctx, emit, timed):
+    run_txn_size_figure(
+        HammingSimilarity(), ctx, emit, timed, "fig08_txnsize_hamming"
+    )

@@ -1,0 +1,14 @@
+"""Figure 9: pruning efficiency vs database size, match/hamming ratio.
+
+Same physical tables as Figure 6 — only the query-time similarity function
+changes (the paper's index-flexibility demonstration).
+"""
+
+from figure_common import run_pruning_figure
+from repro.core.similarity import MatchRatioSimilarity
+
+
+def test_fig09_pruning_vs_db_size_matchratio(ctx, emit, timed):
+    run_pruning_figure(
+        MatchRatioSimilarity(), ctx, emit, timed, "fig09_pruning_matchratio"
+    )

@@ -1,0 +1,10 @@
+"""Figure 10: accuracy vs early-termination level, match/hamming ratio."""
+
+from figure_common import run_termination_figure
+from repro.core.similarity import MatchRatioSimilarity
+
+
+def test_fig10_accuracy_vs_termination_matchratio(ctx, emit, timed):
+    run_termination_figure(
+        MatchRatioSimilarity(), ctx, emit, timed, "fig10_accuracy_matchratio"
+    )

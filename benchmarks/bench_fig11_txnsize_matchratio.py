@@ -1,0 +1,10 @@
+"""Figure 11: accuracy vs average transaction size, match/hamming ratio."""
+
+from figure_common import run_txn_size_figure
+from repro.core.similarity import MatchRatioSimilarity
+
+
+def test_fig11_accuracy_vs_txn_size_matchratio(ctx, emit, timed):
+    run_txn_size_figure(
+        MatchRatioSimilarity(), ctx, emit, timed, "fig11_txnsize_matchratio"
+    )

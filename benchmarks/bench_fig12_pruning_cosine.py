@@ -1,0 +1,10 @@
+"""Figure 12: pruning efficiency vs database size, cosine."""
+
+from figure_common import run_pruning_figure
+from repro.core.similarity import CosineSimilarity
+
+
+def test_fig12_pruning_vs_db_size_cosine(ctx, emit, timed):
+    run_pruning_figure(
+        CosineSimilarity(), ctx, emit, timed, "fig12_pruning_cosine"
+    )

@@ -1,0 +1,10 @@
+"""Figure 13: accuracy vs early-termination level, cosine."""
+
+from figure_common import run_termination_figure
+from repro.core.similarity import CosineSimilarity
+
+
+def test_fig13_accuracy_vs_termination_cosine(ctx, emit, timed):
+    run_termination_figure(
+        CosineSimilarity(), ctx, emit, timed, "fig13_accuracy_cosine"
+    )

@@ -1,0 +1,10 @@
+"""Figure 14: accuracy vs average transaction size, cosine."""
+
+from figure_common import run_txn_size_figure
+from repro.core.similarity import CosineSimilarity
+
+
+def test_fig14_accuracy_vs_txn_size_cosine(ctx, emit, timed):
+    run_txn_size_figure(
+        CosineSimilarity(), ctx, emit, timed, "fig14_txnsize_cosine"
+    )

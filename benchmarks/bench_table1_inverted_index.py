@@ -1,0 +1,33 @@
+"""Table 1: minimum percentage of transactions accessed by an inverted
+index, as a function of the average transaction size.
+
+The inverted index must fetch every transaction sharing any item with the
+target (phase 2 of its two-phase query).  The paper's Table 1 reports that
+fraction growing steeply with the transaction size; its prose adds that
+page scattering makes the real I/O even worse — our extra column measures
+exactly that (percentage of *pages* the candidates occupy).
+"""
+
+from repro.baselines.inverted import InvertedIndex
+from repro.eval.harness import run_inverted_access_fractions
+
+
+def test_table1_inverted_access_fractions(ctx, emit, timed):
+    table = run_inverted_access_fractions(ctx)
+    emit(table, "table1_inverted_index")
+
+    fractions = table.column("transactions accessed %")
+    pages = table.column("pages touched %")
+    # Paper shape: the access fraction grows markedly with the transaction
+    # size (Table 1's trend; the absolute level depends on the universe
+    # size and support skew of the generated data).
+    assert fractions[-1] > 1.4 * fractions[0]
+    assert fractions[-1] > 8.0
+    # Scattering: the page fraction dominates the transaction fraction.
+    assert all(p >= f - 1e-9 for p, f in zip(pages, fractions))
+
+    spec = f"T{ctx.profile['txn_sizes'][-1]:g}.I6.D{ctx.profile['txn_size_db']}"
+    indexed, _ = ctx.database(spec)
+    inverted = InvertedIndex(indexed)
+    target = ctx.queries(spec)[0]
+    timed(lambda: inverted.candidates(target))

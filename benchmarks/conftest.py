@@ -1,0 +1,58 @@
+"""Shared benchmark fixtures.
+
+All benchmarks share one :class:`~repro.eval.harness.ExperimentContext`
+per session, so the hamming / match-ratio / cosine figure families run
+against the *same* physical signature tables (the paper's query-time
+flexibility demonstration), and dataset generation is paid once.
+
+The scale profile comes from ``REPRO_PROFILE`` (``quick`` default,
+``paper`` for the full-scale sweep).  Every benchmark writes its
+paper-shaped result table to ``results/<name>.{txt,csv}`` and prints it
+(visible with ``pytest -s``); EXPERIMENTS.md quotes those files.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.harness import ExperimentContext
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def emit(results_dir):
+    """Save a result table under ``results/`` and echo it to stdout."""
+
+    def _emit(table, name):
+        table.save(results_dir, name)
+        print("\n" + table.to_text())
+        return table
+
+    return _emit
+
+
+@pytest.fixture()
+def timed(benchmark):
+    """Run the timing kernel with a small fixed round count.
+
+    The interesting numbers in this suite are the experiment tables; the
+    pytest-benchmark timings cover the query kernels without letting
+    calibration dominate the run time.
+    """
+
+    def _timed(fn):
+        return benchmark.pedantic(fn, rounds=5, iterations=1, warmup_rounds=1)
+
+    return _timed

@@ -1,0 +1,98 @@
+"""The signature table's query-time flexibility (Sections 2.1 and 4.3).
+
+One index, many query types:
+
+* nearest-neighbour under a *custom* similarity function defined on the
+  spot (validated against the paper's monotonicity contract),
+* range queries ("all transactions at least this similar"),
+* conjunctive multi-function range queries ("at least p items in common
+  AND at most q items different" — the paper's own example),
+* early termination with an a-posteriori optimality guarantee.
+
+Run:  python examples/flexible_queries.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    print("Generating T10.I6.D25K ...")
+    db = repro.generate("T10.I6.D25K", seed=3)
+    index = repro.build_index(db, num_signatures=14)
+    target = sorted(db[999])
+    print(f"Target: {target}\n")
+
+    # --- a custom similarity function, defined at query time --------------
+    # "Two matches are worth one mismatch, with diminishing returns."
+    custom = repro.CustomSimilarity(
+        lambda x, y: np.sqrt(x) - 0.5 * np.log1p(y), name="sqrt-log"
+    )
+    neighbor, stats = index.nearest(target, custom)
+    print(
+        f"custom '{custom.name}' NN: tid={neighbor.tid} "
+        f"value={neighbor.similarity:.3f} "
+        f"(pruned {stats.pruning_efficiency:.1f}%)"
+    )
+
+    # An invalid function is rejected up front:
+    try:
+        repro.CustomSimilarity(lambda x, y: y - x, name="broken")
+    except ValueError as exc:
+        print(f"rejected invalid function: {exc}\n")
+
+    # --- range query -------------------------------------------------------
+    results, stats = index.range_query(target, repro.JaccardSimilarity(), 0.5)
+    print(
+        f"range query (jaccard >= 0.5): {len(results)} transactions, "
+        f"accessed {100 * stats.access_fraction:.1f}% of the data"
+    )
+    for neighbor in results[:5]:
+        print(f"  tid={neighbor.tid:<6d} jaccard={neighbor.similarity:.3f}")
+
+    # --- the paper's conjunctive example ------------------------------------
+    # "all transactions which have at least p items in common and at most
+    #  q items different from the target" (Section 2.1).
+    p, q = 5, 10
+    results, stats = index.multi_range_query(
+        target,
+        [
+            (repro.MatchCountSimilarity(), float(p)),
+            # hamming <= q  <=>  1/(1+y) >= 1/(1+q)
+            (repro.HammingSimilarity(), 1.0 / (1.0 + q)),
+        ],
+    )
+    print(
+        f"\n>= {p} matches AND <= {q} different: {len(results)} hits, "
+        f"{stats.entries_pruned} of {stats.entries_total} entries pruned"
+    )
+
+    # --- early termination with a guarantee ---------------------------------
+    similarity = repro.MatchRatioSimilarity()
+    for level in [0.002, 0.01, 0.05]:
+        neighbor, stats = index.nearest(
+            target, similarity, early_termination=level
+        )
+        guarantee = (
+            "provably optimal"
+            if stats.guaranteed_optimal
+            else f"best possible remaining <= {stats.best_possible_remaining:.3f}"
+        )
+        print(
+            f"termination @{100 * level:.1f}%: value={neighbor.similarity:.3f} "
+            f"({guarantee})"
+        )
+
+    # --- incremental inserts -------------------------------------------------
+    new_basket = target[:5] + [7, 11]
+    tid = index.insert(new_basket)
+    neighbor, _ = index.nearest(new_basket, repro.JaccardSimilarity())
+    print(
+        f"\ninserted tid {tid}; nearest to it is now tid={neighbor.tid} "
+        f"(jaccard={neighbor.similarity:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

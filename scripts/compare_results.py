@@ -1,0 +1,108 @@
+"""Compare two result-table directories and report drift.
+
+After a behavioural change, run the benchmarks into a fresh directory and
+diff it against the committed ``results/``:
+
+    pytest benchmarks/ --benchmark-only         # writes results/
+    python scripts/compare_results.py results_old results
+
+Compares every common ``*.csv`` cell-by-cell, reporting relative drift
+above a tolerance; exits non-zero if any table drifted (for CI gates).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+
+def parse_csv(path: Path) -> Tuple[List[str], List[List[str]]]:
+    """Minimal CSV reader (our tables never contain quoted commas)."""
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    header = lines[0].split(",")
+    rows = [line.split(",") for line in lines[1:]]
+    return header, rows
+
+
+def compare_tables(
+    old_path: Path, new_path: Path, tolerance: float
+) -> List[str]:
+    """Return human-readable drift messages for one table pair."""
+    old_header, old_rows = parse_csv(old_path)
+    new_header, new_rows = parse_csv(new_path)
+    problems: List[str] = []
+    if old_header != new_header:
+        problems.append(
+            f"column mismatch: {old_header} -> {new_header}"
+        )
+        return problems
+    if len(old_rows) != len(new_rows):
+        problems.append(f"row count {len(old_rows)} -> {len(new_rows)}")
+        return problems
+    for row_index, (old_row, new_row) in enumerate(zip(old_rows, new_rows)):
+        for column, old_cell, new_cell in zip(old_header, old_row, new_row):
+            try:
+                old_value = float(old_cell)
+                new_value = float(new_cell)
+            except ValueError:
+                if old_cell != new_cell:
+                    problems.append(
+                        f"row {row_index} [{column}]: {old_cell!r} -> {new_cell!r}"
+                    )
+                continue
+            scale = max(abs(old_value), abs(new_value), 1e-12)
+            if abs(old_value - new_value) / scale > tolerance:
+                problems.append(
+                    f"row {row_index} [{column}]: {old_value:g} -> "
+                    f"{new_value:g} "
+                    f"({100 * (new_value - old_value) / scale:+.1f}%)"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative drift to tolerate per numeric cell (default 5%%)",
+    )
+    args = parser.parse_args(argv)
+
+    old_tables = {p.name: p for p in sorted(args.old.glob("*.csv"))}
+    new_tables = {p.name: p for p in sorted(args.new.glob("*.csv"))}
+    common = sorted(set(old_tables) & set(new_tables))
+    only_old = sorted(set(old_tables) - set(new_tables))
+    only_new = sorted(set(new_tables) - set(old_tables))
+
+    drifted = 0
+    for name in common:
+        problems = compare_tables(
+            old_tables[name], new_tables[name], args.tolerance
+        )
+        if problems:
+            drifted += 1
+            print(f"DRIFT {name}")
+            for problem in problems:
+                print(f"  {problem}")
+        else:
+            print(f"ok    {name}")
+    for name in only_old:
+        print(f"gone  {name}")
+    for name in only_new:
+        print(f"new   {name}")
+
+    print(
+        f"\n{len(common)} compared, {drifted} drifted, "
+        f"{len(only_old)} removed, {len(only_new)} added"
+    )
+    return 1 if drifted or only_old else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""One-off medium/paper-scale trend run for EXPERIMENTS.md.
+
+Runs the Figure 6/7 experiments at larger database sizes than the quick
+benchmark profile (adjustable), to document that the paper's headline
+trends strengthen with scale.  Results land in ``results/scale_trend_*``.
+
+Usage:  python scripts/scale_trend.py [--sizes 100000 200000] [--queries 60]
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.core.similarity import MatchRatioSimilarity
+from repro.eval.harness import (
+    ExperimentContext,
+    run_accuracy_vs_termination,
+    run_pruning_vs_db_size,
+)
+
+RESULTS = Path(__file__).resolve().parent.parent / "results"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[100_000, 200_000]
+    )
+    parser.add_argument("--queries", type=int, default=60)
+    parser.add_argument("--ks", type=int, nargs="+", default=[13, 15])
+    args = parser.parse_args(argv)
+
+    ctx = ExperimentContext(
+        "quick",
+        db_sizes=list(args.sizes),
+        large_spec=f"T10.I6.D{max(args.sizes)}",
+        txn_size_db=max(args.sizes),
+        ks=list(args.ks),
+        default_k=max(args.ks),
+        num_queries=args.queries,
+    )
+    similarity = MatchRatioSimilarity()
+
+    started = time.perf_counter()
+    pruning = run_pruning_vs_db_size(similarity, ctx)
+    pruning.notes.append(f"scale-trend run, sizes={args.sizes}")
+    pruning.save(RESULTS, "scale_trend_pruning")
+    print(pruning.to_text())
+
+    accuracy = run_accuracy_vs_termination(similarity, ctx)
+    accuracy.notes.append(f"scale-trend run, spec={ctx.profile['large_spec']}")
+    accuracy.save(RESULTS, "scale_trend_accuracy")
+    print(accuracy.to_text())
+    print(f"total {time.perf_counter() - started:.0f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

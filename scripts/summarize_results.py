@@ -1,0 +1,109 @@
+"""Print a one-screen summary of the benchmark result tables.
+
+Reads ``results/*.csv`` (or any directory given as argument) and prints
+the headline number for each experiment — the quick way to sanity-check a
+fresh benchmark run against EXPERIMENTS.md.
+
+Usage:  python scripts/summarize_results.py [results_dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def read_rows(path: Path) -> List[Dict[str, str]]:
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    header = lines[0].split(",")
+    return [dict(zip(header, line.split(","))) for line in lines[1:]]
+
+
+def last_float(rows: List[Dict[str, str]], column: str) -> Optional[float]:
+    for row in reversed(rows):
+        value = row.get(column, "")
+        try:
+            return float(value)
+        except ValueError:
+            continue
+    return None
+
+
+def summarise(directory: Path) -> List[str]:
+    lines: List[str] = []
+
+    def add(name: str, text: str) -> None:
+        lines.append(f"{name:<32s} {text}")
+
+    for figure, label in [
+        ("fig06_pruning_hamming", "hamming"),
+        ("fig09_pruning_matchratio", "match-ratio"),
+        ("fig12_pruning_cosine", "cosine"),
+    ]:
+        path = directory / f"{figure}.csv"
+        if path.exists():
+            rows = read_rows(path)
+            columns = [c for c in rows[0] if c.endswith("prune%")]
+            best = last_float(rows, columns[-1])
+            add(figure, f"pruning at largest D, max K ({label}): {best:.1f}%")
+
+    for figure in [
+        "fig07_accuracy_hamming",
+        "fig10_accuracy_matchratio",
+        "fig13_accuracy_cosine",
+    ]:
+        path = directory / f"{figure}.csv"
+        if path.exists():
+            rows = read_rows(path)
+            columns = [c for c in rows[0] if c.endswith("acc%")]
+            add(figure, f"accuracy at max budget, max K: {last_float(rows, columns[-1]):.1f}%")
+
+    for figure in [
+        "fig08_txnsize_hamming",
+        "fig11_txnsize_matchratio",
+        "fig14_txnsize_cosine",
+    ]:
+        path = directory / f"{figure}.csv"
+        if path.exists():
+            rows = read_rows(path)
+            first = float(rows[0]["accuracy%"])
+            last = float(rows[-1]["accuracy%"])
+            add(figure, f"accuracy T=min -> T=max: {first:.1f}% -> {last:.1f}%")
+
+    path = directory / "table1_inverted_index.csv"
+    if path.exists():
+        rows = read_rows(path)
+        add(
+            "table1_inverted_index",
+            f"access at T=max: {float(rows[-1]['transactions accessed %']):.1f}% "
+            f"of transactions, {float(rows[-1]['pages touched %']):.1f}% of pages",
+        )
+
+    for name in sorted(directory.glob("ablation_*.csv")):
+        rows = read_rows(name)
+        add(name.stem, f"{len(rows)} rows")
+    for name in sorted(directory.glob("ext_*.csv")):
+        rows = read_rows(name)
+        add(name.stem, f"{len(rows)} rows")
+    return lines
+
+
+def main(argv=None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    directory = Path(args[0]) if args else Path("results")
+    if not directory.exists():
+        print(f"error: {directory} does not exist", file=sys.stderr)
+        return 2
+    lines = summarise(directory)
+    if not lines:
+        print(f"no result tables found in {directory}", file=sys.stderr)
+        return 1
+    print(f"Summary of {directory}:")
+    for line in lines:
+        print(" ", line)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

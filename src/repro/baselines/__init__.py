@@ -1,0 +1,19 @@
+"""Baseline search methods the paper (and we) compare against.
+
+* :mod:`repro.baselines.linear_scan` — the exact sequential scan; ground
+  truth for every accuracy measurement and the I/O yardstick (1 seek +
+  every page).
+* :mod:`repro.baselines.inverted` — the inverted index of Section 5.1,
+  including the access-fraction analysis of Table 1 and the
+  page-scattering accounting.
+* :mod:`repro.baselines.minhash` — MinHash signatures with LSH banding, the
+  approach that historically superseded signature tables for set
+  similarity; included as a modern comparator (extension, not in the
+  paper).
+"""
+
+from repro.baselines.inverted import InvertedIndex
+from repro.baselines.linear_scan import LinearScanIndex
+from repro.baselines.minhash import MinHasher, MinHashLSHIndex
+
+__all__ = ["LinearScanIndex", "InvertedIndex", "MinHasher", "MinHashLSHIndex"]

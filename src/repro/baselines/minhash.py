@@ -1,0 +1,185 @@
+"""MinHash + LSH baseline (extension; not in the paper).
+
+Signature tables predate the broad adoption of MinHash/LSH for set
+similarity; the extension benchmark compares them.  MinHash estimates the
+Jaccard similarity ``|A ∩ B| / |A ∪ B|``: under a random permutation of the
+universe, the probability that two sets share their minimum element equals
+their Jaccard similarity, so agreement across ``H`` independent hash
+functions is an unbiased estimator.
+
+:class:`MinHashLSHIndex` applies the standard banding construction: the
+``H`` signature values are split into ``b`` bands of ``r`` rows; two
+transactions become candidates when any band matches exactly, giving the
+familiar S-curve candidate probability ``1 - (1 - s^r)^b``.
+
+Unlike the signature table, this structure is tied to one similarity
+function (Jaccard-like) at *build* time — the contrast the extension
+benchmark illustrates.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.core.search import Neighbor, SearchStats
+from repro.core.similarity import SimilarityFunction
+from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.storage.pages import PagedStore
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+# The Mersenne prime 2^31 - 1 for the universal hash family
+# h(x) = (a*x + b) mod p.  With a, b, x < p every product fits in int64,
+# so the hashing stays in fast native arithmetic.
+_PRIME = (1 << 31) - 1
+
+
+class MinHasher:
+    """A family of ``num_hashes`` MinHash functions over an item universe."""
+
+    def __init__(
+        self, num_hashes: int, universe_size: int, rng: RngLike = 0
+    ) -> None:
+        check_positive(num_hashes, "num_hashes")
+        check_positive(universe_size, "universe_size")
+        if universe_size >= _PRIME:
+            raise ValueError(
+                f"universe_size must be < {_PRIME} for the hash family"
+            )
+        generator = ensure_rng(rng)
+        self.num_hashes = int(num_hashes)
+        self.universe_size = int(universe_size)
+        self._a = generator.integers(1, _PRIME, size=num_hashes, dtype=np.int64)
+        self._b = generator.integers(0, _PRIME, size=num_hashes, dtype=np.int64)
+
+    def signature(self, transaction: Iterable[int]) -> np.ndarray:
+        """MinHash signature of one transaction (length ``num_hashes``).
+
+        An empty transaction gets the all-sentinel signature (never
+        collides with a non-empty one).
+        """
+        items = as_item_array(transaction, self.universe_size)
+        if items.size == 0:
+            return np.full(self.num_hashes, _PRIME, dtype=np.int64)
+        hashed = (self._a[:, None] * items[None, :] + self._b[:, None]) % _PRIME
+        return hashed.min(axis=1)
+
+    def signatures_batch(self, db: TransactionDatabase) -> np.ndarray:
+        """Signatures of a whole database, shape ``(len(db), num_hashes)``.
+
+        Vectorised with :func:`numpy.minimum.reduceat` over the CSR layout;
+        empty transactions keep the sentinel signature.
+        """
+        items, indptr = db.csr()
+        n = len(db)
+        result = np.full((n, self.num_hashes), _PRIME, dtype=np.int64)
+        if items.size == 0 or n == 0:
+            return result
+        sizes = np.diff(indptr)
+        non_empty = sizes > 0
+        # reduceat needs segment starts for non-empty segments only.
+        starts = indptr[:-1][non_empty]
+        for h in range(self.num_hashes):
+            hashed = (self._a[h] * items + self._b[h]) % _PRIME
+            result[non_empty, h] = np.minimum.reduceat(hashed, starts)
+        return result
+
+    @staticmethod
+    def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
+        """Unbiased Jaccard estimate: fraction of agreeing hash slots."""
+        if sig_a.shape != sig_b.shape:
+            raise ValueError("signatures must have the same length")
+        return float(np.mean(sig_a == sig_b))
+
+
+class MinHashLSHIndex:
+    """Banded MinHash LSH over a transaction database.
+
+    Parameters
+    ----------
+    num_bands, rows_per_band:
+        The banding shape; ``num_bands * rows_per_band`` hash functions are
+        used.  More bands / fewer rows catches lower similarities at the
+        cost of more candidates.
+    """
+
+    def __init__(
+        self,
+        db: TransactionDatabase,
+        num_bands: int = 20,
+        rows_per_band: int = 4,
+        rng: RngLike = 0,
+        page_size: int = 64,
+    ) -> None:
+        check_positive(num_bands, "num_bands")
+        check_positive(rows_per_band, "rows_per_band")
+        self.db = db
+        self.num_bands = int(num_bands)
+        self.rows_per_band = int(rows_per_band)
+        self.hasher = MinHasher(
+            num_bands * rows_per_band, db.universe_size, rng=rng
+        )
+        self.store = PagedStore(len(db), page_size=page_size)
+        self._signatures = self.hasher.signatures_batch(db)
+        self._buckets: List[Dict[tuple, List[int]]] = []
+        for band in range(self.num_bands):
+            table: Dict[tuple, List[int]] = defaultdict(list)
+            lo = band * self.rows_per_band
+            hi = lo + self.rows_per_band
+            for tid in range(len(db)):
+                table[tuple(self._signatures[tid, lo:hi])].append(tid)
+            self._buckets.append(dict(table))
+
+    # ------------------------------------------------------------------
+    def candidate_probability(self, jaccard: float) -> float:
+        """Theoretical probability the banding reports a pair (S-curve)."""
+        return 1.0 - (1.0 - jaccard**self.rows_per_band) ** self.num_bands
+
+    def candidates(self, target: Iterable[int]) -> np.ndarray:
+        """TIDs sharing at least one full band with the target."""
+        signature = self.hasher.signature(target)
+        found: set = set()
+        for band in range(self.num_bands):
+            lo = band * self.rows_per_band
+            hi = lo + self.rows_per_band
+            bucket = self._buckets[band].get(tuple(signature[lo:hi]))
+            if bucket:
+                found.update(bucket)
+        return np.fromiter(sorted(found), dtype=np.int64, count=len(found))
+
+    def knn(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        k: int = 1,
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """Approximate k-NN: evaluate the objective over LSH candidates.
+
+        The candidate set is geared to Jaccard; passing another similarity
+        evaluates it over the same candidates (useful to show the
+        build-time-commitment contrast with the signature table).
+        """
+        check_positive(k, "k")
+        target_items = as_item_array(target, self.db.universe_size)
+        bound_sim = similarity.bind(target_items.size)
+        candidate_tids = self.candidates(target_items)
+        stats = SearchStats(total_transactions=len(self.db))
+        stats.guaranteed_optimal = False
+        stats.transactions_accessed = int(candidate_tids.size)
+        if candidate_tids.size:
+            self.store.read(candidate_tids, stats.io)
+        if candidate_tids.size == 0:
+            return [], stats
+        x = self.db.match_counts(target_items)[candidate_tids]
+        y = self.db.sizes[candidate_tids] + target_items.size - 2 * x
+        sims = np.asarray(bound_sim.evaluate(x, y), dtype=np.float64)
+        k = min(k, sims.size)
+        best = heapq.nsmallest(
+            k, ((-float(s), int(t)) for s, t in zip(sims, candidate_tids))
+        )
+        neighbors = [Neighbor(tid=tid, similarity=-value) for value, tid in best]
+        return neighbors, stats

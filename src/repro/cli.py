@@ -1,0 +1,315 @@
+"""Command-line interface.
+
+Four subcommands cover the full life cycle without writing Python:
+
+* ``repro generate`` — synthesise a ``T·.I·.D·`` dataset to ``.npz`` (or
+  FIMI text).
+* ``repro stats`` — print dataset statistics.
+* ``repro build`` — learn a signature scheme and build a table, saved to
+  ``.npz``.
+* ``repro query`` — run nearest-neighbour / k-NN / range queries against
+  a saved table with any built-in similarity function.
+
+Invoke as ``python -m repro <subcommand> --help``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.core.search import SignatureTableSearcher
+from repro.core.similarity import SIMILARITY_FUNCTIONS, get_similarity
+from repro.core.table import SignatureTable
+from repro.core.partitioning import partition_items
+from repro.data.generator import generate, parse_spec
+from repro.data.io import read_text, write_text
+from repro.data.stats import describe
+from repro.data.transaction import TransactionDatabase
+
+
+def _load_database(path: str) -> TransactionDatabase:
+    if path.endswith(".txt"):
+        return read_text(path)
+    return TransactionDatabase.load(path)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    config = parse_spec(
+        args.spec,
+        seed=args.seed,
+        num_items=args.num_items,
+        num_patterns=args.num_patterns,
+    )
+    started = time.perf_counter()
+    db = generate(config)
+    elapsed = time.perf_counter() - started
+    if args.output.endswith(".txt"):
+        write_text(db, args.output)
+    else:
+        db.save(args.output)
+    print(
+        f"wrote {len(db)} transactions ({db.avg_transaction_size:.1f} items "
+        f"avg) to {args.output} in {elapsed:.1f}s"
+    )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    for key, value in describe(db).as_dict().items():
+        if isinstance(value, float):
+            print(f"{key:>24s}: {value:.4f}")
+        else:
+            print(f"{key:>24s}: {value}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    started = time.perf_counter()
+    scheme = partition_items(
+        db,
+        num_signatures=args.signatures,
+        activation_threshold=args.activation_threshold,
+        min_support=args.min_support,
+        rng=args.seed,
+    )
+    table = SignatureTable.build(db, scheme, page_size=args.page_size)
+    elapsed = time.perf_counter() - started
+    table.save(args.output)
+    print(
+        f"built signature table: K={scheme.num_signatures}, "
+        f"r={scheme.activation_threshold}, "
+        f"{table.num_entries_occupied}/{table.num_entries_total} entries "
+        f"occupied, directory {table.memory_bytes() / 1024:.0f} KiB "
+        f"({elapsed:.1f}s) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_advise(args: argparse.Namespace) -> int:
+    from repro.core.advisor import suggest_parameters
+
+    db = _load_database(args.database)
+    advice = suggest_parameters(db, memory_budget_bytes=args.memory)
+    print(advice)
+    print(
+        f"\nbuild with:  repro build {args.database} <table.npz> "
+        f"-K {advice.num_signatures} -r {advice.activation_threshold}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    db = _load_database(args.database)
+    table = SignatureTable.load(args.table)
+    searcher = SignatureTableSearcher(table, db)
+    similarity = get_similarity(args.similarity)
+    target = [int(token) for token in args.items]
+
+    if args.threshold is not None:
+        results, stats = searcher.range_query(target, similarity, args.threshold)
+        print(f"{len(results)} transactions with {args.similarity} >= {args.threshold}")
+        shown = results[: args.k]
+    else:
+        shown, stats = searcher.knn(
+            target,
+            similarity,
+            k=args.k,
+            early_termination=args.early_termination,
+        )
+    for rank, neighbor in enumerate(shown, start=1):
+        items = sorted(db[neighbor.tid])
+        print(
+            f"#{rank:<3d} tid={neighbor.tid:<8d} "
+            f"{args.similarity}={neighbor.similarity:.4f} items={items}"
+        )
+    print(
+        f"-- accessed {stats.transactions_accessed}/{stats.total_transactions} "
+        f"transactions (pruned {stats.pruning_efficiency:.1f}%), "
+        f"{stats.io.pages_read} pages, {stats.io.seeks} seeks"
+    )
+    if stats.terminated_early:
+        guarantee = (
+            "provably optimal"
+            if stats.guaranteed_optimal
+            else f"best possible remaining {stats.best_possible_remaining:.4f}"
+        )
+        print(f"-- terminated early: {guarantee}")
+    return 0
+
+
+_EXPERIMENTS = {
+    "fig6": ("pruning", "hamming"),
+    "fig7": ("termination", "hamming"),
+    "fig8": ("txnsize", "hamming"),
+    "fig9": ("pruning", "match_ratio"),
+    "fig10": ("termination", "match_ratio"),
+    "fig11": ("txnsize", "match_ratio"),
+    "fig12": ("pruning", "cosine"),
+    "fig13": ("termination", "cosine"),
+    "fig14": ("txnsize", "cosine"),
+    "table1": ("inverted", None),
+}
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval.harness import (
+        ExperimentContext,
+        run_accuracy_vs_termination,
+        run_accuracy_vs_transaction_size,
+        run_inverted_access_fractions,
+        run_pruning_vs_db_size,
+    )
+
+    kind, similarity_name = _EXPERIMENTS[args.experiment]
+    overrides = {}
+    if args.db_sizes:
+        overrides["db_sizes"] = args.db_sizes
+        overrides["large_spec"] = f"T10.I6.D{max(args.db_sizes)}"
+        overrides["txn_size_db"] = max(args.db_sizes)
+    if args.ks:
+        overrides["ks"] = args.ks
+        overrides["default_k"] = max(args.ks)
+    if args.queries:
+        overrides["num_queries"] = args.queries
+    ctx = ExperimentContext(args.profile, **overrides)
+
+    if kind == "inverted":
+        table = run_inverted_access_fractions(ctx)
+    else:
+        similarity = get_similarity(similarity_name)
+        runner = {
+            "pruning": run_pruning_vs_db_size,
+            "termination": run_accuracy_vs_termination,
+            "txnsize": run_accuracy_vs_transaction_size,
+        }[kind]
+        table = runner(similarity, ctx)
+    print(table.to_text())
+    if args.output:
+        table.save(args.output, args.experiment)
+        print(f"saved to {args.output}/{args.experiment}.txt")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Signature-table similarity indexing of market basket data "
+        "(Aggarwal, Wolf & Yu, SIGMOD 1999)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = subparsers.add_parser(
+        "generate", help="synthesise a T·.I·.D· dataset"
+    )
+    p_gen.add_argument("spec", help="dataset spec, e.g. T10.I6.D100K")
+    p_gen.add_argument("output", help="output path (.npz, or .txt for FIMI)")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--num-items", type=int, default=1000)
+    p_gen.add_argument("--num-patterns", type=int, default=2000)
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_stats = subparsers.add_parser("stats", help="print dataset statistics")
+    p_stats.add_argument("database", help="dataset path (.npz or .txt)")
+    p_stats.set_defaults(func=_cmd_stats)
+
+    p_build = subparsers.add_parser("build", help="build a signature table")
+    p_build.add_argument("database", help="dataset path (.npz or .txt)")
+    p_build.add_argument("output", help="output table path (.npz)")
+    p_build.add_argument(
+        "--signatures", "-K", type=int, default=15,
+        help="signature cardinality K (default 15)",
+    )
+    p_build.add_argument("--activation-threshold", "-r", type=int, default=1)
+    p_build.add_argument("--min-support", type=float, default=0.0)
+    p_build.add_argument("--page-size", type=int, default=64)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_advise = subparsers.add_parser(
+        "advise", help="recommend K and the activation threshold"
+    )
+    p_advise.add_argument("database", help="dataset path (.npz or .txt)")
+    p_advise.add_argument(
+        "--memory",
+        type=int,
+        default=1 << 20,
+        help="directory memory budget in bytes (default 1 MiB)",
+    )
+    p_advise.set_defaults(func=_cmd_advise)
+
+    p_query = subparsers.add_parser(
+        "query", help="run a similarity query against a saved table"
+    )
+    p_query.add_argument("database", help="dataset path (.npz or .txt)")
+    p_query.add_argument("table", help="signature-table path (.npz)")
+    p_query.add_argument(
+        "items", nargs="+", help="target transaction as item ids"
+    )
+    p_query.add_argument(
+        "--similarity",
+        "-s",
+        default="match_ratio",
+        choices=sorted(SIMILARITY_FUNCTIONS),
+    )
+    p_query.add_argument("--k", type=int, default=5)
+    p_query.add_argument(
+        "--early-termination",
+        type=float,
+        default=None,
+        help="stop after this fraction of the data (e.g. 0.02)",
+    )
+    p_query.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="run a range query with this similarity threshold instead of k-NN",
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_experiment = subparsers.add_parser(
+        "experiment",
+        help="reproduce one of the paper's figures/tables",
+    )
+    p_experiment.add_argument(
+        "experiment", choices=sorted(_EXPERIMENTS, key=lambda e: (len(e), e))
+    )
+    p_experiment.add_argument(
+        "--profile", default=None, help="quick (default) or paper"
+    )
+    p_experiment.add_argument(
+        "--db-sizes", type=int, nargs="+", default=None,
+        help="override the profile's database-size sweep",
+    )
+    p_experiment.add_argument(
+        "--ks", type=int, nargs="+", default=None,
+        help="override the profile's K sweep",
+    )
+    p_experiment.add_argument(
+        "--queries", type=int, default=None, help="queries per point"
+    )
+    p_experiment.add_argument(
+        "--output", default=None, help="directory to save the result table"
+    )
+    p_experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Index parameter advisor.
+
+The paper leaves two knobs to the operator and gives qualitative guidance:
+
+* **Signature cardinality K** — "higher values of K are desirable …
+  on the other hand it is also necessary to choose low enough values of K
+  such that the signature table can be held in main memory" (Section 3.1).
+  The dense directory costs ``8 · 2^K`` bytes.
+* **Activation threshold r** — footnote 4: "for larger transaction sizes,
+  higher values of the activation threshold provided better performance".
+
+:func:`suggest_parameters` turns that guidance into numbers: the largest
+``K`` whose directory fits the memory budget (clamped to the universe size
+and to a diminishing-returns cap relative to the database size), and an
+``r`` that keeps the *expected number of activated signatures* near a
+healthy fraction of ``K`` using the analytical model of
+:mod:`repro.eval.model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.transaction import TransactionDatabase
+from repro.utils.validation import check_positive
+
+#: Bytes per dense-directory entry (one page pointer).
+_BYTES_PER_ENTRY = 8
+
+#: Do not bother with more entries than a multiple of the database size —
+#: beyond ~4 entries per transaction the extra granularity cannot be
+#: populated and only costs memory.
+_MAX_ENTRIES_PER_TRANSACTION = 4
+
+
+@dataclass(frozen=True)
+class IndexAdvice:
+    """Recommended build parameters, with the reasoning attached."""
+
+    num_signatures: int
+    activation_threshold: int
+    directory_bytes: int
+    expected_active_signatures: float
+    rationale: str
+
+    def __str__(self) -> str:
+        return (
+            f"K={self.num_signatures}, r={self.activation_threshold} "
+            f"(directory {self.directory_bytes / 1024:.0f} KiB; "
+            f"~{self.expected_active_signatures:.1f} signatures active per "
+            f"transaction)\n{self.rationale}"
+        )
+
+
+def max_k_for_memory(memory_budget_bytes: int) -> int:
+    """Largest K whose dense ``2^K`` directory fits the budget."""
+    check_positive(memory_budget_bytes, "memory_budget_bytes")
+    k = 0
+    while _BYTES_PER_ENTRY * (1 << (k + 1)) <= memory_budget_bytes:
+        k += 1
+    return k
+
+
+def suggest_parameters(
+    db: TransactionDatabase,
+    memory_budget_bytes: int = 1 << 20,
+    target_active_fraction: float = 0.6,
+) -> IndexAdvice:
+    """Recommend ``(K, r)`` for a database and a memory budget.
+
+    Parameters
+    ----------
+    memory_budget_bytes:
+        Main memory available for the directory (default 1 MiB — K = 17).
+    target_active_fraction:
+        Raise the activation threshold while a typical transaction is
+        expected to activate more than this fraction of the signatures
+        (supercoordinates with most bits set carry little signal — the
+        paper's explanation for the Figure 8 accuracy decay).  The
+        expectation uses an independence model that overestimates
+        activation on correlated data, so the default is deliberately
+        permissive.
+    """
+    from repro.eval.model import expected_supercoordinate_bits
+
+    if len(db) == 0:
+        raise ValueError("cannot advise on an empty database")
+
+    memory_k = max_k_for_memory(memory_budget_bytes)
+    data_cap = max(
+        1, (_MAX_ENTRIES_PER_TRANSACTION * len(db)).bit_length() - 1
+    )
+    k = max(1, min(memory_k, db.universe_size, data_cap))
+
+    reasons = [
+        f"memory budget {memory_budget_bytes} B allows K <= {memory_k} "
+        f"(8 * 2^K directory)",
+        f"database size {len(db)} caps useful granularity at K <= {data_cap}",
+    ]
+    if k == db.universe_size:
+        reasons.append("K clamped to the universe size")
+
+    # Estimate activation with a balanced partition of the actual supports.
+    from repro.core.partitioning import balanced_support_partition
+
+    supports = db.item_supports(relative=True)
+    probe_scheme = balanced_support_partition(supports, k)
+    avg_size = max(1, int(round(db.avg_transaction_size)))
+
+    r = 1
+    expected_active = expected_supercoordinate_bits(probe_scheme, supports, avg_size)
+    while (
+        expected_active > target_active_fraction * k
+        and r < avg_size
+    ):
+        r += 1
+        expected_active = expected_supercoordinate_bits(
+            probe_scheme.with_activation_threshold(r), supports, avg_size
+        )
+    if r > 1:
+        reasons.append(
+            f"average transaction size {db.avg_transaction_size:.1f} would "
+            f"activate too many signatures at r=1; raised r to {r} "
+            "(paper footnote 4)"
+        )
+    else:
+        reasons.append("r=1 keeps activation sparse at this transaction size")
+
+    return IndexAdvice(
+        num_signatures=k,
+        activation_threshold=r,
+        directory_bytes=_BYTES_PER_ENTRY * (1 << k),
+        expected_active_signatures=float(expected_active),
+        rationale="; ".join(reasons),
+    )

@@ -1,0 +1,367 @@
+"""High-level index facade: one call from a database to a queryable index.
+
+:func:`build_index` wires the full pipeline of the paper — pair supports →
+correlation graph → single-linkage signatures → signature table — and
+returns a :class:`MarketBasketIndex`, the friendly entry point used by the
+examples.
+
+The signature table itself is immutable (bulk-loaded); the facade adds
+incremental **inserts** with a classic main + delta design: new
+transactions accumulate in a small in-memory delta that every query scans
+exhaustively (it is tiny), and :meth:`MarketBasketIndex.compact` merges the
+delta into a rebuilt table.  ``auto_compact_fraction`` bounds the delta at
+a fraction of the indexed size, so query cost stays within a constant
+factor of the compacted index.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.partitioning import partition_items
+from repro.core.search import Neighbor, SearchStats, SignatureTableSearcher
+from repro.core.signature import SignatureScheme
+from repro.core.similarity import SimilarityFunction
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_fraction
+
+
+@dataclass(frozen=True)
+class IndexBuildReport:
+    """What the build produced, for logging and the memory ablation."""
+
+    num_transactions: int
+    universe_size: int
+    num_signatures: int
+    activation_threshold: int
+    occupied_entries: int
+    directory_bytes_dense: int
+    directory_bytes_sparse: int
+    build_seconds: float
+
+
+def build_index(
+    db: TransactionDatabase,
+    num_signatures: Optional[int] = None,
+    critical_mass: Optional[float] = None,
+    activation_threshold: int = 1,
+    scheme: Optional[SignatureScheme] = None,
+    page_size: int = 64,
+    min_support: float = 0.0,
+    max_transactions: Optional[int] = 50_000,
+    rng: RngLike = 0,
+    auto_compact_fraction: float = 0.25,
+) -> "MarketBasketIndex":
+    """Build a ready-to-query :class:`MarketBasketIndex` over ``db``.
+
+    Either pass a prebuilt ``scheme`` or the partitioning knobs (exactly
+    one of ``num_signatures`` / ``critical_mass``; see
+    :func:`repro.core.partitioning.partition_items`).
+    """
+    started = time.perf_counter()
+    if scheme is None:
+        scheme = partition_items(
+            db,
+            num_signatures=num_signatures,
+            critical_mass=critical_mass,
+            activation_threshold=activation_threshold,
+            min_support=min_support,
+            max_transactions=max_transactions,
+            rng=rng,
+        )
+    elif num_signatures is not None or critical_mass is not None:
+        raise ValueError(
+            "pass either a prebuilt scheme or partitioning knobs, not both"
+        )
+    index = MarketBasketIndex(
+        db,
+        scheme,
+        page_size=page_size,
+        auto_compact_fraction=auto_compact_fraction,
+    )
+    index._build_seconds = time.perf_counter() - started
+    return index
+
+
+class MarketBasketIndex:
+    """A signature table plus its database, with incremental inserts.
+
+    All query methods mirror
+    :class:`~repro.core.search.SignatureTableSearcher` and transparently
+    include any not-yet-compacted inserted transactions.
+    """
+
+    def __init__(
+        self,
+        db: TransactionDatabase,
+        scheme: SignatureScheme,
+        page_size: int = 64,
+        auto_compact_fraction: float = 0.25,
+    ) -> None:
+        check_fraction(auto_compact_fraction, "auto_compact_fraction")
+        self._db = db
+        self._scheme = scheme
+        self._page_size = int(page_size)
+        self._auto_compact_fraction = float(auto_compact_fraction)
+        self._table = SignatureTable.build(db, scheme, page_size=page_size)
+        self._searcher = SignatureTableSearcher(self._table, db)
+        self._delta: List[np.ndarray] = []
+        self._build_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def db(self) -> TransactionDatabase:
+        """The compacted (indexed) database; excludes the pending delta."""
+        return self._db
+
+    @property
+    def scheme(self) -> SignatureScheme:
+        """The signature scheme (item partition + activation threshold)."""
+        return self._scheme
+
+    @property
+    def table(self) -> SignatureTable:
+        """The underlying (compacted) signature table."""
+        return self._table
+
+    @property
+    def delta_size(self) -> int:
+        """Number of inserted transactions awaiting compaction."""
+        return len(self._delta)
+
+    def __len__(self) -> int:
+        return len(self._db) + len(self._delta)
+
+    def __getitem__(self, tid: int) -> frozenset:
+        if tid < len(self._db):
+            return self._db[tid]
+        offset = tid - len(self._db)
+        if 0 <= offset < len(self._delta):
+            return frozenset(int(i) for i in self._delta[offset])
+        raise IndexError(f"tid {tid} out of range [0, {len(self)})")
+
+    def report(self) -> IndexBuildReport:
+        """Build/footprint summary."""
+        return IndexBuildReport(
+            num_transactions=len(self),
+            universe_size=self._db.universe_size,
+            num_signatures=self._scheme.num_signatures,
+            activation_threshold=self._scheme.activation_threshold,
+            occupied_entries=self._table.num_entries_occupied,
+            directory_bytes_dense=self._table.memory_bytes(dense=True),
+            directory_bytes_sparse=self._table.memory_bytes(dense=False),
+            build_seconds=self._build_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def insert(self, transaction: Iterable[int]) -> int:
+        """Insert a transaction; returns its TID.
+
+        The transaction lands in the in-memory delta and is immediately
+        visible to queries.  When the delta outgrows
+        ``auto_compact_fraction`` of the indexed size, the index compacts
+        automatically.
+        """
+        items = as_item_array(transaction, self._db.universe_size)
+        self._delta.append(items)
+        tid = len(self._db) + len(self._delta) - 1
+        if len(self._delta) > self._auto_compact_fraction * max(len(self._db), 1):
+            self.compact()
+        return tid
+
+    def compact(self) -> None:
+        """Merge the delta into a freshly built table (TIDs are preserved)."""
+        if not self._delta:
+            return
+        old_items, old_indptr = self._db.csr()
+        delta_sizes = np.fromiter(
+            (a.size for a in self._delta), dtype=np.int64, count=len(self._delta)
+        )
+        items = np.concatenate([old_items] + self._delta)
+        indptr = np.concatenate(
+            [old_indptr, old_indptr[-1] + np.cumsum(delta_sizes)]
+        )
+        self._db = TransactionDatabase.from_arrays(
+            items, indptr, self._db.universe_size
+        )
+        self._delta = []
+        self._table = SignatureTable.build(
+            self._db, self._scheme, page_size=self._page_size
+        )
+        self._searcher = SignatureTableSearcher(self._table, self._db)
+
+    def rebuild(self, scheme: Optional[SignatureScheme] = None, **partition_kwargs) -> None:
+        """Compact and optionally re-partition (after distribution drift).
+
+        Without arguments this re-learns the partition from the current
+        data with the same ``K`` and activation threshold.
+        """
+        self.compact()
+        if scheme is None:
+            overrides = dict(
+                num_signatures=self._scheme.num_signatures,
+                activation_threshold=self._scheme.activation_threshold,
+            )
+            overrides.update(partition_kwargs)
+            scheme = partition_items(self._db, **overrides)
+        self._scheme = scheme
+        self._table = SignatureTable.build(
+            self._db, scheme, page_size=self._page_size
+        )
+        self._searcher = SignatureTableSearcher(self._table, self._db)
+
+    # ------------------------------------------------------------------
+    # Queries (searcher + delta merge)
+    # ------------------------------------------------------------------
+    def nearest(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        **kwargs,
+    ) -> Tuple[Optional[Neighbor], SearchStats]:
+        """Most similar transaction (index + pending delta); see
+        :meth:`SignatureTableSearcher.nearest` for keyword options."""
+        neighbors, stats = self.knn(target, similarity, k=1, **kwargs)
+        return (neighbors[0] if neighbors else None), stats
+
+    def knn(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        k: int = 1,
+        **kwargs,
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """k most similar transactions (index + pending delta); see
+        :meth:`SignatureTableSearcher.knn` for keyword options."""
+        neighbors, stats = self._searcher.knn(target, similarity, k=k, **kwargs)
+        if self._delta:
+            neighbors = self._merge_delta_knn(target, similarity, k, neighbors, stats)
+        return neighbors, stats
+
+    def range_query(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        threshold: float,
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """All transactions with similarity >= ``threshold`` (index +
+        pending delta)."""
+        results, stats = self._searcher.range_query(target, similarity, threshold)
+        if self._delta:
+            extra = self._delta_filter(target, [(similarity, threshold)], stats)
+            results = sorted(
+                results + extra, key=lambda nb: (-nb.similarity, nb.tid)
+            )
+        return results, stats
+
+    def multi_range_query(
+        self,
+        target: Iterable[int],
+        constraints: Sequence[Tuple[SimilarityFunction, float]],
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """Conjunctive range query over several similarity functions
+        (index + pending delta); see
+        :meth:`SignatureTableSearcher.multi_range_query`."""
+        results, stats = self._searcher.multi_range_query(target, constraints)
+        if self._delta:
+            extra = self._delta_filter(target, constraints, stats)
+            results = sorted(
+                results + extra, key=lambda nb: (-nb.similarity, nb.tid)
+            )
+        return results, stats
+
+    def multi_target_knn(
+        self,
+        targets: Sequence[Iterable[int]],
+        similarity: SimilarityFunction,
+        k: int = 1,
+        aggregate: str = "mean",
+        **kwargs,
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """k-NN under an aggregate of similarities to several targets
+        (index + pending delta); see
+        :meth:`SignatureTableSearcher.multi_target_knn`."""
+        neighbors, stats = self._searcher.multi_target_knn(
+            targets, similarity, k=k, aggregate=aggregate, **kwargs
+        )
+        if self._delta:
+            aggregator = {"mean": np.mean, "min": np.min, "max": np.max}[aggregate]
+            target_sets = [frozenset(int(i) for i in t) for t in targets]
+            merged = list(neighbors)
+            for offset, items in enumerate(self._delta):
+                other = frozenset(int(i) for i in items)
+                values = [
+                    similarity.bind(len(ts)).evaluate(
+                        len(ts & other), len(ts ^ other)
+                    )
+                    for ts in target_sets
+                ]
+                merged.append(
+                    Neighbor(
+                        tid=len(self._db) + offset,
+                        similarity=float(aggregator(values)),
+                    )
+                )
+            stats.transactions_accessed += len(self._delta)
+            stats.total_transactions += len(self._delta)
+            merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
+            neighbors = merged[:k]
+        return neighbors, stats
+
+    # ------------------------------------------------------------------
+    def _merge_delta_knn(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        k: int,
+        neighbors: List[Neighbor],
+        stats: SearchStats,
+    ) -> List[Neighbor]:
+        target_set = frozenset(int(i) for i in target)
+        bound_sim = similarity.bind(len(target_set))
+        merged = list(neighbors)
+        for offset, items in enumerate(self._delta):
+            other = frozenset(int(i) for i in items)
+            x = len(target_set & other)
+            y = len(target_set ^ other)
+            merged.append(
+                Neighbor(
+                    tid=len(self._db) + offset,
+                    similarity=float(bound_sim.evaluate(x, y)),
+                )
+            )
+        stats.transactions_accessed += len(self._delta)
+        stats.total_transactions += len(self._delta)
+        merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
+        return merged[:k]
+
+    def _delta_filter(
+        self,
+        target: Iterable[int],
+        constraints: Sequence[Tuple[SimilarityFunction, float]],
+        stats: SearchStats,
+    ) -> List[Neighbor]:
+        target_set = frozenset(int(i) for i in target)
+        bound_sims = [sim.bind(len(target_set)) for sim, _ in constraints]
+        thresholds = [float(t) for _, t in constraints]
+        extra: List[Neighbor] = []
+        for offset, items in enumerate(self._delta):
+            other = frozenset(int(i) for i in items)
+            x = len(target_set & other)
+            y = len(target_set ^ other)
+            values = [float(bs.evaluate(x, y)) for bs in bound_sims]
+            if all(v >= t for v, t in zip(values, thresholds)):
+                extra.append(
+                    Neighbor(tid=len(self._db) + offset, similarity=values[0])
+                )
+        stats.transactions_accessed += len(self._delta)
+        stats.total_transactions += len(self._delta)
+        return extra

@@ -1,0 +1,184 @@
+"""Sharded (horizontally partitioned) signature-table index.
+
+For databases beyond one node's capacity, the standard engineering move is
+to split the transactions into shards and keep one signature table per
+shard.  Queries fan out to all shards and the partial results merge —
+which is exact for every query type this library supports, because each
+transaction lives in exactly one shard:
+
+* k-NN: merge the per-shard top-k lists and keep the global top k.
+* Range queries: concatenate the per-shard results.
+* The early-termination budget is applied per shard (each shard cuts off
+  at the same *fraction* of its own data, matching the single-table
+  semantics in expectation).
+
+A single :class:`~repro.core.signature.SignatureScheme` is shared by all
+shards — the item partition is a property of the item universe, not of
+the transaction subset — so shard tables stay mutually compatible and a
+transaction can be routed to any shard.
+
+This is an engineering extension, not part of the paper; its correctness
+tests assert exact agreement with a single table over the union.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.search import Neighbor, SearchStats, SignatureTableSearcher
+from repro.core.signature import SignatureScheme
+from repro.core.similarity import SimilarityFunction
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase
+from repro.utils.validation import check_positive
+
+
+class ShardedSignatureIndex:
+    """A set of per-shard signature tables behind one query interface.
+
+    Parameters
+    ----------
+    shards:
+        The shard databases.  TIDs are global: shard ``s`` holds the TID
+        range ``[offsets[s], offsets[s+1])`` in order.
+    scheme:
+        The shared signature scheme (one item partition for all shards).
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[TransactionDatabase],
+        scheme: SignatureScheme,
+        page_size: int = 64,
+    ) -> None:
+        if not shards:
+            raise ValueError("at least one shard is required")
+        self.scheme = scheme
+        self._shards = list(shards)
+        self._searchers: List[SignatureTableSearcher] = []
+        offsets = [0]
+        for shard in self._shards:
+            table = SignatureTable.build(shard, scheme, page_size=page_size)
+            self._searchers.append(SignatureTableSearcher(table, shard))
+            offsets.append(offsets[-1] + len(shard))
+        self._offsets = np.asarray(offsets, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_database(
+        cls,
+        db: TransactionDatabase,
+        scheme: SignatureScheme,
+        num_shards: int,
+        page_size: int = 64,
+    ) -> "ShardedSignatureIndex":
+        """Split ``db`` into ``num_shards`` contiguous TID-range shards."""
+        check_positive(num_shards, "num_shards")
+        if num_shards > len(db):
+            raise ValueError(
+                f"num_shards={num_shards} exceeds database size {len(db)}"
+            )
+        boundaries = np.linspace(0, len(db), num_shards + 1).astype(np.int64)
+        shards = [
+            db.subset(range(int(boundaries[s]), int(boundaries[s + 1])))
+            for s in range(num_shards)
+        ]
+        return cls(shards, scheme, page_size=page_size)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    def __len__(self) -> int:
+        return int(self._offsets[-1])
+
+    def shard_of(self, tid: int) -> Tuple[int, int]:
+        """Map a global TID to ``(shard_index, local_tid)``."""
+        if not 0 <= tid < len(self):
+            raise IndexError(f"tid {tid} out of range [0, {len(self)})")
+        shard = int(np.searchsorted(self._offsets, tid, side="right") - 1)
+        return shard, tid - int(self._offsets[shard])
+
+    def __getitem__(self, tid: int) -> frozenset:
+        shard, local = self.shard_of(tid)
+        return self._shards[shard][local]
+
+    # ------------------------------------------------------------------
+    def _merge_stats(self, partials: Iterable[SearchStats]) -> SearchStats:
+        merged = SearchStats(total_transactions=len(self))
+        merged.guaranteed_optimal = True
+        best_remaining = -np.inf
+        for stats in partials:
+            merged.transactions_accessed += stats.transactions_accessed
+            merged.entries_total += stats.entries_total
+            merged.entries_scanned += stats.entries_scanned
+            merged.entries_pruned += stats.entries_pruned
+            merged.entries_unexplored += stats.entries_unexplored
+            merged.terminated_early |= stats.terminated_early
+            merged.guaranteed_optimal &= stats.guaranteed_optimal
+            best_remaining = max(best_remaining, stats.best_possible_remaining)
+            merged.io.merge(stats.io)
+        merged.best_possible_remaining = best_remaining
+        return merged
+
+    def knn(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        k: int = 1,
+        early_termination: Optional[float] = None,
+        sort_by: str = "optimistic",
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """Exact k-NN over all shards (scatter-gather merge)."""
+        check_positive(k, "k")
+        merged: List[Neighbor] = []
+        partials: List[SearchStats] = []
+        for shard_index, searcher in enumerate(self._searchers):
+            neighbors, stats = searcher.knn(
+                target,
+                similarity,
+                k=k,
+                early_termination=early_termination,
+                sort_by=sort_by,
+            )
+            offset = int(self._offsets[shard_index])
+            merged.extend(
+                Neighbor(tid=neighbor.tid + offset, similarity=neighbor.similarity)
+                for neighbor in neighbors
+            )
+            partials.append(stats)
+        merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
+        return merged[:k], self._merge_stats(partials)
+
+    def nearest(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        **kwargs,
+    ) -> Tuple[Optional[Neighbor], SearchStats]:
+        """Exact nearest neighbour over all shards."""
+        neighbors, stats = self.knn(target, similarity, k=1, **kwargs)
+        return (neighbors[0] if neighbors else None), stats
+
+    def range_query(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        threshold: float,
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """Exact range query over all shards."""
+        results: List[Neighbor] = []
+        partials: List[SearchStats] = []
+        for shard_index, searcher in enumerate(self._searchers):
+            hits, stats = searcher.range_query(target, similarity, threshold)
+            offset = int(self._offsets[shard_index])
+            results.extend(
+                Neighbor(tid=hit.tid + offset, similarity=hit.similarity)
+                for hit in hits
+            )
+            partials.append(stats)
+        results.sort(key=lambda nb: (-nb.similarity, nb.tid))
+        return results, self._merge_stats(partials)

@@ -1,0 +1,452 @@
+"""Similarity functions over market-basket transactions (Section 2).
+
+A similarity function is any ``f(x, y)`` where ``x`` is the number of
+*matches* between two transactions (``|T1 ∩ T2|``) and ``y`` is their
+*hamming distance* (``|T1 Δ T2|``), subject to the paper's two constraints
+(its equations (1) and (2)):
+
+* ``f`` is non-decreasing in ``x``, and
+* ``f`` is non-increasing in ``y``.
+
+Those constraints are exactly what Lemma 2.1 needs: with an upper bound
+``β`` on ``x`` and a lower bound ``α`` on ``y``, ``f(β, α)`` is an upper
+bound on ``f(x, y)`` — the optimistic bound the branch-and-bound search
+prunes with.  :func:`verify_monotonicity` grid-checks the constraints for a
+(custom) function.
+
+All ``evaluate`` implementations accept scalars or NumPy arrays; the
+searcher exploits this to score a whole table entry in one call.
+
+Target binding
+--------------
+Some classical functions (cosine) depend on the transaction *sizes*, not
+just ``(x, y)``.  Given the target size ``t``, the other size is determined:
+``#S = 2x + y − t``.  Such functions must be *bound* to a target before
+evaluation via :meth:`SimilarityFunction.bind`; unbound evaluation raises
+:class:`UnboundSimilarityError`.  Size-free functions return ``self`` from
+``bind``.
+
+At the optimistic corner ``(M_opt, D_opt)`` the implied size
+``2x + y − t`` can be infeasible (≤ 0 or < x); bound implementations clamp
+it to ``max(1, x, 2x + y − t)``, which preserves both the upper-bound
+property and the Lemma 2.1 monotonicity (proved in DESIGN.md, verified by
+property tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Iterable, Union
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+ArrayLike = Union[int, float, np.ndarray]
+
+
+class UnboundSimilarityError(RuntimeError):
+    """Raised when a size-dependent similarity is evaluated without a target.
+
+    Call ``sim.bind(target_size)`` (done automatically by the searcher and
+    by :meth:`SimilarityFunction.between`) before evaluating.
+    """
+
+
+class SimilarityFunction(ABC):
+    """Base class for similarity functions ``f(x, y)``.
+
+    Subclasses implement :meth:`evaluate` (scalar- and array-safe) and may
+    override :meth:`bind` when they depend on the target transaction's size.
+    Higher values mean greater similarity (the paper's maximisation
+    convention); distance-like measures are restated in maximisation form,
+    e.g. hamming distance as ``1 / (1 + y)``.
+    """
+
+    #: Short machine-readable name, set by subclasses.
+    name: str = "abstract"
+
+    @abstractmethod
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        """Return ``f(matches, hamming)`` elementwise."""
+
+    def bind(self, target_size: int) -> "SimilarityFunction":
+        """Return a variant of this function bound to a target of size
+        ``target_size``.  Size-independent functions return ``self``."""
+        return self
+
+    def __call__(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        return self.evaluate(matches, hamming)
+
+    def between(self, target: Iterable[int], other: Iterable[int]) -> float:
+        """Similarity between two explicit transactions.
+
+        Computes ``x = |target ∩ other|`` and ``y = |target Δ other|``,
+        binds to ``len(target)`` and evaluates.
+        """
+        target_set = frozenset(target)
+        other_set = frozenset(other)
+        x = len(target_set & other_set)
+        y = len(target_set ^ other_set)
+        return float(self.bind(len(target_set)).evaluate(x, y))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Size-independent functions
+# ----------------------------------------------------------------------
+class MatchCountSimilarity(SimilarityFunction):
+    """``f(x, y) = x`` — the plain match count.
+
+    The function the inverted index natively supports; included both for
+    completeness and as the simplest member of the monotone family
+    (non-increasing in ``y`` holds trivially).
+    """
+
+    name = "matches"
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        result = np.asarray(matches, dtype=np.float64) + 0.0 * np.asarray(hamming)
+        return result if result.shape else float(result)
+
+
+class HammingSimilarity(SimilarityFunction):
+    """Hamming distance in maximisation form: ``f(x, y) = 1 / (s + y)``.
+
+    The paper states ``f = 1/y``, which is singular for identical
+    transactions (``y = 0``).  The default smoothing ``s = 1`` gives the
+    order-equivalent ``1 / (1 + y)``; pass ``smoothing=0.0`` for the paper's
+    literal form (``+inf`` at ``y = 0``).
+    """
+
+    name = "hamming"
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        check_positive(smoothing, "smoothing", strict=False)
+        self.smoothing = float(smoothing)
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        y = np.asarray(hamming, dtype=np.float64)
+        denominator = y + self.smoothing
+        with np.errstate(divide="ignore"):
+            result = np.where(denominator > 0, 1.0 / np.maximum(denominator, 1e-300), np.inf)
+        return result if result.shape else float(result)
+
+    def __repr__(self) -> str:
+        return f"HammingSimilarity(smoothing={self.smoothing})"
+
+
+class MatchRatioSimilarity(SimilarityFunction):
+    """Match to hamming-distance ratio: ``f(x, y) = x / (s + y)``.
+
+    Paper form is ``x / y`` (``smoothing=0.0``); default ``s = 1`` is the
+    bounded, order-equivalent variant.
+    """
+
+    name = "match_ratio"
+
+    def __init__(self, smoothing: float = 1.0) -> None:
+        check_positive(smoothing, "smoothing", strict=False)
+        self.smoothing = float(smoothing)
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        x = np.asarray(matches, dtype=np.float64)
+        y = np.asarray(hamming, dtype=np.float64)
+        denominator = y + self.smoothing
+        with np.errstate(divide="ignore", invalid="ignore"):
+            result = np.where(
+                denominator > 0,
+                x / np.maximum(denominator, 1e-300),
+                np.where(x > 0, np.inf, 0.0),
+            )
+        return result if result.shape else float(result)
+
+    def __repr__(self) -> str:
+        return f"MatchRatioSimilarity(smoothing={self.smoothing})"
+
+
+class JaccardSimilarity(SimilarityFunction):
+    """Jaccard coefficient: ``f(x, y) = x / (x + y)`` (union = ``x + y``).
+
+    Two identical transactions (including two empty ones) have similarity 1.
+    """
+
+    name = "jaccard"
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        x = np.asarray(matches, dtype=np.float64)
+        y = np.asarray(hamming, dtype=np.float64)
+        union = x + y
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result = np.where(union > 0, x / np.maximum(union, 1e-300), 1.0)
+        return result if result.shape else float(result)
+
+
+class DiceSimilarity(SimilarityFunction):
+    """Dice coefficient: ``f(x, y) = 2x / (2x + y)``."""
+
+    name = "dice"
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        x = np.asarray(matches, dtype=np.float64)
+        y = np.asarray(hamming, dtype=np.float64)
+        denominator = 2.0 * x + y
+        with np.errstate(invalid="ignore", divide="ignore"):
+            result = np.where(
+                denominator > 0, 2.0 * x / np.maximum(denominator, 1e-300), 1.0
+            )
+        return result if result.shape else float(result)
+
+
+class WeightedLinearSimilarity(SimilarityFunction):
+    """``f(x, y) = alpha * x - beta * y`` with ``alpha, beta >= 0``.
+
+    A tunable trade-off between rewarding matches and penalising mismatches;
+    the classic linear scoring used in set-similarity literature.
+    """
+
+    name = "weighted_linear"
+
+    def __init__(self, alpha: float = 1.0, beta: float = 1.0) -> None:
+        check_positive(alpha, "alpha", strict=False)
+        check_positive(beta, "beta", strict=False)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        x = np.asarray(matches, dtype=np.float64)
+        y = np.asarray(hamming, dtype=np.float64)
+        result = self.alpha * x - self.beta * y
+        return result if result.shape else float(result)
+
+    def __repr__(self) -> str:
+        return f"WeightedLinearSimilarity(alpha={self.alpha}, beta={self.beta})"
+
+
+# ----------------------------------------------------------------------
+# Target-size-dependent functions
+# ----------------------------------------------------------------------
+def _implied_other_size(
+    x: np.ndarray, y: np.ndarray, target_size: int
+) -> np.ndarray:
+    """Size of the other transaction: ``#S = 2x + y − t``, clamped.
+
+    Feasible ``(x, y)`` pairs give the exact size; the optimistic corner can
+    be infeasible, and the clamp ``max(1, x, 2x + y − t)`` keeps the bound
+    valid and monotone (see module docstring and DESIGN.md).
+    """
+    return np.maximum(np.maximum(1.0, x), 2.0 * x + y - target_size)
+
+
+class CosineSimilarity(SimilarityFunction):
+    """Cosine of the angle between transactions (Section 2, example 3).
+
+    ``cosine(S, T) = x / sqrt(#S · #T)`` with ``#S = 2x + y − #T``.  Must be
+    bound to a target size before evaluation.
+    """
+
+    name = "cosine"
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        raise UnboundSimilarityError(
+            "CosineSimilarity depends on the target size; call "
+            "bind(target_size) first (the searcher does this automatically)"
+        )
+
+    def bind(self, target_size: int) -> "SimilarityFunction":
+        return _BoundCosine(int(target_size))
+
+
+class _BoundCosine(SimilarityFunction):
+    """Cosine bound to a specific target size."""
+
+    name = "cosine"
+
+    def __init__(self, target_size: int) -> None:
+        check_positive(target_size, "target_size", strict=False)
+        self.target_size = max(int(target_size), 1)
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        x = np.asarray(matches, dtype=np.float64)
+        y = np.asarray(hamming, dtype=np.float64)
+        other = _implied_other_size(x, y, self.target_size)
+        result = x / np.sqrt(other * self.target_size)
+        return result if result.shape else float(result)
+
+    def bind(self, target_size: int) -> "SimilarityFunction":
+        return _BoundCosine(int(target_size))
+
+    def __repr__(self) -> str:
+        return f"_BoundCosine(target_size={self.target_size})"
+
+
+class ContainmentSimilarity(SimilarityFunction):
+    """Fraction of the *target* covered: ``f(x, y) = x / #T``.
+
+    Useful for "did the customer buy (most of) this reference basket"
+    queries.  Must be bound to a target size before evaluation.
+    """
+
+    name = "containment"
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        raise UnboundSimilarityError(
+            "ContainmentSimilarity depends on the target size; call "
+            "bind(target_size) first (the searcher does this automatically)"
+        )
+
+    def bind(self, target_size: int) -> "SimilarityFunction":
+        return _BoundContainment(int(target_size))
+
+
+class _BoundContainment(SimilarityFunction):
+    name = "containment"
+
+    def __init__(self, target_size: int) -> None:
+        check_positive(target_size, "target_size", strict=False)
+        self.target_size = max(int(target_size), 1)
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        x = np.asarray(matches, dtype=np.float64)
+        result = x / self.target_size + 0.0 * np.asarray(hamming)
+        return result if result.shape else float(result)
+
+    def bind(self, target_size: int) -> "SimilarityFunction":
+        return _BoundContainment(int(target_size))
+
+    def __repr__(self) -> str:
+        return f"_BoundContainment(target_size={self.target_size})"
+
+
+class CustomSimilarity(SimilarityFunction):
+    """Wrap a user-supplied callable ``f(x, y)`` as a similarity function.
+
+    Parameters
+    ----------
+    fn:
+        Array-safe callable of ``(matches, hamming)``.
+    name:
+        Display name.
+    validate:
+        When true (default), grid-check the Lemma 2.1 monotonicity
+        constraints at construction time and raise :class:`ValueError` on
+        violation, so an invalid function fails fast instead of silently
+        breaking the branch-and-bound pruning.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[ArrayLike, ArrayLike], ArrayLike],
+        name: str = "custom",
+        validate: bool = True,
+    ) -> None:
+        self._fn = fn
+        self.name = name
+        if validate:
+            verify_monotonicity(self, raise_on_violation=True)
+
+    def evaluate(self, matches: ArrayLike, hamming: ArrayLike) -> ArrayLike:
+        return self._fn(matches, hamming)
+
+    def __repr__(self) -> str:
+        return f"CustomSimilarity(name={self.name!r})"
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def matches(a: Iterable[int], b: Iterable[int]) -> int:
+    """Number of items bought in both transactions, ``|a ∩ b|``."""
+    return len(frozenset(a) & frozenset(b))
+
+
+def hamming_distance(a: Iterable[int], b: Iterable[int]) -> int:
+    """Number of items bought in exactly one transaction, ``|a Δ b|``."""
+    return len(frozenset(a) ^ frozenset(b))
+
+
+def verify_monotonicity(
+    sim: SimilarityFunction,
+    max_matches: int = 24,
+    max_hamming: int = 48,
+    target_sizes: Iterable[int] = (1, 2, 5, 10, 20),
+    raise_on_violation: bool = False,
+) -> bool:
+    """Grid-check the paper's constraints (1) and (2) for ``sim``.
+
+    Evaluates ``f`` on the integer grid
+    ``[0, max_matches] × [0, max_hamming]`` (for each bound target size when
+    the function is size-dependent) and checks that the function is
+    non-decreasing along ``x`` and non-increasing along ``y``.
+
+    Returns ``True`` when no violation is found.  With
+    ``raise_on_violation`` a descriptive :class:`ValueError` is raised
+    instead of returning ``False``.
+    """
+    x = np.arange(max_matches + 1, dtype=np.float64)[:, None]
+    y = np.arange(max_hamming + 1, dtype=np.float64)[None, :]
+
+    def _check(bound: SimilarityFunction, label: str) -> bool:
+        with np.errstate(all="ignore"):
+            grid = np.asarray(bound.evaluate(x + 0 * y, y + 0 * x), dtype=np.float64)
+            # inf - inf at singular corners yields NaN, which compares
+            # False against the tolerances below — exactly what we want.
+            along_x = np.diff(grid, axis=0)
+            along_y = np.diff(grid, axis=1)
+        tolerance = 1e-12
+        if np.any(along_x < -tolerance):
+            if raise_on_violation:
+                i, j = np.argwhere(along_x < -tolerance)[0]
+                raise ValueError(
+                    f"{label} is decreasing in the match count at "
+                    f"(x={i}, y={j}): f({i},{j})={grid[i, j]:.6g} > "
+                    f"f({i + 1},{j})={grid[i + 1, j]:.6g}"
+                )
+            return False
+        if np.any(along_y > tolerance):
+            if raise_on_violation:
+                i, j = np.argwhere(along_y > tolerance)[0]
+                raise ValueError(
+                    f"{label} is increasing in the hamming distance at "
+                    f"(x={i}, y={j}): f({i},{j})={grid[i, j]:.6g} < "
+                    f"f({i},{j + 1})={grid[i, j + 1]:.6g}"
+                )
+            return False
+        return True
+
+    try:
+        return _check(sim, f"{sim.name}")
+    except UnboundSimilarityError:
+        return all(
+            _check(sim.bind(t), f"{sim.name}(target_size={t})")
+            for t in target_sizes
+        )
+
+
+#: Registry of the built-in similarity functions by name.
+SIMILARITY_FUNCTIONS: Dict[str, Callable[[], SimilarityFunction]] = {
+    "hamming": HammingSimilarity,
+    "match_ratio": MatchRatioSimilarity,
+    "cosine": CosineSimilarity,
+    "jaccard": JaccardSimilarity,
+    "dice": DiceSimilarity,
+    "containment": ContainmentSimilarity,
+    "matches": MatchCountSimilarity,
+    "weighted_linear": WeightedLinearSimilarity,
+}
+
+
+def get_similarity(name: str, **kwargs) -> SimilarityFunction:
+    """Instantiate a built-in similarity function by name.
+
+    >>> get_similarity("hamming").name
+    'hamming'
+    """
+    try:
+        factory = SIMILARITY_FUNCTIONS[name]
+    except KeyError:
+        known = ", ".join(sorted(SIMILARITY_FUNCTIONS))
+        raise ValueError(f"unknown similarity {name!r}; known: {known}") from None
+    return factory(**kwargs)

@@ -1,0 +1,30 @@
+"""Market-basket data substrate.
+
+This package provides the transaction data model
+(:class:`~repro.data.transaction.TransactionDatabase`), the synthetic
+workload generator of Section 5 of the paper
+(:mod:`repro.data.generator`), persistence helpers
+(:mod:`repro.data.io`) and dataset statistics (:mod:`repro.data.stats`).
+"""
+
+from repro.data.generator import (
+    GeneratorConfig,
+    MarketBasketGenerator,
+    format_spec,
+    generate,
+    parse_spec,
+)
+from repro.data.stats import DatasetStats, describe
+from repro.data.transaction import TransactionDatabase, as_item_array
+
+__all__ = [
+    "TransactionDatabase",
+    "as_item_array",
+    "GeneratorConfig",
+    "MarketBasketGenerator",
+    "generate",
+    "parse_spec",
+    "format_spec",
+    "DatasetStats",
+    "describe",
+]

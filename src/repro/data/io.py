@@ -1,0 +1,127 @@
+"""Dataset persistence.
+
+Two interchange formats are supported:
+
+* the native compressed ``.npz`` format (fast, exact; see
+  :meth:`~repro.data.transaction.TransactionDatabase.save`), and
+* the classic IBM/FIMI text format — one transaction per line, items as
+  whitespace-separated integers — so databases can be exchanged with
+  external frequent-itemset tooling.
+
+:class:`DatasetCache` memoises generated datasets on disk keyed by their
+generator config, which is what lets the nine figure benchmarks share the
+exact same databases (and therefore the exact same signature tables).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Callable, Union
+
+from repro.data.generator import GeneratorConfig, MarketBasketGenerator
+from repro.data.transaction import TransactionDatabase
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_text(db: TransactionDatabase, path: PathLike) -> None:
+    """Write ``db`` in FIMI text format (one transaction per line)."""
+    with open(path, "w", encoding="ascii") as handle:
+        for tid in range(len(db)):
+            items = db.items_of(tid)
+            handle.write(" ".join(str(int(i)) for i in items))
+            handle.write("\n")
+
+
+def read_text(
+    path: PathLike, universe_size: Union[int, None] = None
+) -> TransactionDatabase:
+    """Read a FIMI text file into a :class:`TransactionDatabase`.
+
+    Blank lines are skipped.  Raises :class:`ValueError` on non-integer
+    tokens with the offending line number.
+    """
+    transactions = []
+    with open(path, "r", encoding="ascii") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                transactions.append([int(tok) for tok in stripped.split()])
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}: line {lineno} contains a non-integer token"
+                ) from exc
+    return TransactionDatabase(transactions, universe_size=universe_size)
+
+
+def _config_key(config: GeneratorConfig) -> str:
+    """Stable filesystem key for a generator config."""
+    payload = repr(config).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()[:16]
+    return f"{config.spec}-{digest}"
+
+
+class DatasetCache:
+    """On-disk cache of generated datasets, keyed by generator config.
+
+    Parameters
+    ----------
+    directory:
+        Cache root; created on demand.
+
+    Examples
+    --------
+    >>> cache = DatasetCache("/tmp/repro-cache")        # doctest: +SKIP
+    >>> db = cache.get(GeneratorConfig(10_000, seed=3)) # doctest: +SKIP
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self._directory = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        return self._directory
+
+    def path_for(self, config: GeneratorConfig) -> Path:
+        """The cache file a config maps to (whether or not it exists)."""
+        return self._directory / f"{_config_key(config)}.npz"
+
+    def get(
+        self,
+        config: GeneratorConfig,
+        builder: Union[Callable[[GeneratorConfig], TransactionDatabase], None] = None,
+    ) -> TransactionDatabase:
+        """Return the dataset for ``config``, generating and storing on miss.
+
+        Parameters
+        ----------
+        builder:
+            Optional replacement for the default
+            ``MarketBasketGenerator(config).generate()`` construction.
+        """
+        path = self.path_for(config)
+        if path.exists():
+            return TransactionDatabase.load(path)
+        if builder is None:
+            db = MarketBasketGenerator(config).generate()
+        else:
+            db = builder(config)
+        self._directory.mkdir(parents=True, exist_ok=True)
+        tmp_path = path.with_suffix(".tmp.npz")
+        db.save(tmp_path)
+        os.replace(tmp_path, path)
+        return db
+
+    def clear(self) -> int:
+        """Delete all cached datasets; returns the number removed."""
+        if not self._directory.exists():
+            return 0
+        removed = 0
+        for entry in self._directory.glob("*.npz"):
+            entry.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,93 @@
+"""Dataset statistics.
+
+Summaries used in the experiment reports (and handy when sanity-checking a
+generated workload against its ``T·.I·.D·`` spec).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.data.transaction import TransactionDatabase
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """Summary statistics of a transaction database."""
+
+    num_transactions: int
+    universe_size: int
+    total_items: int
+    avg_transaction_size: float
+    median_transaction_size: float
+    max_transaction_size: int
+    min_transaction_size: int
+    density: float
+    num_items_used: int
+    top_item_support: float
+    gini_item_support: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the stats as a plain dict (for tabular reporting)."""
+        return {
+            "num_transactions": self.num_transactions,
+            "universe_size": self.universe_size,
+            "total_items": self.total_items,
+            "avg_transaction_size": self.avg_transaction_size,
+            "median_transaction_size": self.median_transaction_size,
+            "max_transaction_size": self.max_transaction_size,
+            "min_transaction_size": self.min_transaction_size,
+            "density": self.density,
+            "num_items_used": self.num_items_used,
+            "top_item_support": self.top_item_support,
+            "gini_item_support": self.gini_item_support,
+        }
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative vector (0 = uniform)."""
+    if values.size == 0:
+        return 0.0
+    total = values.sum()
+    if total == 0:
+        return 0.0
+    sorted_values = np.sort(values.astype(np.float64))
+    n = sorted_values.size
+    ranks = np.arange(1, n + 1)
+    return float((2 * (ranks * sorted_values).sum()) / (n * total) - (n + 1) / n)
+
+
+def describe(db: TransactionDatabase) -> DatasetStats:
+    """Compute :class:`DatasetStats` for a database."""
+    sizes = db.sizes
+    supports = db.item_supports(relative=True)
+    if len(db) == 0:
+        return DatasetStats(
+            num_transactions=0,
+            universe_size=db.universe_size,
+            total_items=0,
+            avg_transaction_size=0.0,
+            median_transaction_size=0.0,
+            max_transaction_size=0,
+            min_transaction_size=0,
+            density=0.0,
+            num_items_used=0,
+            top_item_support=0.0,
+            gini_item_support=0.0,
+        )
+    return DatasetStats(
+        num_transactions=len(db),
+        universe_size=db.universe_size,
+        total_items=db.total_items,
+        avg_transaction_size=float(sizes.mean()),
+        median_transaction_size=float(np.median(sizes)),
+        max_transaction_size=int(sizes.max()),
+        min_transaction_size=int(sizes.min()),
+        density=db.density,
+        num_items_used=int((supports > 0).sum()),
+        top_item_support=float(supports.max()) if supports.size else 0.0,
+        gini_item_support=_gini(supports),
+    )

@@ -1,0 +1,58 @@
+"""Experiment harness.
+
+Reproduces every table and figure of the paper's Section 5 (see the
+per-experiment index in DESIGN.md):
+
+* :mod:`repro.eval.metrics` — pruning efficiency, accuracy under early
+  termination, recall.
+* :mod:`repro.eval.harness` — the experiment runners
+  (:func:`~repro.eval.harness.run_pruning_vs_db_size`, etc.) plus the
+  dataset/table caches and the quick/paper scale profiles.
+* :mod:`repro.eval.reporting` — plain-text result tables mirroring the
+  paper's axes, written to ``results/``.
+"""
+
+from repro.eval.harness import (
+    PROFILES,
+    ExperimentContext,
+    active_profile,
+    run_accuracy_vs_termination,
+    run_accuracy_vs_transaction_size,
+    run_inverted_access_fractions,
+    run_pruning_vs_db_size,
+)
+from repro.eval.metrics import accuracy_against_truth, recall_at_k
+from repro.eval.model import (
+    expected_inverted_access_fraction,
+    expected_supercoordinate_bits,
+    predicted_inverted_access_fraction,
+    predicted_page_fraction,
+)
+from repro.eval.reporting import ExperimentTable
+from repro.eval.workloads import (
+    holdout_targets,
+    mixed_workload,
+    perturbed_targets,
+    random_targets,
+)
+
+__all__ = [
+    "ExperimentContext",
+    "ExperimentTable",
+    "PROFILES",
+    "active_profile",
+    "run_pruning_vs_db_size",
+    "run_accuracy_vs_termination",
+    "run_accuracy_vs_transaction_size",
+    "run_inverted_access_fractions",
+    "accuracy_against_truth",
+    "recall_at_k",
+    "predicted_inverted_access_fraction",
+    "expected_inverted_access_fraction",
+    "predicted_page_fraction",
+    "expected_supercoordinate_bits",
+    "holdout_targets",
+    "perturbed_targets",
+    "random_targets",
+    "mixed_workload",
+]

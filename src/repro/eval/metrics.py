@@ -1,0 +1,69 @@
+"""Evaluation metrics (Section 5's two performance functions).
+
+* **Pruning efficiency** — the percentage of the database pruned by the
+  branch-and-bound technique when run to completion.  Computed per query
+  by :class:`~repro.core.search.SearchStats`; aggregated here.
+* **Accuracy** — the percentage of queries for which the nearest neighbour
+  was found when the search is cut off after a fixed fraction of the data.
+  "Found" means the returned similarity *value* equals the true optimum:
+  market-basket data contains duplicate transactions, so TID equality
+  would under-count genuinely optimal answers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_VALUE_TOLERANCE = 1e-9
+
+
+def values_match(found: float, truth: float, tolerance: float = _VALUE_TOLERANCE) -> bool:
+    """Whether a returned similarity equals the ground-truth optimum.
+
+    Handles the ``+inf`` values produced by unsmoothed similarity
+    functions on exact duplicates.
+    """
+    if np.isinf(truth) or np.isinf(found):
+        return bool(found == truth)
+    return bool(abs(found - truth) <= tolerance * max(1.0, abs(truth)))
+
+
+def accuracy_against_truth(
+    found_values: Sequence[float],
+    true_values: Sequence[float],
+    tolerance: float = _VALUE_TOLERANCE,
+) -> float:
+    """Percentage of queries whose answer value matches the optimum."""
+    if len(found_values) != len(true_values):
+        raise ValueError(
+            f"got {len(found_values)} found values but {len(true_values)} truths"
+        )
+    if not found_values:
+        return 0.0
+    hits = sum(
+        values_match(found, truth, tolerance)
+        for found, truth in zip(found_values, true_values)
+    )
+    return 100.0 * hits / len(found_values)
+
+
+def recall_at_k(found_tids: Iterable[int], true_tids: Iterable[int]) -> float:
+    """Fraction of the true top-k TIDs present in the returned set.
+
+    Used by the MinHash extension benchmark, where value equality is less
+    informative than set overlap.
+    """
+    truth = set(true_tids)
+    if not truth:
+        return 1.0
+    return len(truth & set(found_tids)) / len(truth)
+
+
+def mean_and_std(values: Sequence[float]) -> tuple:
+    """Convenience: ``(mean, std)`` with empty-input safety."""
+    if not values:
+        return 0.0, 0.0
+    array = np.asarray(values, dtype=np.float64)
+    return float(array.mean()), float(array.std())

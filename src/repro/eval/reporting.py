@@ -1,0 +1,92 @@
+"""Plain-text result tables.
+
+Each experiment produces an :class:`ExperimentTable` — named columns plus
+rows — rendered as an aligned text table that mirrors the axes of the
+paper's figure, and saved under ``results/`` so EXPERIMENTS.md can quote
+the measured numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of experiment results.
+
+    Attributes
+    ----------
+    title:
+        Human-readable description, e.g. the paper figure it reproduces.
+    columns:
+        Column names, in display order.
+    rows:
+        One dict per row; missing keys render blank.
+    notes:
+        Free-form context lines (profile, seeds, scale caveats).
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column (missing cells become ``None``)."""
+        return [row.get(name) for row in self.rows]
+
+    def to_text(self) -> str:
+        """Render an aligned text table."""
+        header = [str(c) for c in self.columns]
+        body = [
+            [_format_cell(row.get(c, "")) for c in self.columns]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        lines.extend(f"# {note}" for note in self.notes)
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip()
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for cells in body:
+            lines.append(
+                "  ".join(c.rjust(w) for c, w in zip(cells, widths)).rstrip()
+            )
+        return "\n".join(lines) + "\n"
+
+    def to_csv(self) -> str:
+        """Render as CSV (comma-separated, header first)."""
+        lines = [",".join(str(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(
+                ",".join(_format_cell(row.get(c, "")) for c in self.columns)
+            )
+        return "\n".join(lines) + "\n"
+
+    def save(self, directory: PathLike, name: str) -> Path:
+        """Write both ``<name>.txt`` and ``<name>.csv``; returns the txt path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        txt_path = directory / f"{name}.txt"
+        txt_path.write_text(self.to_text(), encoding="utf-8")
+        (directory / f"{name}.csv").write_text(self.to_csv(), encoding="utf-8")
+        return txt_path

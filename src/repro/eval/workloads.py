@@ -1,0 +1,137 @@
+"""Query workload generators.
+
+The paper evaluates with targets drawn from the data distribution; real
+deployments also see *perturbed* baskets (a customer similar-but-not-equal
+to history) and occasionally adversarially random ones.  These generators
+produce such workloads for the robustness benchmark:
+
+* :func:`holdout_targets` — held-out transactions from the same generator
+  (the paper's setting, in effect).
+* :func:`perturbed_targets` — database transactions with items dropped
+  and/or random items added at given rates.
+* :func:`random_targets` — uniformly random item sets (worst case: no
+  pattern structure at all).
+* :func:`mixed_workload` — a labelled mixture of the above.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.data.transaction import TransactionDatabase
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+Target = List[int]
+
+
+def holdout_targets(
+    holdout: TransactionDatabase, limit: int = None
+) -> List[Target]:
+    """Targets from a held-out database (sorted item lists)."""
+    count = len(holdout) if limit is None else min(limit, len(holdout))
+    return [sorted(holdout[q]) for q in range(count)]
+
+
+def perturbed_targets(
+    db: TransactionDatabase,
+    count: int,
+    drop_rate: float = 0.2,
+    add_rate: float = 0.2,
+    rng: RngLike = 0,
+) -> List[Target]:
+    """Database transactions with items dropped/added at the given rates.
+
+    Parameters
+    ----------
+    drop_rate:
+        Each item of the source transaction is dropped independently with
+        this probability.
+    add_rate:
+        For each original item, a uniformly random universe item is added
+        with this probability (models impulse purchases).
+    """
+    check_positive(count, "count")
+    check_probability(drop_rate, "drop_rate")
+    check_probability(add_rate, "add_rate")
+    if len(db) == 0:
+        raise ValueError("cannot perturb an empty database")
+    generator = ensure_rng(rng)
+    targets: List[Target] = []
+    for tid in generator.integers(0, len(db), size=count):
+        items = set(int(i) for i in db.items_of(int(tid)))
+        original_size = len(items)
+        kept = {
+            item for item in items if generator.random() >= drop_rate
+        }
+        additions = {
+            int(generator.integers(0, db.universe_size))
+            for _ in range(original_size)
+            if generator.random() < add_rate
+        }
+        target = sorted(kept | additions)
+        if not target:
+            target = [int(generator.integers(0, db.universe_size))]
+        targets.append(target)
+    return targets
+
+
+def random_targets(
+    universe_size: int,
+    count: int,
+    avg_size: float = 10.0,
+    rng: RngLike = 0,
+) -> List[Target]:
+    """Uniformly random item sets (no pattern structure)."""
+    check_positive(universe_size, "universe_size")
+    check_positive(count, "count")
+    check_positive(avg_size, "avg_size")
+    generator = ensure_rng(rng)
+    sizes = np.maximum(generator.poisson(avg_size, size=count), 1)
+    sizes = np.minimum(sizes, universe_size)
+    return [
+        sorted(
+            int(i)
+            for i in generator.choice(universe_size, size=int(s), replace=False)
+        )
+        for s in sizes
+    ]
+
+
+def mixed_workload(
+    db: TransactionDatabase,
+    holdout: TransactionDatabase,
+    count_per_kind: int = 20,
+    rng: RngLike = 0,
+) -> List[Tuple[str, Target]]:
+    """A labelled mixture: holdout, lightly/heavily perturbed, random."""
+    generator = ensure_rng(rng)
+    seeds = generator.integers(0, 2**31, size=3)
+    workload: List[Tuple[str, Target]] = []
+    workload.extend(
+        ("holdout", t) for t in holdout_targets(holdout, count_per_kind)
+    )
+    workload.extend(
+        ("perturbed-light", t)
+        for t in perturbed_targets(
+            db, count_per_kind, drop_rate=0.1, add_rate=0.1, rng=int(seeds[0])
+        )
+    )
+    workload.extend(
+        ("perturbed-heavy", t)
+        for t in perturbed_targets(
+            db, count_per_kind, drop_rate=0.4, add_rate=0.4, rng=int(seeds[1])
+        )
+    )
+    workload.extend(
+        ("random", t)
+        for t in random_targets(
+            db.universe_size,
+            count_per_kind,
+            avg_size=db.avg_transaction_size,
+            rng=int(seeds[2]),
+        )
+    )
+    return workload

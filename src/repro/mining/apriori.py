@@ -1,0 +1,181 @@
+"""Levelwise Apriori frequent-itemset mining and association rules.
+
+The paper situates similarity indexing in the market-basket ecosystem built
+around association-rule mining (its references [2, 3]).  This module
+provides that substrate: a vertical (TID-set) Apriori that shares the
+:class:`~repro.data.transaction.TransactionDatabase` posting lists, plus
+confidence-based rule derivation.  The peer-recommendation example combines
+it with the similarity index.
+
+The implementation uses the standard two ingredients:
+
+* *candidate generation* — join frequent ``(k-1)``-itemsets sharing a
+  ``(k-2)``-prefix, then prune candidates with an infrequent subset; and
+* *vertical counting* — the TID set of a candidate is the intersection of a
+  frequent parent's TID set with one item's posting list, so support
+  counting is one :func:`numpy.intersect1d` per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.transaction import TransactionDatabase
+from repro.utils.validation import check_probability
+
+Itemset = FrozenSet[int]
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """An association rule ``antecedent -> consequent``."""
+
+    antecedent: Itemset
+    consequent: Itemset
+    support: float
+    confidence: float
+    lift: float
+
+    def __str__(self) -> str:
+        lhs = "{" + ", ".join(map(str, sorted(self.antecedent))) + "}"
+        rhs = "{" + ", ".join(map(str, sorted(self.consequent))) + "}"
+        return (
+            f"{lhs} -> {rhs} "
+            f"(support={self.support:.4f}, confidence={self.confidence:.3f}, "
+            f"lift={self.lift:.2f})"
+        )
+
+
+def apriori(
+    db: TransactionDatabase,
+    min_support: float,
+    max_size: Optional[int] = None,
+) -> Dict[Itemset, float]:
+    """Mine all frequent itemsets of relative support >= ``min_support``.
+
+    Parameters
+    ----------
+    min_support:
+        Relative support threshold in ``(0, 1]``.
+    max_size:
+        Optional cap on itemset cardinality (``None`` = unbounded).
+
+    Returns
+    -------
+    dict
+        ``{itemset: relative support}`` for every frequent itemset,
+        including singletons.
+    """
+    check_probability(min_support, "min_support")
+    if min_support <= 0.0:
+        raise ValueError("min_support must be > 0 (0 would enumerate 2^|U| sets)")
+    n = len(db)
+    if n == 0:
+        return {}
+
+    min_count = int(np.ceil(min_support * n))
+    frequent: Dict[Itemset, float] = {}
+
+    # Level 1: frequent single items, with their TID sets.
+    item_counts = db.item_supports(relative=False)
+    level_tidsets: Dict[Tuple[int, ...], np.ndarray] = {}
+    for item in np.nonzero(item_counts >= min_count)[0]:
+        tids = db.postings(int(item))
+        level_tidsets[(int(item),)] = tids
+        frequent[frozenset((int(item),))] = tids.size / n
+
+    size = 1
+    while level_tidsets and (max_size is None or size < max_size):
+        candidates = _generate_candidates(sorted(level_tidsets), size)
+        next_level: Dict[Tuple[int, ...], np.ndarray] = {}
+        frequent_keys = set(level_tidsets)
+        for candidate in candidates:
+            if not _all_subsets_frequent(candidate, frequent_keys):
+                continue
+            parent = candidate[:-1]
+            tids = np.intersect1d(
+                level_tidsets[parent],
+                db.postings(candidate[-1]),
+                assume_unique=True,
+            )
+            if tids.size >= min_count:
+                next_level[candidate] = tids
+                frequent[frozenset(candidate)] = tids.size / n
+        level_tidsets = next_level
+        size += 1
+    return frequent
+
+
+def _generate_candidates(
+    sorted_level: List[Tuple[int, ...]], size: int
+) -> List[Tuple[int, ...]]:
+    """Join step: merge itemsets sharing their first ``size - 1`` items."""
+    candidates: List[Tuple[int, ...]] = []
+    m = len(sorted_level)
+    for a in range(m):
+        prefix = sorted_level[a][:-1]
+        for b in range(a + 1, m):
+            if sorted_level[b][:-1] != prefix:
+                break
+            candidates.append(sorted_level[a] + (sorted_level[b][-1],))
+    return candidates
+
+
+def _all_subsets_frequent(
+    candidate: Tuple[int, ...], frequent_keys: set
+) -> bool:
+    """Prune step: all (k-1)-subsets of a k-candidate must be frequent."""
+    for drop in range(len(candidate)):
+        subset = candidate[:drop] + candidate[drop + 1 :]
+        if subset not in frequent_keys:
+            return False
+    return True
+
+
+def association_rules(
+    frequent: Dict[Itemset, float],
+    min_confidence: float,
+) -> List[AssociationRule]:
+    """Derive association rules from frequent itemsets.
+
+    Enumerates, for every frequent itemset of size >= 2, all non-empty
+    proper subsets as antecedents, and keeps the rules meeting
+    ``min_confidence``.  Rules are returned sorted by descending confidence,
+    then descending support.
+    """
+    check_probability(min_confidence, "min_confidence")
+    rules: List[AssociationRule] = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        items = sorted(itemset)
+        # Enumerate all non-empty proper subsets via bitmasks.
+        for mask in range(1, (1 << len(items)) - 1):
+            antecedent = frozenset(
+                items[i] for i in range(len(items)) if mask & (1 << i)
+            )
+            antecedent_support = frequent.get(antecedent)
+            if not antecedent_support:
+                continue
+            confidence = support / antecedent_support
+            if confidence < min_confidence:
+                continue
+            consequent = itemset - antecedent
+            consequent_support = frequent.get(consequent, 0.0)
+            lift = (
+                confidence / consequent_support if consequent_support else float("inf")
+            )
+            rules.append(
+                AssociationRule(
+                    antecedent=antecedent,
+                    consequent=consequent,
+                    support=support,
+                    confidence=confidence,
+                    lift=lift,
+                )
+            )
+    rules.sort(key=lambda r: (-r.confidence, -r.support, sorted(r.antecedent)))
+    return rules

@@ -1,0 +1,123 @@
+"""Streaming maintenance of item and pair supports.
+
+The signature construction of Section 3.1 consumes item supports and
+2-itemset supports.  For a live system ingesting transactions, those
+statistics must be maintainable without rescanning history; this module
+provides :class:`StreamingSupportCounter`:
+
+* **item supports** are counted exactly (one counter per item), and
+* **pair supports** are counted exactly over a *reservoir sample* of the
+  stream (uniform without replacement, Vitter's Algorithm R), bounding
+  memory at ``reservoir_size`` transactions while keeping the estimates
+  unbiased — the same trade-off the batch ``max_transactions`` option
+  makes, but incremental.
+
+``MarketBasketIndex.rebuild`` can then re-learn the partition from a
+counter fed by the ingest path instead of re-reading the database.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.mining.support import PairSupports, count_pair_supports
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_positive
+
+
+class StreamingSupportCounter:
+    """Incremental item supports + reservoir-sampled pair supports.
+
+    Parameters
+    ----------
+    universe_size:
+        Size of the item universe.
+    reservoir_size:
+        How many transactions the pair-support reservoir holds.
+    rng:
+        Seed/generator for the reservoir's replacement choices.
+    """
+
+    def __init__(
+        self,
+        universe_size: int,
+        reservoir_size: int = 10_000,
+        rng: RngLike = 0,
+    ) -> None:
+        check_positive(universe_size, "universe_size")
+        check_positive(reservoir_size, "reservoir_size")
+        self.universe_size = int(universe_size)
+        self.reservoir_size = int(reservoir_size)
+        self._rng = ensure_rng(rng)
+        self._item_counts = np.zeros(universe_size, dtype=np.int64)
+        self._seen = 0
+        self._reservoir: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_seen(self) -> int:
+        """Total transactions observed so far."""
+        return self._seen
+
+    @property
+    def reservoir_occupancy(self) -> int:
+        """Transactions currently held in the pair-support reservoir."""
+        return len(self._reservoir)
+
+    def add(self, transaction: Iterable[int]) -> None:
+        """Observe one transaction."""
+        items = as_item_array(transaction, self.universe_size)
+        self._item_counts[items] += 1
+        self._seen += 1
+        # Vitter's Algorithm R keeps each seen transaction in the
+        # reservoir with probability reservoir_size / num_seen.
+        if len(self._reservoir) < self.reservoir_size:
+            self._reservoir.append(items)
+        else:
+            slot = int(self._rng.integers(0, self._seen))
+            if slot < self.reservoir_size:
+                self._reservoir[slot] = items
+
+    def add_many(self, transactions: Iterable[Iterable[int]]) -> None:
+        """Observe a batch of transactions."""
+        for transaction in transactions:
+            self.add(transaction)
+
+    def add_database(self, db: TransactionDatabase) -> None:
+        """Observe a whole database (e.g. the initial bulk load)."""
+        if db.universe_size > self.universe_size:
+            raise ValueError(
+                f"database universe {db.universe_size} exceeds the "
+                f"counter's universe {self.universe_size}"
+            )
+        for tid in range(len(db)):
+            self.add(db.items_of(tid))
+
+    # ------------------------------------------------------------------
+    def item_supports(self, relative: bool = True) -> np.ndarray:
+        """Exact per-item supports over everything seen."""
+        if relative:
+            if self._seen == 0:
+                return self._item_counts.astype(np.float64)
+            return self._item_counts / float(self._seen)
+        return self._item_counts.copy()
+
+    def pair_supports(self, min_support: float = 0.0) -> PairSupports:
+        """Pair supports estimated from the reservoir sample.
+
+        Unbiased for the stream seen so far; exact whenever the stream
+        still fits in the reservoir.
+        """
+        sample = TransactionDatabase(
+            self._reservoir, universe_size=self.universe_size
+        )
+        return count_pair_supports(sample, min_support=min_support)
+
+    def as_sample_database(self) -> TransactionDatabase:
+        """The current reservoir as a database (for ad-hoc analysis)."""
+        return TransactionDatabase(
+            self._reservoir, universe_size=self.universe_size
+        )

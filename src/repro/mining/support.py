@@ -1,0 +1,155 @@
+"""Item-pair support counting.
+
+The signature-construction step of the paper builds a graph over items with
+one edge per 2-itemset of at least a minimum support, weighted by the
+inverse of that support.  This module computes exactly those pair supports.
+
+The counting is vectorised: each transaction contributes the codes
+``i * |U| + j`` of its item pairs (``i < j``), and a single
+:func:`numpy.unique` over the concatenated codes yields all pair counts.
+For very large databases a uniform transaction sample gives statistically
+faithful supports at a fraction of the cost (``max_transactions``); the
+sample size used is recorded on the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.data.transaction import TransactionDatabase
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class PairSupports:
+    """Relative supports of item pairs.
+
+    Attributes
+    ----------
+    pairs:
+        Array of shape ``(m, 2)``; each row is an item pair ``(i, j)`` with
+        ``i < j``.
+    supports:
+        Relative support of each pair (fraction of counted transactions).
+    num_transactions_counted:
+        How many transactions the counts are based on (equals the database
+        size unless sampling was requested).
+    universe_size:
+        Item universe size the pairs are drawn from.
+    """
+
+    pairs: np.ndarray
+    supports: np.ndarray
+    num_transactions_counted: int
+    universe_size: int
+
+    def __len__(self) -> int:
+        return int(self.pairs.shape[0])
+
+    def __iter__(self) -> Iterator[Tuple[int, int, float]]:
+        for (i, j), s in zip(self.pairs, self.supports):
+            yield int(i), int(j), float(s)
+
+    def as_dict(self) -> Dict[Tuple[int, int], float]:
+        """Return ``{(i, j): support}`` with ``i < j``."""
+        return {
+            (int(i), int(j)): float(s)
+            for (i, j), s in zip(self.pairs, self.supports)
+        }
+
+    def support_of(self, i: int, j: int) -> float:
+        """Support of the pair ``{i, j}``; 0.0 if below the counting threshold."""
+        if i == j:
+            raise ValueError("a pair requires two distinct items")
+        lo, hi = (i, j) if i < j else (j, i)
+        code = lo * self.universe_size + hi
+        codes = self.pairs[:, 0] * self.universe_size + self.pairs[:, 1]
+        index = np.searchsorted(codes, code)
+        if index < codes.size and codes[index] == code:
+            return float(self.supports[index])
+        return 0.0
+
+
+def _pair_codes(items: np.ndarray, universe_size: int) -> np.ndarray:
+    """Codes ``i * |U| + j`` of all pairs ``i < j`` in a sorted item array."""
+    size = items.size
+    if size < 2:
+        return np.empty(0, dtype=np.int64)
+    left, right = np.triu_indices(size, k=1)
+    return items[left] * universe_size + items[right]
+
+
+def count_pair_supports(
+    db: TransactionDatabase,
+    min_support: float = 0.0,
+    max_transactions: Optional[int] = None,
+    rng: RngLike = 0,
+) -> PairSupports:
+    """Count the relative supports of all item pairs in ``db``.
+
+    Parameters
+    ----------
+    min_support:
+        Pairs below this relative support are dropped from the result (the
+        paper's "predefined minimum support" for graph edges).
+    max_transactions:
+        If given and smaller than the database, count over a uniform random
+        sample of this many transactions instead of the full database.
+    rng:
+        Seed or generator for the sampling step (ignored without sampling).
+
+    Returns
+    -------
+    PairSupports
+        Pairs sorted by code (ascending ``(i, j)``).
+    """
+    check_probability(min_support, "min_support")
+    n = len(db)
+    if n == 0:
+        return PairSupports(
+            pairs=np.empty((0, 2), dtype=np.int64),
+            supports=np.empty(0, dtype=np.float64),
+            num_transactions_counted=0,
+            universe_size=db.universe_size,
+        )
+
+    if max_transactions is not None and max_transactions < n:
+        generator = ensure_rng(rng)
+        tids = generator.choice(n, size=max_transactions, replace=False)
+        counted = int(max_transactions)
+    else:
+        tids = range(n)
+        counted = n
+
+    universe = max(db.universe_size, 1)
+    code_chunks: List[np.ndarray] = []
+    for tid in tids:
+        codes = _pair_codes(db.items_of(int(tid)), universe)
+        if codes.size:
+            code_chunks.append(codes)
+
+    if not code_chunks:
+        return PairSupports(
+            pairs=np.empty((0, 2), dtype=np.int64),
+            supports=np.empty(0, dtype=np.float64),
+            num_transactions_counted=counted,
+            universe_size=db.universe_size,
+        )
+
+    all_codes = np.concatenate(code_chunks)
+    unique_codes, counts = np.unique(all_codes, return_counts=True)
+    supports = counts / float(counted)
+    if min_support > 0.0:
+        keep = supports >= min_support
+        unique_codes, supports = unique_codes[keep], supports[keep]
+    pairs = np.column_stack((unique_codes // universe, unique_codes % universe))
+    return PairSupports(
+        pairs=pairs.astype(np.int64),
+        supports=supports.astype(np.float64),
+        num_transactions_counted=counted,
+        universe_size=db.universe_size,
+    )

@@ -1,0 +1,21 @@
+"""Page-granular storage simulation.
+
+The paper's efficiency argument is about *disk I/O*: the signature table
+keeps its ``2^K`` directory in main memory and lays transactions out on
+disk clustered by supercoordinate, so the branch-and-bound search reads a
+few contiguous page runs, while an inverted index must fetch candidates
+scattered across the whole file (the "page-scattering effect" of
+Section 5.1).
+
+We cannot (and need not) reproduce 1999 disk hardware; the paper's I/O
+claims are counting claims.  :class:`~repro.storage.pages.PagedStore`
+deterministically maps transactions to pages under a chosen storage order
+and counts pages read and non-contiguous seeks;
+:class:`~repro.storage.pages.DiskModel` turns the counts into an estimated
+cost for reporting.
+"""
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.pages import DiskModel, IOCounters, PagedStore
+
+__all__ = ["DiskModel", "IOCounters", "PagedStore", "BufferPool", "BufferStats"]

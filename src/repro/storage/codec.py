@@ -1,0 +1,128 @@
+"""Transaction encoding (delta + varint).
+
+The page simulator's default unit is "transactions per page".  To ground
+that in bytes, this module implements the standard on-disk encoding for
+sorted id lists — delta compression followed by LEB128 varints — and
+derives realistic page capacities from the *actual* encoded sizes:
+
+* :func:`encode_transaction` / :func:`decode_transaction` — one sorted
+  item array to/from bytes.
+* :func:`encode_database` / :func:`decode_database` — whole database with
+  a length-prefixed record stream.
+* :func:`estimate_page_capacity` — how many (average) encoded
+  transactions fit a page of ``page_bytes``.
+
+Deltas of sorted ids are small, so most gaps fit one byte; a T10 basket
+over 1000 items encodes in ~12-14 bytes instead of 80 raw int64 bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.utils.validation import check_positive
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    """LEB128: 7 data bits per byte, high bit = continuation."""
+    if value < 0:
+        raise ValueError(f"varints encode non-negative ints, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_varint(data: bytes, offset: int) -> Tuple[int, int]:
+    """Return ``(value, next_offset)``; raises on truncation."""
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated varint")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise ValueError("varint too long")
+
+
+def encode_transaction(transaction: Iterable[int]) -> bytes:
+    """Encode one transaction: count, first id, then deltas (all varint)."""
+    items = as_item_array(transaction)
+    out = bytearray()
+    _encode_varint(items.size, out)
+    previous = 0
+    for item in items:
+        _encode_varint(int(item) - previous, out)
+        previous = int(item)
+    return bytes(out)
+
+
+def decode_transaction(data: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
+    """Decode one transaction; returns ``(items, next_offset)``."""
+    count, offset = _decode_varint(data, offset)
+    items = np.empty(count, dtype=np.int64)
+    previous = 0
+    for position in range(count):
+        delta, offset = _decode_varint(data, offset)
+        previous += delta
+        items[position] = previous
+    return items, offset
+
+
+def encode_database(db: TransactionDatabase) -> bytes:
+    """Encode a whole database as a concatenated record stream."""
+    out = bytearray()
+    _encode_varint(len(db), out)
+    _encode_varint(db.universe_size, out)
+    for tid in range(len(db)):
+        out.extend(encode_transaction(db.items_of(tid)))
+    return bytes(out)
+
+
+def decode_database(data: bytes) -> TransactionDatabase:
+    """Decode a database previously produced by :func:`encode_database`."""
+    count, offset = _decode_varint(data, 0)
+    universe_size, offset = _decode_varint(data, offset)
+    rows: List[np.ndarray] = []
+    for _ in range(count):
+        items, offset = decode_transaction(data, offset)
+        rows.append(items)
+    if offset != len(data):
+        raise ValueError(
+            f"{len(data) - offset} trailing bytes after the last record"
+        )
+    return TransactionDatabase(rows, universe_size=universe_size)
+
+
+def encoded_sizes(db: TransactionDatabase) -> np.ndarray:
+    """Per-transaction encoded size in bytes."""
+    return np.fromiter(
+        (len(encode_transaction(db.items_of(tid))) for tid in range(len(db))),
+        dtype=np.int64,
+        count=len(db),
+    )
+
+
+def estimate_page_capacity(db: TransactionDatabase, page_bytes: int = 4096) -> int:
+    """Average number of encoded transactions that fit one page.
+
+    Use this to choose the simulator's ``page_size`` from a physical page
+    size: ``PagedStore(n, page_size=estimate_page_capacity(db, 4096))``.
+    """
+    check_positive(page_bytes, "page_bytes")
+    if len(db) == 0:
+        return 1
+    mean_bytes = float(encoded_sizes(db).mean())
+    return max(1, int(page_bytes / max(mean_bytes, 1e-9)))

@@ -1,0 +1,28 @@
+"""Small shared utilities used across the library.
+
+The utilities here are deliberately dependency-free (NumPy only) and have no
+knowledge of signature tables or market baskets: a disjoint-set forest for
+the single-linkage clustering, RNG plumbing so every stochastic component of
+the library is reproducible from a single seed, and validation helpers that
+turn malformed user input into early, descriptive errors.
+"""
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+from repro.utils.unionfind import UnionFind
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "UnionFind",
+    "derive_rng",
+    "ensure_rng",
+    "spawn_seeds",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,124 @@
+"""Disjoint-set forest (union-find) with per-component mass accounting.
+
+The single-linkage clustering of Section 3.1 of the paper is implemented as
+Kruskal's algorithm: edges are added in order of increasing distance and a
+connected component is *extracted* as a signature as soon as its mass (the
+sum of the supports of its member items) exceeds the critical mass.  This
+union-find therefore tracks, per component root:
+
+* the component size,
+* the component mass (sum of user-supplied element masses), and
+* whether the component has been *retired* (extracted); unions touching a
+  retired component are ignored, which is exactly the paper's "remove the
+  component from the graph" step without mutating edge lists.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+class UnionFind:
+    """Union-find over ``n`` elements with path compression and union by size.
+
+    Parameters
+    ----------
+    n:
+        Number of elements, labelled ``0 .. n-1``.
+    masses:
+        Optional per-element mass.  Component mass is maintained under
+        unions and is queryable via :meth:`mass`.  Defaults to ``1.0`` per
+        element so that mass equals size.
+    """
+
+    def __init__(self, n: int, masses: Optional[Sequence[float]] = None) -> None:
+        if n < 0:
+            raise ValueError(f"n must be non-negative, got {n}")
+        if masses is not None and len(masses) != n:
+            raise ValueError(
+                f"masses has length {len(masses)}, expected {n}"
+            )
+        self._parent: List[int] = list(range(n))
+        self._size: List[int] = [1] * n
+        self._mass: List[float] = (
+            [1.0] * n if masses is None else [float(m) for m in masses]
+        )
+        self._retired: List[bool] = [False] * n
+        self._n = n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def find(self, x: int) -> int:
+        """Return the root of ``x``'s component (with path compression)."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def connected(self, x: int, y: int) -> bool:
+        """Return whether ``x`` and ``y`` are in the same component."""
+        return self.find(x) == self.find(y)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the components of ``x`` and ``y``.
+
+        Returns ``True`` if a merge happened, ``False`` if the elements were
+        already connected or either component has been retired.
+        """
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry or self._retired[rx] or self._retired[ry]:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self._mass[rx] += self._mass[ry]
+        return True
+
+    def size(self, x: int) -> int:
+        """Return the number of elements in ``x``'s component."""
+        return self._size[self.find(x)]
+
+    def mass(self, x: int) -> float:
+        """Return the total mass of ``x``'s component."""
+        return self._mass[self.find(x)]
+
+    def retire(self, x: int) -> None:
+        """Retire ``x``'s component: future unions touching it are no-ops."""
+        self._retired[self.find(x)] = True
+
+    def is_retired(self, x: int) -> bool:
+        """Return whether ``x``'s component has been retired."""
+        return self._retired[self.find(x)]
+
+    def members(self, x: int) -> List[int]:
+        """Return all elements in ``x``'s component (O(n) scan)."""
+        root = self.find(x)
+        return [i for i in range(self._n) if self.find(i) == root]
+
+    def components(self, of: Optional[Iterable[int]] = None) -> Iterator[List[int]]:
+        """Yield components as lists of member elements.
+
+        Parameters
+        ----------
+        of:
+            If given, only components containing at least one of these
+            elements are yielded.
+        """
+        groups: dict = {}
+        for i in range(self._n):
+            groups.setdefault(self.find(i), []).append(i)
+        if of is None:
+            yield from groups.values()
+        else:
+            wanted = {self.find(i) for i in of}
+            for root, members in groups.items():
+                if root in wanted:
+                    yield members
+
+    def num_components(self) -> int:
+        """Return the number of distinct components (including retired)."""
+        return len({self.find(i) for i in range(self._n)})

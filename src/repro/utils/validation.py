@@ -1,0 +1,58 @@
+"""Input-validation helpers.
+
+Public API entry points validate their arguments eagerly with these helpers
+so misuse fails with a clear message at the call site instead of as a NumPy
+broadcasting error three layers down.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Any, Tuple, Type, Union
+
+
+def check_type(
+    value: Any,
+    types: Union[Type, Tuple[Type, ...]],
+    name: str,
+) -> Any:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value: Real, name: str, strict: bool = True) -> Real:
+    """Raise :class:`ValueError` unless ``value`` is positive.
+
+    With ``strict=False`` zero is allowed.
+    """
+    if not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value}")
+    return value
+
+
+def check_probability(value: Real, name: str) -> Real:
+    """Raise :class:`ValueError` unless ``0 <= value <= 1``."""
+    if not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 <= float(value) <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_fraction(value: Real, name: str) -> Real:
+    """Raise :class:`ValueError` unless ``0 < value <= 1``."""
+    if not isinstance(value, Real):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if not 0.0 < float(value) <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value}")
+    return value

@@ -1,0 +1,91 @@
+"""Unit tests for the linear-scan baseline (the exactness yardstick)."""
+
+import pytest
+
+import repro
+from repro.baselines.linear_scan import LinearScanIndex
+from repro.data.transaction import TransactionDatabase
+from tests.conftest import make_similarities
+
+
+@pytest.fixture()
+def db():
+    return TransactionDatabase(
+        [[0, 1, 2], [2, 3], [0, 1, 2, 3], [4], [0, 1]], universe_size=5
+    )
+
+
+class TestNearest:
+    def test_exact_duplicate_wins(self, db):
+        scan = LinearScanIndex(db)
+        neighbor, _ = scan.nearest([0, 1, 2], repro.JaccardSimilarity())
+        assert neighbor.tid == 0
+        assert neighbor.similarity == pytest.approx(1.0)
+
+    def test_tie_breaks_toward_smaller_tid(self):
+        db = TransactionDatabase([[0, 1], [0, 1], [2]], universe_size=3)
+        scan = LinearScanIndex(db)
+        neighbor, _ = scan.nearest([0, 1], repro.DiceSimilarity())
+        assert neighbor.tid == 0
+
+    @pytest.mark.parametrize("sim", make_similarities(), ids=lambda s: repr(s))
+    def test_agrees_with_per_pair_evaluation(self, db, sim):
+        scan = LinearScanIndex(db)
+        target = [0, 2, 4]
+        neighbor, _ = scan.nearest(target, sim)
+        expected = max(
+            sim.between(target, db[tid]) for tid in range(len(db))
+        )
+        assert neighbor.similarity == pytest.approx(expected)
+
+    def test_empty_database(self):
+        scan = LinearScanIndex(TransactionDatabase([], universe_size=3))
+        neighbor, stats = scan.nearest([0], repro.JaccardSimilarity())
+        assert neighbor is None
+        assert stats.transactions_accessed == 0
+
+
+class TestKnn:
+    def test_k_results_sorted(self, db):
+        scan = LinearScanIndex(db)
+        neighbors, _ = scan.knn([0, 1, 2], repro.JaccardSimilarity(), k=3)
+        values = [n.similarity for n in neighbors]
+        assert values == sorted(values, reverse=True)
+        assert len(neighbors) == 3
+
+    def test_k_capped_at_database_size(self, db):
+        scan = LinearScanIndex(db)
+        neighbors, _ = scan.knn([0], repro.JaccardSimilarity(), k=50)
+        assert len(neighbors) == 5
+
+    def test_invalid_k(self, db):
+        with pytest.raises(ValueError):
+            LinearScanIndex(db).knn([0], repro.JaccardSimilarity(), k=0)
+
+
+class TestRange:
+    def test_threshold_filter(self, db):
+        scan = LinearScanIndex(db)
+        results, _ = scan.range_query([0, 1, 2], repro.JaccardSimilarity(), 0.5)
+        expected = {
+            tid
+            for tid in range(len(db))
+            if repro.JaccardSimilarity().between([0, 1, 2], db[tid]) >= 0.5
+        }
+        assert {n.tid for n in results} == expected
+
+
+class TestStats:
+    def test_full_scan_accounting(self, db):
+        scan = LinearScanIndex(db, page_size=2)
+        _, stats = scan.nearest([0], repro.JaccardSimilarity())
+        assert stats.transactions_accessed == len(db)
+        assert stats.pruning_efficiency == 0.0
+        assert stats.io.pages_read == 3
+        assert stats.io.seeks == 1
+
+    def test_best_similarity(self, db):
+        scan = LinearScanIndex(db)
+        assert scan.best_similarity(
+            [0, 1, 2], repro.JaccardSimilarity()
+        ) == pytest.approx(1.0)

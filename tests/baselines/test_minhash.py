@@ -1,0 +1,122 @@
+"""Unit tests for the MinHash/LSH extension baseline."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.baselines.minhash import MinHasher, MinHashLSHIndex
+from repro.data.transaction import TransactionDatabase
+
+
+class TestMinHasher:
+    def test_signature_shape(self):
+        hasher = MinHasher(32, universe_size=100, rng=0)
+        assert hasher.signature([1, 2, 3]).shape == (32,)
+
+    def test_signature_deterministic(self):
+        hasher = MinHasher(16, universe_size=100, rng=0)
+        a = hasher.signature([5, 10, 20])
+        b = hasher.signature([5, 10, 20])
+        assert np.array_equal(a, b)
+
+    def test_identical_sets_identical_signatures(self):
+        hasher = MinHasher(16, universe_size=100, rng=0)
+        assert np.array_equal(
+            hasher.signature([1, 2, 3]), hasher.signature([3, 2, 1])
+        )
+
+    def test_empty_transaction_sentinel(self):
+        hasher = MinHasher(8, universe_size=100, rng=0)
+        signature = hasher.signature([])
+        assert np.all(signature == (1 << 31) - 1)
+
+    def test_batch_matches_individual(self, small_db):
+        hasher = MinHasher(24, universe_size=small_db.universe_size, rng=1)
+        batch = hasher.signatures_batch(small_db)
+        for tid in range(0, len(small_db), 23):
+            individual = hasher.signature(small_db[tid])
+            assert np.array_equal(batch[tid], individual)
+
+    def test_batch_handles_empty_transactions(self):
+        db = TransactionDatabase([[0, 1], [], [2]], universe_size=3)
+        hasher = MinHasher(8, universe_size=3, rng=0)
+        batch = hasher.signatures_batch(db)
+        assert np.all(batch[1] == (1 << 31) - 1)
+        assert np.array_equal(batch[0], hasher.signature([0, 1]))
+
+    def test_jaccard_estimate_unbiased(self):
+        """The MinHash estimator must land near the true Jaccard for a
+        decently sized hash family."""
+        hasher = MinHasher(512, universe_size=1000, rng=0)
+        a = list(range(0, 100))
+        b = list(range(50, 150))  # true Jaccard = 50 / 150
+        estimate = MinHasher.estimate_jaccard(
+            hasher.signature(a), hasher.signature(b)
+        )
+        assert estimate == pytest.approx(1 / 3, abs=0.07)
+
+    def test_estimate_jaccard_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MinHasher.estimate_jaccard(np.zeros(4), np.zeros(5))
+
+    def test_universe_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            MinHasher(4, universe_size=1 << 31)
+
+
+class TestLSHIndex:
+    @pytest.fixture(scope="class")
+    def lsh(self, medium_indexed):
+        return MinHashLSHIndex(
+            medium_indexed, num_bands=16, rows_per_band=2, rng=0
+        )
+
+    def test_candidate_probability_s_curve(self, lsh):
+        assert lsh.candidate_probability(0.0) == 0.0
+        assert lsh.candidate_probability(1.0) == pytest.approx(1.0)
+        assert (
+            lsh.candidate_probability(0.8) > lsh.candidate_probability(0.2)
+        )
+
+    def test_identical_transaction_always_candidate(self, lsh, medium_indexed):
+        target = sorted(medium_indexed[3])
+        assert 3 in lsh.candidates(target).tolist()
+
+    def test_knn_finds_duplicates(self, lsh, medium_indexed):
+        target = sorted(medium_indexed[10])
+        neighbors, stats = lsh.knn(target, repro.JaccardSimilarity(), k=1)
+        assert neighbors[0].similarity == pytest.approx(1.0)
+        assert not stats.guaranteed_optimal
+
+    def test_accesses_fraction_of_database(self, lsh, medium_indexed, medium_queries):
+        fractions = []
+        for target in medium_queries[:10]:
+            _, stats = lsh.knn(target, repro.JaccardSimilarity(), k=1)
+            fractions.append(stats.access_fraction)
+        assert np.mean(fractions) < 0.9
+
+    def test_high_recall_against_scan(self, lsh, medium_indexed, medium_queries, medium_scan):
+        """On near-duplicate-rich data, LSH should usually find the true
+        Jaccard NN value."""
+        hits = 0
+        for target in medium_queries[:20]:
+            neighbors, _ = lsh.knn(target, repro.JaccardSimilarity(), k=1)
+            if not neighbors:
+                continue
+            best = medium_scan.best_similarity(target, repro.JaccardSimilarity())
+            if neighbors[0].similarity >= 0.8 * best:
+                hits += 1
+        assert hits >= 12
+
+    def test_empty_candidates_return_empty(self):
+        db = TransactionDatabase([[0], [1]], universe_size=50)
+        lsh = MinHashLSHIndex(db, num_bands=2, rows_per_band=4, rng=0)
+        neighbors, stats = lsh.knn([40], repro.JaccardSimilarity())
+        assert neighbors == []
+        assert stats.transactions_accessed == 0
+
+    def test_parameter_validation(self, medium_indexed):
+        with pytest.raises(ValueError):
+            MinHashLSHIndex(medium_indexed, num_bands=0)
+        with pytest.raises(ValueError):
+            MinHashLSHIndex(medium_indexed, rows_per_band=0)

@@ -1,0 +1,104 @@
+"""Unit tests for the index parameter advisor."""
+
+import pytest
+
+import repro
+from repro.core.advisor import IndexAdvice, max_k_for_memory, suggest_parameters
+from repro.data.transaction import TransactionDatabase
+
+
+class TestMaxKForMemory:
+    def test_one_mib_gives_17(self):
+        # 8 * 2^17 = 1 MiB exactly.
+        assert max_k_for_memory(1 << 20) == 17
+
+    def test_tiny_budget(self):
+        assert max_k_for_memory(16) == 1
+        assert max_k_for_memory(17) == 1
+
+    def test_monotone_in_budget(self):
+        previous = 0
+        for exponent in range(5, 25):
+            k = max_k_for_memory(1 << exponent)
+            assert k >= previous
+            previous = k
+
+    def test_budget_respected(self):
+        for budget in [100, 10_000, 1 << 22]:
+            k = max_k_for_memory(budget)
+            assert 8 * (1 << k) <= budget or k == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            max_k_for_memory(0)
+
+
+class TestSuggestParameters:
+    def test_returns_advice(self, medium_indexed):
+        advice = suggest_parameters(medium_indexed, memory_budget_bytes=1 << 16)
+        assert isinstance(advice, IndexAdvice)
+        assert 1 <= advice.num_signatures <= medium_indexed.universe_size
+        assert advice.activation_threshold >= 1
+        assert advice.directory_bytes == 8 * 2**advice.num_signatures
+        assert advice.rationale
+
+    def test_memory_budget_caps_k(self, medium_indexed):
+        small = suggest_parameters(medium_indexed, memory_budget_bytes=1 << 10)
+        large = suggest_parameters(medium_indexed, memory_budget_bytes=1 << 20)
+        assert small.num_signatures <= large.num_signatures
+        assert small.directory_bytes <= 1 << 10
+
+    def test_database_size_caps_k(self):
+        tiny = TransactionDatabase(
+            [[0, 1], [2, 3], [1, 2]], universe_size=50
+        )
+        advice = suggest_parameters(tiny, memory_budget_bytes=1 << 30)
+        # With 3 transactions a huge directory is useless.
+        assert advice.num_signatures <= 4
+
+    def test_k_never_exceeds_universe(self):
+        db = TransactionDatabase([[0, 1, 2]] * 100, universe_size=3)
+        advice = suggest_parameters(db, memory_budget_bytes=1 << 30)
+        assert advice.num_signatures <= 3
+
+    def test_dense_data_raises_threshold(self):
+        """Long transactions over few signatures should push r above 1."""
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        rows = [
+            sorted(rng.choice(40, size=20, replace=False).tolist())
+            for _ in range(300)
+        ]
+        db = TransactionDatabase(rows, universe_size=40)
+        advice = suggest_parameters(
+            db, memory_budget_bytes=8 * 2**6, target_active_fraction=0.4
+        )
+        assert advice.activation_threshold > 1
+
+    def test_sparse_data_keeps_r_one(self, medium_indexed):
+        advice = suggest_parameters(medium_indexed, memory_budget_bytes=1 << 17)
+        assert advice.activation_threshold == 1
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ValueError):
+            suggest_parameters(TransactionDatabase([], universe_size=5))
+
+    def test_str_is_informative(self, medium_indexed):
+        text = str(suggest_parameters(medium_indexed))
+        assert "K=" in text and "r=" in text
+
+    def test_advice_builds_working_index(self, medium_indexed, medium_scan):
+        advice = suggest_parameters(medium_indexed, memory_budget_bytes=1 << 16)
+        index = repro.build_index(
+            medium_indexed,
+            num_signatures=advice.num_signatures,
+            activation_threshold=advice.activation_threshold,
+        )
+        sim = repro.MatchRatioSimilarity()
+        target = sorted(medium_indexed[7])
+        neighbor, stats = index.nearest(target, sim)
+        assert neighbor.similarity == pytest.approx(
+            medium_scan.best_similarity(target, sim)
+        )
+        assert stats.pruning_efficiency > 0

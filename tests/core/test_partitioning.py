@@ -1,0 +1,219 @@
+"""Unit tests for signature construction (paper Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import (
+    PartitioningError,
+    balanced_support_partition,
+    correlation_graph,
+    partition_items,
+    random_partition,
+    single_linkage_partition,
+)
+from repro.data.transaction import TransactionDatabase
+
+
+def assert_is_partition(signatures, universe_size):
+    seen = sorted(item for sig in signatures for item in sig)
+    assert seen == list(range(universe_size))
+
+
+@pytest.fixture()
+def correlated_db():
+    """Two obvious item clusters: {0,1,2} always together, {3,4,5} always
+    together, never across."""
+    rows = []
+    for _ in range(30):
+        rows.append([0, 1, 2])
+        rows.append([3, 4, 5])
+    rows.append([0, 3])  # one weak cross edge
+    return TransactionDatabase(rows, universe_size=6)
+
+
+class TestCorrelationGraph:
+    def test_nodes_and_edges(self, correlated_db):
+        graph = correlation_graph(correlated_db)
+        assert graph.num_items == 6
+        pairs = {tuple(p) for p in graph.pairs.tolist()}
+        assert (0, 1) in pairs
+        assert (3, 4) in pairs
+
+    def test_distance_is_inverse_support(self, correlated_db):
+        graph = correlation_graph(correlated_db)
+        index = [tuple(p) for p in graph.pairs.tolist()].index((0, 1))
+        support = 30 / 61
+        assert graph.distances[index] == pytest.approx(1 / support)
+
+    def test_min_support_prunes_weak_edges(self, correlated_db):
+        graph = correlation_graph(correlated_db, min_support=0.1)
+        pairs = {tuple(p) for p in graph.pairs.tolist()}
+        assert (0, 3) not in pairs
+        assert (0, 1) in pairs
+
+    def test_strong_pairs_have_shorter_distances(self, correlated_db):
+        graph = correlation_graph(correlated_db)
+        pairs = [tuple(p) for p in graph.pairs.tolist()]
+        strong = graph.distances[pairs.index((0, 1))]
+        weak = graph.distances[pairs.index((0, 3))]
+        assert strong < weak
+
+
+class TestSingleLinkage:
+    def test_separates_obvious_clusters(self, correlated_db):
+        graph = correlation_graph(correlated_db)
+        signatures = single_linkage_partition(
+            graph.item_supports, graph.pairs, graph.distances, critical_mass=0.45
+        )
+        as_sets = [set(s) for s in signatures]
+        assert {0, 1, 2} in as_sets
+        assert {3, 4, 5} in as_sets
+
+    def test_result_is_partition(self, correlated_db):
+        graph = correlation_graph(correlated_db)
+        signatures = single_linkage_partition(
+            graph.item_supports, graph.pairs, graph.distances, critical_mass=0.3
+        )
+        assert_is_partition(signatures, 6)
+
+    def test_lower_critical_mass_gives_more_signatures(self, small_db):
+        graph = correlation_graph(small_db)
+        few = single_linkage_partition(
+            graph.item_supports, graph.pairs, graph.distances, critical_mass=0.5
+        )
+        many = single_linkage_partition(
+            graph.item_supports, graph.pairs, graph.distances, critical_mass=0.02
+        )
+        assert len(many) > len(few)
+
+    def test_critical_mass_one_gives_single_cluster_when_connected(
+        self, correlated_db
+    ):
+        graph = correlation_graph(correlated_db)
+        signatures = single_linkage_partition(
+            graph.item_supports, graph.pairs, graph.distances, critical_mass=1.0
+        )
+        # With the cross edge present the graph is connected, so one
+        # component survives to the end (mass can never exceed 100%).
+        assert len(signatures) == 1
+
+    def test_no_edges_gives_singletons(self):
+        supports = np.array([0.2, 0.3, 0.5])
+        signatures = single_linkage_partition(
+            supports,
+            np.empty((0, 2), dtype=np.int64),
+            np.empty(0),
+            critical_mass=0.9,
+        )
+        assert sorted(len(s) for s in signatures) == [1, 1, 1]
+
+    def test_heavy_single_item_retired_alone(self):
+        supports = np.array([0.9, 0.05, 0.05])
+        pairs = np.array([[0, 1], [1, 2]])
+        distances = np.array([1.0, 2.0])
+        signatures = single_linkage_partition(
+            supports, pairs, distances, critical_mass=0.5
+        )
+        assert [0] in [sorted(s) for s in signatures]
+
+    def test_invalid_critical_mass_rejected(self):
+        with pytest.raises(ValueError):
+            single_linkage_partition(
+                np.ones(3), np.empty((0, 2)), np.empty(0), critical_mass=0.0
+            )
+
+
+class TestPartitionItems:
+    def test_exact_k(self, small_db):
+        for k in [3, 6, 12, 25]:
+            scheme = partition_items(small_db, num_signatures=k)
+            assert scheme.num_signatures == k
+            assert_is_partition(scheme.signatures, small_db.universe_size)
+
+    def test_critical_mass_mode(self, small_db):
+        scheme = partition_items(small_db, critical_mass=0.2)
+        assert scheme.num_signatures >= 5
+        assert_is_partition(scheme.signatures, small_db.universe_size)
+
+    def test_exactly_one_mode_required(self, small_db):
+        with pytest.raises(ValueError, match="exactly one"):
+            partition_items(small_db)
+        with pytest.raises(ValueError, match="exactly one"):
+            partition_items(small_db, num_signatures=5, critical_mass=0.2)
+
+    def test_activation_threshold_stored(self, small_db):
+        scheme = partition_items(
+            small_db, num_signatures=5, activation_threshold=2
+        )
+        assert scheme.activation_threshold == 2
+
+    def test_k_above_universe_rejected(self, small_db):
+        with pytest.raises(PartitioningError):
+            partition_items(
+                small_db, num_signatures=small_db.universe_size + 1
+            )
+
+    def test_deterministic(self, small_db):
+        a = partition_items(small_db, num_signatures=8, rng=5)
+        b = partition_items(small_db, num_signatures=8, rng=5)
+        assert a == b
+
+    def test_groups_correlated_items(self, correlated_db):
+        # num_signatures=2 means critical mass 1/2, and each natural
+        # cluster holds just *under* half the mass (the cross edge items
+        # carry a little extra), so use the critical-mass knob directly.
+        scheme = partition_items(correlated_db, critical_mass=0.45)
+        as_sets = [set(s) for s in scheme.signatures]
+        assert {0, 1, 2} in as_sets
+        assert {3, 4, 5} in as_sets
+
+    def test_signature_masses_roughly_balanced(self, medium_indexed):
+        scheme = partition_items(medium_indexed, num_signatures=10)
+        masses = scheme.masses(medium_indexed.item_supports())
+        # No signature should dwarf the others (within an order of magnitude
+        # of the mean is plenty for single linkage).
+        assert masses.max() <= 10 * masses.mean()
+
+    def test_k_equal_universe_gives_singletons(self):
+        db = TransactionDatabase([[0, 1], [1, 2], [0, 2]], universe_size=3)
+        scheme = partition_items(db, num_signatures=3)
+        assert sorted(len(s) for s in scheme.signatures) == [1, 1, 1]
+
+
+class TestRandomPartition:
+    def test_is_partition(self):
+        scheme = random_partition(50, 7, rng=0)
+        assert_is_partition(scheme.signatures, 50)
+        assert scheme.num_signatures == 7
+
+    def test_deterministic_by_seed(self):
+        assert random_partition(50, 7, rng=1) == random_partition(50, 7, rng=1)
+
+    def test_balanced_sizes(self):
+        scheme = random_partition(100, 10, rng=0)
+        sizes = [len(s) for s in scheme.signatures]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_k_above_universe_rejected(self):
+        with pytest.raises(PartitioningError):
+            random_partition(3, 5)
+
+
+class TestBalancedSupportPartition:
+    def test_is_partition(self, small_db):
+        scheme = balanced_support_partition(small_db.item_supports(), 9)
+        assert_is_partition(scheme.signatures, small_db.universe_size)
+
+    def test_masses_balanced(self, small_db):
+        supports = small_db.item_supports()
+        scheme = balanced_support_partition(supports, 6)
+        masses = scheme.masses(supports)
+        assert masses.max() <= 2.0 * masses.min() + supports.max()
+
+    def test_k_above_universe_rejected(self):
+        with pytest.raises(PartitioningError):
+            balanced_support_partition(np.ones(3), 5)
+
+    def test_all_signatures_non_empty(self):
+        scheme = balanced_support_partition(np.zeros(10), 4)
+        assert all(len(s) >= 1 for s in scheme.signatures)

@@ -1,0 +1,105 @@
+"""Unit tests for the sharded signature index."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.sharded import ShardedSignatureIndex
+
+
+@pytest.fixture(scope="module")
+def sharded(medium_indexed, medium_scheme):
+    return ShardedSignatureIndex.from_database(
+        medium_indexed, medium_scheme, num_shards=4
+    )
+
+
+class TestConstruction:
+    def test_shard_count_and_len(self, sharded, medium_indexed):
+        assert sharded.num_shards == 4
+        assert len(sharded) == len(medium_indexed)
+
+    def test_tid_routing_round_trip(self, sharded, medium_indexed):
+        for tid in range(0, len(medium_indexed), 311):
+            assert sharded[tid] == medium_indexed[tid]
+
+    def test_shard_of_boundaries(self, sharded):
+        shard0, local0 = sharded.shard_of(0)
+        assert shard0 == 0 and local0 == 0
+        last = len(sharded) - 1
+        shard_last, _ = sharded.shard_of(last)
+        assert shard_last == sharded.num_shards - 1
+
+    def test_tid_out_of_range(self, sharded):
+        with pytest.raises(IndexError):
+            sharded.shard_of(len(sharded))
+
+    def test_too_many_shards_rejected(self, medium_indexed, medium_scheme):
+        with pytest.raises(ValueError):
+            ShardedSignatureIndex.from_database(
+                medium_indexed, medium_scheme, len(medium_indexed) + 1
+            )
+
+    def test_empty_shards_rejected(self, medium_scheme):
+        with pytest.raises(ValueError):
+            ShardedSignatureIndex([], medium_scheme)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("k", [1, 5])
+    def test_knn_matches_single_table(
+        self, sharded, medium_searcher, medium_queries, k
+    ):
+        sim = repro.MatchRatioSimilarity()
+        for target in medium_queries[:8]:
+            merged, _ = sharded.knn(target, sim, k=k)
+            single, _ = medium_searcher.knn(target, sim, k=k)
+            assert [n.similarity for n in merged] == pytest.approx(
+                [n.similarity for n in single]
+            )
+
+    def test_nearest_tid_refers_to_global_database(
+        self, sharded, medium_indexed
+    ):
+        sim = repro.JaccardSimilarity()
+        target = sorted(medium_indexed[1234])
+        neighbor, _ = sharded.nearest(target, sim)
+        assert neighbor.similarity == pytest.approx(1.0)
+        assert medium_indexed[neighbor.tid] == frozenset(target)
+
+    def test_range_query_matches_single_table(
+        self, sharded, medium_searcher, medium_queries
+    ):
+        sim = repro.JaccardSimilarity()
+        for target in medium_queries[:5]:
+            merged, _ = sharded.range_query(target, sim, 0.4)
+            single, _ = medium_searcher.range_query(target, sim, 0.4)
+            assert {(n.tid, round(n.similarity, 12)) for n in merged} == {
+                (n.tid, round(n.similarity, 12)) for n in single
+            }
+
+
+class TestStatsMerging:
+    def test_totals_accumulate(self, sharded, medium_queries):
+        _, stats = sharded.knn(
+            medium_queries[0], repro.MatchRatioSimilarity(), k=3
+        )
+        assert stats.total_transactions == len(sharded)
+        assert 0 < stats.transactions_accessed <= len(sharded)
+        assert stats.io.pages_read > 0
+
+    def test_early_termination_budget_is_per_shard(
+        self, sharded, medium_queries
+    ):
+        _, stats = sharded.knn(
+            medium_queries[0],
+            repro.MatchRatioSimilarity(),
+            k=1,
+            early_termination=0.02,
+        )
+        # Each shard stops at <= 2% of its own data (+1 rounding each).
+        assert stats.transactions_accessed <= 0.02 * len(sharded) + sharded.num_shards
+
+    def test_guarantee_flag_is_conjunction(self, sharded, medium_queries):
+        _, full = sharded.knn(medium_queries[0], repro.MatchRatioSimilarity())
+        assert full.guaranteed_optimal

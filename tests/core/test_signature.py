@@ -1,0 +1,168 @@
+"""Unit tests for signatures, activation and supercoordinates (Section 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.signature import SignatureScheme
+from repro.data.transaction import TransactionDatabase
+
+
+@pytest.fixture()
+def scheme():
+    # The paper's Section 3 example, remapped to items 0..19:
+    # P = {1,2,4,6,8,11,18}, Q = {3,5,7,9,10,16,20}, R = {12,13,14,15,17,19}
+    # (we use 0-based ids 0..19, so subtract 1).
+    p = [0, 1, 3, 5, 7, 10, 17]
+    q = [2, 4, 6, 8, 9, 15, 19]
+    r = [11, 12, 13, 14, 16, 18]
+    return SignatureScheme([p, q, r], universe_size=20, activation_threshold=1)
+
+
+class TestPaperExample:
+    """Transaction T = {2, 6, 17, 20} (1-based) = {1, 5, 16, 19} (0-based)
+    activates P, Q, R at level 1 and only P at level 2."""
+
+    TRANSACTION = [1, 5, 16, 19]
+
+    def test_activation_counts(self, scheme):
+        assert scheme.activation_counts(self.TRANSACTION).tolist() == [2, 1, 1]
+
+    def test_level_one_activates_all(self, scheme):
+        assert scheme.supercoordinate_bits(self.TRANSACTION).tolist() == [
+            True,
+            True,
+            True,
+        ]
+
+    def test_level_two_activates_only_p(self, scheme):
+        level2 = scheme.with_activation_threshold(2)
+        assert level2.supercoordinate_bits(self.TRANSACTION).tolist() == [
+            True,
+            False,
+            False,
+        ]
+
+    def test_packed_supercoordinate(self, scheme):
+        assert scheme.supercoordinate(self.TRANSACTION) == 0b111
+        assert scheme.with_activation_threshold(2).supercoordinate(
+            self.TRANSACTION
+        ) == 0b001
+
+
+class TestValidation:
+    def test_overlapping_signatures_rejected(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            SignatureScheme([[0, 1], [1, 2]], universe_size=3)
+
+    def test_uncovered_items_rejected(self):
+        with pytest.raises(ValueError, match="not covered"):
+            SignatureScheme([[0, 1]], universe_size=3)
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError, match="outside universe"):
+            SignatureScheme([[0, 5]], universe_size=3)
+
+    def test_empty_signature_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            SignatureScheme([[0, 1, 2], []], universe_size=3)
+
+    def test_zero_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            SignatureScheme([[0]], universe_size=1, activation_threshold=0)
+
+
+class TestAccessors:
+    def test_num_signatures(self, scheme):
+        assert scheme.num_signatures == 3
+
+    def test_num_supercoordinates(self, scheme):
+        assert scheme.num_supercoordinates == 8
+
+    def test_signature_of(self, scheme):
+        assert scheme.signature_of(0) == 0
+        assert scheme.signature_of(19) == 1
+
+    def test_signature_of_out_of_range(self, scheme):
+        with pytest.raises(IndexError):
+            scheme.signature_of(20)
+
+    def test_signatures_property_round_trips(self, scheme):
+        rebuilt = SignatureScheme(scheme.signatures, universe_size=20)
+        assert rebuilt == scheme.with_activation_threshold(1)
+
+    def test_item_signature_read_only(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.item_signature[0] = 2
+
+    def test_activates(self, scheme):
+        assert scheme.activates([0, 1], 0)
+        assert not scheme.activates([0, 1], 1)
+
+    def test_with_activation_threshold_shares_partition(self, scheme):
+        other = scheme.with_activation_threshold(3)
+        assert other.activation_threshold == 3
+        assert other.signatures == scheme.signatures
+
+    def test_equality(self, scheme):
+        same = SignatureScheme(scheme.signatures, universe_size=20)
+        assert scheme == same
+        assert scheme != scheme.with_activation_threshold(2)
+
+    def test_repr(self, scheme):
+        assert "K=3" in repr(scheme)
+
+
+class TestBatchConsistency:
+    """Vectorised whole-database paths must agree with per-transaction ones."""
+
+    def test_activation_counts_batch(self, small_db, small_scheme):
+        batch = small_scheme.activation_counts_batch(small_db)
+        for tid in range(0, len(small_db), 17):
+            expected = small_scheme.activation_counts(small_db[tid])
+            assert batch[tid].tolist() == expected.tolist()
+
+    def test_supercoordinates_batch(self, small_db, small_scheme):
+        batch = small_scheme.supercoordinates_batch(small_db)
+        for tid in range(0, len(small_db), 13):
+            assert batch[tid] == small_scheme.supercoordinate(small_db[tid])
+
+    def test_batch_universe_mismatch_rejected(self, small_scheme):
+        big = TransactionDatabase([[0]], universe_size=10_000)
+        with pytest.raises(ValueError, match="universe"):
+            small_scheme.activation_counts_batch(big)
+
+    def test_batch_shape(self, small_db, small_scheme):
+        counts = small_scheme.activation_counts_batch(small_db)
+        assert counts.shape == (len(small_db), small_scheme.num_signatures)
+
+    def test_counts_sum_to_transaction_sizes(self, small_db, small_scheme):
+        counts = small_scheme.activation_counts_batch(small_db)
+        assert np.array_equal(counts.sum(axis=1), small_db.sizes)
+
+
+class TestMasses:
+    def test_masses_sum_to_total(self, scheme):
+        supports = np.linspace(0.0, 1.0, 20)
+        masses = scheme.masses(supports)
+        assert masses.sum() == pytest.approx(supports.sum())
+
+    def test_masses_per_signature(self):
+        scheme = SignatureScheme([[0, 1], [2]], universe_size=3)
+        masses = scheme.masses(np.array([0.1, 0.2, 0.5]))
+        assert masses.tolist() == pytest.approx([0.3, 0.5])
+
+    def test_wrong_shape_rejected(self, scheme):
+        with pytest.raises(ValueError):
+            scheme.masses(np.zeros(5))
+
+
+class TestPersistence:
+    def test_round_trip(self, scheme, tmp_path):
+        path = tmp_path / "scheme.npz"
+        scheme.save(path)
+        assert SignatureScheme.load(path) == scheme
+
+    def test_round_trip_preserves_threshold(self, scheme, tmp_path):
+        path = tmp_path / "scheme.npz"
+        scheme.with_activation_threshold(2).save(path)
+        assert SignatureScheme.load(path).activation_threshold == 2

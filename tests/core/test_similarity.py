@@ -1,0 +1,222 @@
+"""Unit tests for the similarity-function framework (paper Section 2)."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.similarity import (
+    ContainmentSimilarity,
+    CosineSimilarity,
+    CustomSimilarity,
+    DiceSimilarity,
+    HammingSimilarity,
+    JaccardSimilarity,
+    MatchCountSimilarity,
+    MatchRatioSimilarity,
+    SIMILARITY_FUNCTIONS,
+    UnboundSimilarityError,
+    WeightedLinearSimilarity,
+    get_similarity,
+    hamming_distance,
+    matches,
+    verify_monotonicity,
+)
+from tests.conftest import make_similarities
+
+
+class TestHelpers:
+    def test_matches(self):
+        assert matches({1, 2, 3}, {2, 3, 4}) == 2
+
+    def test_hamming_distance(self):
+        assert hamming_distance({1, 2, 3}, {2, 3, 4}) == 2
+
+    def test_disjoint_sets(self):
+        assert matches({1}, {2}) == 0
+        assert hamming_distance({1}, {2}) == 2
+
+    def test_identical_sets(self):
+        assert hamming_distance({1, 2}, {2, 1}) == 0
+
+
+class TestHammingSimilarity:
+    def test_value(self):
+        assert HammingSimilarity().evaluate(3, 4) == pytest.approx(1 / 5)
+
+    def test_identical_transactions_finite_by_default(self):
+        assert HammingSimilarity().evaluate(5, 0) == pytest.approx(1.0)
+
+    def test_paper_literal_form(self):
+        sim = HammingSimilarity(smoothing=0.0)
+        assert sim.evaluate(2, 4) == pytest.approx(0.25)
+        assert sim.evaluate(2, 0) == np.inf
+
+    def test_order_equivalence_of_smoothing(self):
+        smoothed = HammingSimilarity()
+        literal = HammingSimilarity(smoothing=0.0)
+        pairs = [(0, 1), (0, 2), (3, 5), (1, 10)]
+        ranked_a = sorted(pairs, key=lambda p: smoothed.evaluate(*p))
+        ranked_b = sorted(pairs, key=lambda p: literal.evaluate(*p))
+        assert ranked_a == ranked_b
+
+    def test_array_input(self):
+        values = HammingSimilarity().evaluate(np.array([0, 1]), np.array([0, 3]))
+        assert values.tolist() == pytest.approx([1.0, 0.25])
+
+    def test_ignores_match_count(self):
+        sim = HammingSimilarity()
+        assert sim.evaluate(0, 4) == sim.evaluate(9, 4)
+
+
+class TestMatchRatioSimilarity:
+    def test_value(self):
+        assert MatchRatioSimilarity().evaluate(6, 2) == pytest.approx(2.0)
+
+    def test_paper_literal_form_infinite_at_zero(self):
+        sim = MatchRatioSimilarity(smoothing=0.0)
+        assert sim.evaluate(3, 0) == np.inf
+        assert sim.evaluate(0, 0) == 0.0
+
+    def test_scalar_returns_float(self):
+        assert isinstance(MatchRatioSimilarity().evaluate(1, 1), float)
+
+
+class TestCosineSimilarity:
+    def test_unbound_raises(self):
+        with pytest.raises(UnboundSimilarityError):
+            CosineSimilarity().evaluate(1, 1)
+
+    def test_identical_transactions(self):
+        sim = CosineSimilarity().bind(4)
+        assert sim.evaluate(4, 0) == pytest.approx(1.0)
+
+    def test_disjoint_transactions(self):
+        sim = CosineSimilarity().bind(3)
+        assert sim.evaluate(0, 7) == pytest.approx(0.0)
+
+    def test_matches_set_formula(self):
+        a = frozenset({1, 2, 3, 4})
+        b = frozenset({3, 4, 5})
+        expected = len(a & b) / np.sqrt(len(a) * len(b))
+        assert CosineSimilarity().between(a, b) == pytest.approx(expected)
+
+    def test_between_symmetric(self):
+        a = frozenset({1, 2, 3, 4})
+        b = frozenset({3, 4, 5})
+        sim = CosineSimilarity()
+        assert sim.between(a, b) == pytest.approx(sim.between(b, a))
+
+    def test_rebind(self):
+        bound = CosineSimilarity().bind(5)
+        rebound = bound.bind(3)
+        assert rebound.target_size == 3
+
+
+class TestJaccardDice:
+    def test_jaccard_value(self):
+        assert JaccardSimilarity().evaluate(2, 3) == pytest.approx(0.4)
+
+    def test_jaccard_identical_empty(self):
+        assert JaccardSimilarity().evaluate(0, 0) == pytest.approx(1.0)
+
+    def test_jaccard_matches_set_formula(self):
+        a, b = frozenset({1, 2, 3}), frozenset({2, 3, 4, 5})
+        expected = len(a & b) / len(a | b)
+        assert JaccardSimilarity().between(a, b) == pytest.approx(expected)
+
+    def test_dice_value(self):
+        assert DiceSimilarity().evaluate(2, 3) == pytest.approx(4 / 7)
+
+    def test_dice_matches_set_formula(self):
+        a, b = frozenset({1, 2, 3}), frozenset({2, 3, 4, 5})
+        expected = 2 * len(a & b) / (len(a) + len(b))
+        assert DiceSimilarity().between(a, b) == pytest.approx(expected)
+
+
+class TestContainment:
+    def test_unbound_raises(self):
+        with pytest.raises(UnboundSimilarityError):
+            ContainmentSimilarity().evaluate(1, 1)
+
+    def test_value(self):
+        assert ContainmentSimilarity().bind(4).evaluate(3, 9) == pytest.approx(0.75)
+
+    def test_between(self):
+        a, b = frozenset({1, 2, 3, 4}), frozenset({3, 4, 9})
+        assert ContainmentSimilarity().between(a, b) == pytest.approx(0.5)
+
+
+class TestOtherFunctions:
+    def test_match_count(self):
+        assert MatchCountSimilarity().evaluate(7, 100) == 7.0
+
+    def test_weighted_linear(self):
+        sim = WeightedLinearSimilarity(alpha=2.0, beta=0.5)
+        assert sim.evaluate(4, 6) == pytest.approx(5.0)
+
+    def test_weighted_linear_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WeightedLinearSimilarity(alpha=-1.0)
+
+
+class TestCustomSimilarity:
+    def test_valid_function_accepted(self):
+        sim = CustomSimilarity(lambda x, y: 2.0 * x - y, name="linear2")
+        assert sim.evaluate(3, 1) == 5.0
+        assert sim.name == "linear2"
+
+    def test_invalid_function_rejected_at_construction(self):
+        # Increasing in hamming distance -> violates constraint (2).
+        with pytest.raises(ValueError, match="increasing in the hamming"):
+            CustomSimilarity(lambda x, y: x + y)
+
+    def test_decreasing_in_matches_rejected(self):
+        with pytest.raises(ValueError, match="decreasing in the match"):
+            CustomSimilarity(lambda x, y: -x - y)
+
+    def test_validation_can_be_skipped(self):
+        sim = CustomSimilarity(lambda x, y: x + y, validate=False)
+        assert sim.evaluate(1, 1) == 2
+
+
+class TestVerifyMonotonicity:
+    @pytest.mark.parametrize("sim", make_similarities(), ids=lambda s: repr(s))
+    def test_all_builtins_satisfy_the_contract(self, sim):
+        assert verify_monotonicity(sim)
+
+    def test_detects_violations(self):
+        bad = CustomSimilarity(lambda x, y: np.asarray(y, float), validate=False)
+        assert not verify_monotonicity(bad)
+
+
+class TestRegistry:
+    def test_all_names_instantiable(self):
+        for name in SIMILARITY_FUNCTIONS:
+            assert get_similarity(name).name == name
+
+    def test_kwargs_forwarded(self):
+        assert get_similarity("hamming", smoothing=0.0).smoothing == 0.0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown similarity"):
+            get_similarity("euclidean")
+
+    def test_registry_exported_publicly(self):
+        assert repro.get_similarity("jaccard").name == "jaccard"
+
+
+class TestBetweenConsistency:
+    """``between`` must agree with evaluating on explicit (x, y)."""
+
+    @pytest.mark.parametrize(
+        "sim",
+        [s for s in make_similarities()],
+        ids=lambda s: repr(s),
+    )
+    def test_between_matches_manual_xy(self, sim):
+        a = frozenset({0, 1, 2, 3, 4})
+        b = frozenset({3, 4, 5, 6})
+        x, y = len(a & b), len(a ^ b)
+        assert sim.between(a, b) == pytest.approx(
+            float(sim.bind(len(a)).evaluate(x, y))
+        )

@@ -1,0 +1,92 @@
+"""Unit tests for dataset persistence (text format and cache)."""
+
+import pytest
+
+from repro.data.generator import GeneratorConfig
+from repro.data.io import DatasetCache, read_text, write_text
+from repro.data.transaction import TransactionDatabase
+
+
+@pytest.fixture()
+def db():
+    return TransactionDatabase([[0, 2, 5], [1], [3, 4]], universe_size=6)
+
+
+class TestTextFormat:
+    def test_round_trip(self, db, tmp_path):
+        path = tmp_path / "data.txt"
+        write_text(db, path)
+        loaded = read_text(path, universe_size=6)
+        assert loaded == db
+
+    def test_file_content_is_fimi(self, db, tmp_path):
+        path = tmp_path / "data.txt"
+        write_text(db, path)
+        lines = path.read_text().splitlines()
+        assert lines == ["0 2 5", "1", "3 4"]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0 1\n\n2\n")
+        loaded = read_text(path)
+        assert len(loaded) == 2
+
+    def test_bad_token_reports_line(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("0 1\nfoo 2\n")
+        with pytest.raises(ValueError, match="line 2"):
+            read_text(path)
+
+    def test_universe_inferred(self, db, tmp_path):
+        path = tmp_path / "data.txt"
+        write_text(db, path)
+        assert read_text(path).universe_size == 6
+
+
+class TestDatasetCache:
+    @pytest.fixture()
+    def config(self):
+        return GeneratorConfig(
+            num_transactions=120, num_items=60, num_patterns=25, seed=4
+        )
+
+    def test_miss_generates_and_stores(self, config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        db = cache.get(config)
+        assert len(db) == 120
+        assert cache.path_for(config).exists()
+
+    def test_hit_returns_identical_data(self, config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        first = cache.get(config)
+        second = cache.get(config)
+        assert first == second
+
+    def test_different_configs_different_files(self, config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        other = config.with_(seed=5)
+        assert cache.path_for(config) != cache.path_for(other)
+
+    def test_custom_builder_used_on_miss(self, config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        marker = TransactionDatabase([[0]], universe_size=60)
+        db = cache.get(config, builder=lambda c: marker)
+        assert db == marker
+
+    def test_builder_ignored_on_hit(self, config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        original = cache.get(config)
+        db = cache.get(
+            config, builder=lambda c: TransactionDatabase([[0]], universe_size=60)
+        )
+        assert db == original
+
+    def test_clear(self, config, tmp_path):
+        cache = DatasetCache(tmp_path / "cache")
+        cache.get(config)
+        assert cache.clear() == 1
+        assert not cache.path_for(config).exists()
+
+    def test_clear_empty_cache(self, tmp_path):
+        cache = DatasetCache(tmp_path / "nonexistent")
+        assert cache.clear() == 0

@@ -1,0 +1,66 @@
+"""Unit tests for dataset statistics."""
+
+import pytest
+
+from repro.data.stats import DatasetStats, describe
+from repro.data.transaction import TransactionDatabase
+
+
+@pytest.fixture()
+def db():
+    return TransactionDatabase([[0, 1, 2, 3], [0, 1], [4], [0]], universe_size=8)
+
+
+class TestDescribe:
+    def test_counts(self, db):
+        stats = describe(db)
+        assert stats.num_transactions == 4
+        assert stats.universe_size == 8
+        assert stats.total_items == 8
+
+    def test_size_statistics(self, db):
+        stats = describe(db)
+        assert stats.avg_transaction_size == pytest.approx(2.0)
+        assert stats.median_transaction_size == pytest.approx(1.5)
+        assert stats.max_transaction_size == 4
+        assert stats.min_transaction_size == 1
+
+    def test_density(self, db):
+        assert describe(db).density == pytest.approx(8 / 32)
+
+    def test_items_used(self, db):
+        assert describe(db).num_items_used == 5
+
+    def test_top_item_support(self, db):
+        assert describe(db).top_item_support == pytest.approx(3 / 4)
+
+    def test_gini_zero_for_uniform(self):
+        db = TransactionDatabase([[0], [1], [2]], universe_size=3)
+        assert describe(db).gini_item_support == pytest.approx(0.0, abs=1e-9)
+
+    def test_gini_increases_with_skew(self, db):
+        uniform = TransactionDatabase([[0], [1], [2]], universe_size=3)
+        assert describe(db).gini_item_support > describe(uniform).gini_item_support
+
+    def test_empty_database(self):
+        stats = describe(TransactionDatabase([], universe_size=5))
+        assert stats.num_transactions == 0
+        assert stats.avg_transaction_size == 0.0
+        assert stats.gini_item_support == 0.0
+
+    def test_as_dict_keys(self, db):
+        payload = describe(db).as_dict()
+        assert payload["num_transactions"] == 4
+        assert set(payload) >= {
+            "density",
+            "avg_transaction_size",
+            "top_item_support",
+        }
+
+    def test_returns_dataclass(self, db):
+        assert isinstance(describe(db), DatasetStats)
+
+    def test_generated_data_matches_spec_loosely(self, medium_db):
+        stats = describe(medium_db)
+        assert 8.0 <= stats.avg_transaction_size <= 13.0
+        assert stats.num_transactions == 3000

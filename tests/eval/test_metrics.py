@@ -1,0 +1,65 @@
+"""Unit tests for evaluation metrics."""
+
+import math
+
+import pytest
+
+from repro.eval.metrics import (
+    accuracy_against_truth,
+    mean_and_std,
+    recall_at_k,
+    values_match,
+)
+
+
+class TestValuesMatch:
+    def test_exact(self):
+        assert values_match(0.5, 0.5)
+
+    def test_tolerance_relative(self):
+        assert values_match(1000.0, 1000.0 + 1e-7)
+        assert not values_match(1000.0, 1001.0)
+
+    def test_infinities(self):
+        assert values_match(math.inf, math.inf)
+        assert not values_match(1.0, math.inf)
+        assert not values_match(math.inf, 1.0)
+
+    def test_clear_miss(self):
+        assert not values_match(0.4, 0.5)
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        assert accuracy_against_truth([1.0, 2.0], [1.0, 2.0]) == 100.0
+
+    def test_half_correct(self):
+        assert accuracy_against_truth([1.0, 1.0], [1.0, 2.0]) == 50.0
+
+    def test_empty(self):
+        assert accuracy_against_truth([], []) == 0.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_against_truth([1.0], [1.0, 2.0])
+
+
+class TestRecall:
+    def test_full_recall(self):
+        assert recall_at_k([1, 2, 3], [2, 3]) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k([1, 2], [2, 3]) == 0.5
+
+    def test_empty_truth(self):
+        assert recall_at_k([1], []) == 1.0
+
+
+class TestMeanStd:
+    def test_basic(self):
+        mean, std = mean_and_std([1.0, 3.0])
+        assert mean == pytest.approx(2.0)
+        assert std == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert mean_and_std([]) == (0.0, 0.0)

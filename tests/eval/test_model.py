@@ -1,0 +1,126 @@
+"""Unit tests for the analytical cost models."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.inverted import InvertedIndex
+from repro.core.signature import SignatureScheme
+from repro.data.transaction import TransactionDatabase
+from repro.eval.model import (
+    expected_inverted_access_fraction,
+    expected_supercoordinate_bits,
+    predicted_inverted_access_fraction,
+    predicted_page_fraction,
+)
+
+
+class TestInvertedPrediction:
+    def test_single_item(self):
+        supports = np.array([0.25, 0.5])
+        assert predicted_inverted_access_fraction(supports, [0]) == pytest.approx(
+            0.25
+        )
+
+    def test_independent_union(self):
+        supports = np.array([0.5, 0.5])
+        assert predicted_inverted_access_fraction(
+            supports, [0, 1]
+        ) == pytest.approx(0.75)
+
+    def test_empty_target(self):
+        assert predicted_inverted_access_fraction(np.array([0.5]), []) == 0.0
+
+    def test_monotone_in_target_size(self):
+        supports = np.full(10, 0.1)
+        small = predicted_inverted_access_fraction(supports, [0, 1])
+        large = predicted_inverted_access_fraction(supports, [0, 1, 2, 3, 4])
+        assert large > small
+
+    def test_exact_on_independent_data(self):
+        """On genuinely independent items, the prediction matches the
+        measured access fraction closely."""
+        rng = np.random.default_rng(0)
+        universe, p, n = 40, 0.12, 4000
+        rows = [
+            np.nonzero(rng.random(universe) < p)[0].tolist() for _ in range(n)
+        ]
+        db = TransactionDatabase(rows, universe_size=universe)
+        inverted = InvertedIndex(db)
+        supports = db.item_supports()
+        target = [0, 5, 11, 17]
+        predicted = predicted_inverted_access_fraction(supports, target)
+        measured = inverted.access_fraction(target)
+        assert measured == pytest.approx(predicted, abs=0.04)
+
+    def test_correlated_data_measured_below_prediction(self, medium_indexed):
+        """Positive correlation concentrates the target's items in the same
+        transactions, so the measured candidate fraction cannot exceed the
+        independence bound by much (and is typically below it)."""
+        inverted = InvertedIndex(medium_indexed)
+        supports = medium_indexed.item_supports()
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            target = sorted(medium_indexed[int(rng.integers(len(medium_indexed)))])
+            predicted = predicted_inverted_access_fraction(supports, target)
+            measured = inverted.access_fraction(target)
+            assert measured <= predicted + 0.05
+
+    def test_expected_over_workload(self, medium_indexed):
+        targets = [sorted(medium_indexed[t]) for t in range(20)]
+        value = expected_inverted_access_fraction(medium_indexed, targets)
+        assert 0.0 < value < 1.0
+
+
+class TestPagePrediction:
+    def test_zero_candidates(self):
+        assert predicted_page_fraction(0.0, 64, 1000) == 0.0
+
+    def test_all_candidates(self):
+        assert predicted_page_fraction(1.0, 64, 1000) == pytest.approx(1.0)
+
+    def test_amplification(self):
+        # 5% of transactions touch far more than 5% of 64-record pages.
+        assert predicted_page_fraction(0.05, 64, 100_000) > 0.9
+
+    def test_page_size_one_no_amplification(self):
+        assert predicted_page_fraction(0.3, 1, 1000) == pytest.approx(0.3)
+
+    def test_empty_store(self):
+        assert predicted_page_fraction(0.5, 64, 0) == 0.0
+
+
+class TestSupercoordinateBits:
+    @pytest.fixture()
+    def scheme(self):
+        return SignatureScheme([[0, 1], [2, 3], [4, 5]], universe_size=6)
+
+    def test_grows_with_transaction_size(self, scheme):
+        supports = np.full(6, 0.2)
+        small = expected_supercoordinate_bits(scheme, supports, 2)
+        large = expected_supercoordinate_bits(scheme, supports, 10)
+        assert large > small
+
+    def test_bounded_by_k(self, scheme):
+        supports = np.full(6, 0.9)
+        assert expected_supercoordinate_bits(scheme, supports, 50) <= 3.0 + 1e-9
+
+    def test_higher_threshold_fewer_bits(self, scheme):
+        supports = np.full(6, 0.2)
+        r1 = expected_supercoordinate_bits(scheme, supports, 6)
+        r2 = expected_supercoordinate_bits(
+            scheme.with_activation_threshold(2), supports, 6
+        )
+        assert r2 < r1
+
+    def test_zero_mass(self, scheme):
+        assert expected_supercoordinate_bits(scheme, np.zeros(6), 5) == 0.0
+
+    def test_tracks_measurement_loosely(self, medium_indexed, medium_scheme, medium_table):
+        supports = medium_indexed.item_supports()
+        predicted = expected_supercoordinate_bits(
+            medium_scheme,
+            supports,
+            int(round(medium_indexed.avg_transaction_size)),
+        )
+        measured = medium_table.stats().avg_active_bits
+        assert predicted == pytest.approx(measured, rel=0.5)

@@ -1,0 +1,58 @@
+"""Unit tests for experiment result tables."""
+
+import pytest
+
+from repro.eval.reporting import ExperimentTable
+
+
+@pytest.fixture()
+def table():
+    t = ExperimentTable(
+        title="Demo table",
+        columns=["size", "prune%"],
+        notes=["profile=quick"],
+    )
+    t.add_row(size=1000, **{"prune%": 91.234})
+    t.add_row(size=2000, **{"prune%": 95.0})
+    return t
+
+
+class TestExperimentTable:
+    def test_add_row_and_column(self, table):
+        assert table.column("size") == [1000, 2000]
+
+    def test_missing_cells_are_none(self, table):
+        table.add_row(size=3000)
+        assert table.column("prune%")[-1] is None
+
+    def test_to_text_contains_all_parts(self, table):
+        text = table.to_text()
+        assert "Demo table" in text
+        assert "# profile=quick" in text
+        assert "91.23" in text
+        assert "size" in text and "prune%" in text
+
+    def test_to_text_alignment(self, table):
+        lines = table.to_text().splitlines()
+        header = next(line for line in lines if "size" in line)
+        separator = lines[lines.index(header) + 1]
+        assert len(separator) >= len("size  prune%") - 1
+
+    def test_to_csv(self, table):
+        csv = table.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "size,prune%"
+        assert lines[1] == "1000,91.23"
+
+    def test_save_writes_txt_and_csv(self, table, tmp_path):
+        path = table.save(tmp_path, "demo")
+        assert path.read_text().startswith("Demo table")
+        assert (tmp_path / "demo.csv").exists()
+
+    def test_save_creates_directory(self, table, tmp_path):
+        path = table.save(tmp_path / "nested" / "dir", "demo")
+        assert path.exists()
+
+    def test_empty_table_renders(self):
+        table = ExperimentTable(title="Empty", columns=["a"])
+        assert "Empty" in table.to_text()

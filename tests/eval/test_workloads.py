@@ -1,0 +1,114 @@
+"""Unit tests for query workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.eval.workloads import (
+    holdout_targets,
+    mixed_workload,
+    perturbed_targets,
+    random_targets,
+)
+
+
+class TestHoldoutTargets:
+    def test_all_by_default(self, medium_split):
+        _, holdout = medium_split
+        targets = holdout_targets(holdout)
+        assert len(targets) == len(holdout)
+        assert targets[0] == sorted(holdout[0])
+
+    def test_limit(self, medium_split):
+        _, holdout = medium_split
+        assert len(holdout_targets(holdout, limit=5)) == 5
+
+    def test_limit_above_size(self, medium_split):
+        _, holdout = medium_split
+        assert len(holdout_targets(holdout, limit=10**6)) == len(holdout)
+
+
+class TestPerturbedTargets:
+    def test_count_and_validity(self, small_db):
+        targets = perturbed_targets(small_db, count=25, rng=0)
+        assert len(targets) == 25
+        for target in targets:
+            assert len(target) >= 1
+            assert all(0 <= i < small_db.universe_size for i in target)
+            assert target == sorted(set(target))
+
+    def test_zero_rates_reproduce_transactions(self, small_db):
+        targets = perturbed_targets(
+            small_db, count=10, drop_rate=0.0, add_rate=0.0, rng=1
+        )
+        originals = {small_db[t] for t in range(len(small_db))}
+        for target in targets:
+            assert frozenset(target) in originals
+
+    def test_drop_rate_shrinks_targets(self, small_db):
+        light = perturbed_targets(small_db, 50, drop_rate=0.0, add_rate=0.0, rng=2)
+        heavy = perturbed_targets(small_db, 50, drop_rate=0.6, add_rate=0.0, rng=2)
+        assert np.mean([len(t) for t in heavy]) < np.mean(
+            [len(t) for t in light]
+        )
+
+    def test_add_rate_grows_targets(self, small_db):
+        base = perturbed_targets(small_db, 50, drop_rate=0.0, add_rate=0.0, rng=3)
+        grown = perturbed_targets(small_db, 50, drop_rate=0.0, add_rate=0.9, rng=3)
+        assert np.mean([len(t) for t in grown]) > np.mean(
+            [len(t) for t in base]
+        )
+
+    def test_deterministic(self, small_db):
+        a = perturbed_targets(small_db, 10, rng=7)
+        b = perturbed_targets(small_db, 10, rng=7)
+        assert a == b
+
+    def test_empty_database_rejected(self):
+        from repro.data.transaction import TransactionDatabase
+
+        with pytest.raises(ValueError):
+            perturbed_targets(TransactionDatabase([], universe_size=5), 3)
+
+    def test_bad_rates_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            perturbed_targets(small_db, 5, drop_rate=1.5)
+
+
+class TestRandomTargets:
+    def test_shape(self):
+        targets = random_targets(universe_size=100, count=30, avg_size=8, rng=0)
+        assert len(targets) == 30
+        for target in targets:
+            assert 1 <= len(target) <= 100
+            assert all(0 <= i < 100 for i in target)
+
+    def test_avg_size_respected(self):
+        targets = random_targets(universe_size=500, count=200, avg_size=12, rng=1)
+        assert np.mean([len(t) for t in targets]) == pytest.approx(12, abs=1.5)
+
+    def test_size_capped_at_universe(self):
+        targets = random_targets(universe_size=5, count=20, avg_size=50, rng=2)
+        assert all(len(t) <= 5 for t in targets)
+
+
+class TestMixedWorkload:
+    def test_kinds_and_counts(self, medium_split):
+        indexed, holdout = medium_split
+        workload = mixed_workload(indexed, holdout, count_per_kind=7, rng=0)
+        kinds = [kind for kind, _ in workload]
+        assert kinds.count("holdout") == 7
+        assert kinds.count("perturbed-light") == 7
+        assert kinds.count("perturbed-heavy") == 7
+        assert kinds.count("random") == 7
+
+    def test_targets_valid(self, medium_split):
+        indexed, holdout = medium_split
+        for _, target in mixed_workload(indexed, holdout, count_per_kind=5):
+            assert len(target) >= 1
+            assert all(0 <= i < indexed.universe_size for i in target)
+
+    def test_deterministic(self, medium_split):
+        indexed, holdout = medium_split
+        a = mixed_workload(indexed, holdout, count_per_kind=4, rng=9)
+        b = mixed_workload(indexed, holdout, count_per_kind=4, rng=9)
+        assert a == b

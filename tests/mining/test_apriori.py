@@ -1,0 +1,137 @@
+"""Unit tests for Apriori and association rules."""
+
+from itertools import combinations
+
+import pytest
+
+from repro.data.transaction import TransactionDatabase
+from repro.mining.apriori import apriori, association_rules
+
+
+@pytest.fixture()
+def db():
+    # Classic toy example: {0,1} frequent, {0,1,2} moderately frequent.
+    return TransactionDatabase(
+        [
+            [0, 1, 2],
+            [0, 1, 2],
+            [0, 1],
+            [0, 1],
+            [0, 2],
+            [1, 2],
+            [3],
+            [0, 1, 2, 3],
+        ],
+        universe_size=4,
+    )
+
+
+def brute_force_frequent(db, min_support, max_size=None):
+    n = len(db)
+    items = range(db.universe_size)
+    frequent = {}
+    limit = max_size or db.universe_size
+    for size in range(1, limit + 1):
+        found_any = False
+        for combo in combinations(items, size):
+            itemset = frozenset(combo)
+            count = sum(1 for t in db if itemset <= t)
+            if count / n >= min_support:
+                frequent[itemset] = count / n
+                found_any = True
+        if not found_any:
+            break
+    return frequent
+
+
+class TestApriori:
+    def test_matches_brute_force_toy(self, db):
+        assert apriori(db, 0.25) == pytest.approx(brute_force_frequent(db, 0.25))
+
+    @pytest.mark.parametrize("min_support", [0.1, 0.3, 0.5, 0.9])
+    def test_matches_brute_force_thresholds(self, db, min_support):
+        assert apriori(db, min_support) == pytest.approx(
+            brute_force_frequent(db, min_support)
+        )
+
+    def test_matches_brute_force_generated(self):
+        import repro
+
+        generated = repro.generate(
+            "T6.I4.D300", seed=2, num_items=25, num_patterns=12
+        )
+        expected = brute_force_frequent(generated, 0.05, max_size=3)
+        assert apriori(generated, 0.05, max_size=3) == pytest.approx(expected)
+
+    def test_singletons_included(self, db):
+        frequent = apriori(db, 0.5)
+        assert frozenset({0}) in frequent
+
+    def test_max_size_caps_results(self, db):
+        frequent = apriori(db, 0.25, max_size=1)
+        assert all(len(s) == 1 for s in frequent)
+
+    def test_supports_are_exact(self, db):
+        frequent = apriori(db, 0.25)
+        assert frequent[frozenset({0, 1})] == pytest.approx(5 / 8)
+
+    def test_high_threshold_yields_nothing(self, db):
+        assert apriori(db, 1.0) == {}
+
+    def test_zero_support_rejected(self, db):
+        with pytest.raises(ValueError):
+            apriori(db, 0.0)
+
+    def test_empty_database(self):
+        assert apriori(TransactionDatabase([], universe_size=3), 0.5) == {}
+
+    def test_monotonicity_of_results(self, db):
+        """Every subset of a frequent itemset must be frequent (Apriori
+        property) — a structural invariant of the output."""
+        frequent = apriori(db, 0.25)
+        for itemset in frequent:
+            for item in itemset:
+                assert (itemset - {item}) in frequent or len(itemset) == 1
+
+
+class TestAssociationRules:
+    def test_confidence_definition(self, db):
+        frequent = apriori(db, 0.2)
+        rules = association_rules(frequent, min_confidence=0.0)
+        for rule in rules:
+            expected = (
+                frequent[rule.antecedent | rule.consequent]
+                / frequent[rule.antecedent]
+            )
+            assert rule.confidence == pytest.approx(expected)
+
+    def test_min_confidence_filters(self, db):
+        frequent = apriori(db, 0.2)
+        strict = association_rules(frequent, min_confidence=0.9)
+        loose = association_rules(frequent, min_confidence=0.1)
+        assert len(strict) < len(loose)
+        assert all(r.confidence >= 0.9 for r in strict)
+
+    def test_sorted_by_confidence(self, db):
+        rules = association_rules(apriori(db, 0.2), min_confidence=0.0)
+        confidences = [r.confidence for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_antecedent_and_consequent_disjoint(self, db):
+        rules = association_rules(apriori(db, 0.2), min_confidence=0.0)
+        assert rules
+        for rule in rules:
+            assert not rule.antecedent & rule.consequent
+
+    def test_lift_definition(self, db):
+        frequent = apriori(db, 0.2)
+        rules = association_rules(frequent, min_confidence=0.0)
+        for rule in rules:
+            if rule.consequent in frequent:
+                expected = rule.confidence / frequent[rule.consequent]
+                assert rule.lift == pytest.approx(expected)
+
+    def test_str_is_readable(self, db):
+        rules = association_rules(apriori(db, 0.2), min_confidence=0.5)
+        text = str(rules[0])
+        assert "->" in text and "confidence" in text

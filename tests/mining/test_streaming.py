@@ -1,0 +1,114 @@
+"""Unit tests for the streaming support counter."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.mining.streaming import StreamingSupportCounter
+from repro.mining.support import count_pair_supports
+
+
+class TestItemSupports:
+    def test_exact_counts(self):
+        counter = StreamingSupportCounter(universe_size=5, reservoir_size=10)
+        counter.add([0, 1])
+        counter.add([1, 2])
+        counter.add([1])
+        assert counter.num_seen == 3
+        assert counter.item_supports(relative=False).tolist() == [1, 3, 1, 0, 0]
+        assert counter.item_supports()[1] == pytest.approx(1.0)
+
+    def test_matches_batch_counts(self, small_db):
+        counter = StreamingSupportCounter(
+            universe_size=small_db.universe_size, reservoir_size=len(small_db)
+        )
+        counter.add_database(small_db)
+        assert np.allclose(counter.item_supports(), small_db.item_supports())
+
+    def test_empty_counter(self):
+        counter = StreamingSupportCounter(universe_size=3)
+        assert counter.item_supports().tolist() == [0.0, 0.0, 0.0]
+
+    def test_universe_mismatch_rejected(self, small_db):
+        counter = StreamingSupportCounter(universe_size=5)
+        with pytest.raises(ValueError):
+            counter.add_database(small_db)
+
+
+class TestReservoir:
+    def test_exact_pairs_while_stream_fits(self, small_db):
+        counter = StreamingSupportCounter(
+            universe_size=small_db.universe_size,
+            reservoir_size=len(small_db) + 10,
+        )
+        counter.add_database(small_db)
+        streamed = counter.pair_supports().as_dict()
+        batch = count_pair_supports(small_db).as_dict()
+        assert streamed == pytest.approx(batch)
+
+    def test_reservoir_bounded(self, small_db):
+        counter = StreamingSupportCounter(
+            universe_size=small_db.universe_size, reservoir_size=64, rng=0
+        )
+        counter.add_database(small_db)
+        assert counter.reservoir_occupancy == 64
+        assert counter.num_seen == len(small_db)
+
+    def test_sampled_pairs_approximate_batch(self, medium_indexed):
+        counter = StreamingSupportCounter(
+            universe_size=medium_indexed.universe_size,
+            reservoir_size=800,
+            rng=1,
+        )
+        counter.add_database(medium_indexed)
+        streamed = counter.pair_supports(min_support=0.01).as_dict()
+        batch = count_pair_supports(medium_indexed, min_support=0.01).as_dict()
+        common = set(streamed) & set(batch)
+        assert len(common) >= 0.5 * len(batch)
+        errors = [abs(streamed[p] - batch[p]) for p in common]
+        assert np.mean(errors) < 0.02
+
+    def test_as_sample_database(self, small_db):
+        counter = StreamingSupportCounter(
+            universe_size=small_db.universe_size, reservoir_size=32, rng=0
+        )
+        counter.add_database(small_db)
+        sample = counter.as_sample_database()
+        assert len(sample) == 32
+        originals = {small_db[t] for t in range(len(small_db))}
+        for t in range(len(sample)):
+            assert sample[t] in originals
+
+    def test_deterministic_by_seed(self, small_db):
+        def run(seed):
+            counter = StreamingSupportCounter(
+                universe_size=small_db.universe_size, reservoir_size=20, rng=seed
+            )
+            counter.add_database(small_db)
+            return counter.as_sample_database()
+
+        assert run(7) == run(7)
+
+
+class TestEndToEndRepartition:
+    def test_partition_from_streamed_sample(self, medium_indexed):
+        """The ingest-path use case: learn signatures from the reservoir
+        instead of the full database, and still get a working index."""
+        counter = StreamingSupportCounter(
+            universe_size=medium_indexed.universe_size,
+            reservoir_size=600,
+            rng=3,
+        )
+        counter.add_database(medium_indexed)
+        sample = counter.as_sample_database()
+        scheme = repro.partition_items(sample, num_signatures=10, rng=3)
+        table = repro.SignatureTable.build(medium_indexed, scheme)
+        searcher = repro.SignatureTableSearcher(table, medium_indexed)
+        scan = repro.LinearScanIndex(medium_indexed)
+        sim = repro.MatchRatioSimilarity()
+        target = sorted(medium_indexed[42])
+        neighbor, stats = searcher.nearest(target, sim)
+        assert neighbor.similarity == pytest.approx(
+            scan.best_similarity(target, sim)
+        )
+        assert stats.pruning_efficiency > 20.0

@@ -1,0 +1,107 @@
+"""Unit tests for item-pair support counting."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.data.transaction import TransactionDatabase
+from repro.mining.support import count_pair_supports
+
+
+@pytest.fixture()
+def db():
+    return TransactionDatabase(
+        [[0, 1, 2], [0, 1], [1, 2], [0, 2], [3]], universe_size=4
+    )
+
+
+def brute_force_pairs(db):
+    counts = {}
+    for tid in range(len(db)):
+        for i, j in combinations(sorted(db[tid]), 2):
+            counts[(i, j)] = counts.get((i, j), 0) + 1
+    return {pair: c / len(db) for pair, c in counts.items()}
+
+
+class TestCounting:
+    def test_matches_brute_force(self, db):
+        result = count_pair_supports(db)
+        assert result.as_dict() == pytest.approx(brute_force_pairs(db))
+
+    def test_matches_brute_force_on_generated_data(self, small_db):
+        result = count_pair_supports(small_db)
+        assert result.as_dict() == pytest.approx(brute_force_pairs(small_db))
+
+    def test_counted_transactions(self, db):
+        assert count_pair_supports(db).num_transactions_counted == 5
+
+    def test_pairs_sorted_with_i_less_than_j(self, db):
+        result = count_pair_supports(db)
+        for i, j, _ in result:
+            assert i < j
+        codes = result.pairs[:, 0] * 4 + result.pairs[:, 1]
+        assert np.all(np.diff(codes) > 0)
+
+    def test_min_support_filters(self, db):
+        result = count_pair_supports(db, min_support=0.5)
+        # Only pairs appearing in >= 2.5 of 5 transactions survive: none do
+        # except none (each pair appears twice = 0.4).
+        assert len(result) == 0
+
+    def test_min_support_keeps_frequent(self, db):
+        result = count_pair_supports(db, min_support=0.4)
+        assert len(result) == 3
+
+    def test_singleton_transactions_contribute_nothing(self):
+        db = TransactionDatabase([[0], [1], [2]], universe_size=3)
+        assert len(count_pair_supports(db)) == 0
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], universe_size=3)
+        result = count_pair_supports(db)
+        assert len(result) == 0
+        assert result.num_transactions_counted == 0
+
+
+class TestSampling:
+    def test_sample_size_recorded(self, small_db):
+        result = count_pair_supports(small_db, max_transactions=100, rng=0)
+        assert result.num_transactions_counted == 100
+
+    def test_sample_supports_close_to_full(self, small_db):
+        full = count_pair_supports(small_db)
+        sampled = count_pair_supports(small_db, max_transactions=300, rng=0)
+        full_dict = full.as_dict()
+        sample_dict = sampled.as_dict()
+        common = set(full_dict) & set(sample_dict)
+        assert len(common) > 0
+        errors = [abs(full_dict[p] - sample_dict[p]) for p in common]
+        assert np.mean(errors) < 0.02
+
+    def test_sample_larger_than_db_counts_everything(self, db):
+        result = count_pair_supports(db, max_transactions=100)
+        assert result.num_transactions_counted == 5
+
+    def test_sampling_deterministic_by_seed(self, small_db):
+        a = count_pair_supports(small_db, max_transactions=50, rng=1)
+        b = count_pair_supports(small_db, max_transactions=50, rng=1)
+        assert np.array_equal(a.pairs, b.pairs)
+        assert np.array_equal(a.supports, b.supports)
+
+
+class TestSupportOf:
+    def test_present_pair(self, db):
+        result = count_pair_supports(db)
+        assert result.support_of(0, 1) == pytest.approx(0.4)
+
+    def test_order_insensitive(self, db):
+        result = count_pair_supports(db)
+        assert result.support_of(1, 0) == result.support_of(0, 1)
+
+    def test_absent_pair_is_zero(self, db):
+        assert count_pair_supports(db).support_of(0, 3) == 0.0
+
+    def test_same_item_rejected(self, db):
+        with pytest.raises(ValueError):
+            count_pair_supports(db).support_of(1, 1)

@@ -1,0 +1,130 @@
+"""Property tests for the Section 4.1 optimistic bounds.
+
+The invariant everything rests on: for ANY partition of ANY universe, ANY
+activation threshold, ANY database and ANY target, the entry bounds
+dominate every indexed transaction —
+
+    x(T, X) <= M_opt(entry(X))   and   y(T, X) >= D_opt(entry(X)),
+
+and therefore ``f(x, y) <= f(M_opt, D_opt)`` for every monotone similarity
+function (Lemma 2.1).  If this ever fails, branch-and-bound pruning is
+unsound.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import optimistic_distance, optimistic_matches
+from repro.core.signature import SignatureScheme
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase
+from tests.conftest import make_similarities
+
+
+@st.composite
+def indexing_instances(draw):
+    """A random (scheme, db, target) triple over a small universe."""
+    universe_size = draw(st.integers(min_value=4, max_value=14))
+    num_signatures = draw(st.integers(min_value=2, max_value=min(4, universe_size)))
+    threshold = draw(st.integers(min_value=1, max_value=2))
+    # Random partition: assign each item a signature, forcing non-empty.
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=num_signatures - 1),
+            min_size=universe_size,
+            max_size=universe_size,
+        )
+    )
+    for sig in range(num_signatures):
+        assignment[sig % universe_size] = sig
+    signatures = [
+        [item for item, s in enumerate(assignment) if s == sig]
+        for sig in range(num_signatures)
+    ]
+    signatures = [s for s in signatures if s]
+    scheme = SignatureScheme(
+        signatures, universe_size=universe_size, activation_threshold=threshold
+    )
+
+    transaction = st.lists(
+        st.integers(min_value=0, max_value=universe_size - 1),
+        min_size=1,
+        max_size=universe_size,
+    )
+    rows = draw(st.lists(transaction, min_size=2, max_size=20))
+    db = TransactionDatabase(rows, universe_size=universe_size)
+    target = draw(transaction)
+    return scheme, db, sorted(set(target))
+
+
+@settings(max_examples=60, deadline=None)
+@given(indexing_instances())
+def test_bounds_dominate_every_indexed_transaction(instance):
+    scheme, db, target = instance
+    table = SignatureTable.build(db, scheme)
+    r_vec = scheme.activation_counts(target)
+    target_set = frozenset(target)
+    r = scheme.activation_threshold
+    for entry in range(table.num_entries_occupied):
+        bits = table.bits_matrix[entry]
+        m_opt = optimistic_matches(r_vec, bits, r)
+        d_opt = optimistic_distance(r_vec, bits, r)
+        for tid in table.entry_tids(entry):
+            other = db[int(tid)]
+            x = len(target_set & other)
+            y = len(target_set ^ other)
+            assert x <= m_opt
+            assert y >= d_opt
+
+
+@settings(max_examples=30, deadline=None)
+@given(indexing_instances())
+def test_lemma_21_holds_for_every_similarity(instance):
+    """f(M_opt, D_opt) upper-bounds f(x, y) for all shipped functions."""
+    scheme, db, target = instance
+    table = SignatureTable.build(db, scheme)
+    r_vec = scheme.activation_counts(target)
+    r = scheme.activation_threshold
+    target_set = frozenset(target)
+    sims = [s.bind(len(target_set)) for s in make_similarities()]
+    for entry in range(table.num_entries_occupied):
+        bits = table.bits_matrix[entry]
+        m_opt = optimistic_matches(r_vec, bits, r)
+        d_opt = optimistic_distance(r_vec, bits, r)
+        for tid in table.entry_tids(entry):
+            other = db[int(tid)]
+            x = len(target_set & other)
+            y = len(target_set ^ other)
+            for sim in sims:
+                actual = float(sim.evaluate(x, y))
+                bound = float(sim.evaluate(m_opt, d_opt))
+                if np.isinf(actual):
+                    assert np.isinf(bound)
+                else:
+                    assert actual <= bound + 1e-9, (
+                        sim,
+                        (x, y),
+                        (m_opt, d_opt),
+                    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(indexing_instances())
+def test_identical_transaction_has_tight_bounds(instance):
+    """An entry containing the target itself must allow x = |T|, y = 0."""
+    scheme, db, target = instance
+    if not target:
+        return
+    # Force the target into the database.
+    rows = [sorted(db[t]) for t in range(len(db))] + [target]
+    db2 = TransactionDatabase(rows, universe_size=db.universe_size)
+    table = SignatureTable.build(db2, scheme)
+    entry = table.entry_for(target)
+    assert entry >= 0
+    r_vec = scheme.activation_counts(target)
+    bits = table.bits_matrix[entry]
+    assert optimistic_matches(r_vec, bits, scheme.activation_threshold) >= len(
+        target
+    )
+    assert optimistic_distance(r_vec, bits, scheme.activation_threshold) == 0

@@ -1,0 +1,95 @@
+"""Model-based property test for the LRU buffer pool.
+
+Replays a random access trace against both the :class:`BufferPool` and a
+trivially correct reference LRU model; hit/miss decisions and the
+resident set must agree at every step.
+"""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import IOCounters, PagedStore
+
+
+class ReferenceLRU:
+    """Obviously-correct LRU over page ids."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.pages: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, page: int) -> bool:
+        hit = page in self.pages
+        if hit:
+            self.pages.move_to_end(page)
+        else:
+            self.pages[page] = None
+            if len(self.pages) > self.capacity:
+                self.pages.popitem(last=False)
+        return hit
+
+
+@st.composite
+def traces(draw):
+    num_records = draw(st.integers(min_value=1, max_value=60))
+    page_size = draw(st.integers(min_value=1, max_value=8))
+    capacity = draw(st.integers(min_value=1, max_value=6))
+    trace = draw(
+        st.lists(
+            st.lists(
+                st.integers(min_value=0, max_value=num_records - 1),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    return num_records, page_size, capacity, trace
+
+
+@settings(max_examples=80, deadline=None)
+@given(traces())
+def test_pool_matches_reference_lru(case):
+    num_records, page_size, capacity, trace = case
+    store = PagedStore(num_records, page_size=page_size)
+    pool = BufferPool(store, capacity=capacity)
+    reference = ReferenceLRU(capacity)
+    counters = IOCounters()
+
+    expected_hits = 0
+    expected_misses = 0
+    for tids in trace:
+        pages = store.pages_for(tids)
+        for page in pages.tolist():
+            if reference.access(page):
+                expected_hits += 1
+            else:
+                expected_misses += 1
+        pool.read(tids, counters)
+        assert set(pool._resident) == set(reference.pages)
+
+    assert pool.stats.hits == expected_hits
+    assert pool.stats.misses == expected_misses
+    assert counters.pages_read == expected_misses
+    assert pool.resident_pages <= capacity
+
+
+@settings(max_examples=50, deadline=None)
+@given(traces())
+def test_pool_io_never_exceeds_uncached(case):
+    """With any capacity, the pool charges at most what the plain store
+    would (per-call page dedup aside, misses <= raw page touches)."""
+    num_records, page_size, capacity, trace = case
+    store = PagedStore(num_records, page_size=page_size)
+    pool = BufferPool(store, capacity=capacity)
+    pooled = IOCounters()
+    raw = IOCounters()
+    for tids in trace:
+        pool.read(tids, pooled)
+        store.read(tids, raw)
+    assert pooled.pages_read <= raw.pages_read
+    assert pooled.transactions_read == raw.transactions_read

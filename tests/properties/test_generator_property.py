@@ -1,0 +1,95 @@
+"""Property tests for the workload generator and the data model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.generator import (
+    GeneratorConfig,
+    MarketBasketGenerator,
+    format_spec,
+    parse_spec,
+)
+from repro.data.transaction import TransactionDatabase
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=1, max_value=5000),
+)
+def test_spec_round_trip(t, i, d):
+    spec = f"T{t}.I{i}.D{d}"
+    assert format_spec(parse_spec(spec)) == spec
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    st.integers(min_value=20, max_value=200),
+    st.integers(min_value=10, max_value=80),
+    st.integers(min_value=5, max_value=40),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_generated_databases_are_well_formed(n, universe, patterns, seed):
+    config = GeneratorConfig(
+        num_transactions=n,
+        avg_transaction_size=6,
+        avg_pattern_size=4,
+        num_items=universe,
+        num_patterns=patterns,
+        seed=seed,
+    )
+    db = MarketBasketGenerator(config).generate()
+    assert len(db) == n
+    assert db.universe_size == universe
+    assert int(db.sizes.min()) >= 1
+    items, indptr = db.csr()
+    assert indptr[0] == 0 and indptr[-1] == items.size
+    if items.size:
+        assert items.min() >= 0
+        assert items.max() < universe
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2**31))
+def test_generation_is_deterministic(seed):
+    config = GeneratorConfig(
+        num_transactions=60, num_items=40, num_patterns=15, seed=seed
+    )
+    assert (
+        MarketBasketGenerator(config).generate()
+        == MarketBasketGenerator(config).generate()
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=30), max_size=10),
+        max_size=20,
+    )
+)
+def test_database_round_trips_through_npz(tmp_path_factory, rows):
+    db = TransactionDatabase(rows, universe_size=31)
+    path = tmp_path_factory.mktemp("npz") / "db.npz"
+    db.save(path)
+    assert TransactionDatabase.load(path) == db
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=8),
+        min_size=1,
+        max_size=15,
+    ),
+    st.lists(st.integers(min_value=0, max_value=20), max_size=8),
+)
+def test_match_counts_agree_with_set_arithmetic(rows, target):
+    db = TransactionDatabase(rows, universe_size=21)
+    counts = db.match_counts(target)
+    distances = db.hamming_distances(target)
+    target_set = set(target)
+    for tid in range(len(db)):
+        assert counts[tid] == len(db[tid] & target_set)
+        assert distances[tid] == len(db[tid] ^ target_set)

@@ -1,0 +1,122 @@
+"""Property tests for index maintenance and composition.
+
+* insert-then-query equals build-from-scratch (main + delta transparency);
+* compaction changes no answer;
+* sharding changes no answer, for any shard count;
+* table verify() accepts every freshly built table.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.core.sharded import ShardedSignatureIndex
+from repro.data.transaction import TransactionDatabase
+
+
+@st.composite
+def maintenance_instances(draw):
+    universe_size = draw(st.integers(min_value=6, max_value=20))
+    transaction = st.lists(
+        st.integers(min_value=0, max_value=universe_size - 1),
+        min_size=1,
+        max_size=universe_size,
+    )
+    base_rows = draw(st.lists(transaction, min_size=3, max_size=15))
+    extra_rows = draw(st.lists(transaction, min_size=1, max_size=6))
+    target = sorted(set(draw(transaction)))
+    seed = draw(st.integers(min_value=0, max_value=1000))
+    return universe_size, base_rows, extra_rows, target, seed
+
+
+def _scheme(universe_size, seed, k=3):
+    return repro.random_partition(universe_size, k, rng=seed)
+
+
+@settings(max_examples=30, deadline=None)
+@given(maintenance_instances())
+def test_insert_equals_rebuild(instance):
+    universe_size, base_rows, extra_rows, target, seed = instance
+    scheme = _scheme(universe_size, seed)
+    base_db = TransactionDatabase(base_rows, universe_size=universe_size)
+    full_db = TransactionDatabase(
+        base_rows + extra_rows, universe_size=universe_size
+    )
+
+    incremental = repro.MarketBasketIndex(
+        base_db, scheme, auto_compact_fraction=1.0
+    )
+    for row in extra_rows:
+        incremental.insert(row)
+    from_scratch = repro.MarketBasketIndex(full_db, scheme)
+
+    sim = repro.JaccardSimilarity()
+    k = min(4, len(full_db))
+    incremental_answers, _ = incremental.knn(target, sim, k=k)
+    scratch_answers, _ = from_scratch.knn(target, sim, k=k)
+    assert [n.similarity for n in incremental_answers] == [
+        n.similarity for n in scratch_answers
+    ]
+
+
+@settings(max_examples=30, deadline=None)
+@given(maintenance_instances())
+def test_compact_preserves_answers(instance):
+    universe_size, base_rows, extra_rows, target, seed = instance
+    scheme = _scheme(universe_size, seed)
+    base_db = TransactionDatabase(base_rows, universe_size=universe_size)
+    index = repro.MarketBasketIndex(base_db, scheme, auto_compact_fraction=1.0)
+    for row in extra_rows:
+        index.insert(row)
+    sim = repro.DiceSimilarity()
+    before, _ = index.knn(target, sim, k=3)
+    index.compact()
+    after, _ = index.knn(target, sim, k=3)
+    # The similarity-value multiset is invariant; tie-breaking among
+    # equal-similarity transactions may legitimately pick different TIDs
+    # (delta merge favours small TIDs, the table scan favours entry order).
+    assert [n.similarity for n in before] == [n.similarity for n in after]
+    target_set = frozenset(target)
+    for neighbor in after:
+        other = index[neighbor.tid]
+        x, y = len(target_set & other), len(target_set ^ other)
+        assert float(sim.evaluate(x, y)) == neighbor.similarity
+    assert index.table.verify(index.db)
+
+
+@settings(max_examples=30, deadline=None)
+@given(maintenance_instances(), st.integers(min_value=1, max_value=5))
+def test_sharding_is_transparent(instance, num_shards):
+    universe_size, base_rows, extra_rows, target, seed = instance
+    rows = base_rows + extra_rows
+    db = TransactionDatabase(rows, universe_size=universe_size)
+    num_shards = min(num_shards, len(db))
+    scheme = _scheme(universe_size, seed)
+    single = repro.SignatureTableSearcher(
+        repro.SignatureTable.build(db, scheme), db
+    )
+    sharded = ShardedSignatureIndex.from_database(db, scheme, num_shards)
+    sim = repro.MatchRatioSimilarity()
+    k = min(3, len(db))
+    single_answers, _ = single.knn(target, sim, k=k)
+    sharded_answers, _ = sharded.knn(target, sim, k=k)
+    assert [n.similarity for n in single_answers] == [
+        n.similarity for n in sharded_answers
+    ]
+    # Global TIDs must dereference to the same transactions.
+    for neighbor in sharded_answers:
+        assert sharded[neighbor.tid] == db[neighbor.tid]
+
+
+@settings(max_examples=40, deadline=None)
+@given(maintenance_instances())
+def test_every_built_table_verifies(instance):
+    universe_size, base_rows, extra_rows, _, seed = instance
+    db = TransactionDatabase(
+        base_rows + extra_rows, universe_size=universe_size
+    )
+    for k in (2, 4):
+        scheme = _scheme(universe_size, seed, k=k)
+        table = repro.SignatureTable.build(db, scheme)
+        assert table.verify(db)

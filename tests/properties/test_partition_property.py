@@ -1,0 +1,96 @@
+"""Property tests for signature construction invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partitioning import (
+    balanced_support_partition,
+    partition_items,
+    random_partition,
+    single_linkage_partition,
+)
+from repro.data.transaction import TransactionDatabase
+
+
+def is_partition(signatures, universe_size):
+    seen = sorted(item for sig in signatures for item in sig)
+    return seen == list(range(universe_size))
+
+
+@st.composite
+def small_databases(draw):
+    universe_size = draw(st.integers(min_value=3, max_value=25))
+    transaction = st.lists(
+        st.integers(min_value=0, max_value=universe_size - 1),
+        min_size=1,
+        max_size=universe_size,
+    )
+    rows = draw(st.lists(transaction, min_size=2, max_size=30))
+    return TransactionDatabase(rows, universe_size=universe_size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_databases(), st.integers(min_value=1, max_value=25), st.integers(0, 100))
+def test_partition_items_exact_k_always_partitions(db, k, seed):
+    k = min(k, db.universe_size)
+    scheme = partition_items(db, num_signatures=k, rng=seed)
+    assert scheme.num_signatures == k
+    assert is_partition(scheme.signatures, db.universe_size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    small_databases(),
+    st.floats(min_value=0.01, max_value=1.0),
+)
+def test_critical_mass_mode_always_partitions(db, critical_mass):
+    scheme = partition_items(db, critical_mass=critical_mass)
+    assert is_partition(scheme.signatures, db.universe_size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=30
+    ),
+    st.floats(min_value=0.05, max_value=1.0),
+)
+def test_single_linkage_with_no_edges(supports, critical_mass):
+    supports = np.asarray(supports)
+    signatures = single_linkage_partition(
+        supports,
+        np.empty((0, 2), dtype=np.int64),
+        np.empty(0),
+        critical_mass=critical_mass,
+    )
+    assert is_partition(signatures, supports.size)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_random_partition_properties(universe_size, k, seed):
+    k = min(k, universe_size)
+    scheme = random_partition(universe_size, k, rng=seed)
+    assert scheme.num_signatures == k
+    assert is_partition(scheme.signatures, universe_size)
+    sizes = [len(s) for s in scheme.signatures]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=40),
+    st.integers(min_value=1, max_value=40),
+)
+def test_balanced_partition_properties(supports, k):
+    supports = np.asarray(supports)
+    k = min(k, supports.size)
+    scheme = balanced_support_partition(supports, k)
+    assert scheme.num_signatures == k
+    assert is_partition(scheme.signatures, supports.size)
+    assert all(len(s) >= 1 for s in scheme.signatures)

@@ -1,0 +1,116 @@
+"""Property tests for the similarity-function contract (paper Section 2).
+
+Constraints (1) and (2): every shipped function must be non-decreasing in
+the match count and non-increasing in the hamming distance — on the whole
+integer grid, including infeasible corners, because Lemma 2.1's proof
+walks through them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import make_similarities
+
+XY = st.tuples(
+    st.integers(min_value=0, max_value=40),
+    st.integers(min_value=0, max_value=60),
+)
+TARGET_SIZE = st.integers(min_value=1, max_value=30)
+
+
+def _finite_or_equal(a, b):
+    """a <= b, treating two infinities of the same sign as equal."""
+    if np.isinf(a) and np.isinf(b):
+        return True
+    return a <= b + 1e-12
+
+
+@settings(max_examples=200, deadline=None)
+@given(XY, XY, TARGET_SIZE)
+def test_monotone_in_both_arguments(p, q, target_size):
+    """If q has fewer matches and a larger hamming distance than p, then
+    f(q) <= f(p) for every function."""
+    (x1, y1), (x2, y2) = p, q
+    lo_x, hi_x = min(x1, x2), max(x1, x2)
+    lo_y, hi_y = min(y1, y2), max(y1, y2)
+    for sim in make_similarities():
+        bound = sim.bind(target_size)
+        with np.errstate(all="ignore"):
+            worse = float(bound.evaluate(lo_x, hi_y))
+            better = float(bound.evaluate(hi_x, lo_y))
+        assert _finite_or_equal(worse, better), (sim, (lo_x, hi_y), (hi_x, lo_y))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=0, max_value=30), TARGET_SIZE)
+def test_perfect_match_dominates(matches_count, target_size):
+    """(x, 0) is at least as similar as any (x', y') with x' <= x."""
+    for sim in make_similarities():
+        bound = sim.bind(target_size)
+        with np.errstate(all="ignore"):
+            top = float(bound.evaluate(matches_count, 0))
+            other = float(bound.evaluate(max(matches_count - 1, 0), 3))
+        assert _finite_or_equal(other, top)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=60), min_size=1, max_size=20),
+    st.sets(st.integers(min_value=0, max_value=60), min_size=0, max_size=20),
+)
+def test_set_identities(a, b):
+    """Cross-check `between` against the classical set formulas."""
+    from repro.core.similarity import (
+        CosineSimilarity,
+        DiceSimilarity,
+        JaccardSimilarity,
+        MatchCountSimilarity,
+    )
+
+    a, b = frozenset(a), frozenset(b)
+    assert MatchCountSimilarity().between(a, b) == len(a & b)
+    union = len(a | b)
+    expected_jaccard = len(a & b) / union if union else 1.0
+    assert np.isclose(JaccardSimilarity().between(a, b), expected_jaccard)
+    denominator = len(a) + len(b)
+    expected_dice = 2 * len(a & b) / denominator if denominator else 1.0
+    assert np.isclose(DiceSimilarity().between(a, b), expected_dice)
+    if a and b:
+        expected_cosine = len(a & b) / np.sqrt(len(a) * len(b))
+        assert np.isclose(CosineSimilarity().between(a, b), expected_cosine)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=60), min_size=1, max_size=20),
+    st.sets(st.integers(min_value=0, max_value=60), min_size=1, max_size=20),
+)
+def test_symmetric_functions_are_symmetric(a, b):
+    """Jaccard, Dice and cosine are symmetric in their two arguments."""
+    from repro.core.similarity import (
+        CosineSimilarity,
+        DiceSimilarity,
+        JaccardSimilarity,
+    )
+
+    for sim in [JaccardSimilarity(), DiceSimilarity(), CosineSimilarity()]:
+        assert np.isclose(sim.between(a, b), sim.between(b, a))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=40), min_size=1, max_size=15)
+)
+def test_self_similarity_is_maximal(a):
+    """No transaction can be more similar to the target than the target
+    itself (among same-universe sets), for every function."""
+    a = frozenset(a)
+    rng = np.random.default_rng(0)
+    for sim in make_similarities():
+        self_value = sim.between(a, a)
+        for _ in range(5):
+            other = frozenset(
+                int(i) for i in rng.choice(41, size=rng.integers(1, 15))
+            )
+            assert _finite_or_equal(sim.between(a, other), self_value)

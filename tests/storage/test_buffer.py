@@ -1,0 +1,133 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage.buffer import BufferPool, BufferStats
+from repro.storage.pages import IOCounters, PagedStore
+
+
+@pytest.fixture()
+def pool():
+    # 100 records, 10 per page -> pages 0..9; pool holds 3 pages.
+    return BufferPool(PagedStore(100, page_size=10), capacity=3)
+
+
+class TestBufferStats:
+    def test_hit_rate(self):
+        stats = BufferStats(hits=3, misses=1)
+        assert stats.accesses == 4
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_empty_hit_rate(self):
+        assert BufferStats().hit_rate == 0.0
+
+    def test_reset(self):
+        stats = BufferStats(hits=1, misses=2, evictions=3)
+        stats.reset()
+        assert stats == BufferStats()
+
+
+class TestBufferPool:
+    def test_first_read_misses(self, pool):
+        counters = IOCounters()
+        missed = pool.read([0, 1, 2], counters)  # all page 0
+        assert missed == 1
+        assert counters.pages_read == 1
+        assert pool.stats.misses == 1
+
+    def test_repeat_read_hits(self, pool):
+        counters = IOCounters()
+        pool.read([0], counters)
+        pool.read([5], counters)  # same page 0
+        assert pool.stats.hits == 1
+        assert counters.pages_read == 1  # only the miss was charged
+
+    def test_transactions_always_counted(self, pool):
+        counters = IOCounters()
+        pool.read([0], counters)
+        pool.read([1], counters)
+        assert counters.transactions_read == 2
+
+    def test_eviction_at_capacity(self, pool):
+        counters = IOCounters()
+        for page_start in [0, 10, 20, 30]:  # four distinct pages, capacity 3
+            pool.read([page_start], counters)
+        assert pool.resident_pages == 3
+        assert pool.stats.evictions == 1
+        assert not pool.contains(0)  # LRU victim
+
+    def test_lru_order_respects_recency(self, pool):
+        counters = IOCounters()
+        pool.read([0], counters)   # page 0
+        pool.read([10], counters)  # page 1
+        pool.read([20], counters)  # page 2
+        pool.read([0], counters)   # touch page 0 again (hit)
+        pool.read([30], counters)  # page 3 evicts page 1 (LRU)
+        assert pool.contains(0)
+        assert not pool.contains(1)
+
+    def test_seeks_count_missed_runs_only(self, pool):
+        counters = IOCounters()
+        pool.read([0, 10], counters)  # pages 0,1 contiguous: 1 seek
+        assert counters.seeks == 1
+        pool.read([0, 10, 90], counters)  # only page 9 missed
+        assert counters.seeks == 2
+
+    def test_clear_keeps_stats(self, pool):
+        counters = IOCounters()
+        pool.read([0], counters)
+        pool.clear()
+        assert pool.resident_pages == 0
+        assert pool.stats.misses == 1
+
+    def test_counters_optional(self, pool):
+        assert pool.read([0]) == 1
+        assert pool.read([0]) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            BufferPool(PagedStore(10), capacity=0)
+
+
+class TestSearcherIntegration:
+    def test_pool_must_wrap_table_store(self, medium_table, medium_indexed):
+        import repro
+
+        foreign = BufferPool(PagedStore(len(medium_indexed)), capacity=8)
+        with pytest.raises(ValueError, match="table's own store"):
+            repro.SignatureTableSearcher(
+                medium_table, medium_indexed, buffer_pool=foreign
+            )
+
+    def test_pool_reduces_io_across_repeated_queries(
+        self, medium_table, medium_indexed, medium_queries
+    ):
+        import repro
+
+        pool = BufferPool(medium_table.store, capacity=medium_table.store.num_pages)
+        searcher = repro.SignatureTableSearcher(
+            medium_table, medium_indexed, buffer_pool=pool
+        )
+        sim = repro.MatchRatioSimilarity()
+        target = medium_queries[0]
+        _, first = searcher.nearest(target, sim)
+        _, second = searcher.nearest(target, sim)
+        assert second.io.pages_read == 0  # everything resident
+        assert first.io.pages_read > 0
+        assert pool.stats.hit_rate > 0.0
+
+    def test_results_unchanged_with_pool(
+        self, medium_table, medium_indexed, medium_queries, medium_scan
+    ):
+        import repro
+
+        pool = BufferPool(medium_table.store, capacity=4)
+        searcher = repro.SignatureTableSearcher(
+            medium_table, medium_indexed, buffer_pool=pool
+        )
+        sim = repro.JaccardSimilarity()
+        for target in medium_queries[:5]:
+            neighbor, _ = searcher.nearest(target, sim)
+            assert neighbor.similarity == pytest.approx(
+                medium_scan.best_similarity(target, sim)
+            )

@@ -1,0 +1,104 @@
+"""Unit tests for the delta+varint transaction codec."""
+
+import numpy as np
+import pytest
+
+from repro.data.transaction import TransactionDatabase
+from repro.storage.codec import (
+    decode_database,
+    decode_transaction,
+    encode_database,
+    encode_transaction,
+    encoded_sizes,
+    estimate_page_capacity,
+)
+
+
+class TestTransactionCodec:
+    @pytest.mark.parametrize(
+        "transaction",
+        [[], [0], [5], [0, 1, 2], [10, 200, 3000, 40000], list(range(0, 1000, 7))],
+    )
+    def test_round_trip(self, transaction):
+        encoded = encode_transaction(transaction)
+        decoded, offset = decode_transaction(encoded)
+        assert decoded.tolist() == sorted(set(transaction))
+        assert offset == len(encoded)
+
+    def test_unsorted_input_normalised(self):
+        encoded = encode_transaction([9, 3, 3, 1])
+        decoded, _ = decode_transaction(encoded)
+        assert decoded.tolist() == [1, 3, 9]
+
+    def test_small_gaps_encode_compactly(self):
+        # 10 items with gaps < 128 -> 1 byte per delta + 1 count byte.
+        transaction = list(range(100, 110))
+        assert len(encode_transaction(transaction)) == 11
+
+    def test_large_ids_supported(self):
+        transaction = [2**40, 2**40 + 5]
+        decoded, _ = decode_transaction(encode_transaction(transaction))
+        assert decoded.tolist() == transaction
+
+    def test_truncated_data_detected(self):
+        encoded = encode_transaction([1, 2, 3])
+        with pytest.raises(ValueError, match="truncated"):
+            decode_transaction(encoded[:-1] if encoded[-1] < 0x80 else encoded[:1])
+
+    def test_offset_chaining(self):
+        a = encode_transaction([1, 2])
+        b = encode_transaction([7])
+        data = a + b
+        first, offset = decode_transaction(data)
+        second, end = decode_transaction(data, offset)
+        assert first.tolist() == [1, 2]
+        assert second.tolist() == [7]
+        assert end == len(data)
+
+
+class TestDatabaseCodec:
+    def test_round_trip(self, small_db):
+        assert decode_database(encode_database(small_db)) == small_db
+
+    def test_round_trip_with_empty_transactions(self):
+        db = TransactionDatabase([[0, 1], [], [5]], universe_size=10)
+        assert decode_database(encode_database(db)) == db
+
+    def test_trailing_garbage_detected(self, small_db):
+        data = encode_database(small_db) + b"\x00"
+        with pytest.raises(ValueError, match="trailing"):
+            decode_database(data)
+
+    def test_compression_beats_raw_int64(self, small_db):
+        encoded = len(encode_database(small_db))
+        raw = small_db.total_items * 8
+        assert encoded < raw / 3
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], universe_size=4)
+        assert decode_database(encode_database(db)) == db
+
+
+class TestPageCapacity:
+    def test_typical_basket_capacity(self, medium_indexed):
+        capacity = estimate_page_capacity(medium_indexed, page_bytes=4096)
+        # ~12-byte records -> hundreds per 4 KiB page.
+        assert 100 <= capacity <= 1000
+
+    def test_scales_with_page_bytes(self, medium_indexed):
+        small = estimate_page_capacity(medium_indexed, page_bytes=1024)
+        large = estimate_page_capacity(medium_indexed, page_bytes=8192)
+        assert large > small
+
+    def test_minimum_one(self):
+        db = TransactionDatabase([list(range(0, 4000, 2))], universe_size=4000)
+        assert estimate_page_capacity(db, page_bytes=16) == 1
+
+    def test_empty_database(self):
+        db = TransactionDatabase([], universe_size=4)
+        assert estimate_page_capacity(db) == 1
+
+    def test_encoded_sizes_shape(self, small_db):
+        sizes = encoded_sizes(small_db)
+        assert sizes.shape == (len(small_db),)
+        assert int(sizes.min()) >= 1

@@ -1,0 +1,136 @@
+"""Unit tests for the page-based disk model."""
+
+import numpy as np
+import pytest
+
+from repro.storage.pages import DiskModel, IOCounters, PagedStore
+
+
+class TestIOCounters:
+    def test_merge(self):
+        a = IOCounters(1, 2, 3)
+        b = IOCounters(10, 20, 30)
+        a.merge(b)
+        assert (a.transactions_read, a.pages_read, a.seeks) == (11, 22, 33)
+
+    def test_reset(self):
+        counters = IOCounters(1, 2, 3)
+        counters.reset()
+        assert counters == IOCounters()
+
+    def test_copy_is_independent(self):
+        a = IOCounters(1, 2, 3)
+        b = a.copy()
+        b.pages_read = 99
+        assert a.pages_read == 2
+
+
+class TestDiskModel:
+    def test_cost(self):
+        model = DiskModel(seek_ms=10.0, transfer_ms=1.0)
+        counters = IOCounters(transactions_read=0, pages_read=5, seeks=2)
+        assert model.cost_ms(counters) == pytest.approx(25.0)
+
+    def test_sequential_cheaper_than_scattered(self):
+        model = DiskModel()
+        sequential = IOCounters(pages_read=100, seeks=1)
+        scattered = IOCounters(pages_read=100, seeks=100)
+        assert model.cost_ms(sequential) < model.cost_ms(scattered)
+
+
+class TestPagedStoreLayout:
+    def test_natural_order_pages(self):
+        store = PagedStore(10, page_size=4)
+        assert store.num_pages == 3
+        assert store.page_of(0) == 0
+        assert store.page_of(3) == 0
+        assert store.page_of(4) == 1
+        assert store.page_of(9) == 2
+
+    def test_custom_order(self):
+        # tid 3 is stored first, so it lands on page 0.
+        store = PagedStore(4, page_size=2, order=[3, 2, 1, 0])
+        assert store.page_of(3) == 0
+        assert store.page_of(0) == 1
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValueError, match="permutation"):
+            PagedStore(3, order=[0, 0, 2])
+
+    def test_order_length_checked(self):
+        with pytest.raises(ValueError):
+            PagedStore(3, order=[0, 1])
+
+    def test_empty_store(self):
+        store = PagedStore(0)
+        assert store.num_pages == 0
+
+    def test_page_of_out_of_range(self):
+        with pytest.raises(IndexError):
+            PagedStore(3).page_of(3)
+
+    def test_pages_for_dedupes(self):
+        store = PagedStore(10, page_size=5)
+        assert store.pages_for([0, 1, 2, 3]).tolist() == [0]
+        assert store.pages_for([0, 9]).tolist() == [0, 1]
+
+    def test_pages_for_empty(self):
+        assert PagedStore(10).pages_for([]).size == 0
+
+    def test_pages_for_out_of_range(self):
+        with pytest.raises(IndexError):
+            PagedStore(3).pages_for([5])
+
+
+class TestReadAccounting:
+    def test_contiguous_read_is_one_seek(self):
+        store = PagedStore(100, page_size=10)
+        counters = IOCounters()
+        store.read(list(range(35)), counters)  # pages 0..3
+        assert counters.pages_read == 4
+        assert counters.seeks == 1
+        assert counters.transactions_read == 35
+
+    def test_scattered_read_counts_runs(self):
+        store = PagedStore(100, page_size=10)
+        counters = IOCounters()
+        store.read([0, 50, 99], counters)  # pages 0, 5, 9
+        assert counters.pages_read == 3
+        assert counters.seeks == 3
+
+    def test_adjacent_pages_single_run(self):
+        store = PagedStore(100, page_size=10)
+        counters = IOCounters()
+        store.read([5, 15], counters)  # pages 0, 1 — contiguous
+        assert counters.seeks == 1
+
+    def test_read_accumulates(self):
+        store = PagedStore(100, page_size=10)
+        counters = IOCounters()
+        store.read([0], counters)
+        store.read([99], counters)
+        assert counters.pages_read == 2
+        assert counters.seeks == 2
+
+    def test_read_all_sequential(self):
+        store = PagedStore(64, page_size=16)
+        counters = IOCounters()
+        store.read_all_sequential(counters)
+        assert counters.transactions_read == 64
+        assert counters.pages_read == 4
+        assert counters.seeks == 1
+
+    def test_read_all_sequential_empty(self):
+        counters = IOCounters()
+        PagedStore(0).read_all_sequential(counters)
+        assert counters.seeks == 0
+
+    def test_clustered_order_makes_cluster_reads_contiguous(self):
+        """The signature-table property: reading a group that is contiguous
+        in storage order costs one seek even if TIDs are scattered."""
+        order = [5, 9, 1, 0, 2, 3, 4, 6, 7, 8]  # cluster {5, 9, 1} first
+        store = PagedStore(10, page_size=2, order=order)
+        counters = IOCounters()
+        store.read([5, 9, 1], counters)
+        assert counters.seeks == 1
+        assert counters.pages_read == 2

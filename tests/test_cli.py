@@ -1,0 +1,264 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "db.npz"
+    code = main(
+        [
+            "generate",
+            "T8.I4.D400",
+            str(path),
+            "--seed",
+            "5",
+            "--num-items",
+            "120",
+            "--num-patterns",
+            "50",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def table_path(dataset_path, tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "table.npz"
+    code = main(["build", str(dataset_path), str(path), "-K", "8", "--seed", "1"])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_subcommands_present(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ["generate", "stats", "build", "query"]:
+            assert command in text
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestGenerate:
+    def test_npz_output(self, dataset_path, capsys):
+        db = repro.TransactionDatabase.load(dataset_path)
+        assert len(db) == 400
+        assert db.universe_size == 120
+
+    def test_text_output(self, tmp_path):
+        path = tmp_path / "db.txt"
+        code = main(
+            [
+                "generate",
+                "T5.I3.D50",
+                str(path),
+                "--num-items",
+                "40",
+                "--num-patterns",
+                "10",
+            ]
+        )
+        assert code == 0
+        from repro.data.io import read_text
+
+        assert len(read_text(path)) == 50
+
+    def test_bad_spec_exit_code(self, tmp_path, capsys):
+        code = main(["generate", "NOT-A-SPEC", str(tmp_path / "x.npz")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_progress_message(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "T5.I3.D30",
+                str(tmp_path / "y.npz"),
+                "--num-items",
+                "40",
+                "--num-patterns",
+                "10",
+            ]
+        )
+        assert "wrote 30 transactions" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_prints_key_figures(self, dataset_path, capsys):
+        assert main(["stats", str(dataset_path)]) == 0
+        output = capsys.readouterr().out
+        assert "num_transactions" in output
+        assert "density" in output
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.npz")]) == 2
+
+
+class TestBuild:
+    def test_reports_table_shape(self, dataset_path, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        assert main(["build", str(dataset_path), str(out), "-K", "6"]) == 0
+        output = capsys.readouterr().out
+        assert "K=6" in output
+        assert out.exists()
+
+    def test_activation_threshold_flag(self, dataset_path, tmp_path, capsys):
+        out = tmp_path / "t.npz"
+        code = main(
+            ["build", str(dataset_path), str(out), "-K", "6", "-r", "2"]
+        )
+        assert code == 0
+        assert "r=2" in capsys.readouterr().out
+
+
+class TestAdvise:
+    def test_prints_recommendation(self, dataset_path, capsys):
+        assert main(["advise", str(dataset_path)]) == 0
+        output = capsys.readouterr().out
+        assert "K=" in output and "r=" in output
+        assert "repro build" in output
+
+    def test_memory_budget_flag(self, dataset_path, capsys):
+        assert main(["advise", str(dataset_path), "--memory", "1024"]) == 0
+        output = capsys.readouterr().out
+        # 8 * 2^K <= 1024 -> K <= 7.
+        assert "K=7" in output or "K=6" in output or "K=5" in output
+
+
+class TestQuery:
+    def test_knn_output(self, dataset_path, table_path, capsys):
+        code = main(
+            [
+                "query",
+                str(dataset_path),
+                str(table_path),
+                "1",
+                "5",
+                "9",
+                "--similarity",
+                "jaccard",
+                "--k",
+                "3",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "#1" in output
+        assert "jaccard=" in output
+        assert "pruned" in output
+
+    def test_knn_matches_library(self, dataset_path, table_path, capsys):
+        main(
+            [
+                "query",
+                str(dataset_path),
+                str(table_path),
+                "1",
+                "5",
+                "9",
+                "--similarity",
+                "jaccard",
+                "--k",
+                "1",
+            ]
+        )
+        first_line = capsys.readouterr().out.splitlines()[0]
+        db = repro.TransactionDatabase.load(dataset_path)
+        best = repro.LinearScanIndex(db).best_similarity(
+            [1, 5, 9], repro.JaccardSimilarity()
+        )
+        assert f"jaccard={best:.4f}" in first_line
+
+    def test_early_termination_flag(self, dataset_path, table_path, capsys):
+        code = main(
+            [
+                "query",
+                str(dataset_path),
+                str(table_path),
+                "1",
+                "5",
+                "--early-termination",
+                "0.05",
+            ]
+        )
+        assert code == 0
+
+    def test_range_query(self, dataset_path, table_path, capsys):
+        code = main(
+            [
+                "query",
+                str(dataset_path),
+                str(table_path),
+                "1",
+                "5",
+                "9",
+                "--similarity",
+                "jaccard",
+                "--threshold",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        assert "jaccard >= 0.2" in capsys.readouterr().out
+
+    def test_unknown_similarity_rejected(self, dataset_path, table_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    str(dataset_path),
+                    str(table_path),
+                    "1",
+                    "--similarity",
+                    "euclidean",
+                ]
+            )
+
+
+class TestExperiment:
+    def test_fig6_miniature(self, capsys, tmp_path):
+        code = main(
+            [
+                "experiment",
+                "fig6",
+                "--db-sizes",
+                "500",
+                "1000",
+                "--ks",
+                "6",
+                "--queries",
+                "8",
+                "--output",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "Pruning efficiency" in output
+        assert "K=6 prune%" in output
+        assert (tmp_path / "fig6.txt").exists()
+
+    def test_table1_miniature(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "table1",
+                "--db-sizes",
+                "800",
+                "--queries",
+                "6",
+            ]
+        )
+        assert code == 0
+        assert "Inverted index" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])

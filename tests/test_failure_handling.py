@@ -1,0 +1,153 @@
+"""Failure-injection tests: corrupted files, malformed inputs, misuse.
+
+A production library's error paths are part of its contract; these tests
+pin down that failures are *loud and descriptive*, never silent
+corruption.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.signature import SignatureScheme
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase
+
+
+class TestCorruptedFiles:
+    def test_truncated_npz(self, tmp_path, small_db):
+        path = tmp_path / "db.npz"
+        small_db.save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            TransactionDatabase.load(path)
+
+    def test_wrong_file_type(self, tmp_path):
+        path = tmp_path / "db.npz"
+        path.write_text("this is not an npz file")
+        with pytest.raises(Exception):
+            TransactionDatabase.load(path)
+
+    def test_npz_missing_keys(self, tmp_path):
+        path = tmp_path / "db.npz"
+        np.savez_compressed(path, unrelated=np.arange(3))
+        with pytest.raises(KeyError):
+            TransactionDatabase.load(path)
+
+    def test_table_npz_missing_keys(self, tmp_path):
+        path = tmp_path / "table.npz"
+        np.savez_compressed(path, unrelated=np.arange(3))
+        with pytest.raises(KeyError):
+            SignatureTable.load(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TransactionDatabase.load(tmp_path / "nope.npz")
+
+
+class TestMismatchedComponents:
+    def test_searcher_rejects_wrong_database(self, small_table, medium_indexed):
+        with pytest.raises(ValueError):
+            repro.SignatureTableSearcher(small_table, medium_indexed)
+
+    def test_table_verify_catches_swapped_database(
+        self, small_db, small_scheme
+    ):
+        table = SignatureTable.build(small_db, small_scheme)
+        shuffled = small_db.subset(
+            np.roll(np.arange(len(small_db)), 7)
+        )
+        # Same length — only the content check can catch it.
+        with pytest.raises(ValueError):
+            table.verify(shuffled)
+
+    def test_scheme_universe_mismatch(self, small_scheme):
+        big = TransactionDatabase([[0, 5000]], universe_size=6000)
+        with pytest.raises(ValueError):
+            small_scheme.activation_counts_batch(big)
+
+    def test_query_with_out_of_universe_items(self, medium_searcher):
+        with pytest.raises(ValueError, match="universe"):
+            medium_searcher.nearest(
+                [10**9], repro.JaccardSimilarity()
+            )
+
+    def test_query_with_negative_items(self, medium_searcher):
+        with pytest.raises(ValueError, match="non-negative"):
+            medium_searcher.nearest([-3], repro.JaccardSimilarity())
+
+
+class TestDegenerateQueries:
+    def test_empty_target_knn(self, medium_searcher):
+        """An empty target is legal: zero matches everywhere, the NN is the
+        smallest transaction under hamming-style functions."""
+        neighbors, stats = medium_searcher.knn(
+            [], repro.HammingSimilarity(), k=3
+        )
+        assert len(neighbors) == 3
+        assert stats.guaranteed_optimal
+
+    def test_empty_target_matches_scan(self, medium_searcher, medium_scan):
+        sim = repro.HammingSimilarity()
+        neighbor, _ = medium_searcher.nearest([], sim)
+        assert neighbor.similarity == pytest.approx(
+            medium_scan.best_similarity([], sim)
+        )
+
+    def test_target_larger_than_universe_items(self, small_searcher, small_db):
+        target = list(range(small_db.universe_size))
+        neighbor, _ = small_searcher.nearest(target, repro.JaccardSimilarity())
+        assert neighbor is not None
+
+    def test_single_transaction_database(self):
+        db = TransactionDatabase([[0, 1, 2]], universe_size=5)
+        scheme = SignatureScheme([[0, 1], [2, 3, 4]], universe_size=5)
+        searcher = repro.SignatureTableSearcher(
+            SignatureTable.build(db, scheme), db
+        )
+        neighbor, stats = searcher.nearest([0, 1], repro.DiceSimilarity())
+        assert neighbor.tid == 0
+        assert stats.transactions_accessed == 1
+
+    def test_duplicate_heavy_database(self):
+        """Thousands of identical transactions: ties everywhere."""
+        db = TransactionDatabase([[1, 2, 3]] * 500 + [[4]], universe_size=6)
+        scheme = SignatureScheme([[0, 1, 2], [3, 4, 5]], universe_size=6)
+        searcher = repro.SignatureTableSearcher(
+            SignatureTable.build(db, scheme), db
+        )
+        neighbors, _ = searcher.knn([1, 2, 3], repro.JaccardSimilarity(), k=5)
+        assert all(n.similarity == pytest.approx(1.0) for n in neighbors)
+        assert sorted(n.tid for n in neighbors) == [0, 1, 2, 3, 4]
+
+    def test_all_identical_supercoordinates(self):
+        """If every transaction lands in one entry, search degrades to a
+        scan of that entry but stays correct."""
+        db = TransactionDatabase([[0], [0, 1], [1]] * 10, universe_size=2)
+        scheme = SignatureScheme([[0, 1]], universe_size=2)
+        searcher = repro.SignatureTableSearcher(
+            SignatureTable.build(db, scheme), db
+        )
+        neighbor, stats = searcher.nearest([0, 1], repro.JaccardSimilarity())
+        assert neighbor.similarity == pytest.approx(1.0)
+        assert stats.entries_total == 1
+
+
+class TestMisuse:
+    def test_unbound_cosine_loud(self):
+        with pytest.raises(repro.UnboundSimilarityError, match="bind"):
+            repro.CosineSimilarity().evaluate(1, 2)
+
+    def test_invalid_custom_function_loud(self):
+        with pytest.raises(ValueError, match="hamming"):
+            repro.CustomSimilarity(lambda x, y: x * y)
+
+    def test_building_on_scheme_from_other_universe(self, small_db):
+        scheme = SignatureScheme([[0], [1]], universe_size=2)
+        with pytest.raises((ValueError, IndexError)):
+            SignatureTable.build(small_db, scheme)
+
+    def test_generator_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            repro.GeneratorConfig(num_transactions=100, noise_std=-1.0)

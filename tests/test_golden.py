@@ -1,0 +1,109 @@
+"""Golden regression tests: exact values pinned for fixed seeds.
+
+Every component of the library is deterministic given a seed; these tests
+freeze a handful of concrete outputs so that *any* behavioural change —
+generator draw order, partition tie-breaking, bound arithmetic, scan
+order — shows up as a loud failure rather than a silent shift in the
+benchmark numbers.
+
+If you change behaviour intentionally, update the constants and call it
+out in the commit; results/ tables will need regenerating too.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture(scope="module")
+def golden_db():
+    return repro.generate(
+        "T10.I6.D2K", seed=20260707, num_items=500, num_patterns=200
+    )
+
+
+@pytest.fixture(scope="module")
+def golden_index(golden_db):
+    return repro.build_index(golden_db, num_signatures=10, rng=20260707)
+
+
+class TestGeneratorGolden:
+    def test_shape(self, golden_db):
+        assert len(golden_db) == 2000
+        assert golden_db.universe_size == 500
+
+    def test_total_items_pinned(self, golden_db):
+        # Any change to the generator's draw order changes this count.
+        assert golden_db.total_items == 20244
+
+    def test_first_transaction_pinned(self, golden_db):
+        assert sorted(golden_db[0]) == [13, 34, 51, 97, 242, 261, 280, 296, 308, 479, 487]
+
+    def test_supports_checksum(self, golden_db):
+        supports = golden_db.item_supports(relative=False)
+        assert int(supports.sum()) == 20244
+        assert int((supports * np.arange(500)).sum()) == 4936160
+
+
+class TestPartitionGolden:
+    def test_signature_sizes_pinned(self, golden_index):
+        sizes = sorted(len(s) for s in golden_index.scheme.signatures)
+        # The exact size multiset pins the single-linkage behaviour.
+        assert sizes == [12, 14, 22, 30, 31, 41, 45, 60, 111, 134]
+
+    def test_item_assignment_checksum(self, golden_index):
+        mapping = golden_index.scheme.item_signature.astype(np.int64)
+        # Pinned checksums; a change here means the partition moved.
+        assert int(mapping.sum()) == 3238
+        assert int((mapping * np.arange(500)).sum()) == 812323
+
+
+class TestSearchGolden:
+    def test_nearest_pinned(self, golden_db, golden_index):
+        target = sorted(golden_db[123])
+        neighbor, stats = golden_index.nearest(
+            target, repro.MatchRatioSimilarity()
+        )
+        assert neighbor.tid == 123
+        assert neighbor.similarity == pytest.approx(len(target))
+        assert stats.transactions_accessed < len(golden_db)
+
+    def test_knn_values_pinned(self, golden_db, golden_index):
+        target = sorted(golden_db[7])
+        neighbors, _ = golden_index.knn(target, repro.JaccardSimilarity(), k=3)
+        scan = repro.LinearScanIndex(golden_db)
+        x = golden_db.match_counts(target)
+        y = golden_db.sizes + len(target) - 2 * x
+        union = x + y
+        jaccard = np.where(union > 0, x / np.maximum(union, 1), 1.0)
+        expected = np.sort(jaccard)[::-1][:3]
+        assert [n.similarity for n in neighbors] == pytest.approx(
+            expected.tolist()
+        )
+
+    def test_deterministic_across_runs(self, golden_db):
+        a = repro.build_index(golden_db, num_signatures=10, rng=20260707)
+        b = repro.build_index(golden_db, num_signatures=10, rng=20260707)
+        assert a.scheme == b.scheme
+        assert a.table.entry_codes.tolist() == b.table.entry_codes.tolist()
+        target = sorted(golden_db[55])
+        na, _ = a.nearest(target, repro.CosineSimilarity())
+        nb, _ = b.nearest(target, repro.CosineSimilarity())
+        assert (na.tid, na.similarity) == (nb.tid, nb.similarity)
+
+
+class TestConcatenate:
+    def test_round_trip_with_split(self, golden_db):
+        head, tail = golden_db.split(100)
+        merged = repro.TransactionDatabase.concatenate([head, tail])
+        assert merged == golden_db
+
+    def test_universe_mismatch_rejected(self, golden_db):
+        other = repro.TransactionDatabase([[0]], universe_size=3)
+        with pytest.raises(ValueError, match="universe"):
+            repro.TransactionDatabase.concatenate([golden_db, other])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            repro.TransactionDatabase.concatenate([])

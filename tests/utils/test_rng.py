@@ -1,0 +1,69 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=5)
+        b = ensure_rng(42).integers(0, 1_000_000, size=5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=8)
+        b = ensure_rng(2).integers(0, 1_000_000, size=8)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(7)), np.random.Generator)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestDeriveRng:
+    def test_same_seed_same_label_deterministic(self):
+        a = derive_rng(9, "gen").random(4)
+        b = derive_rng(9, "gen").random(4)
+        assert np.array_equal(a, b)
+
+    def test_different_labels_independent(self):
+        a = derive_rng(9, "gen").random(8)
+        b = derive_rng(9, "queries").random(8)
+        assert not np.array_equal(a, b)
+
+    def test_derive_from_generator_spawns(self):
+        parent = np.random.default_rng(0)
+        child = derive_rng(parent, "x")
+        assert isinstance(child, np.random.Generator)
+        assert child is not parent
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_deterministic(self):
+        assert spawn_seeds(3, 4) == spawn_seeds(3, 4)
+
+    def test_distinct(self):
+        seeds = spawn_seeds(1, 16)
+        assert len(set(seeds)) == 16
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []

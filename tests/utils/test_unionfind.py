@@ -1,0 +1,121 @@
+"""Unit tests for the mass-tracking union-find."""
+
+import pytest
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestConstruction:
+    def test_initial_components_are_singletons(self):
+        uf = UnionFind(5)
+        assert uf.num_components() == 5
+        for i in range(5):
+            assert uf.find(i) == i
+            assert uf.size(i) == 1
+
+    def test_default_masses_are_one(self):
+        uf = UnionFind(3)
+        assert uf.mass(0) == 1.0
+
+    def test_custom_masses(self):
+        uf = UnionFind(3, masses=[0.5, 1.5, 2.0])
+        assert uf.mass(1) == 1.5
+
+    def test_len(self):
+        assert len(UnionFind(7)) == 7
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert uf.num_components() == 0
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    def test_mismatched_masses_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(3, masses=[1.0, 2.0])
+
+
+class TestUnion:
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.size(0) == 2
+
+    def test_union_returns_false_when_already_connected(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+
+    def test_union_accumulates_mass(self):
+        uf = UnionFind(3, masses=[1.0, 2.0, 4.0])
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.mass(0) == pytest.approx(7.0)
+
+    def test_transitive_connectivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+        assert not uf.connected(0, 4)
+
+    def test_num_components_after_unions(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        assert uf.num_components() == 3
+
+    def test_chain_union_size(self):
+        uf = UnionFind(10)
+        for i in range(9):
+            uf.union(i, i + 1)
+        assert uf.size(5) == 10
+        assert uf.num_components() == 1
+
+
+class TestRetire:
+    def test_retired_component_rejects_unions(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.retire(0)
+        assert not uf.union(1, 2)
+        assert not uf.connected(1, 2)
+
+    def test_retire_is_per_component(self):
+        uf = UnionFind(4)
+        uf.retire(0)
+        assert uf.is_retired(0)
+        assert not uf.is_retired(1)
+        assert uf.union(1, 2)
+
+    def test_union_between_two_retired_fails(self):
+        uf = UnionFind(2)
+        uf.retire(0)
+        uf.retire(1)
+        assert not uf.union(0, 1)
+
+
+class TestMembersAndComponents:
+    def test_members_returns_whole_component(self):
+        uf = UnionFind(5)
+        uf.union(0, 2)
+        uf.union(2, 4)
+        assert sorted(uf.members(4)) == [0, 2, 4]
+
+    def test_components_cover_all_elements(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(3, 4)
+        all_elements = sorted(e for comp in uf.components() for e in comp)
+        assert all_elements == list(range(6))
+
+    def test_components_filtered(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        comps = list(uf.components(of=[0]))
+        assert len(comps) == 1
+        assert sorted(comps[0]) == [0, 1]

@@ -1,0 +1,77 @@
+"""Unit tests for input-validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_accepts_matching_type(self):
+        assert check_type(3, int, "x") == 3
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(3.5, (int, float), "x") == 3.5
+
+    def test_rejects_wrong_type(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("3", int, "x")
+
+    def test_error_names_alternatives(self):
+        with pytest.raises(TypeError, match="int or float"):
+            check_type("3", (int, float), "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2, "n") == 2
+
+    def test_rejects_zero_when_strict(self):
+        with pytest.raises(ValueError):
+            check_positive(0, "n")
+
+    def test_accepts_zero_when_not_strict(self):
+        assert check_positive(0, "n", strict=False) == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1, "n", strict=False)
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_positive("1", "n")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError):
+            check_probability(value, "p")
+
+    def test_rejects_non_number(self):
+        with pytest.raises(TypeError):
+            check_probability(None, "p")
+
+
+class TestCheckFraction:
+    def test_accepts_half(self):
+        assert check_fraction(0.5, "f") == 0.5
+
+    def test_accepts_one(self):
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction(0.0, "f")
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "f")
