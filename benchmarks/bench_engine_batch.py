@@ -1,0 +1,97 @@
+"""Batched engine throughput vs the sequential per-query loop.
+
+Runs a batch of k-NN queries through :class:`~repro.core.engine.QueryEngine`
+and compares queries/sec against calling
+:meth:`SignatureTableSearcher.knn` once per query, verifying in the same
+run that both return byte-identical neighbour lists and
+:class:`~repro.core.search.SearchStats`.  The acceptance bar is >= 2x on a
+T10.I6.D25K batch of 64 queries.
+
+Runs two ways:
+
+* under pytest with the shared benchmark fixtures
+  (``pytest benchmarks/bench_engine_batch.py``);
+* as a standalone script — ``python benchmarks/bench_engine_batch.py``
+  (full scale) or ``--quick`` (the CI smoke mode: a small dataset, no
+  speedup assertion, seconds of runtime).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (probe: is the package importable?)
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.similarity import MatchRatioSimilarity
+from repro.eval.harness import ExperimentContext, run_batch_throughput
+
+FULL_SPEC = "T10.I6.D25K"
+FULL_BATCH = 64
+QUICK_SPEC = "T5.I3.D2K"
+QUICK_BATCH = 16
+REQUIRED_SPEEDUP = 2.0
+
+
+def run(quick: bool = False):
+    """Execute the benchmark; returns ``(table, identical, best_speedup)``."""
+    if quick:
+        ctx = ExperimentContext("quick", num_queries=QUICK_BATCH)
+        spec, workers_list, repeats = QUICK_SPEC, (1, 2), 1
+    else:
+        ctx = ExperimentContext("quick", num_queries=FULL_BATCH)
+        spec, workers_list, repeats = FULL_SPEC, (1, 4), 2
+    table = run_batch_throughput(
+        MatchRatioSimilarity(),
+        ctx,
+        spec=spec,
+        k=10,
+        workers_list=workers_list,
+        repeats=repeats,
+    )
+    batched = [row for row in table.rows if row["mode"] != "sequential"]
+    identical = all(row["identical"] == "yes" for row in batched)
+    best_speedup = max(float(row["speedup"]) for row in batched)
+    return table, identical, best_speedup
+
+
+def test_engine_batch_throughput(emit):
+    table, identical, best_speedup = run(quick=False)
+    emit(table, "engine_batch")
+    assert identical, "batched results diverged from the sequential loop"
+    assert best_speedup >= REQUIRED_SPEEDUP, (
+        f"batched engine reached only {best_speedup:.2f}x "
+        f"(need >= {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke run (CI): verifies identity, skips the speedup bar",
+    )
+    args = parser.parse_args(argv)
+    table, identical, best_speedup = run(quick=args.quick)
+    print(table.to_text())
+    if not identical:
+        print("FAIL: batched results diverged from the sequential loop")
+        return 1
+    if not args.quick and best_speedup < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: best speedup {best_speedup:.2f}x is below the "
+            f"{REQUIRED_SPEEDUP}x bar"
+        )
+        return 1
+    mode = "quick smoke" if args.quick else "full"
+    print(
+        f"PASS ({mode}): identical results, best speedup {best_speedup:.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

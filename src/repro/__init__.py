@@ -29,6 +29,8 @@ from repro.baselines import (
     MinHashLSHIndex,
 )
 from repro.core import (
+    BatchBoundCalculator,
+    BatchSummary,
     BoundCalculator,
     ContainmentSimilarity,
     CosineSimilarity,
@@ -42,8 +44,11 @@ from repro.core import (
     MatchRatioSimilarity,
     Neighbor,
     PartitioningError,
+    PreparedQuery,
+    QueryEngine,
     QueryPlan,
     SearchStats,
+    ShardedQueryEngine,
     SignatureScheme,
     SignatureTable,
     ShardedSignatureIndex,
@@ -62,6 +67,7 @@ from repro.core import (
     random_partition,
     single_linkage_partition,
     suggest_parameters,
+    summarise_stats,
     verify_monotonicity,
 )
 from repro.core.builder import MarketBasketIndex
@@ -133,8 +139,14 @@ __all__ = [
     "max_k_for_memory",
     "Neighbor",
     "QueryPlan",
+    "PreparedQuery",
     "SearchStats",
+    "QueryEngine",
+    "ShardedQueryEngine",
+    "BatchSummary",
+    "summarise_stats",
     "BoundCalculator",
+    "BatchBoundCalculator",
     "partition_items",
     "correlation_graph",
     "single_linkage_partition",

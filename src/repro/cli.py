@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Four subcommands cover the full life cycle without writing Python:
+The subcommands cover the full life cycle without writing Python:
 
 * ``repro generate`` — synthesise a ``T·.I·.D·`` dataset to ``.npz`` (or
   FIMI text).
@@ -9,6 +9,9 @@ Four subcommands cover the full life cycle without writing Python:
   ``.npz``.
 * ``repro query`` — run nearest-neighbour / k-NN / range queries against
   a saved table with any built-in similarity function.
+* ``repro query-batch`` — run a whole file of queries through the batched
+  :class:`~repro.core.engine.QueryEngine`, optionally across worker
+  processes.
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -142,6 +145,74 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_queries(path: str) -> List[List[int]]:
+    """Read one query transaction per line (space-separated item ids)."""
+    if path == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    queries = [
+        [int(token) for token in line.split()]
+        for line in lines
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not queries:
+        raise ValueError(f"no queries found in {path!r}")
+    return queries
+
+
+def _cmd_query_batch(args: argparse.Namespace) -> int:
+    from repro.core.engine import QueryEngine, summarise_stats
+
+    db = _load_database(args.database)
+    table = SignatureTable.load(args.table)
+    engine = QueryEngine.for_table(table, db, workers=args.workers)
+    similarity = get_similarity(args.similarity)
+    queries = _read_queries(args.queries)
+
+    started = time.perf_counter()
+    if args.threshold is not None:
+        results, stats = engine.range_query_batch(
+            queries, similarity, args.threshold
+        )
+    else:
+        results, stats = engine.knn_batch(
+            queries,
+            similarity,
+            k=args.k,
+            early_termination=args.early_termination,
+        )
+    elapsed = time.perf_counter() - started
+
+    for index, neighbors in enumerate(results):
+        if neighbors:
+            shown = " ".join(
+                f"{nb.tid}:{nb.similarity:.4f}" for nb in neighbors[: args.k]
+            )
+        else:
+            shown = "(no match)"
+        print(f"query {index:<4d} {shown}")
+    summary = summarise_stats(stats)
+    print(
+        f"-- {summary.num_queries} queries in {elapsed:.2f}s "
+        f"({summary.num_queries / elapsed:.1f} queries/sec, "
+        f"workers={args.workers})"
+    )
+    print(
+        f"-- accessed {summary.transactions_accessed} transactions "
+        f"(mean pruned {summary.mean_pruning_efficiency:.1f}%), "
+        f"{summary.io.pages_read} pages, {summary.io.seeks} seeks"
+    )
+    if summary.terminated_early:
+        optimal = "yes" if summary.guaranteed_optimal else "no"
+        print(
+            f"-- {summary.terminated_early} queries terminated early "
+            f"(all provably optimal: {optimal})"
+        )
+    return 0
+
+
 _EXPERIMENTS = {
     "fig6": ("pruning", "hamming"),
     "fig7": ("termination", "hamming"),
@@ -271,6 +342,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a range query with this similarity threshold instead of k-NN",
     )
     p_query.set_defaults(func=_cmd_query)
+
+    p_batch = subparsers.add_parser(
+        "query-batch",
+        help="run a file of queries through the batched engine",
+    )
+    p_batch.add_argument("database", help="dataset path (.npz or .txt)")
+    p_batch.add_argument("table", help="signature-table path (.npz)")
+    p_batch.add_argument(
+        "queries",
+        help="query file: one transaction per line as space-separated item "
+        "ids ('-' reads stdin; '#' lines are comments)",
+    )
+    p_batch.add_argument(
+        "--similarity",
+        "-s",
+        default="match_ratio",
+        choices=sorted(SIMILARITY_FUNCTIONS),
+    )
+    p_batch.add_argument("--k", type=int, default=5)
+    p_batch.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        help="worker processes for batch execution (default 1)",
+    )
+    p_batch.add_argument(
+        "--early-termination",
+        type=float,
+        default=None,
+        help="stop each query after this fraction of the data (e.g. 0.02)",
+    )
+    p_batch.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="run range queries with this similarity threshold instead of k-NN",
+    )
+    p_batch.set_defaults(func=_cmd_query_batch)
 
     p_experiment = subparsers.add_parser(
         "experiment",

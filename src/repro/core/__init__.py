@@ -16,11 +16,24 @@ Sub-modules follow the paper's structure:
   (Sections 4, 4.2, 4.3).
 * :mod:`repro.core.builder` — one-call pipeline from a database to a ready
   searcher.
+* :mod:`repro.core.engine` — batched multi-core query execution (an
+  engineering extension; exact by construction and by differential test).
 """
 
 from repro.core.advisor import IndexAdvice, max_k_for_memory, suggest_parameters
-from repro.core.bounds import BoundCalculator, optimistic_distance, optimistic_matches
+from repro.core.bounds import (
+    BatchBoundCalculator,
+    BoundCalculator,
+    optimistic_distance,
+    optimistic_matches,
+)
 from repro.core.builder import IndexBuildReport, build_index
+from repro.core.engine import (
+    BatchSummary,
+    QueryEngine,
+    ShardedQueryEngine,
+    summarise_stats,
+)
 from repro.core.partitioning import (
     PartitioningError,
     balanced_support_partition,
@@ -31,6 +44,7 @@ from repro.core.partitioning import (
 )
 from repro.core.search import (
     Neighbor,
+    PreparedQuery,
     QueryPlan,
     SearchStats,
     SignatureTableSearcher,
@@ -78,8 +92,14 @@ __all__ = [
     "ShardedSignatureIndex",
     "Neighbor",
     "QueryPlan",
+    "PreparedQuery",
     "SearchStats",
+    "QueryEngine",
+    "ShardedQueryEngine",
+    "BatchSummary",
+    "summarise_stats",
     "BoundCalculator",
+    "BatchBoundCalculator",
     "optimistic_matches",
     "optimistic_distance",
     "correlation_graph",

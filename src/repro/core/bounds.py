@@ -25,7 +25,7 @@ products, since ``bound(e) = Σ_j base_j + b_ej · (alt_j - base_j)``.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
@@ -129,4 +129,88 @@ class BoundCalculator:
         m_opt, d_opt = self.bounds(bits_matrix)
         return np.asarray(
             bound_similarity.evaluate(m_opt, d_opt), dtype=np.float64
+        )
+
+
+class BatchBoundCalculator:
+    """Optimistic bounds for a *batch* of targets in one pass.
+
+    Where :class:`BoundCalculator` reduces one query's bounds to two
+    matrix-vector products, this stacks the per-query contribution vectors
+    into ``(Q, K)`` matrices so the bounds for the whole batch become two
+    ``(Q, K) @ (K, E)`` products yielding ``(num_queries, num_entries)``
+    matrices — the amortised bound pass of the batched query engine.
+
+    Every intermediate quantity is an integer-valued float (sums of
+    activation counts), so batch results are *bit-identical* to running
+    :class:`BoundCalculator` per query: float addition of integers below
+    2**53 is exact in any summation order.
+
+    Parameters
+    ----------
+    scheme:
+        The signature scheme shared by all queries.
+    targets:
+        One item array per query (already normalised, e.g. via
+        :func:`~repro.data.transaction.as_item_array`).
+    """
+
+    def __init__(
+        self, scheme: SignatureScheme, targets: Sequence[Iterable[int]]
+    ) -> None:
+        if len(targets) == 0:
+            raise ValueError("targets must be non-empty")
+        self._scheme = scheme
+        r = scheme.activation_threshold
+        counts = np.stack(
+            [scheme.activation_counts(t) for t in targets]
+        ).astype(np.float64)
+        self._r_matrix = counts
+        self._dist_base = np.maximum(0.0, counts - r + 1)
+        dist_active = np.maximum(0.0, r - counts)
+        self._dist_delta = dist_active - self._dist_base
+        self._dist_base_sum = self._dist_base.sum(axis=1)
+        self._match_base = np.minimum(float(r - 1), counts)
+        self._match_delta = counts - self._match_base
+        self._match_base_sum = self._match_base.sum(axis=1)
+
+    @property
+    def num_queries(self) -> int:
+        """Number of targets in the batch."""
+        return int(self._r_matrix.shape[0])
+
+    @property
+    def activation_counts(self) -> np.ndarray:
+        """The ``(Q, K)`` matrix of per-query activation counts."""
+        return self._r_matrix.astype(np.int64)
+
+    def bounds(self, bits_matrix: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return ``(M_opt, D_opt)`` as ``(Q, E)`` matrices."""
+        bits = np.asarray(bits_matrix, dtype=np.float64)
+        m_opt = self._match_base_sum[:, None] + self._match_delta @ bits.T
+        d_opt = self._dist_base_sum[:, None] + self._dist_delta @ bits.T
+        return m_opt, d_opt
+
+    def optimistic_similarity(
+        self,
+        bits_matrix: np.ndarray,
+        bound_similarities: Sequence[SimilarityFunction],
+    ) -> np.ndarray:
+        """``f_q(M_opt, D_opt)`` as a ``(Q, E)`` matrix.
+
+        ``bound_similarities`` holds one target-bound function per query
+        (queries of different sizes bind differently, so the evaluation is
+        applied row by row).
+        """
+        if len(bound_similarities) != self.num_queries:
+            raise ValueError(
+                f"expected {self.num_queries} bound similarities, "
+                f"got {len(bound_similarities)}"
+            )
+        m_opt, d_opt = self.bounds(bits_matrix)
+        return np.stack(
+            [
+                np.asarray(sim.evaluate(m_opt[q], d_opt[q]), dtype=np.float64)
+                for q, sim in enumerate(bound_similarities)
+            ]
         )

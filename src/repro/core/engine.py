@@ -1,0 +1,574 @@
+"""Batched multi-core query engine over the signature table.
+
+The paper evaluates the branch-and-bound search one query at a time; a
+production service amortises per-query work over query *batches* (the
+standard move in set-similarity indexes, cf. "Subsets and Supermajorities"
+and set-similarity joins).  :class:`QueryEngine` executes a batch with
+
+1. **one vectorised optimistic-bound pass** for the whole batch —
+   :class:`~repro.core.bounds.BatchBoundCalculator` turns the per-query
+   bound computation into two ``(Q, K) @ (K, E)`` matrix products and the
+   per-query ``argsort`` into a single ``axis=1`` sort;
+2. **one batched similarity precomputation** —
+   :meth:`~repro.data.transaction.TransactionDatabase.match_counts_batch`
+   walks each distinct item's posting list once per batch instead of once
+   per query; and
+3. **shared per-entry transaction reads** — give the engine a
+   :class:`~repro.storage.buffer.BufferPool` and a page fetched for one
+   query in the batch is resident (a free hit) for every later query that
+   scans an overlapping entry.
+
+The scan loop itself is *not* re-implemented: the engine injects the
+precomputed state into :meth:`SignatureTableSearcher.knn` /
+:meth:`SignatureTableSearcher.multi_range_query` through
+:class:`~repro.core.search.PreparedQuery`, so every measured quantity
+(results, entries scanned/pruned, transactions accessed, pages read) is
+identical to the single-query searcher by construction.  All batch-side
+arithmetic is integer-exact (see ``BatchBoundCalculator``), so this is a
+bit-for-bit guarantee, pinned down by the differential test suite.
+
+``workers=N`` additionally shards the batch across ``N`` forked processes
+(queries are independent, so any sharding returns identical results).  On
+platforms without ``fork`` the engine silently degrades to sequential
+execution.  When a buffer pool is attached, each worker operates on its
+own copy-on-write clone of the pool, so per-query I/O counters under
+``workers > 1`` reflect per-worker (not whole-batch) sharing.
+
+:class:`ShardedQueryEngine` composes the same batching with
+:class:`~repro.core.sharded.ShardedSignatureIndex` for data-parallel
+shards: each shard executes the whole batch (optionally one shard per
+worker) and the per-query scatter-gather merge matches the sharded
+index's single-query semantics exactly.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.bounds import BatchBoundCalculator
+from repro.core.search import (
+    Neighbor,
+    PreparedQuery,
+    SearchStats,
+    SignatureTableSearcher,
+)
+from repro.core.sharded import ShardedSignatureIndex
+from repro.core.similarity import SimilarityFunction
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.storage.buffer import BufferPool
+from repro.storage.pages import IOCounters
+from repro.utils.validation import check_positive
+
+_SORT_MODES = ("optimistic", "supercoordinate")
+
+#: Fork-inherited payload for worker processes.  Set immediately before the
+#: pool forks and cleared right after; workers read it instead of having
+#: the engine (tables, databases, similarity closures) pickled per task.
+_FORK_PAYLOAD: Optional[tuple] = None
+
+
+def _run_target_chunk(bounds: Tuple[int, int]):
+    """Worker: execute one contiguous slice of the batch sequentially."""
+    assert _FORK_PAYLOAD is not None
+    engine, method, targets, kwargs = _FORK_PAYLOAD
+    start, stop = bounds
+    return getattr(engine, method)(targets[start:stop], **kwargs)
+
+
+def _run_shard_batch(shard_index: int):
+    """Worker: execute the whole batch against one shard's engine."""
+    assert _FORK_PAYLOAD is not None
+    engines, method, targets, kwargs = _FORK_PAYLOAD
+    return getattr(engines[shard_index], method)(targets, **kwargs)
+
+
+def _fork_map(payload: tuple, worker, tasks: Sequence) -> List:
+    """Run ``worker`` over ``tasks`` in forked processes sharing ``payload``."""
+    global _FORK_PAYLOAD
+    context = multiprocessing.get_context("fork")
+    _FORK_PAYLOAD = payload
+    try:
+        with context.Pool(processes=len(tasks)) as pool:
+            return pool.map(worker, tasks)
+    finally:
+        _FORK_PAYLOAD = None
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _chunk_bounds(num_items: int, num_chunks: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-even, non-empty (start, stop) slices of the batch."""
+    edges = np.linspace(0, num_items, num_chunks + 1).astype(np.int64)
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(num_chunks)
+        if edges[i] < edges[i + 1]
+    ]
+
+
+@dataclass(frozen=True)
+class BatchSummary:
+    """Aggregate view of a batch's per-query :class:`SearchStats`.
+
+    ``mean_pruning_efficiency`` and ``mean_entries_scanned`` are the
+    per-query averages the reports quote; the totals (and the merged
+    ``io``) describe the whole batch.
+    """
+
+    num_queries: int
+    total_transactions: int = 0
+    transactions_accessed: int = 0
+    entries_scanned: int = 0
+    entries_pruned: int = 0
+    terminated_early: int = 0
+    guaranteed_optimal: bool = True
+    mean_pruning_efficiency: float = 0.0
+    mean_entries_scanned: float = 0.0
+    io: IOCounters = field(default_factory=IOCounters)
+
+
+def summarise_stats(stats: Sequence[SearchStats]) -> BatchSummary:
+    """Fold per-query stats into one :class:`BatchSummary`."""
+    if not stats:
+        return BatchSummary(num_queries=0)
+    io = IOCounters()
+    for entry in stats:
+        io.merge(entry.io)
+    return BatchSummary(
+        num_queries=len(stats),
+        total_transactions=stats[0].total_transactions,
+        transactions_accessed=sum(s.transactions_accessed for s in stats),
+        entries_scanned=sum(s.entries_scanned for s in stats),
+        entries_pruned=sum(s.entries_pruned for s in stats),
+        terminated_early=sum(1 for s in stats if s.terminated_early),
+        guaranteed_optimal=all(s.guaranteed_optimal for s in stats),
+        mean_pruning_efficiency=float(
+            np.mean([s.pruning_efficiency for s in stats])
+        ),
+        mean_entries_scanned=float(np.mean([s.entries_scanned for s in stats])),
+        io=io,
+    )
+
+
+class QueryEngine:
+    """Batched execution of similarity queries over one signature table.
+
+    Parameters
+    ----------
+    searcher:
+        The single-query searcher to amortise over batches.  Its options
+        (``precompute``, ``count_io``, ``buffer_pool``) carry over: give it
+        a :class:`~repro.storage.buffer.BufferPool` to share page reads
+        across the queries of a batch.
+    workers:
+        Default process count for batch execution.  ``1`` (default) runs
+        in-process; ``N > 1`` forks ``N`` workers, each executing a
+        contiguous slice of the batch.  Per-call ``workers=`` overrides.
+
+    All batch methods return ``(results, stats)`` lists indexed by query
+    position, with each element exactly equal to the corresponding
+    single-query call on ``searcher``.
+    """
+
+    def __init__(
+        self, searcher: SignatureTableSearcher, workers: int = 1
+    ) -> None:
+        check_positive(workers, "workers")
+        self._searcher = searcher
+        self._workers = int(workers)
+
+    @classmethod
+    def for_table(
+        cls,
+        table: SignatureTable,
+        db: TransactionDatabase,
+        workers: int = 1,
+        precompute: bool = True,
+        count_io: bool = True,
+        buffer_pool: Optional[BufferPool] = None,
+    ) -> "QueryEngine":
+        """Build an engine (and its internal searcher) in one call."""
+        searcher = SignatureTableSearcher(
+            table,
+            db,
+            precompute=precompute,
+            count_io=count_io,
+            buffer_pool=buffer_pool,
+        )
+        return cls(searcher, workers=workers)
+
+    # ------------------------------------------------------------------
+    @property
+    def searcher(self) -> SignatureTableSearcher:
+        """The wrapped single-query searcher."""
+        return self._searcher
+
+    @property
+    def workers(self) -> int:
+        """The default worker count for batch execution."""
+        return self._workers
+
+    # ------------------------------------------------------------------
+    # Public batch queries
+    # ------------------------------------------------------------------
+    def knn_batch(
+        self,
+        targets: Sequence[Iterable[int]],
+        similarity: SimilarityFunction,
+        k: int = 1,
+        early_termination: Optional[float] = None,
+        guarantee_tolerance: Optional[float] = None,
+        sort_by: str = "optimistic",
+        workers: Optional[int] = None,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        """k-NN for every target in the batch.
+
+        Semantics per query are exactly those of
+        :meth:`SignatureTableSearcher.knn` (including early termination and
+        the a-posteriori guarantee); only the preparation is amortised.
+        """
+        check_positive(k, "k")
+        target_arrays = self._normalise(targets)
+        kwargs = dict(
+            similarity=similarity,
+            k=k,
+            early_termination=early_termination,
+            guarantee_tolerance=guarantee_tolerance,
+            sort_by=sort_by,
+        )
+        return self._dispatch("_knn_chunk", target_arrays, kwargs, workers)
+
+    def nearest_batch(
+        self,
+        targets: Sequence[Iterable[int]],
+        similarity: SimilarityFunction,
+        early_termination: Optional[float] = None,
+        guarantee_tolerance: Optional[float] = None,
+        sort_by: str = "optimistic",
+        workers: Optional[int] = None,
+    ) -> Tuple[List[Optional[Neighbor]], List[SearchStats]]:
+        """Single nearest neighbour for every target in the batch."""
+        lists, stats = self.knn_batch(
+            targets,
+            similarity,
+            k=1,
+            early_termination=early_termination,
+            guarantee_tolerance=guarantee_tolerance,
+            sort_by=sort_by,
+            workers=workers,
+        )
+        return [(hits[0] if hits else None) for hits in lists], stats
+
+    def range_query_batch(
+        self,
+        targets: Sequence[Iterable[int]],
+        similarity: SimilarityFunction,
+        threshold: float,
+        workers: Optional[int] = None,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        """Range query (similarity >= threshold) for every target."""
+        target_arrays = self._normalise(targets)
+        kwargs = dict(similarity=similarity, threshold=float(threshold))
+        return self._dispatch("_range_chunk", target_arrays, kwargs, workers)
+
+    # ------------------------------------------------------------------
+    # Batch preparation
+    # ------------------------------------------------------------------
+    def _normalise(
+        self, targets: Sequence[Iterable[int]]
+    ) -> List[np.ndarray]:
+        universe = self._searcher.db.universe_size
+        return [as_item_array(t, universe) for t in targets]
+
+    def _batch_similarities(
+        self,
+        target_arrays: Sequence[np.ndarray],
+        bound_sims: Sequence[SimilarityFunction],
+    ) -> List[Optional[np.ndarray]]:
+        """Whole-database similarities per query, or Nones when the
+        searcher runs in the per-transaction reference mode."""
+        if not self._searcher.precompute:
+            return [None] * len(target_arrays)
+        db = self._searcher.db
+        matches = db.match_counts_batch(target_arrays)
+        sims: List[Optional[np.ndarray]] = []
+        for q, (items, bound_sim) in enumerate(zip(target_arrays, bound_sims)):
+            y = db.sizes + items.size - 2 * matches[q]
+            sims.append(
+                np.asarray(bound_sim.evaluate(matches[q], y), dtype=np.float64)
+            )
+        return sims
+
+    def _prepare_batch(
+        self,
+        target_arrays: Sequence[np.ndarray],
+        similarity: SimilarityFunction,
+        sort_by: Optional[str],
+    ) -> List[PreparedQuery]:
+        """The amortised bound pass: one ``(Q, E)`` matrix for the batch.
+
+        ``sort_by=None`` skips the ordering (range queries scan in entry
+        order).
+        """
+        if sort_by is not None and sort_by not in _SORT_MODES:
+            raise ValueError(
+                f"sort_by must be one of {_SORT_MODES}, got {sort_by!r}"
+            )
+        searcher = self._searcher
+        scheme = searcher.table.scheme
+        bits = searcher.table.bits_matrix
+        bound_sims = [similarity.bind(t.size) for t in target_arrays]
+        calculator = BatchBoundCalculator(scheme, target_arrays)
+        opts = calculator.optimistic_similarity(bits, bound_sims)
+        orders: List[Optional[np.ndarray]]
+        if sort_by == "optimistic":
+            order_matrix = np.argsort(-opts, axis=1, kind="stable")
+            orders = [order_matrix[q] for q in range(len(target_arrays))]
+        elif sort_by == "supercoordinate":
+            threshold = scheme.activation_threshold
+            bit_rows = calculator.activation_counts >= threshold
+            orders = []
+            for q in range(len(target_arrays)):
+                target_bits = bit_rows[q]
+                matches = (bits & target_bits[None, :]).sum(axis=1)
+                hamming = (bits ^ target_bits[None, :]).sum(axis=1)
+                coordinate_sim = similarity.bind(int(target_bits.sum()) or 1)
+                keys = np.asarray(
+                    coordinate_sim.evaluate(matches, hamming), dtype=np.float64
+                )
+                orders.append(np.argsort(-keys, kind="stable"))
+        else:
+            orders = [None] * len(target_arrays)
+        sims = self._batch_similarities(target_arrays, bound_sims)
+        # One (tids, pages) cache for the whole batch: entry contents are
+        # query-independent, so each entry is resolved at most once.
+        entry_reads: dict = {}
+        return [
+            PreparedQuery(
+                target_items=target_arrays[q],
+                bound_sim=bound_sims[q],
+                opts=opts[q],
+                order=orders[q],
+                sims_all=sims[q],
+                entry_reads=entry_reads,
+            )
+            for q in range(len(target_arrays))
+        ]
+
+    # ------------------------------------------------------------------
+    # Chunk execution (runs in-process or inside a forked worker)
+    # ------------------------------------------------------------------
+    def _knn_chunk(
+        self,
+        target_arrays: Sequence[np.ndarray],
+        similarity: SimilarityFunction,
+        k: int,
+        early_termination: Optional[float],
+        guarantee_tolerance: Optional[float],
+        sort_by: str,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        prepared = self._prepare_batch(target_arrays, similarity, sort_by)
+        results: List[List[Neighbor]] = []
+        stats: List[SearchStats] = []
+        for items, prep in zip(target_arrays, prepared):
+            neighbors, query_stats = self._searcher.knn(
+                items,
+                similarity,
+                k=k,
+                early_termination=early_termination,
+                guarantee_tolerance=guarantee_tolerance,
+                sort_by=sort_by,
+                prepared=prep,
+            )
+            results.append(neighbors)
+            stats.append(query_stats)
+        return results, stats
+
+    def _range_chunk(
+        self,
+        target_arrays: Sequence[np.ndarray],
+        similarity: SimilarityFunction,
+        threshold: float,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        prepared = self._prepare_batch(target_arrays, similarity, None)
+        results: List[List[Neighbor]] = []
+        stats: List[SearchStats] = []
+        for items, prep in zip(target_arrays, prepared):
+            hits, query_stats = self._searcher.multi_range_query(
+                items, [(similarity, threshold)], prepared=[prep]
+            )
+            results.append(hits)
+            stats.append(query_stats)
+        return results, stats
+
+    # ------------------------------------------------------------------
+    # Worker fan-out
+    # ------------------------------------------------------------------
+    def _resolve_workers(self, workers: Optional[int], batch_size: int) -> int:
+        count = self._workers if workers is None else int(workers)
+        check_positive(count, "workers")
+        if batch_size <= 1 or not _fork_available():
+            return 1
+        return min(count, batch_size)
+
+    def _dispatch(
+        self,
+        method: str,
+        target_arrays: List[np.ndarray],
+        kwargs: dict,
+        workers: Optional[int],
+    ) -> Tuple[List, List[SearchStats]]:
+        if not target_arrays:
+            return [], []
+        count = self._resolve_workers(workers, len(target_arrays))
+        if count <= 1:
+            return getattr(self, method)(target_arrays, **kwargs)
+        chunks = _chunk_bounds(len(target_arrays), count)
+        parts = _fork_map(
+            (self, method, target_arrays, kwargs), _run_target_chunk, chunks
+        )
+        results: List = []
+        stats: List[SearchStats] = []
+        for chunk_results, chunk_stats in parts:
+            results.extend(chunk_results)
+            stats.extend(chunk_stats)
+        return results, stats
+
+
+class ShardedQueryEngine:
+    """Batched, data-parallel execution over a sharded signature index.
+
+    Each shard runs the whole batch through its own :class:`QueryEngine`
+    (amortised bound pass per shard); with ``workers > 1`` the shards
+    execute in parallel forked processes.  Per-query merge semantics are
+    exactly those of :class:`~repro.core.sharded.ShardedSignatureIndex`,
+    so results agree with the sharded index's single-query methods.
+    """
+
+    def __init__(
+        self, index: ShardedSignatureIndex, workers: int = 1
+    ) -> None:
+        check_positive(workers, "workers")
+        self._index = index
+        self._engines = [
+            QueryEngine(searcher) for searcher in index.searchers
+        ]
+        self._workers = int(workers)
+
+    @property
+    def index(self) -> ShardedSignatureIndex:
+        """The wrapped sharded index."""
+        return self._index
+
+    @property
+    def workers(self) -> int:
+        """The default worker count (parallelism is across shards)."""
+        return self._workers
+
+    # ------------------------------------------------------------------
+    def _normalise(
+        self, targets: Sequence[Iterable[int]]
+    ) -> List[np.ndarray]:
+        universe = self._index.scheme.universe_size
+        return [as_item_array(t, universe) for t in targets]
+
+    def _per_shard(
+        self,
+        method: str,
+        target_arrays: List[np.ndarray],
+        kwargs: dict,
+        workers: Optional[int],
+    ) -> List[Tuple[List, List[SearchStats]]]:
+        count = self._workers if workers is None else int(workers)
+        check_positive(count, "workers")
+        count = min(count, len(self._engines))
+        if count <= 1 or len(self._engines) <= 1 or not _fork_available():
+            return [
+                getattr(engine, method)(target_arrays, **kwargs)
+                for engine in self._engines
+            ]
+        return _fork_map(
+            (self._engines, method, target_arrays, kwargs),
+            _run_shard_batch,
+            list(range(len(self._engines))),
+        )
+
+    def knn_batch(
+        self,
+        targets: Sequence[Iterable[int]],
+        similarity: SimilarityFunction,
+        k: int = 1,
+        early_termination: Optional[float] = None,
+        sort_by: str = "optimistic",
+        workers: Optional[int] = None,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        """Exact k-NN for every target, scatter-gathered over all shards."""
+        check_positive(k, "k")
+        target_arrays = self._normalise(targets)
+        if not target_arrays:
+            return [], []
+        kwargs = dict(
+            similarity=similarity,
+            k=k,
+            early_termination=early_termination,
+            guarantee_tolerance=None,
+            sort_by=sort_by,
+        )
+        per_shard = self._per_shard("_knn_chunk", target_arrays, kwargs, workers)
+        offsets = self._index.shard_offsets
+        results: List[List[Neighbor]] = []
+        stats: List[SearchStats] = []
+        for q in range(len(target_arrays)):
+            merged: List[Neighbor] = []
+            partials: List[SearchStats] = []
+            for shard, (shard_results, shard_stats) in enumerate(per_shard):
+                offset = int(offsets[shard])
+                merged.extend(
+                    Neighbor(tid=nb.tid + offset, similarity=nb.similarity)
+                    for nb in shard_results[q]
+                )
+                partials.append(shard_stats[q])
+            merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
+            results.append(merged[:k])
+            stats.append(self._index.merge_stats(partials))
+        return results, stats
+
+    def range_query_batch(
+        self,
+        targets: Sequence[Iterable[int]],
+        similarity: SimilarityFunction,
+        threshold: float,
+        workers: Optional[int] = None,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        """Exact range query for every target over all shards."""
+        target_arrays = self._normalise(targets)
+        if not target_arrays:
+            return [], []
+        kwargs = dict(similarity=similarity, threshold=float(threshold))
+        per_shard = self._per_shard(
+            "_range_chunk", target_arrays, kwargs, workers
+        )
+        offsets = self._index.shard_offsets
+        results: List[List[Neighbor]] = []
+        stats: List[SearchStats] = []
+        for q in range(len(target_arrays)):
+            merged: List[Neighbor] = []
+            partials: List[SearchStats] = []
+            for shard, (shard_results, shard_stats) in enumerate(per_shard):
+                offset = int(offsets[shard])
+                merged.extend(
+                    Neighbor(tid=nb.tid + offset, similarity=nb.similarity)
+                    for nb in shard_results[q]
+                )
+                partials.append(shard_stats[q])
+            merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
+            results.append(merged)
+            stats.append(self._index.merge_stats(partials))
+        return results, stats

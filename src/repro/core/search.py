@@ -93,6 +93,38 @@ class SearchStats:
 
 
 @dataclass(frozen=True)
+class PreparedQuery:
+    """Precomputed per-query state injected into the scan loop.
+
+    The batched :class:`~repro.core.engine.QueryEngine` computes bounds,
+    scan orders and precomputed similarities for a whole batch at once and
+    hands each query's slice to :meth:`SignatureTableSearcher.knn` /
+    :meth:`SignatureTableSearcher.multi_range_query` through this object,
+    so the batched paths execute the *identical* branch-and-bound loop as
+    single queries (the differential tests pin this down bit-for-bit).
+
+    ``order`` is ``None`` for range queries (they scan in entry order) and
+    ``sims_all`` is ``None`` when the searcher runs with
+    ``precompute=False``.
+
+    ``entry_reads`` is a dict shared by the *whole batch*, lazily mapping
+    an entry id to its ``(tids, pages)`` pair.  Entry contents and page
+    placement are query-independent, so the first query of a batch to
+    scan an entry computes them once and every later query reuses them;
+    the I/O counters are still charged per query with increments
+    identical to the unshared path (sharing saves recomputation, never
+    accounting).
+    """
+
+    target_items: np.ndarray
+    bound_sim: SimilarityFunction
+    opts: np.ndarray
+    order: Optional[np.ndarray] = None
+    sims_all: Optional[np.ndarray] = None
+    entry_reads: Optional[dict] = None
+
+
+@dataclass(frozen=True)
 class QueryPlan:
     """The pre-execution view of a query (see ``SignatureTableSearcher.explain``).
 
@@ -168,12 +200,64 @@ class SignatureTableSearcher:
         self._count_io = bool(count_io)
         self._buffer_pool = buffer_pool
 
+    @property
+    def precompute(self) -> bool:
+        """Whether this searcher precomputes whole-database similarities."""
+        return self._precompute
+
+    @property
+    def buffer_pool(self) -> Optional[BufferPool]:
+        """The cross-query buffer pool, if one was supplied."""
+        return self._buffer_pool
+
     def _read_tids(self, tids, stats: SearchStats, page_cache: set) -> None:
         """Charge a transaction read to the right cache layer."""
         if self._buffer_pool is not None:
             self._buffer_pool.read(tids, stats.io)
         else:
             self.table.store.read(tids, stats.io, page_cache)
+
+    def _entry_read(self, entry: int, reads: Optional[dict]):
+        """The entry's ``(tids, pages)``, via the shared batch cache if any.
+
+        ``pages`` is ``None`` exactly when no cache is in play; callers
+        then fall back to :meth:`_read_tids` for I/O accounting.
+        """
+        if reads is None:
+            return self.table.entry_tids(entry), None
+        cached = reads.get(entry)
+        if cached is None:
+            tids = self.table.entry_tids(entry)
+            cached = (tids, self.table.store.pages_for(tids).tolist())
+            reads[entry] = cached
+        return cached
+
+    def _charge_cached_read(
+        self, pages: List[int], num_tids: int, stats: SearchStats, page_cache: set
+    ) -> None:
+        """Charge a read whose page set is already known.
+
+        Produces exactly the counter increments of
+        :meth:`PagedStore.read` / :meth:`BufferPool.read` without
+        recomputing the page set (``pages`` is sorted, as ``pages_for``
+        returns it).
+        """
+        if self._buffer_pool is not None:
+            self._buffer_pool.read_pages(pages, num_tids, stats.io)
+            return
+        io = stats.io
+        io.transactions_read += num_tids
+        fresh = [page for page in pages if page not in page_cache]
+        if fresh:
+            page_cache.update(fresh)
+            io.pages_read += len(fresh)
+            seeks = 1
+            previous = fresh[0]
+            for page in fresh[1:]:
+                if page - previous > 1:
+                    seeks += 1
+                previous = page
+            io.seeks += seeks
 
     # ------------------------------------------------------------------
     # Public queries
@@ -209,6 +293,7 @@ class SignatureTableSearcher:
         early_termination: Optional[float] = None,
         guarantee_tolerance: Optional[float] = None,
         sort_by: str = "optimistic",
+        prepared: Optional[PreparedQuery] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """k-nearest-neighbour search (Section 4.3 generalisation).
 
@@ -228,16 +313,30 @@ class SignatureTableSearcher:
         sort_by:
             ``"optimistic"`` (paper default) or ``"supercoordinate"``
             (Section 4's alternative order; bounds still drive pruning).
+        prepared:
+            Precomputed :class:`PreparedQuery` state (bounds, order,
+            similarities), normally supplied by the batched
+            :class:`~repro.core.engine.QueryEngine`.  Must have been
+            computed for this exact target/similarity/sort order.
         """
         check_positive(k, "k")
-        target_items, bound_sim, opts, order = self._prepare(
-            target, similarity, sort_by
-        )
-        sims_all = (
-            self._all_similarities(target_items, bound_sim)
-            if self._precompute
-            else None
-        )
+        if prepared is not None and prepared.order is not None:
+            target_items = prepared.target_items
+            bound_sim = prepared.bound_sim
+            opts = prepared.opts
+            order = prepared.order
+            sims_all = prepared.sims_all
+            reads = prepared.entry_reads
+        else:
+            target_items, bound_sim, opts, order = self._prepare(
+                target, similarity, sort_by
+            )
+            sims_all = (
+                self._all_similarities(target_items, bound_sim)
+                if self._precompute
+                else None
+            )
+            reads = None
         budget = self._budget(early_termination)
         stats = self._new_stats()
         page_cache: set = set()
@@ -282,7 +381,7 @@ class SignatureTableSearcher:
                 self._record_cutoff(stats, roof, num_entries - rank, pessimistic)
                 break
 
-            tids = self.table.entry_tids(entry)
+            tids, entry_pages = self._entry_read(entry, reads)
             if budget is not None:
                 remaining = budget - stats.transactions_accessed
                 truncated = tids.size > remaining
@@ -293,7 +392,12 @@ class SignatureTableSearcher:
 
             sims = self._entry_similarities(take, sims_all, target_items, bound_sim)
             if self._count_io:
-                self._read_tids(take, stats, page_cache)
+                if entry_pages is not None and not truncated:
+                    self._charge_cached_read(
+                        entry_pages, int(take.size), stats, page_cache
+                    )
+                else:
+                    self._read_tids(take, stats, page_cache)
             stats.transactions_accessed += int(take.size)
             stats.entries_scanned += 1
 
@@ -332,6 +436,7 @@ class SignatureTableSearcher:
         self,
         target: Iterable[int],
         constraints: Sequence[Tuple[SimilarityFunction, float]],
+        prepared: Optional[Sequence[PreparedQuery]] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """Conjunctive range query over several similarity functions.
 
@@ -340,36 +445,69 @@ class SignatureTableSearcher:
         common and at most q items different" (Section 2.1).  An entry is
         pruned as soon as any single constraint's optimistic bound falls
         below its threshold.
+
+        ``prepared`` optionally supplies one :class:`PreparedQuery` per
+        constraint (bounds + precomputed similarities), as produced by the
+        batched :class:`~repro.core.engine.QueryEngine`.
         """
         if not constraints:
             raise ValueError("constraints must be non-empty")
-        target_items = as_item_array(target, self.db.universe_size)
-        calculator = BoundCalculator(self.table.scheme, target_items)
-        bound_sims = [
-            sim.bind(target_items.size) for sim, _ in constraints
-        ]
+        if prepared is not None:
+            if len(prepared) != len(constraints):
+                raise ValueError(
+                    f"prepared must hold one entry per constraint "
+                    f"({len(constraints)}), got {len(prepared)}"
+                )
+            target_items = prepared[0].target_items
+            bound_sims = [p.bound_sim for p in prepared]
+            opts_list = [p.opts for p in prepared]
+            reads = prepared[0].entry_reads
+        else:
+            reads = None
+            target_items = as_item_array(target, self.db.universe_size)
+            calculator = BoundCalculator(self.table.scheme, target_items)
+            bound_sims = [
+                sim.bind(target_items.size) for sim, _ in constraints
+            ]
+            opts_list = None
         thresholds = [float(t) for _, t in constraints]
 
         bits = self.table.bits_matrix
         keep = np.ones(self.table.num_entries_occupied, dtype=bool)
-        for bound_sim, threshold in zip(bound_sims, thresholds):
-            opts = calculator.optimistic_similarity(bits, bound_sim)
+        for index, threshold in enumerate(thresholds):
+            opts = (
+                opts_list[index]
+                if opts_list is not None
+                else calculator.optimistic_similarity(bits, bound_sims[index])
+            )
             keep &= opts >= threshold
 
-        sims_all_list = (
-            [self._all_similarities(target_items, bs) for bs in bound_sims]
-            if self._precompute
-            else None
-        )
+        if prepared is not None:
+            sims_all_list = (
+                [p.sims_all for p in prepared]
+                if all(p.sims_all is not None for p in prepared)
+                else None
+            )
+        else:
+            sims_all_list = (
+                [self._all_similarities(target_items, bs) for bs in bound_sims]
+                if self._precompute
+                else None
+            )
 
         stats = self._new_stats()
         stats.entries_pruned = int((~keep).sum())
         page_cache: set = set()
         results: List[Neighbor] = []
         for entry in np.nonzero(keep)[0]:
-            tids = self.table.entry_tids(int(entry))
+            tids, entry_pages = self._entry_read(int(entry), reads)
             if self._count_io:
-                self._read_tids(tids, stats, page_cache)
+                if entry_pages is not None:
+                    self._charge_cached_read(
+                        entry_pages, int(tids.size), stats, page_cache
+                    )
+                else:
+                    self._read_tids(tids, stats, page_cache)
             stats.transactions_accessed += int(tids.size)
             stats.entries_scanned += 1
             per_function = [

@@ -92,6 +92,23 @@ class ShardedSignatureIndex:
     def num_shards(self) -> int:
         return len(self._shards)
 
+    @property
+    def searchers(self) -> List[SignatureTableSearcher]:
+        """The per-shard searchers, in shard order (shared, not copies).
+
+        Exposed so batch executors (the :class:`~repro.core.engine`
+        machinery) can drive each shard directly and merge with
+        :meth:`merge_stats`.
+        """
+        return list(self._searchers)
+
+    @property
+    def shard_offsets(self) -> np.ndarray:
+        """Global TID offset of each shard (length ``num_shards + 1``)."""
+        view = self._offsets.view()
+        view.flags.writeable = False
+        return view
+
     def __len__(self) -> int:
         return int(self._offsets[-1])
 
@@ -107,7 +124,8 @@ class ShardedSignatureIndex:
         return self._shards[shard][local]
 
     # ------------------------------------------------------------------
-    def _merge_stats(self, partials: Iterable[SearchStats]) -> SearchStats:
+    def merge_stats(self, partials: Iterable[SearchStats]) -> SearchStats:
+        """Combine per-shard :class:`SearchStats` into one global view."""
         merged = SearchStats(total_transactions=len(self))
         merged.guaranteed_optimal = True
         best_remaining = -np.inf
@@ -151,7 +169,7 @@ class ShardedSignatureIndex:
             )
             partials.append(stats)
         merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
-        return merged[:k], self._merge_stats(partials)
+        return merged[:k], self.merge_stats(partials)
 
     def nearest(
         self,
@@ -181,4 +199,4 @@ class ShardedSignatureIndex:
             )
             partials.append(stats)
         results.sort(key=lambda nb: (-nb.similarity, nb.tid))
-        return results, self._merge_stats(partials)
+        return results, self.merge_stats(partials)

@@ -80,6 +80,13 @@ class GeneratorConfig:
     seed:
         Seed for the generator; the same config always produces the same
         database.
+    spec_suffix:
+        How the ``D`` part of :attr:`spec` is scaled: ``""`` for plain
+        digits, ``"K"`` for thousands, ``"M"`` for millions, or ``None``
+        (the default) to pick the most compact exact form automatically.
+        :func:`parse_spec` records the style it parsed so the spec string
+        round-trips verbatim.  The field does not affect generation and is
+        excluded from equality/hashing.
     """
 
     num_transactions: int
@@ -92,8 +99,14 @@ class GeneratorConfig:
     noise_std: float = math.sqrt(0.1)
     spill_probability: float = 0.5
     seed: Optional[int] = field(default=0)
+    spec_suffix: Optional[str] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
+        if self.spec_suffix not in (None, "", "K", "M"):
+            raise ValueError(
+                "spec_suffix must be one of None, '', 'K', 'M'; "
+                f"got {self.spec_suffix!r}"
+            )
         check_positive(self.num_transactions, "num_transactions")
         check_positive(self.avg_transaction_size, "avg_transaction_size")
         check_positive(self.avg_pattern_size, "avg_pattern_size")
@@ -127,29 +140,40 @@ def parse_spec(spec: str, **overrides) -> GeneratorConfig:
         raise ValueError(
             f"invalid dataset spec {spec!r}; expected e.g. 'T10.I6.D100K'"
         )
-    multiplier = {"": 1, "K": 1000, "M": 1_000_000}[match.group("suffix").upper()]
+    suffix = match.group("suffix").upper()
+    multiplier = {"": 1, "K": 1000, "M": 1_000_000}[suffix]
     num_transactions = int(round(float(match.group("d")) * multiplier))
     config = GeneratorConfig(
         num_transactions=num_transactions,
         avg_transaction_size=float(match.group("t")),
         avg_pattern_size=float(match.group("i")),
+        spec_suffix=suffix,
     )
     return config.with_(**overrides) if overrides else config
 
 
 def format_spec(config: GeneratorConfig) -> str:
-    """Format a config back into the paper's ``T·.I·.D·`` convention."""
+    """Format a config back into the paper's ``T·.I·.D·`` convention.
+
+    The ``D`` part honours :attr:`GeneratorConfig.spec_suffix` when set, so
+    ``format_spec(parse_spec(s)) == s.upper()`` for any valid spec; when the
+    suffix style is unset the most compact exact form is chosen.
+    """
 
     def _num(x: float) -> str:
         return f"{x:g}"
 
     d = config.num_transactions
-    if d % 1_000_000 == 0:
-        d_part = f"{d // 1_000_000}M"
-    elif d % 1000 == 0:
-        d_part = f"{d // 1000}K"
-    else:
-        d_part = str(d)
+    suffix = config.spec_suffix
+    if suffix is None:
+        if d % 1_000_000 == 0:
+            suffix = "M"
+        elif d % 1000 == 0:
+            suffix = "K"
+        else:
+            suffix = ""
+    multiplier = {"": 1, "K": 1000, "M": 1_000_000}[suffix]
+    d_part = f"{_num(d / multiplier)}{suffix}"
     return (
         f"T{_num(config.avg_transaction_size)}."
         f"I{_num(config.avg_pattern_size)}.D{d_part}"

@@ -251,6 +251,43 @@ class TransactionDatabase:
             counts[self._postings_tids[start:end]] += 1
         return counts
 
+    def match_counts_batch(
+        self, targets: Sequence[TransactionLike]
+    ) -> np.ndarray:
+        """Return the ``(len(targets), len(db))`` matrix of match counts.
+
+        Row ``q`` equals ``match_counts(targets[q])`` exactly (integer
+        arithmetic throughout, so batch and per-query results are
+        identical).  Posting lists are traversed once per *distinct* item
+        across the batch, so overlapping targets — the common case for
+        query batches drawn from one distribution — amortise the traversal
+        the per-query loop would repeat.
+        """
+        target_arrays = [
+            as_item_array(t, self._universe_size) for t in targets
+        ]
+        counts = np.zeros((len(target_arrays), len(self)), dtype=np.int64)
+        if not target_arrays:
+            return counts
+        self._ensure_postings()
+        assert self._postings_indptr is not None and self._postings_tids is not None
+        # Invert the batch: item -> queries containing it.
+        queries_of: dict = {}
+        for q, items in enumerate(target_arrays):
+            for item in items.tolist():
+                queries_of.setdefault(item, []).append(q)
+        for item, qs in queries_of.items():
+            start = self._postings_indptr[item]
+            end = self._postings_indptr[item + 1]
+            tids = self._postings_tids[start:end]
+            if tids.size == 0:
+                continue
+            if len(qs) == 1:
+                counts[qs[0], tids] += 1
+            else:
+                counts[np.ix_(np.asarray(qs, dtype=np.int64), tids)] += 1
+        return counts
+
     def hamming_distances(self, target: TransactionLike) -> np.ndarray:
         """Return ``y(tid) = |T_tid Δ target|`` for every transaction."""
         target_items = as_item_array(target, self._universe_size)

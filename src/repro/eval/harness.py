@@ -28,12 +28,14 @@ consumer-behaviour pattern pool) as the indexed data.
 from __future__ import annotations
 
 import os
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.baselines.inverted import InvertedIndex
 from repro.baselines.linear_scan import LinearScanIndex
+from repro.core.engine import QueryEngine, summarise_stats
 from repro.core.partitioning import (
     balanced_support_partition,
     partition_items,
@@ -111,6 +113,7 @@ class ExperimentContext:
         self._searchers: Dict[Tuple[str, int, int], SignatureTableSearcher] = {}
         self._scans: Dict[str, LinearScanIndex] = {}
         self._truths: Dict[Tuple[str, str], List[float]] = {}
+        self._engines: Dict[Tuple[str, int, int], QueryEngine] = {}
 
     # ------------------------------------------------------------------
     def database(self, spec: str) -> Tuple[TransactionDatabase, TransactionDatabase]:
@@ -152,6 +155,29 @@ class ExperimentContext:
             self._tables[key] = table
             self._searchers[key] = SignatureTableSearcher(table, indexed)
         return self._searchers[key]
+
+    def engine(
+        self,
+        spec: str,
+        num_signatures: int,
+        activation_threshold: int = 1,
+        workers: int = 1,
+    ) -> QueryEngine:
+        """A batched :class:`QueryEngine` over the memoised searcher.
+
+        The engine is memoised per table (not per worker count); the
+        ``workers`` argument only sets its default process count.
+        """
+        key = (spec, num_signatures, activation_threshold)
+        if key not in self._engines:
+            self._engines[key] = QueryEngine(
+                self.searcher(spec, num_signatures, activation_threshold)
+            )
+        engine = self._engines[key]
+        if engine.workers != workers:
+            engine = QueryEngine(engine.searcher, workers=workers)
+            self._engines[key] = engine
+        return engine
 
     def scan(self, spec: str) -> LinearScanIndex:
         if spec not in self._scans:
@@ -571,6 +597,92 @@ def run_memory_ablation(
                 f"acc% @ {100 * termination:g}%": accuracy_against_truth(
                     found, truths
                 ),
+            },
+        )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Batched engine throughput (engineering extension)
+# ----------------------------------------------------------------------
+def run_batch_throughput(
+    similarity: SimilarityFunction,
+    ctx: ExperimentContext,
+    spec: Optional[str] = None,
+    num_signatures: Optional[int] = None,
+    k: int = 10,
+    batch_size: Optional[int] = None,
+    workers_list: Sequence[int] = (1, 4),
+    repeats: int = 1,
+) -> ExperimentTable:
+    """Queries/sec of the batched engine vs the sequential per-query loop.
+
+    Every configuration is verified to return exactly the same neighbour
+    lists and :class:`~repro.core.search.SearchStats` as the sequential
+    baseline before its timing is reported, so the speedups are for
+    *identical* answers.
+    """
+    spec = spec or ctx.profile["large_spec"]
+    num_signatures = num_signatures or ctx.profile["default_k"]
+    engine = ctx.engine(spec, num_signatures)
+    searcher = engine.searcher
+    queries = ctx.queries(spec)
+    if batch_size is not None:
+        queries = queries[:batch_size]
+    table = ExperimentTable(
+        title=(
+            f"Batched engine throughput — {similarity.name} "
+            f"({spec}, K={num_signatures}, k={k}, batch={len(queries)})"
+        ),
+        columns=[
+            "mode",
+            "queries/sec",
+            "speedup",
+            "entries scanned/query",
+            "identical",
+        ],
+        notes=ctx.notes([f"similarity={similarity.name}"]),
+    )
+
+    def _timed(fn):
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            out = fn()
+            best = min(best, time.perf_counter() - start)
+        return out, best
+
+    (baseline, base_elapsed) = _timed(
+        lambda: [searcher.knn(q, similarity, k=k) for q in queries]
+    )
+    base_stats = [stats for _, stats in baseline]
+    base_qps = len(queries) / base_elapsed
+    summary = summarise_stats(base_stats)
+    table.add_row(
+        mode="sequential",
+        **{
+            "queries/sec": base_qps,
+            "speedup": 1.0,
+            "entries scanned/query": summary.mean_entries_scanned,
+            "identical": "-",
+        },
+    )
+    for workers in workers_list:
+        (batch, elapsed) = _timed(
+            lambda w=workers: engine.knn_batch(
+                queries, similarity, k=k, workers=w
+            )
+        )
+        results, stats = batch
+        identical = results == [r for r, _ in baseline] and stats == base_stats
+        summary = summarise_stats(stats)
+        table.add_row(
+            mode=f"batched (workers={workers})",
+            **{
+                "queries/sec": len(queries) / elapsed,
+                "speedup": (len(queries) / elapsed) / base_qps,
+                "entries scanned/query": summary.mean_entries_scanned,
+                "identical": "yes" if identical else "NO",
             },
         )
     return table

@@ -48,6 +48,17 @@ class BufferStats:
         self.misses = 0
         self.evictions = 0
 
+    def merge(self, other: "BufferStats") -> "BufferStats":
+        """Add another pool's totals into this one (returns self).
+
+        Used to recombine the per-worker pool statistics of a batched
+        multi-process run into one report.
+        """
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        return self
+
 
 class BufferPool:
     """A bounded LRU page cache in front of a :class:`PagedStore`.
@@ -105,9 +116,23 @@ class BufferPool:
         """
         tid_array = np.asarray(tids, dtype=np.int64)
         pages = self.store.pages_for(tid_array)
-        missed = [page for page in pages.tolist() if not self._touch(page)]
+        return self.read_pages(pages.tolist(), int(tid_array.size), counters)
+
+    def read_pages(
+        self,
+        pages: Sequence[int],
+        num_transactions: int,
+        counters: Optional[IOCounters] = None,
+    ) -> int:
+        """Read an already-resolved (sorted, distinct) page set.
+
+        Identical accounting to :meth:`read`, for callers that know the
+        page set up front (the batched engine caches each table entry's
+        pages once per batch).  Returns the number of missed pages.
+        """
+        missed = [page for page in pages if not self._touch(page)]
         if counters is not None:
-            counters.transactions_read += int(tid_array.size)
+            counters.transactions_read += num_transactions
             counters.pages_read += len(missed)
             counters.seeks += PagedStore._count_runs(
                 np.asarray(missed, dtype=np.int64)

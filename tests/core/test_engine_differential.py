@@ -1,0 +1,230 @@
+"""Differential tests: the batched engine against its single-query oracle.
+
+The :class:`~repro.core.engine.QueryEngine` promises results *identical*
+to running each query through :meth:`SignatureTableSearcher.knn` /
+``range_query`` one at a time — same neighbour lists (tids and
+similarities), same :class:`SearchStats` down to every measured counter —
+and, in exact mode, identical to the brute-force
+:class:`~repro.baselines.linear_scan.LinearScanIndex`.  These tests
+enforce that over randomised databases and query batches.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from tests.conftest import make_similarities
+
+SEEDS = [3, 17, 101]
+
+
+def random_instance(seed):
+    """A randomised (db, table, holdout queries) triple."""
+    rng = np.random.default_rng(seed)
+    db = repro.generate(
+        "T6.I3.D250",
+        seed=seed,
+        num_items=int(rng.integers(60, 120)),
+        num_patterns=int(rng.integers(25, 60)),
+    )
+    scheme = repro.partition_items(
+        db, num_signatures=int(rng.integers(4, 9)), rng=seed
+    )
+    table = repro.SignatureTable.build(db, scheme)
+    queries = random_batch(db, rng, size=12)
+    return db, table, queries
+
+
+def random_batch(db, rng, size):
+    """A batch mixing indexed transactions with random perturbations."""
+    universe = db.universe_size
+    queries = []
+    for q in range(size):
+        if q % 2 == 0:
+            base = set(db[int(rng.integers(len(db)))])
+        else:
+            base = set(rng.choice(universe, size=int(rng.integers(1, 12))))
+        # Perturb: flip a couple of random items, keep non-empty.
+        for item in rng.choice(universe, size=2):
+            base.symmetric_difference_update({int(item)})
+        queries.append(sorted(base) or [int(rng.integers(universe))])
+    return queries
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def instance(request):
+    return random_instance(request.param)
+
+
+@pytest.mark.parametrize("sim", make_similarities(), ids=lambda s: repr(s))
+def test_knn_batch_identical_to_single_queries(instance, sim):
+    db, table, queries = instance
+    searcher = repro.SignatureTableSearcher(table, db)
+    engine = repro.QueryEngine(searcher)
+    batch_results, batch_stats = engine.knn_batch(queries, sim, k=4)
+    for query, got, got_stats in zip(queries, batch_results, batch_stats):
+        want, want_stats = searcher.knn(query, sim, k=4)
+        assert got == want
+        assert got_stats == want_stats
+
+
+@pytest.mark.parametrize("sim", make_similarities(), ids=lambda s: repr(s))
+def test_exact_knn_batch_matches_linear_scan(instance, sim):
+    db, table, queries = instance
+    engine = repro.QueryEngine.for_table(table, db)
+    scan = repro.LinearScanIndex(db)
+    batch_results, batch_stats = engine.knn_batch(queries, sim, k=5)
+    for query, got, stats in zip(queries, batch_results, batch_stats):
+        assert stats.guaranteed_optimal
+        want, _ = scan.knn(query, sim, k=5)
+        # The similarity value multiset is the exact top-5; equal-value
+        # ties may resolve to different tids, but every returned tid must
+        # truly achieve its reported similarity.
+        assert [nb.similarity for nb in got] == [nb.similarity for nb in want]
+        truth, _ = scan.knn(query, sim, k=len(db))
+        truth_by_tid = {nb.tid: nb.similarity for nb in truth}
+        for nb in got:
+            assert truth_by_tid[nb.tid] == nb.similarity
+
+
+def test_range_query_batch_identical_to_single_queries(instance):
+    db, table, queries = instance
+    searcher = repro.SignatureTableSearcher(table, db)
+    engine = repro.QueryEngine(searcher)
+    scan = repro.LinearScanIndex(db)
+    for sim, threshold in [
+        (repro.MatchRatioSimilarity(), 0.3),
+        (repro.JaccardSimilarity(), 0.2),
+        (repro.HammingSimilarity(), 0.05),
+    ]:
+        batch_results, batch_stats = engine.range_query_batch(
+            queries, sim, threshold
+        )
+        for query, got, got_stats in zip(queries, batch_results, batch_stats):
+            want, want_stats = searcher.range_query(query, sim, threshold)
+            assert got == want
+            assert got_stats == want_stats
+            truth, _ = scan.range_query(query, sim, threshold)
+            assert [(nb.tid, nb.similarity) for nb in got] == [
+                (nb.tid, nb.similarity) for nb in truth
+            ]
+
+
+def test_early_termination_batch_identical_to_single_queries(instance):
+    db, table, queries = instance
+    searcher = repro.SignatureTableSearcher(table, db)
+    engine = repro.QueryEngine(searcher)
+    sim = repro.MatchRatioSimilarity()
+    for kwargs in [
+        dict(early_termination=0.05),
+        dict(early_termination=0.3),
+        dict(guarantee_tolerance=0.1),
+        dict(early_termination=0.2, guarantee_tolerance=0.05),
+    ]:
+        batch_results, batch_stats = engine.knn_batch(
+            queries, sim, k=3, **kwargs
+        )
+        for query, got, got_stats in zip(queries, batch_results, batch_stats):
+            want, want_stats = searcher.knn(query, sim, k=3, **kwargs)
+            assert got == want
+            assert got_stats == want_stats
+
+
+def test_supercoordinate_order_batch_identical(instance):
+    db, table, queries = instance
+    searcher = repro.SignatureTableSearcher(table, db)
+    engine = repro.QueryEngine(searcher)
+    sim = repro.JaccardSimilarity()
+    batch_results, batch_stats = engine.knn_batch(
+        queries, sim, k=3, sort_by="supercoordinate"
+    )
+    for query, got, got_stats in zip(queries, batch_results, batch_stats):
+        want, want_stats = searcher.knn(query, sim, k=3, sort_by="supercoordinate")
+        assert got == want
+        assert got_stats == want_stats
+
+
+def test_reference_mode_batch_identical(instance):
+    """precompute=False (per-transaction reads) must also match exactly."""
+    db, table, queries = instance
+    searcher = repro.SignatureTableSearcher(table, db, precompute=False)
+    engine = repro.QueryEngine(searcher)
+    sim = repro.MatchRatioSimilarity()
+    batch_results, batch_stats = engine.knn_batch(queries, sim, k=3)
+    for query, got, got_stats in zip(queries, batch_results, batch_stats):
+        want, want_stats = searcher.knn(query, sim, k=3)
+        assert got == want
+        assert got_stats == want_stats
+
+
+def test_buffer_pool_sharing_matches_sequential_loop(instance):
+    """With a shared pool, the batch equals the same sequential loop.
+
+    The pool is stateful across queries, so the oracle is a *fresh*
+    searcher with a fresh pool of the same capacity, run over the batch
+    in order.
+    """
+    db, table, queries = instance
+    sim = repro.CosineSimilarity()
+
+    def fresh():
+        pool = repro.BufferPool(table.store, capacity=8)
+        return repro.SignatureTableSearcher(table, db, buffer_pool=pool)
+
+    oracle = fresh()
+    want = [oracle.knn(query, sim, k=2) for query in queries]
+    engine = repro.QueryEngine(fresh())
+    batch_results, batch_stats = engine.knn_batch(queries, sim, k=2)
+    for (want_res, want_stats), got, got_stats in zip(
+        want, batch_results, batch_stats
+    ):
+        assert got == want_res
+        assert got_stats == want_stats
+
+
+def test_workers_do_not_change_results(instance):
+    db, table, queries = instance
+    engine = repro.QueryEngine.for_table(table, db)
+    sim = repro.MatchRatioSimilarity()
+    seq_results, seq_stats = engine.knn_batch(queries, sim, k=3, workers=1)
+    par_results, par_stats = engine.knn_batch(queries, sim, k=3, workers=3)
+    assert par_results == seq_results
+    assert par_stats == seq_stats
+    seq_hits, seq_rstats = engine.range_query_batch(
+        queries, sim, 0.25, workers=1
+    )
+    par_hits, par_rstats = engine.range_query_batch(
+        queries, sim, 0.25, workers=3
+    )
+    assert par_hits == seq_hits
+    assert par_rstats == seq_rstats
+
+
+def test_sharded_engine_matches_sharded_index(instance):
+    db, table, queries = instance
+    scheme = repro.partition_items(db, num_signatures=5, rng=7)
+    index = repro.ShardedSignatureIndex.from_database(db, scheme, num_shards=3)
+    engine = repro.ShardedQueryEngine(index)
+    sim = repro.DiceSimilarity()
+    batch_results, batch_stats = engine.knn_batch(queries, sim, k=4)
+    for query, got, got_stats in zip(queries, batch_results, batch_stats):
+        want, want_stats = index.knn(query, sim, k=4)
+        assert got == want
+        assert got_stats == want_stats
+    hits, rstats = engine.range_query_batch(queries, sim, 0.3)
+    for query, got, got_stats in zip(queries, hits, rstats):
+        want, want_stats = index.range_query(query, sim, 0.3)
+        assert got == want
+        assert got_stats == want_stats
+
+
+def test_nearest_batch_matches_nearest(instance):
+    db, table, queries = instance
+    searcher = repro.SignatureTableSearcher(table, db)
+    engine = repro.QueryEngine(searcher)
+    sim = repro.MatchRatioSimilarity()
+    best, stats = engine.nearest_batch(queries, sim)
+    for query, got, got_stats in zip(queries, best, stats):
+        want, want_stats = searcher.nearest(query, sim)
+        assert got == want
+        assert got_stats == want_stats

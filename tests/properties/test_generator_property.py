@@ -1,6 +1,6 @@
 """Property tests for the workload generator and the data model."""
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.data.generator import (
@@ -18,8 +18,21 @@ from repro.data.transaction import TransactionDatabase
     st.integers(min_value=1, max_value=15),
     st.integers(min_value=1, max_value=5000),
 )
+@example(t=1, i=1, d=5000)  # regression: D5000 must not collapse to D5K
 def test_spec_round_trip(t, i, d):
     spec = f"T{t}.I{i}.D{d}"
+    assert format_spec(parse_spec(spec)) == spec
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=30),
+    st.integers(min_value=1, max_value=15),
+    st.integers(min_value=1, max_value=5000),
+    st.sampled_from(["K", "M"]),
+)
+def test_spec_round_trip_with_suffix(t, i, d, suffix):
+    spec = f"T{t}.I{i}.D{d}{suffix}"
     assert format_spec(parse_spec(spec)) == spec
 
 

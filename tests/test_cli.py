@@ -222,6 +222,126 @@ class TestQuery:
             )
 
 
+class TestQueryBatch:
+    @pytest.fixture(scope="class")
+    def queries_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli") / "queries.txt"
+        path.write_text("# holdout queries\n1 5 9\n2 7\n\n0 3 11 20\n")
+        return path
+
+    def test_knn_batch_output(self, dataset_path, table_path, queries_path, capsys):
+        code = main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(queries_path),
+                "--similarity",
+                "jaccard",
+                "--k",
+                "2",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "query 0" in output
+        assert "query 2" in output
+        assert "3 queries in" in output
+        assert "queries/sec" in output
+
+    def test_batch_matches_single_query_cli(
+        self, dataset_path, table_path, queries_path, capsys
+    ):
+        main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(queries_path),
+                "--similarity",
+                "jaccard",
+                "--k",
+                "1",
+            ]
+        )
+        batch_lines = capsys.readouterr().out.splitlines()
+        main(
+            [
+                "query",
+                str(dataset_path),
+                str(table_path),
+                "1",
+                "5",
+                "9",
+                "--similarity",
+                "jaccard",
+                "--k",
+                "1",
+            ]
+        )
+        single_first = capsys.readouterr().out.splitlines()[0]
+        # "#1   tid=T ... jaccard=V ..." vs "query 0    T:V"
+        tid = single_first.split("tid=")[1].split()[0]
+        value = single_first.split("jaccard=")[1].split()[0]
+        assert f"{tid}:{value}" in batch_lines[0]
+
+    def test_workers_flag(self, dataset_path, table_path, queries_path, capsys):
+        code = main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(queries_path),
+                "--workers",
+                "2",
+            ]
+        )
+        assert code == 0
+        assert "workers=2" in capsys.readouterr().out
+
+    def test_threshold_mode(self, dataset_path, table_path, queries_path, capsys):
+        code = main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(queries_path),
+                "--threshold",
+                "0.2",
+            ]
+        )
+        assert code == 0
+
+    def test_early_termination_summary(
+        self, dataset_path, table_path, queries_path, capsys
+    ):
+        code = main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(queries_path),
+                "--early-termination",
+                "0.01",
+            ]
+        )
+        assert code == 0
+
+    def test_empty_query_file_errors(self, dataset_path, table_path, tmp_path, capsys):
+        empty = tmp_path / "empty.txt"
+        empty.write_text("# nothing here\n")
+        code = main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(empty),
+            ]
+        )
+        assert code == 2
+        assert "no queries" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_fig6_miniature(self, capsys, tmp_path):
         code = main(
