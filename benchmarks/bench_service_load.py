@@ -1,0 +1,113 @@
+"""Serving throughput/latency vs concurrency and the micro-batch window.
+
+Stands up the async query server (:mod:`repro.service`) over a resident
+:class:`~repro.core.engine.QueryEngine` and drives it with closed-loop
+concurrent clients over real TCP, sweeping the number of clients and the
+batcher's ``max_wait_ms``.  The sequential baseline is the same request
+mix through :meth:`SignatureTableSearcher.knn` one call at a time.
+
+Every configuration verifies in-run that each response is byte-identical
+to the batched engine's direct answer (the differential guarantee).  The
+acceptance bar is >= 2x the sequential loop at 32 concurrent clients on
+T10.I6.D25K — the dynamic micro-batcher must recover the PR 1 batch
+speedup for online traffic.
+
+Runs two ways:
+
+* under pytest with the shared benchmark fixtures
+  (``pytest benchmarks/bench_service_load.py``);
+* as a standalone script — ``python benchmarks/bench_service_load.py``
+  (full scale) or ``--quick`` (CI smoke: tiny dataset, identity checks
+  only, seconds of runtime).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (probe: is the package importable?)
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.harness import ExperimentContext, run_service_load
+
+FULL_SPEC = "T10.I6.D25K"
+FULL_QUERIES = 64
+QUICK_SPEC = "T5.I3.D2K"
+QUICK_QUERIES = 16
+REQUIRED_SPEEDUP = 2.0
+TARGET_CONCURRENCY = 32
+
+
+def run(quick: bool = False):
+    """Execute the sweep; returns ``(table, identical, speedup_at_target)``."""
+    if quick:
+        ctx = ExperimentContext("quick", num_queries=QUICK_QUERIES)
+        spec = QUICK_SPEC
+        concurrency_list = (1, 8, TARGET_CONCURRENCY)
+        wait_ms_list = (0.0, 2.0)
+        total_requests = 64
+    else:
+        ctx = ExperimentContext("quick", num_queries=FULL_QUERIES)
+        spec = FULL_SPEC
+        concurrency_list = (1, 8, TARGET_CONCURRENCY)
+        wait_ms_list = (0.0, 2.0, 8.0)
+        total_requests = 192
+    table = run_service_load(
+        "match_ratio",
+        ctx,
+        spec=spec,
+        k=10,
+        concurrency_list=concurrency_list,
+        wait_ms_list=wait_ms_list,
+        total_requests=total_requests,
+    )
+    served = [row for row in table.rows if row["clients"] != 0]
+    identical = all(row["identical"] == "yes" for row in served)
+    at_target = [
+        float(row["speedup"])
+        for row in served
+        if row["clients"] == TARGET_CONCURRENCY
+    ]
+    return table, identical, max(at_target)
+
+
+def test_service_load_throughput(emit):
+    table, identical, speedup = run(quick=False)
+    emit(table, "service_load")
+    assert identical, "served results diverged from direct engine execution"
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"serving at {TARGET_CONCURRENCY} clients reached only "
+        f"{speedup:.2f}x the sequential loop (need >= {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke run (CI): verifies identity, skips the speedup bar",
+    )
+    args = parser.parse_args(argv)
+    table, identical, speedup = run(quick=args.quick)
+    print(table.to_text())
+    if not identical:
+        print("FAIL: served results diverged from direct engine execution")
+        return 1
+    if not args.quick and speedup < REQUIRED_SPEEDUP:
+        print(
+            f"FAIL: serving speedup {speedup:.2f}x at {TARGET_CONCURRENCY} "
+            f"clients is below the {REQUIRED_SPEEDUP}x bar"
+        )
+        return 1
+    print(
+        f"OK: identical results; {speedup:.2f}x the sequential loop at "
+        f"{TARGET_CONCURRENCY} concurrent clients"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.baselines import (
 )
 from repro.core import (
     BatchBoundCalculator,
+    BatchKey,
     BatchSummary,
     BoundCalculator,
     ContainmentSimilarity,
@@ -57,6 +58,7 @@ from repro.core import (
     UnboundSimilarityError,
     WeightedLinearSimilarity,
     balanced_support_partition,
+    batch_key,
     build_index,
     correlation_graph,
     get_similarity,
@@ -65,6 +67,7 @@ from repro.core import (
     partition_items,
     max_k_for_memory,
     random_partition,
+    similarity_key,
     single_linkage_partition,
     suggest_parameters,
     summarise_stats,
@@ -88,6 +91,14 @@ from repro.mining import (
     apriori,
     association_rules,
     count_pair_supports,
+)
+from repro.service import (
+    MicroBatcher,
+    QueryServer,
+    ServiceClient,
+    ServiceError,
+    ServiceMetrics,
+    serve_in_background,
 )
 from repro.storage import BufferPool, BufferStats, DiskModel, IOCounters, PagedStore
 
@@ -144,6 +155,9 @@ __all__ = [
     "QueryEngine",
     "ShardedQueryEngine",
     "BatchSummary",
+    "BatchKey",
+    "batch_key",
+    "similarity_key",
     "summarise_stats",
     "BoundCalculator",
     "BatchBoundCalculator",
@@ -164,4 +178,11 @@ __all__ = [
     "IOCounters",
     "BufferPool",
     "BufferStats",
+    # serving
+    "QueryServer",
+    "MicroBatcher",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceMetrics",
+    "serve_in_background",
 ]

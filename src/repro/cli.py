@@ -11,7 +11,12 @@ The subcommands cover the full life cycle without writing Python:
   a saved table with any built-in similarity function.
 * ``repro query-batch`` — run a whole file of queries through the batched
   :class:`~repro.core.engine.QueryEngine`, optionally across worker
-  processes.
+  processes (``--output json`` emits one JSON object per query).
+* ``repro serve`` — keep a table resident and serve concurrent clients
+  over the newline-delimited-JSON TCP protocol with dynamic
+  micro-batching (see :mod:`repro.service`).
+* ``repro client`` — talk to a running server: ping, stats, graceful
+  shutdown, a query file, or a closed-loop load burst.
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -19,6 +24,7 @@ Invoke as ``python -m repro <subcommand> --help``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -185,32 +191,182 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         )
     elapsed = time.perf_counter() - started
 
-    for index, neighbors in enumerate(results):
-        if neighbors:
-            shown = " ".join(
-                f"{nb.tid}:{nb.similarity:.4f}" for nb in neighbors[: args.k]
+    if args.output == "json":
+        # Machine-consumable NDJSON on stdout (one object per query);
+        # the human summary moves to stderr so pipelines stay clean.
+        from repro.service.protocol import encode_neighbors
+
+        for index, (query, neighbors) in enumerate(zip(queries, results)):
+            print(
+                json.dumps(
+                    {
+                        "query": index,
+                        "items": query,
+                        "results": encode_neighbors(neighbors[: args.k]),
+                    }
+                )
             )
-        else:
-            shown = "(no match)"
-        print(f"query {index:<4d} {shown}")
+        report = sys.stderr
+    else:
+        for index, neighbors in enumerate(results):
+            if neighbors:
+                shown = " ".join(
+                    f"{nb.tid}:{nb.similarity:.4f}" for nb in neighbors[: args.k]
+                )
+            else:
+                shown = "(no match)"
+            print(f"query {index:<4d} {shown}")
+        report = sys.stdout
     summary = summarise_stats(stats)
     print(
         f"-- {summary.num_queries} queries in {elapsed:.2f}s "
         f"({summary.num_queries / elapsed:.1f} queries/sec, "
-        f"workers={args.workers})"
+        f"workers={args.workers})",
+        file=report,
     )
     print(
         f"-- accessed {summary.transactions_accessed} transactions "
         f"(mean pruned {summary.mean_pruning_efficiency:.1f}%), "
-        f"{summary.io.pages_read} pages, {summary.io.seeks} seeks"
+        f"{summary.io.pages_read} pages, {summary.io.seeks} seeks",
+        file=report,
     )
     if summary.terminated_early:
         optimal = "yes" if summary.guaranteed_optimal else "no"
         print(
             f"-- {summary.terminated_early} queries terminated early "
-            f"(all provably optimal: {optimal})"
+            f"(all provably optimal: {optimal})",
+            file=report,
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.core.engine import QueryEngine
+    from repro.service.server import QueryServer
+
+    db = _load_database(args.database)
+    table = SignatureTable.load(args.table)
+    engine = QueryEngine.for_table(table, db, workers=args.workers)
+    server = QueryServer(
+        engine,
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        max_queue=args.max_queue,
+        default_timeout_ms=args.timeout_ms,
+        allow_remote_shutdown=not args.no_remote_shutdown,
+        index_info={
+            "database": args.database,
+            "table": args.table,
+            "num_transactions": len(db),
+            "universe_size": db.universe_size,
+            "num_signatures": table.scheme.num_signatures,
+        },
+    )
+
+    async def _serve() -> None:
+        import signal
+
+        host, port = await server.start()
+        print(
+            f"serving {args.database} ({len(db)} transactions) on "
+            f"{host}:{port}  [max_batch_size={args.max_batch_size}, "
+            f"max_wait_ms={args.max_wait_ms:g}, max_queue={args.max_queue}]",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(server.shutdown())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.wait_shutdown()
+        snapshot = server.metrics.snapshot()
+        requests = snapshot["requests"]
+        print(
+            f"drained: {requests['completed']} completed, "
+            f"{requests['rejected_overload']} overload rejections, "
+            f"{requests['timeouts']} timeouts",
+            flush=True,
+        )
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient, run_load, wait_ready
+
+    if args.wait_ready is not None:
+        if not wait_ready(args.host, args.port, timeout=args.wait_ready):
+            print(
+                f"error: no server at {args.host}:{args.port} after "
+                f"{args.wait_ready:g}s",
+                file=sys.stderr,
+            )
+            return 2
+
+    if args.action == "ping":
+        with ServiceClient(args.host, args.port) as client:
+            print("pong" if client.ping() else "no answer")
+        return 0
+    if args.action == "stats":
+        with ServiceClient(args.host, args.port) as client:
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "shutdown":
+        with ServiceClient(args.host, args.port) as client:
+            draining = client.shutdown()
+        print("server draining" if draining else "shutdown refused")
+        return 0 if draining else 1
+
+    # action == "burst": a closed-loop concurrent load burst.
+    if args.queries is not None:
+        queries = _read_queries(args.queries)
+    else:
+        # No query file: sample random transactions from the universe the
+        # server reports in its stats payload.
+        import random
+
+        with ServiceClient(args.host, args.port) as client:
+            index_info = client.stats()["index"]
+        universe = int(index_info.get("universe_size", 0))
+        if universe <= 0:
+            print(
+                "error: server reports no universe_size; pass --queries FILE",
+                file=sys.stderr,
+            )
+            return 2
+        rng = random.Random(args.seed)
+        queries = [
+            sorted(rng.sample(range(universe), k=min(universe, 10)))
+            for _ in range(min(args.requests, 256))
+        ]
+    result = run_load(
+        args.host,
+        args.port,
+        queries,
+        similarity=args.similarity,
+        k=args.k,
+        threshold=args.threshold,
+        concurrency=args.concurrency,
+        total_requests=args.requests,
+        timeout_ms=args.timeout_ms,
+    )
+    latencies = result.latencies_ms()
+    mid = latencies[len(latencies) // 2] if latencies else float("nan")
+    print(
+        f"{result.completed}/{len(result.records)} requests ok "
+        f"({result.rejected} rejected) in {result.elapsed_seconds:.2f}s — "
+        f"{result.qps:.1f} req/s at concurrency {result.concurrency}, "
+        f"~p50 {mid:.1f} ms"
+    )
+    return 0 if result.completed else 1
 
 
 _EXPERIMENTS = {
@@ -380,7 +536,123 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run range queries with this similarity threshold instead of k-NN",
     )
+    p_batch.add_argument(
+        "--output",
+        "-o",
+        choices=["human", "json"],
+        default="human",
+        help="result format: human (default) or json (one object per "
+        "line on stdout, summary on stderr)",
+    )
     p_batch.set_defaults(func=_cmd_query_batch)
+
+    p_serve = subparsers.add_parser(
+        "serve",
+        help="serve a table to concurrent clients (NDJSON over TCP)",
+    )
+    p_serve.add_argument("database", help="dataset path (.npz or .txt)")
+    p_serve.add_argument("table", help="signature-table path (.npz)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7807)
+    p_serve.add_argument(
+        "--max-batch-size",
+        type=int,
+        default=32,
+        help="flush a micro-batch at this many coalesced requests (default 32)",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="flush a micro-batch after its oldest request waited this "
+        "long (default 2 ms)",
+    )
+    p_serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=1024,
+        help="admission bound on in-flight requests; beyond it the server "
+        "rejects with 'overloaded' (default 1024)",
+    )
+    p_serve.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=30_000.0,
+        help="default per-request deadline (default 30000)",
+    )
+    p_serve.add_argument(
+        "--workers",
+        "-j",
+        type=int,
+        default=1,
+        help="engine worker processes per batch (default 1)",
+    )
+    p_serve.add_argument(
+        "--no-remote-shutdown",
+        action="store_true",
+        help="refuse the protocol-level 'shutdown' op",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = subparsers.add_parser(
+        "client", help="talk to a running repro server"
+    )
+    p_client.add_argument(
+        "action",
+        choices=["ping", "stats", "shutdown", "burst"],
+        help="ping/stats/shutdown, or a closed-loop 'burst' of queries",
+    )
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7807)
+    p_client.add_argument(
+        "--wait-ready",
+        type=float,
+        nargs="?",
+        const=10.0,
+        default=None,
+        metavar="SECONDS",
+        help="poll until the server answers ping before acting "
+        "(bare flag waits up to 10s)",
+    )
+    p_client.add_argument(
+        "--queries",
+        default=None,
+        help="query file for burst (one transaction per line; default: "
+        "random items over the server's universe)",
+    )
+    p_client.add_argument(
+        "--requests", type=int, default=64, help="burst size (default 64)"
+    )
+    p_client.add_argument(
+        "--concurrency",
+        "-c",
+        type=int,
+        default=8,
+        help="concurrent closed-loop clients for burst (default 8)",
+    )
+    p_client.add_argument(
+        "--similarity",
+        "-s",
+        default="match_ratio",
+        choices=sorted(SIMILARITY_FUNCTIONS),
+    )
+    p_client.add_argument("--k", type=int, default=5)
+    p_client.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="send range queries with this threshold instead of k-NN",
+    )
+    p_client.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help="per-request deadline forwarded to the server",
+    )
+    p_client.add_argument(
+        "--seed", type=int, default=0, help="seed for generated burst queries"
+    )
+    p_client.set_defaults(func=_cmd_client)
 
     p_experiment = subparsers.add_parser(
         "experiment",
@@ -416,7 +688,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; not an error.
+        return 0
     except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -29,9 +29,12 @@ from repro.core.bounds import (
 )
 from repro.core.builder import IndexBuildReport, build_index
 from repro.core.engine import (
+    BatchKey,
     BatchSummary,
     QueryEngine,
     ShardedQueryEngine,
+    batch_key,
+    similarity_key,
     summarise_stats,
 )
 from repro.core.partitioning import (

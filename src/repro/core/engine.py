@@ -119,7 +119,11 @@ class BatchSummary:
 
     ``mean_pruning_efficiency`` and ``mean_entries_scanned`` are the
     per-query averages the reports quote; the totals (and the merged
-    ``io``) describe the whole batch.
+    ``io``) describe the whole batch.  ``guaranteed_optimal`` is ``None``
+    for an empty batch — there is no query whose optimality the flag
+    could describe — and ``total_transactions`` is the largest per-query
+    database size, so mixed-source stats (e.g. collected across a
+    growing database) never under-report.
     """
 
     num_queries: int
@@ -128,7 +132,7 @@ class BatchSummary:
     entries_scanned: int = 0
     entries_pruned: int = 0
     terminated_early: int = 0
-    guaranteed_optimal: bool = True
+    guaranteed_optimal: Optional[bool] = None
     mean_pruning_efficiency: float = 0.0
     mean_entries_scanned: float = 0.0
     io: IOCounters = field(default_factory=IOCounters)
@@ -137,13 +141,13 @@ class BatchSummary:
 def summarise_stats(stats: Sequence[SearchStats]) -> BatchSummary:
     """Fold per-query stats into one :class:`BatchSummary`."""
     if not stats:
-        return BatchSummary(num_queries=0)
+        return BatchSummary(num_queries=0, guaranteed_optimal=None)
     io = IOCounters()
     for entry in stats:
         io.merge(entry.io)
     return BatchSummary(
         num_queries=len(stats),
-        total_transactions=stats[0].total_transactions,
+        total_transactions=max(s.total_transactions for s in stats),
         transactions_accessed=sum(s.transactions_accessed for s in stats),
         entries_scanned=sum(s.entries_scanned for s in stats),
         entries_pruned=sum(s.entries_pruned for s in stats),
@@ -154,6 +158,102 @@ def summarise_stats(stats: Sequence[SearchStats]) -> BatchSummary:
         ),
         mean_entries_scanned=float(np.mean([s.entries_scanned for s in stats])),
         io=io,
+    )
+
+
+@dataclass(frozen=True)
+class BatchKey:
+    """Normalised coalescing key for compatible queries.
+
+    Two requests whose keys compare equal can execute in the *same*
+    ``knn_batch`` / ``range_query_batch`` call without changing either
+    request's results — the key captures every parameter of the batch
+    methods that is shared across the whole batch.  The online
+    micro-batcher (:mod:`repro.service.batcher`) groups in-flight
+    requests by this key; :func:`batch_key` is the only constructor that
+    should be used, since it canonicalises the parameter types.
+
+    ``similarity`` is the canonical description string of the similarity
+    function (``name:repr``); the accompanying
+    :class:`~repro.core.similarity.SimilarityFunction` instance travels
+    next to the key (the key itself stays hashable and comparable).
+    """
+
+    op: str
+    similarity: str
+    k: Optional[int] = None
+    threshold: Optional[float] = None
+    early_termination: Optional[float] = None
+    guarantee_tolerance: Optional[float] = None
+    sort_by: Optional[str] = None
+
+
+#: Operations a :class:`BatchKey` can describe.
+BATCH_OPS = ("knn", "range")
+
+
+def similarity_key(similarity: SimilarityFunction) -> str:
+    """Canonical description of a similarity function for coalescing.
+
+    Two functions with equal keys are behaviourally identical (same class,
+    same constructor arguments), so their queries may share one batch.
+    """
+    return f"{similarity.name}:{similarity!r}"
+
+
+def batch_key(
+    op: str,
+    similarity: SimilarityFunction,
+    k: Optional[int] = None,
+    threshold: Optional[float] = None,
+    early_termination: Optional[float] = None,
+    guarantee_tolerance: Optional[float] = None,
+    sort_by: Optional[str] = "optimistic",
+) -> BatchKey:
+    """Build the normalised :class:`BatchKey` for one request.
+
+    Parameters are canonicalised (``k`` to ``int``, thresholds to
+    ``float``) so that e.g. ``k=5`` and ``k=5.0`` coalesce; parameters
+    that do not apply to ``op`` are rejected rather than silently
+    dropped, because a client passing them expects per-request effect.
+    """
+    if op not in BATCH_OPS:
+        raise ValueError(f"op must be one of {BATCH_OPS}, got {op!r}")
+    if op == "knn":
+        if threshold is not None:
+            raise ValueError("threshold only applies to op='range'")
+        k = 1 if k is None else int(k)
+        check_positive(k, "k")
+        if sort_by not in _SORT_MODES:
+            raise ValueError(
+                f"sort_by must be one of {_SORT_MODES}, got {sort_by!r}"
+            )
+        return BatchKey(
+            op="knn",
+            similarity=similarity_key(similarity),
+            k=k,
+            early_termination=(
+                None if early_termination is None else float(early_termination)
+            ),
+            guarantee_tolerance=(
+                None
+                if guarantee_tolerance is None
+                else float(guarantee_tolerance)
+            ),
+            sort_by=sort_by,
+        )
+    if threshold is None:
+        raise ValueError("op='range' requires a threshold")
+    for name, value in (
+        ("k", k),
+        ("early_termination", early_termination),
+        ("guarantee_tolerance", guarantee_tolerance),
+    ):
+        if value is not None:
+            raise ValueError(f"{name} does not apply to op='range'")
+    return BatchKey(
+        op="range", similarity=similarity_key(similarity),
+        threshold=float(threshold), sort_by=None,
     )
 
 
@@ -277,6 +377,41 @@ class QueryEngine:
         target_arrays = self._normalise(targets)
         kwargs = dict(similarity=similarity, threshold=float(threshold))
         return self._dispatch("_range_chunk", target_arrays, kwargs, workers)
+
+    def run_batch(
+        self,
+        key: BatchKey,
+        similarity: SimilarityFunction,
+        targets: Sequence[Iterable[int]],
+        workers: Optional[int] = None,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        """Execute one coalesced batch described by a :class:`BatchKey`.
+
+        ``similarity`` must be the instance whose
+        :func:`similarity_key` equals ``key.similarity`` — the key is
+        hashable metadata, the instance does the arithmetic.  This is the
+        engine-side hook the online micro-batcher dispatches through, so
+        coalesced service traffic runs the exact batch methods the
+        differential tests pin down.
+        """
+        if similarity_key(similarity) != key.similarity:
+            raise ValueError(
+                f"similarity {similarity_key(similarity)!r} does not match "
+                f"batch key {key.similarity!r}"
+            )
+        if key.op == "knn":
+            return self.knn_batch(
+                targets,
+                similarity,
+                k=key.k,
+                early_termination=key.early_termination,
+                guarantee_tolerance=key.guarantee_tolerance,
+                sort_by=key.sort_by,
+                workers=workers,
+            )
+        return self.range_query_batch(
+            targets, similarity, key.threshold, workers=workers
+        )
 
     # ------------------------------------------------------------------
     # Batch preparation
@@ -471,6 +606,41 @@ class ShardedQueryEngine:
     def workers(self) -> int:
         """The default worker count (parallelism is across shards)."""
         return self._workers
+
+    def run_batch(
+        self,
+        key: BatchKey,
+        similarity: SimilarityFunction,
+        targets: Sequence[Iterable[int]],
+        workers: Optional[int] = None,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        """Execute one coalesced batch described by a :class:`BatchKey`.
+
+        Mirrors :meth:`QueryEngine.run_batch` over the sharded index
+        (``guarantee_tolerance`` is not supported by the sharded merge
+        and must be ``None`` in the key).
+        """
+        if similarity_key(similarity) != key.similarity:
+            raise ValueError(
+                f"similarity {similarity_key(similarity)!r} does not match "
+                f"batch key {key.similarity!r}"
+            )
+        if key.op == "knn":
+            if key.guarantee_tolerance is not None:
+                raise ValueError(
+                    "guarantee_tolerance is not supported by the sharded engine"
+                )
+            return self.knn_batch(
+                targets,
+                similarity,
+                k=key.k,
+                early_termination=key.early_termination,
+                sort_by=key.sort_by,
+                workers=workers,
+            )
+        return self.range_query_batch(
+            targets, similarity, key.threshold, workers=workers
+        )
 
     # ------------------------------------------------------------------
     def _normalise(

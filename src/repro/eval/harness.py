@@ -686,3 +686,138 @@ def run_batch_throughput(
             },
         )
     return table
+
+
+# ----------------------------------------------------------------------
+# Closed-loop serving load (the online front door, repro.service)
+# ----------------------------------------------------------------------
+def run_service_load(
+    similarity_name: str,
+    ctx: ExperimentContext,
+    spec: Optional[str] = None,
+    num_signatures: Optional[int] = None,
+    k: int = 10,
+    concurrency_list: Sequence[int] = (1, 8, 32),
+    wait_ms_list: Sequence[float] = (2.0,),
+    max_batch_size: int = 64,
+    max_queue: int = 4096,
+    total_requests: Optional[int] = None,
+) -> ExperimentTable:
+    """Serving throughput/latency vs client concurrency and batch window.
+
+    Stands up a real :class:`~repro.service.server.QueryServer` (TCP, in
+    a background thread) over the memoised engine, then drives it with
+    closed-loop clients (:func:`repro.service.client.run_load`): each
+    client keeps exactly one request in flight, so offered concurrency
+    equals the number of clients.  The sequential baseline is the same
+    request sequence through :meth:`SignatureTableSearcher.knn` one call
+    at a time.
+
+    Every row *verifies the differential guarantee in-run*: each
+    response's neighbour list must be byte-identical to the batched
+    engine's direct answer for that query (which the PR 1 differential
+    suite pins to the single-query searcher), and a row only counts as
+    ``identical`` when every request completed (no rejections).
+    """
+    from repro.core.similarity import get_similarity
+    from repro.service.client import run_load
+    from repro.service.metrics import percentile
+    from repro.service.server import serve_in_background
+
+    spec = spec or ctx.profile["large_spec"]
+    num_signatures = num_signatures or ctx.profile["default_k"]
+    similarity = get_similarity(similarity_name)
+    engine = ctx.engine(spec, num_signatures)
+    queries = ctx.queries(spec)
+    requests = (
+        max(2 * len(queries), 64) if total_requests is None else int(total_requests)
+    )
+    expected, _ = engine.knn_batch(queries, similarity, k=k)
+
+    table = ExperimentTable(
+        title=(
+            f"Serving throughput vs concurrency — {similarity_name} "
+            f"({spec}, K={num_signatures}, k={k}, {requests} requests/row)"
+        ),
+        columns=[
+            "clients",
+            "max_wait_ms",
+            "req/sec",
+            "speedup",
+            "p50 ms",
+            "p99 ms",
+            "mean batch",
+            "rejected",
+            "identical",
+        ],
+        notes=ctx.notes(
+            [
+                f"similarity={similarity_name}",
+                f"max_batch_size={max_batch_size}",
+                "baseline: sequential single-query loop, same request mix",
+            ]
+        ),
+    )
+
+    sequence = [queries[i % len(queries)] for i in range(requests)]
+    started = time.perf_counter()
+    for target in sequence:
+        engine.searcher.knn(target, similarity, k=k)
+    base_elapsed = time.perf_counter() - started
+    base_qps = requests / base_elapsed
+    table.add_row(
+        clients=0,
+        **{
+            "max_wait_ms": 0.0,
+            "req/sec": base_qps,
+            "speedup": 1.0,
+            "p50 ms": 1000.0 * base_elapsed / requests,
+            "p99 ms": 1000.0 * base_elapsed / requests,
+            "mean batch": 1.0,
+            "rejected": 0,
+            "identical": "-",
+        },
+    )
+
+    for wait_ms in wait_ms_list:
+        for clients in concurrency_list:
+            handle = serve_in_background(
+                engine,
+                max_batch_size=max_batch_size,
+                max_wait_ms=wait_ms,
+                max_queue=max_queue,
+            )
+            host, port = handle.address
+            try:
+                result = run_load(
+                    host,
+                    port,
+                    queries,
+                    similarity=similarity_name,
+                    k=k,
+                    concurrency=clients,
+                    total_requests=requests,
+                )
+                identical = result.completed == len(result.records) and all(
+                    record.neighbors == expected[record.query_index]
+                    for record in result.records
+                    if record.error_code is None
+                )
+                mean_batch = handle.server.metrics.mean_batch_size()
+            finally:
+                handle.stop()
+            latencies = result.latencies_ms() or [float("nan")]
+            table.add_row(
+                clients=clients,
+                **{
+                    "max_wait_ms": float(wait_ms),
+                    "req/sec": result.qps,
+                    "speedup": result.qps / base_qps,
+                    "p50 ms": percentile(latencies, 0.50),
+                    "p99 ms": percentile(latencies, 0.99),
+                    "mean batch": mean_batch,
+                    "rejected": result.rejected,
+                    "identical": "yes" if identical else "NO",
+                },
+            )
+    return table

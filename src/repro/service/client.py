@@ -1,0 +1,292 @@
+"""Blocking client for the query service, plus a closed-loop load driver.
+
+:class:`ServiceClient` is the one-connection, one-outstanding-request
+client the CLI and the tests use: it speaks the NDJSON protocol of
+:mod:`repro.service.protocol` and raises :class:`ServiceError` with the
+server's structured code (``overloaded``, ``timeout``, ...) on
+rejection — callers can branch on backpressure explicitly.
+
+:func:`run_load` is the closed-loop load generator behind the serving
+benchmark and the CI smoke: ``concurrency`` threads each hold a
+connection and keep exactly one request in flight (issue, await, issue
+the next), which is how the dynamic micro-batcher sees coalescable
+concurrency.  It returns per-request neighbour lists so callers can
+verify byte-identical results against direct engine calls.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.search import Neighbor
+from repro.service.protocol import decode_neighbors, decode_response, encode_request
+
+
+class ServiceError(RuntimeError):
+    """A structured rejection from the server (code + message)."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+
+
+class ServiceClient:
+    """Blocking NDJSON client holding one TCP connection.
+
+    Usable as a context manager.  Each call sends one request and blocks
+    for its response; ``socket_timeout`` bounds the wait on the socket
+    itself (independent of the server-side ``timeout_ms`` deadline).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7807,
+        socket_timeout: Optional[float] = 60.0,
+    ) -> None:
+        self.host = host
+        self.port = int(port)
+        self._sock = socket.create_connection((host, self.port), timeout=socket_timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._next_id = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, message: Dict[str, object]) -> Dict[str, object]:
+        """Send one request dict; block for and return the response dict.
+
+        Fills in a fresh ``id`` when the message has none; raises
+        :class:`ServiceError` if the server answered ``ok: false``.
+        """
+        with self._lock:
+            if "id" not in message:
+                self._next_id += 1
+                message = dict(message, id=self._next_id)
+            self._sock.sendall(encode_request(message))
+            line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_response(line)
+        if not response["ok"]:
+            error = response.get("error") or {}
+            raise ServiceError(
+                str(error.get("code", "internal")),
+                str(error.get("message", "unknown server error")),
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def knn(
+        self,
+        items: Sequence[int],
+        similarity: str = "match_ratio",
+        k: int = 5,
+        early_termination: Optional[float] = None,
+        sort_by: str = "optimistic",
+        timeout_ms: Optional[float] = None,
+    ) -> Tuple[List[Neighbor], Dict[str, object]]:
+        """k-NN over the wire; returns (neighbours, per-query stats dict)."""
+        message: Dict[str, object] = {
+            "op": "knn",
+            "items": list(map(int, items)),
+            "similarity": similarity,
+            "k": int(k),
+            "sort_by": sort_by,
+        }
+        if early_termination is not None:
+            message["early_termination"] = float(early_termination)
+        if timeout_ms is not None:
+            message["timeout_ms"] = float(timeout_ms)
+        response = self.request(message)
+        return decode_neighbors(response["results"]), response["stats"]
+
+    def range_query(
+        self,
+        items: Sequence[int],
+        similarity: str,
+        threshold: float,
+        timeout_ms: Optional[float] = None,
+    ) -> Tuple[List[Neighbor], Dict[str, object]]:
+        """Range query (similarity >= threshold) over the wire."""
+        message: Dict[str, object] = {
+            "op": "range",
+            "items": list(map(int, items)),
+            "similarity": similarity,
+            "threshold": float(threshold),
+        }
+        if timeout_ms is not None:
+            message["timeout_ms"] = float(timeout_ms)
+        response = self.request(message)
+        return decode_neighbors(response["results"]), response["stats"]
+
+    def stats(self) -> Dict[str, object]:
+        """The server's live metrics snapshot plus index description."""
+        response = self.request({"op": "stats"})
+        return {"stats": response["stats"], "index": response.get("index", {})}
+
+    def ping(self) -> bool:
+        """Liveness probe; True when the server answers."""
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> bool:
+        """Ask the server to drain and exit gracefully."""
+        return bool(self.request({"op": "shutdown"}).get("draining"))
+
+
+def wait_ready(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> bool:
+    """Poll until a server answers ``ping`` at (host, port), or time out."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with ServiceClient(host, port, socket_timeout=interval * 10) as client:
+                if client.ping():
+                    return True
+        except (OSError, ConnectionError, ValueError):
+            time.sleep(interval)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Closed-loop load generation
+# ----------------------------------------------------------------------
+@dataclass
+class RequestRecord:
+    """Outcome of one load-generator request."""
+
+    query_index: int
+    latency_seconds: float
+    neighbors: Optional[List[Neighbor]] = None
+    error_code: Optional[str] = None
+
+
+@dataclass
+class LoadResult:
+    """Aggregate outcome of one :func:`run_load` run."""
+
+    concurrency: int
+    elapsed_seconds: float
+    records: List[RequestRecord] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        """Requests that returned results."""
+        return sum(1 for r in self.records if r.error_code is None)
+
+    @property
+    def rejected(self) -> int:
+        """Requests rejected with a structured error code."""
+        return sum(1 for r in self.records if r.error_code is not None)
+
+    @property
+    def qps(self) -> float:
+        """Completed requests per wall-clock second."""
+        return self.completed / max(self.elapsed_seconds, 1e-9)
+
+    def latencies_ms(self) -> List[float]:
+        """Sorted completed-request latencies in milliseconds."""
+        return sorted(
+            1000.0 * r.latency_seconds
+            for r in self.records
+            if r.error_code is None
+        )
+
+
+def run_load(
+    host: str,
+    port: int,
+    queries: Sequence[Sequence[int]],
+    similarity: str = "match_ratio",
+    k: int = 10,
+    threshold: Optional[float] = None,
+    early_termination: Optional[float] = None,
+    concurrency: int = 8,
+    total_requests: Optional[int] = None,
+    timeout_ms: Optional[float] = None,
+    socket_timeout: Optional[float] = 120.0,
+) -> LoadResult:
+    """Closed-loop burst: ``concurrency`` clients, one request in flight each.
+
+    Request ``i`` targets ``queries[i % len(queries)]`` (round-robin), so
+    any ``total_requests`` maps deterministically onto the query set and
+    results stay comparable with direct engine execution.  Rejections
+    (``overloaded``/``timeout``) are recorded per request, never raised.
+    """
+    if not queries:
+        raise ValueError("run_load needs at least one query")
+    total = len(queries) if total_requests is None else int(total_requests)
+    counter = {"next": 0}
+    counter_lock = threading.Lock()
+    records: List[Optional[RequestRecord]] = [None] * total
+
+    def worker() -> None:
+        with ServiceClient(host, port, socket_timeout=socket_timeout) as client:
+            while True:
+                with counter_lock:
+                    index = counter["next"]
+                    if index >= total:
+                        return
+                    counter["next"] = index + 1
+                query_index = index % len(queries)
+                items = queries[query_index]
+                started = time.monotonic()
+                try:
+                    if threshold is not None:
+                        neighbors, _ = client.range_query(
+                            items, similarity, threshold, timeout_ms=timeout_ms
+                        )
+                    else:
+                        neighbors, _ = client.knn(
+                            items,
+                            similarity,
+                            k=k,
+                            early_termination=early_termination,
+                            timeout_ms=timeout_ms,
+                        )
+                    records[index] = RequestRecord(
+                        query_index=query_index,
+                        latency_seconds=time.monotonic() - started,
+                        neighbors=neighbors,
+                    )
+                except ServiceError as exc:
+                    records[index] = RequestRecord(
+                        query_index=query_index,
+                        latency_seconds=time.monotonic() - started,
+                        error_code=exc.code,
+                    )
+
+    threads = [
+        threading.Thread(target=worker, name=f"repro-load-{i}", daemon=True)
+        for i in range(max(1, int(concurrency)))
+    ]
+    started = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.monotonic() - started
+    return LoadResult(
+        concurrency=max(1, int(concurrency)),
+        elapsed_seconds=elapsed,
+        records=[r for r in records if r is not None],
+    )

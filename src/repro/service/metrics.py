@@ -1,0 +1,203 @@
+"""Live serving metrics: counters, latency percentiles, batch shapes.
+
+One :class:`ServiceMetrics` instance is shared by the server, the
+micro-batcher and the admission controller.  Everything is cheap inline
+arithmetic — no background threads — and :meth:`ServiceMetrics.snapshot`
+renders the whole state as a JSON-safe dict, which is what the ``stats``
+endpoint returns to monitoring clients.
+
+Latency percentiles come from a bounded reservoir of the most recent
+completions (default 4096 samples) — recent-window quantiles, the usual
+serving-dashboard semantics — while the counters (requests, rejections,
+batches, the merged :class:`~repro.core.engine.BatchSummary`-style
+totals and :class:`~repro.storage.pages.IOCounters`) cover the whole
+process lifetime.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
+
+from repro.core.engine import BatchSummary
+from repro.storage.pages import IOCounters
+
+
+def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted, non-empty sample."""
+    if not sorted_samples:
+        raise ValueError("percentile of an empty sample")
+    rank = min(
+        len(sorted_samples) - 1,
+        max(0, int(round(fraction * (len(sorted_samples) - 1)))),
+    )
+    return float(sorted_samples[rank])
+
+
+class ServiceMetrics:
+    """Mutable metrics hub for one server instance.
+
+    Parameters
+    ----------
+    reservoir_size:
+        How many recent completions feed the latency percentiles and the
+        recent-QPS gauge.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        reservoir_size: int = 4096,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._clock = clock
+        self.started_at = clock()
+        # Lifetime counters.
+        self.received = 0
+        self.completed = 0
+        self.rejected_overload = 0
+        self.rejected_bad_request = 0
+        self.rejected_shutdown = 0
+        self.timeouts = 0
+        self.internal_errors = 0
+        self.batches = 0
+        self.batch_size_histogram: Counter = Counter()
+        # Merged engine-side totals (BatchSummary semantics).
+        self.queries_summarised = 0
+        self.total_transactions = 0
+        self.transactions_accessed = 0
+        self.entries_scanned = 0
+        self.entries_pruned = 0
+        self.terminated_early = 0
+        self.io = IOCounters()
+        # Recent completions: (completed_at, latency_seconds).
+        self._latencies: Deque[Tuple[float, float]] = deque(maxlen=reservoir_size)
+        # Gauge callback installed by the batcher.
+        self._queue_depth: Callable[[], int] = lambda: 0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def bind_queue_depth(self, gauge: Callable[[], int]) -> None:
+        """Install the live queue-depth gauge (called by the batcher)."""
+        self._queue_depth = gauge
+
+    def record_received(self) -> None:
+        """One request admitted into parsing (any op)."""
+        self.received += 1
+
+    def record_rejection(self, code: str) -> None:
+        """One request rejected with a structured error code."""
+        if code == "overloaded":
+            self.rejected_overload += 1
+        elif code == "shutting_down":
+            self.rejected_shutdown += 1
+        elif code == "timeout":
+            self.timeouts += 1
+        elif code == "internal":
+            self.internal_errors += 1
+        else:
+            self.rejected_bad_request += 1
+
+    def record_completion(self, latency_seconds: float) -> None:
+        """One query answered successfully."""
+        self.completed += 1
+        self._latencies.append((self._clock(), float(latency_seconds)))
+
+    def record_batch(self, summary: BatchSummary) -> None:
+        """One engine batch executed; fold in its merged stats."""
+        self.batches += 1
+        self.batch_size_histogram[summary.num_queries] += 1
+        self.queries_summarised += summary.num_queries
+        self.total_transactions = max(
+            self.total_transactions, summary.total_transactions
+        )
+        self.transactions_accessed += summary.transactions_accessed
+        self.entries_scanned += summary.entries_scanned
+        self.entries_pruned += summary.entries_pruned
+        self.terminated_early += summary.terminated_early
+        self.io.merge(summary.io)
+
+    # ------------------------------------------------------------------
+    # Derived gauges
+    # ------------------------------------------------------------------
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since the metrics hub (≈ the server) started."""
+        return max(1e-9, self._clock() - self.started_at)
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently queued or executing in the batcher."""
+        return int(self._queue_depth())
+
+    def latency_quantiles(self) -> Optional[Dict[str, float]]:
+        """Recent-window p50/p90/p99 latency in milliseconds."""
+        samples = sorted(latency for _, latency in self._latencies)
+        if not samples:
+            return None
+        return {
+            "p50_ms": 1000.0 * percentile(samples, 0.50),
+            "p90_ms": 1000.0 * percentile(samples, 0.90),
+            "p99_ms": 1000.0 * percentile(samples, 0.99),
+            "max_ms": 1000.0 * samples[-1],
+        }
+
+    def recent_qps(self, window_seconds: float = 10.0) -> float:
+        """Completions per second over the trailing window."""
+        if not self._latencies:
+            return 0.0
+        now = self._clock()
+        horizon = now - window_seconds
+        recent = sum(1 for at, _ in self._latencies if at >= horizon)
+        return recent / window_seconds
+
+    def mean_batch_size(self) -> float:
+        """Average coalesced batch size over the process lifetime."""
+        if not self.batches:
+            return 0.0
+        return self.queries_summarised / self.batches
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe view of everything (the ``stats`` endpoint payload)."""
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "requests": {
+                "received": self.received,
+                "completed": self.completed,
+                "in_flight": self.queue_depth,
+                "rejected_overload": self.rejected_overload,
+                "rejected_bad_request": self.rejected_bad_request,
+                "rejected_shutdown": self.rejected_shutdown,
+                "timeouts": self.timeouts,
+                "internal_errors": self.internal_errors,
+            },
+            "throughput": {
+                "lifetime_qps": self.completed / self.uptime_seconds,
+                "recent_qps": self.recent_qps(),
+            },
+            "latency": self.latency_quantiles(),
+            "batching": {
+                "batches": self.batches,
+                "mean_batch_size": self.mean_batch_size(),
+                # JSON object keys must be strings.
+                "size_histogram": {
+                    str(size): count
+                    for size, count in sorted(self.batch_size_histogram.items())
+                },
+            },
+            "engine": {
+                "queries": self.queries_summarised,
+                "total_transactions": self.total_transactions,
+                "transactions_accessed": self.transactions_accessed,
+                "entries_scanned": self.entries_scanned,
+                "entries_pruned": self.entries_pruned,
+                "terminated_early": self.terminated_early,
+                "transactions_read": self.io.transactions_read,
+                "pages_read": self.io.pages_read,
+                "seeks": self.io.seeks,
+            },
+        }

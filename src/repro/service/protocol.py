@@ -1,0 +1,216 @@
+"""Wire protocol of the query service: newline-delimited JSON over TCP.
+
+Each request is one JSON object on one line; each response is one JSON
+object on one line carrying the request's ``id`` (responses may arrive
+out of order — the micro-batcher completes requests as their batches
+finish).  Floats round-trip exactly (Python's ``json`` serialises the
+shortest ``repr`` that parses back to the same double), so similarity
+values received over the wire are *byte-identical* to direct
+:class:`~repro.core.engine.QueryEngine` calls.
+
+Requests
+--------
+``{"id": 1, "op": "knn", "items": [3, 17], "similarity": "match_ratio",
+"k": 5}`` — k-nearest-neighbour query.  Optional fields:
+``early_termination`` (fraction of the database), ``sort_by``
+(``optimistic``/``supercoordinate``), ``timeout_ms`` (per-request
+deadline).
+
+``{"id": 2, "op": "range", "items": [...], "similarity": "jaccard",
+"threshold": 0.4}`` — range query (similarity >= threshold).
+
+``{"id": 3, "op": "stats"}`` — live metrics snapshot (served inline,
+never batched).  ``{"op": "ping"}`` — liveness probe.  ``{"op":
+"shutdown"}`` — ask the server to drain and exit gracefully.
+
+Responses
+---------
+``{"id": 1, "ok": true, "results": [{"tid": 7, "similarity": 0.8},
+...], "stats": {...}}`` on success;
+``{"id": 1, "ok": false, "error": {"code": "overloaded", "message":
+"..."}}`` on failure.  Error codes are the :data:`ERROR_CODES`
+constants; ``overloaded`` and ``shutting_down`` are *expected* under
+load and clients should treat them as retryable backpressure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.engine import BatchKey, batch_key
+from repro.core.search import Neighbor, SearchStats
+from repro.core.similarity import (
+    SIMILARITY_FUNCTIONS,
+    SimilarityFunction,
+    get_similarity,
+)
+
+#: Request operations understood by the server.
+QUERY_OPS = ("knn", "range")
+CONTROL_OPS = ("stats", "ping", "shutdown")
+
+#: Structured error codes carried in ``error.code``.
+ERROR_CODES = (
+    "bad_request",     # malformed JSON / unknown op / invalid parameters
+    "overloaded",      # admission control rejected the request (retryable)
+    "timeout",         # the per-request deadline expired before completion
+    "shutting_down",   # server is draining; no new queries admitted
+    "internal",        # unexpected server-side failure
+)
+
+
+class ProtocolError(ValueError):
+    """A request that cannot be served, with a structured error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        assert code in ERROR_CODES, code
+        super().__init__(message)
+        self.code = code
+        self.message = message
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """A parsed, validated query request.
+
+    ``key`` is the normalised :class:`~repro.core.engine.BatchKey` the
+    micro-batcher coalesces on and ``similarity`` the shared function
+    instance; ``items`` is the target transaction.  ``timeout_ms`` is
+    the client-requested deadline (``None`` means the server default).
+    """
+
+    id: object
+    key: BatchKey
+    similarity: SimilarityFunction
+    items: List[int]
+    timeout_ms: Optional[float] = None
+
+
+def parse_request(line: str) -> Dict[str, object]:
+    """Decode one request line to a dict, or raise :class:`ProtocolError`."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            "bad_request", f"request must be a JSON object, got {type(message).__name__}"
+        )
+    op = message.get("op")
+    if op not in QUERY_OPS + CONTROL_OPS:
+        known = ", ".join(QUERY_OPS + CONTROL_OPS)
+        raise ProtocolError("bad_request", f"unknown op {op!r}; known: {known}")
+    return message
+
+
+def parse_query(message: Dict[str, object]) -> QueryRequest:
+    """Validate a ``knn``/``range`` request dict into a :class:`QueryRequest`."""
+    op = message["op"]
+    items = message.get("items")
+    if (
+        not isinstance(items, list)
+        or not items
+        or not all(isinstance(i, int) and not isinstance(i, bool) for i in items)
+    ):
+        raise ProtocolError(
+            "bad_request", "items must be a non-empty list of item ids"
+        )
+    name = message.get("similarity", "match_ratio")
+    if name not in SIMILARITY_FUNCTIONS:
+        known = ", ".join(sorted(SIMILARITY_FUNCTIONS))
+        raise ProtocolError(
+            "bad_request", f"unknown similarity {name!r}; known: {known}"
+        )
+    similarity = get_similarity(name)
+    timeout_ms = message.get("timeout_ms")
+    if timeout_ms is not None and (
+        not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0
+    ):
+        raise ProtocolError("bad_request", "timeout_ms must be a positive number")
+    try:
+        key = batch_key(
+            op,
+            similarity,
+            k=message.get("k"),
+            threshold=message.get("threshold"),
+            early_termination=message.get("early_termination"),
+            sort_by=message.get("sort_by", "optimistic") if op == "knn" else None,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError("bad_request", str(exc)) from None
+    return QueryRequest(
+        id=message.get("id"),
+        key=key,
+        similarity=similarity,
+        items=[int(i) for i in items],
+        timeout_ms=None if timeout_ms is None else float(timeout_ms),
+    )
+
+
+# ----------------------------------------------------------------------
+# Response encoding
+# ----------------------------------------------------------------------
+def encode_neighbors(neighbors: Sequence[Neighbor]) -> List[Dict[str, object]]:
+    """JSON-safe neighbour list (tid + exact round-tripping similarity)."""
+    return [
+        {"tid": int(nb.tid), "similarity": float(nb.similarity)}
+        for nb in neighbors
+    ]
+
+
+def decode_neighbors(payload: Sequence[Dict[str, object]]) -> List[Neighbor]:
+    """Inverse of :func:`encode_neighbors`."""
+    return [
+        Neighbor(tid=int(entry["tid"]), similarity=float(entry["similarity"]))
+        for entry in payload
+    ]
+
+
+def encode_search_stats(stats: SearchStats) -> Dict[str, object]:
+    """The per-query counters a monitoring client cares about."""
+    return {
+        "total_transactions": stats.total_transactions,
+        "transactions_accessed": stats.transactions_accessed,
+        "entries_scanned": stats.entries_scanned,
+        "entries_pruned": stats.entries_pruned,
+        "terminated_early": stats.terminated_early,
+        "guaranteed_optimal": stats.guaranteed_optimal,
+        "pages_read": stats.io.pages_read,
+        "seeks": stats.io.seeks,
+    }
+
+
+def ok_response(
+    request_id: object, payload: Optional[Dict[str, object]] = None
+) -> bytes:
+    """Encode a success response line (trailing newline included)."""
+    message: Dict[str, object] = {"id": request_id, "ok": True}
+    if payload:
+        message.update(payload)
+    return (json.dumps(message) + "\n").encode("utf-8")
+
+
+def error_response(request_id: object, code: str, message: str) -> bytes:
+    """Encode a structured failure response line."""
+    assert code in ERROR_CODES, code
+    body = {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    return (json.dumps(body) + "\n").encode("utf-8")
+
+
+def encode_request(message: Dict[str, object]) -> bytes:
+    """Encode a request dict as one wire line (client side)."""
+    return (json.dumps(message) + "\n").encode("utf-8")
+
+
+def decode_response(line: str) -> Dict[str, object]:
+    """Decode one response line (client side)."""
+    message = json.loads(line)
+    if not isinstance(message, dict) or "ok" not in message:
+        raise ValueError(f"malformed response line: {line!r}")
+    return message

@@ -1,0 +1,372 @@
+"""Asyncio TCP server keeping one query engine resident for many clients.
+
+:class:`QueryServer` accepts newline-delimited-JSON connections (see
+:mod:`repro.service.protocol`), funnels every ``knn``/``range`` request
+through the shared :class:`~repro.service.batcher.MicroBatcher`, and
+answers control operations inline:
+
+* ``stats`` — the live :class:`~repro.service.metrics.ServiceMetrics`
+  snapshot plus a description of the resident index;
+* ``ping`` — liveness;
+* ``shutdown`` — graceful drain (can be disabled with
+  ``allow_remote_shutdown=False`` when the socket is not trusted).
+
+Each connection's requests are served *concurrently*: the reader keeps
+pulling lines while earlier queries sit in the micro-batcher, so a
+single pipelining client already benefits from batching.  Responses
+carry the request ``id`` and may be written out of order.
+
+Graceful shutdown (:meth:`QueryServer.shutdown`) stops admitting new
+queries, drains every in-flight batch, flushes pending response writes,
+then closes the listening socket and all connections — no accepted
+request is ever silently dropped.
+
+:func:`serve_in_background` runs a server on a private event loop in a
+daemon thread — the harness, tests and benchmarks use it to stand up a
+real TCP server in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from repro.service.batcher import MicroBatcher
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    ProtocolError,
+    encode_search_stats,
+    encode_neighbors,
+    error_response,
+    ok_response,
+    parse_query,
+    parse_request,
+)
+
+
+class QueryServer:
+    """One resident engine, many concurrent NDJSON-over-TCP clients.
+
+    Parameters
+    ----------
+    engine:
+        :class:`~repro.core.engine.QueryEngine` or
+        :class:`~repro.core.engine.ShardedQueryEngine` (anything with
+        ``run_batch``).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see :attr:`address`).
+    max_batch_size, max_wait_ms, max_queue, default_timeout_ms:
+        Micro-batcher knobs, see
+        :class:`~repro.service.batcher.MicroBatcher`.
+    allow_remote_shutdown:
+        Whether the ``shutdown`` op is honoured (default True; the CI
+        smoke test and the closed-loop harness rely on it).
+    index_info:
+        Optional static description of the resident index, echoed in
+        the ``stats`` payload (e.g. dataset spec, K, num transactions).
+    """
+
+    def __init__(
+        self,
+        engine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch_size: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+        default_timeout_ms: float = 30_000.0,
+        allow_remote_shutdown: bool = True,
+        index_info: Optional[Dict[str, object]] = None,
+    ) -> None:
+        self._engine = engine
+        self._host = host
+        self._port = port
+        self.metrics = ServiceMetrics()
+        self._batcher_options = dict(
+            max_batch_size=max_batch_size,
+            max_wait_ms=max_wait_ms,
+            max_queue=max_queue,
+            default_timeout_ms=default_timeout_ms,
+        )
+        self.allow_remote_shutdown = bool(allow_remote_shutdown)
+        self.index_info = dict(index_info or {})
+        self.batcher: Optional[MicroBatcher] = None
+        self._server: Optional["asyncio.base_events.Server"] = None
+        self._request_tasks: set = set()
+        self._writers: set = set()
+        self._shutdown_started = False
+        self._shutdown_done: Optional["asyncio.Event"] = None
+        self._shutdown_task: Optional["asyncio.Task"] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0`` after start)."""
+        if self._server is None:
+            raise RuntimeError("server not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind the listening socket; returns the bound address."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self.batcher = MicroBatcher(
+            self._engine, metrics=self.metrics, **self._batcher_options
+        )
+        self._shutdown_done = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self._host, port=self._port
+        )
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until :meth:`shutdown` completes."""
+        if self._server is None:
+            await self.start()
+        await self._shutdown_done.wait()
+
+    async def wait_shutdown(self) -> None:
+        """Block until a graceful shutdown has completed."""
+        assert self._shutdown_done is not None, "server not started"
+        await self._shutdown_done.wait()
+
+    # ------------------------------------------------------------------
+    async def shutdown(self) -> None:
+        """Graceful drain: reject new queries, finish admitted ones, close.
+
+        Idempotent; concurrent callers all return once the drain is done.
+        """
+        assert self._shutdown_done is not None, "server not started"
+        if self._shutdown_started:
+            await self._shutdown_done.wait()
+            return
+        self._shutdown_started = True
+        # 1. Stop accepting connections; in-flight sockets stay open.
+        self._server.close()
+        # 2. Drain the batcher: new submissions now get `shutting_down`,
+        #    admitted queries run to completion.
+        await self.batcher.drain()
+        # 3. Let every pending response hit its socket.
+        while self._request_tasks:
+            await asyncio.gather(*list(self._request_tasks), return_exceptions=True)
+            await asyncio.sleep(0)  # let done-callbacks prune the task set
+        # 4. Tear the connections down.
+        for writer in list(self._writers):
+            writer.close()
+        await self._server.wait_closed()
+        self._shutdown_done.set()
+
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: "asyncio.StreamReader", writer: "asyncio.StreamWriter"
+    ) -> None:
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionResetError, asyncio.IncompleteReadError):
+                    break
+                if not line:
+                    break
+                text = line.decode("utf-8", errors="replace").strip()
+                if not text:
+                    continue
+                await self._handle_line(text, writer, write_lock)
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _handle_line(
+        self,
+        text: str,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+    ) -> None:
+        try:
+            message = parse_request(text)
+        except ProtocolError as exc:
+            self.metrics.record_rejection(exc.code)
+            await self._send(
+                writer, write_lock, error_response(None, exc.code, exc.message)
+            )
+            return
+        op = message["op"]
+        request_id = message.get("id")
+        if op == "ping":
+            await self._send(
+                writer, write_lock, ok_response(request_id, {"pong": True})
+            )
+            return
+        if op == "stats":
+            payload = {"stats": self.metrics.snapshot(), "index": self.index_info}
+            await self._send(writer, write_lock, ok_response(request_id, payload))
+            return
+        if op == "shutdown":
+            if not self.allow_remote_shutdown:
+                self.metrics.record_rejection("bad_request")
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_response(
+                        request_id, "bad_request", "remote shutdown is disabled"
+                    ),
+                )
+                return
+            await self._send(
+                writer, write_lock, ok_response(request_id, {"draining": True})
+            )
+            # Keep a strong reference: the loop only weak-refs its tasks.
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
+            return
+        # Query op: validated + batched, served by its own task so the
+        # reader keeps pulling concurrent requests off this connection.
+        self.metrics.record_received()
+        try:
+            request = parse_query(message)
+        except ProtocolError as exc:
+            self.metrics.record_rejection(exc.code)
+            await self._send(
+                writer,
+                write_lock,
+                error_response(request_id, exc.code, exc.message),
+            )
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._serve_query(request, writer, write_lock)
+        )
+        self._request_tasks.add(task)
+        task.add_done_callback(self._request_tasks.discard)
+
+    async def _serve_query(
+        self,
+        request,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+    ) -> None:
+        started = time.monotonic()
+        try:
+            results, stats = await self.batcher.submit(request)
+        except ProtocolError as exc:
+            self.metrics.record_rejection(exc.code)
+            response = error_response(request.id, exc.code, exc.message)
+        except Exception as exc:  # defensive: never kill the connection task
+            self.metrics.record_rejection("internal")
+            response = error_response(request.id, "internal", str(exc))
+        else:
+            self.metrics.record_completion(time.monotonic() - started)
+            response = ok_response(
+                request.id,
+                {
+                    "results": encode_neighbors(results),
+                    "stats": encode_search_stats(stats),
+                },
+            )
+        await self._send(writer, write_lock, response)
+
+    @staticmethod
+    async def _send(
+        writer: "asyncio.StreamWriter", write_lock: "asyncio.Lock", data: bytes
+    ) -> None:
+        if writer.is_closing():
+            return
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; nothing to deliver the response to
+
+
+# ----------------------------------------------------------------------
+# Background-thread harness
+# ----------------------------------------------------------------------
+class BackgroundServer:
+    """A :class:`QueryServer` running on its own event loop in a thread.
+
+    Construct through :func:`serve_in_background`.  ``address`` is the
+    live ``(host, port)``; :meth:`stop` triggers a graceful shutdown and
+    joins the thread (idempotent, and a no-op if a client already shut
+    the server down remotely).
+    """
+
+    def __init__(self) -> None:
+        self.address: Optional[Tuple[str, int]] = None
+        self.server: Optional[QueryServer] = None
+        self._loop: Optional["asyncio.AbstractEventLoop"] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    async def _amain(self, engine, options: Dict[str, object]) -> None:
+        try:
+            self.server = QueryServer(engine, **options)
+            self.address = await self.server.start()
+            self._loop = asyncio.get_running_loop()
+        except BaseException as exc:
+            self._startup_error = exc
+            raise
+        finally:
+            self._ready.set()
+        await self.server.wait_shutdown()
+
+    def _run(self, engine, options: Dict[str, object]) -> None:
+        asyncio.run(self._amain(engine, options))
+
+    @property
+    def running(self) -> bool:
+        """True while the server thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Gracefully shut the server down and join its thread."""
+        if self._loop is not None and not self._loop.is_closed():
+            def _trigger() -> None:
+                # Assign to keep a strong task reference until completion.
+                self._shutdown_task = asyncio.get_running_loop().create_task(
+                    self.server.shutdown()
+                )
+
+            try:
+                self._loop.call_soon_threadsafe(_trigger)
+            except RuntimeError:
+                pass  # loop already closed: remote shutdown beat us to it
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "BackgroundServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def serve_in_background(engine, **options) -> BackgroundServer:
+    """Start a :class:`QueryServer` in a daemon thread; returns its handle.
+
+    Blocks until the listening socket is bound, so ``handle.address`` is
+    immediately usable.  Keyword options are passed through to
+    :class:`QueryServer`.
+    """
+    handle = BackgroundServer()
+    thread = threading.Thread(
+        target=handle._run,
+        args=(engine, options),
+        name="repro-query-server",
+        daemon=True,
+    )
+    handle._thread = thread
+    thread.start()
+    handle._ready.wait()
+    if handle._startup_error is not None:
+        thread.join()
+        raise RuntimeError(
+            f"server failed to start: {handle._startup_error}"
+        ) from handle._startup_error
+    return handle

@@ -1,0 +1,158 @@
+"""Metrics hub tests: counters, quantiles, snapshot shape."""
+
+import json
+
+from repro.core.engine import BatchSummary, summarise_stats
+from repro.core.search import SearchStats
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.storage.pages import IOCounters
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_summary(num_queries=4, total=1000):
+    stats = [
+        SearchStats(total_transactions=total, transactions_accessed=10 + q)
+        for q in range(num_queries)
+    ]
+    return summarise_stats(stats)
+
+
+class TestPercentile:
+    def test_single_sample(self):
+        assert percentile([7.0], 0.5) == 7.0
+        assert percentile([7.0], 0.99) == 7.0
+
+    def test_median_and_tail(self):
+        samples = sorted(float(v) for v in range(1, 101))
+        assert percentile(samples, 0.5) == 51.0  # nearest rank of 100 samples
+        assert percentile(samples, 0.99) == 99.0
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_empty_raises(self):
+        try:
+            percentile([], 0.5)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - defensive
+            raise AssertionError("expected ValueError")
+
+
+class TestCounters:
+    def test_rejections_split_by_code(self):
+        metrics = ServiceMetrics()
+        for code in ("overloaded", "overloaded", "bad_request", "timeout",
+                     "shutting_down", "internal"):
+            metrics.record_rejection(code)
+        assert metrics.rejected_overload == 2
+        assert metrics.rejected_bad_request == 1
+        assert metrics.timeouts == 1
+        assert metrics.rejected_shutdown == 1
+        assert metrics.internal_errors == 1
+
+    def test_batches_fold_into_totals(self):
+        metrics = ServiceMetrics()
+        metrics.record_batch(make_summary(num_queries=4))
+        metrics.record_batch(make_summary(num_queries=2))
+        assert metrics.batches == 2
+        assert metrics.queries_summarised == 6
+        assert metrics.mean_batch_size() == 3.0
+        assert metrics.batch_size_histogram == {4: 1, 2: 1}
+        assert metrics.total_transactions == 1000
+
+    def test_queue_depth_gauge(self):
+        metrics = ServiceMetrics()
+        depth = {"value": 3}
+        metrics.bind_queue_depth(lambda: depth["value"])
+        assert metrics.queue_depth == 3
+        depth["value"] = 0
+        assert metrics.queue_depth == 0
+
+
+class TestLatency:
+    def test_quantiles_and_recent_qps(self):
+        clock = FakeClock()
+        metrics = ServiceMetrics(clock=clock)
+        for latency_ms in range(1, 101):
+            metrics.record_completion(latency_ms / 1000.0)
+        quantiles = metrics.latency_quantiles()
+        assert quantiles["p50_ms"] == 51.0
+        assert quantiles["p99_ms"] == 99.0
+        assert quantiles["max_ms"] == 100.0
+        # All 100 completions landed "now": the 10 s window sees them all.
+        assert metrics.recent_qps(window_seconds=10.0) == 10.0
+        clock.now += 60.0
+        assert metrics.recent_qps(window_seconds=10.0) == 0.0
+
+    def test_reservoir_is_bounded(self):
+        metrics = ServiceMetrics(reservoir_size=8)
+        for _ in range(100):
+            metrics.record_completion(0.001)
+        assert len(metrics._latencies) == 8
+
+    def test_no_latencies_is_none(self):
+        assert ServiceMetrics().latency_quantiles() is None
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_serialisable(self):
+        metrics = ServiceMetrics()
+        metrics.record_received()
+        metrics.record_completion(0.005)
+        metrics.record_batch(make_summary())
+        metrics.record_rejection("overloaded")
+        snapshot = json.loads(json.dumps(metrics.snapshot()))
+        assert snapshot["requests"]["completed"] == 1
+        assert snapshot["requests"]["rejected_overload"] == 1
+        assert snapshot["batching"]["size_histogram"] == {"4": 1}
+        assert snapshot["engine"]["queries"] == 4
+        assert snapshot["latency"]["p50_ms"] == 5.0
+
+    def test_empty_summary_has_no_effect_on_optimality_fields(self):
+        # The empty-batch summary carries guaranteed_optimal=None and
+        # must not poison the metrics totals.
+        metrics = ServiceMetrics()
+        metrics.record_batch(summarise_stats([]))
+        assert metrics.batches == 1
+        assert metrics.queries_summarised == 0
+        assert metrics.mean_batch_size() == 0.0
+
+    def test_io_counters_merge(self):
+        metrics = ServiceMetrics()
+        stats = SearchStats(total_transactions=10)
+        stats.io = IOCounters(transactions_read=5, pages_read=2, seeks=1)
+        metrics.record_batch(summarise_stats([stats]))
+        assert metrics.io.pages_read == 2
+        assert metrics.io.seeks == 1
+
+
+class TestBatchSummaryRegressions:
+    """Satellite regressions: empty batches and disagreeing stats."""
+
+    def test_empty_batch_is_not_vacuously_optimal(self):
+        summary = summarise_stats([])
+        assert summary.num_queries == 0
+        assert summary.guaranteed_optimal is None
+
+    def test_default_batchsummary_not_optimal(self):
+        assert BatchSummary(num_queries=0).guaranteed_optimal is None
+
+    def test_disagreeing_total_transactions_takes_max(self):
+        stats = [
+            SearchStats(total_transactions=100),
+            SearchStats(total_transactions=250),
+            SearchStats(total_transactions=50),
+        ]
+        assert summarise_stats(stats).total_transactions == 250
+
+    def test_non_empty_batch_keeps_boolean_semantics(self):
+        good = SearchStats(total_transactions=10, guaranteed_optimal=True)
+        bad = SearchStats(total_transactions=10, guaranteed_optimal=False)
+        assert summarise_stats([good, good]).guaranteed_optimal is True
+        assert summarise_stats([good, bad]).guaranteed_optimal is False

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 import repro
@@ -38,7 +40,7 @@ class TestParser:
     def test_subcommands_present(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ["generate", "stats", "build", "query"]:
+        for command in ["generate", "stats", "build", "query", "serve", "client"]:
             assert command in text
 
     def test_missing_command_errors(self):
@@ -340,6 +342,67 @@ class TestQueryBatch:
         )
         assert code == 2
         assert "no queries" in capsys.readouterr().err
+
+    def test_json_output_is_ndjson_on_stdout(
+        self, dataset_path, table_path, queries_path, capsys
+    ):
+        code = main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(queries_path),
+                "--similarity",
+                "jaccard",
+                "--k",
+                "2",
+                "--output",
+                "json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        lines = captured.out.splitlines()
+        assert len(lines) == 3  # one object per query, nothing else
+        for index, line in enumerate(lines):
+            record = json.loads(line)
+            assert record["query"] == index
+            assert isinstance(record["items"], list)
+            assert len(record["results"]) <= 2
+            for entry in record["results"]:
+                assert set(entry) == {"tid", "similarity"}
+        # The human summary moves to stderr so pipelines stay clean.
+        assert "queries/sec" in captured.err
+        assert "queries/sec" not in captured.out
+
+    def test_json_output_matches_library_results(
+        self, dataset_path, table_path, queries_path, capsys
+    ):
+        main(
+            [
+                "query-batch",
+                str(dataset_path),
+                str(table_path),
+                str(queries_path),
+                "--similarity",
+                "jaccard",
+                "--k",
+                "3",
+                "-o",
+                "json",
+            ]
+        )
+        lines = capsys.readouterr().out.splitlines()
+        db = repro.TransactionDatabase.load(str(dataset_path))
+        table = repro.SignatureTable.load(str(table_path))
+        engine = repro.QueryEngine.for_table(table, db)
+        queries = [json.loads(line)["items"] for line in lines]
+        expected, _ = engine.knn_batch(queries, repro.JaccardSimilarity(), k=3)
+        for line, want in zip(lines, expected):
+            got = json.loads(line)["results"]
+            assert got == [
+                {"tid": nb.tid, "similarity": nb.similarity} for nb in want
+            ]
 
 
 class TestExperiment:
