@@ -1,0 +1,198 @@
+"""Observability overhead: disabled tracing must be (near) free.
+
+Times the same batched k-NN workload three ways:
+
+* ``stubbed`` — the instrumentation hooks (``span`` /
+  ``current_tracer``) monkeypatched to constant no-ops, emulating the
+  uninstrumented engine (the pre-observability baseline);
+* ``disabled`` — the code as shipped with no active tracer, i.e. the
+  production default: one ``ContextVar.get`` + ``None`` check per
+  instrumentation point;
+* ``enabled`` — a :class:`~repro.obs.trace.Tracer` activated around
+  every batch, recording the full span tree.
+
+The acceptance bar is on the *disabled* path: best-of-reps wall time
+within ``5%`` of the stubbed baseline (reported as ``overhead %``).  The
+enabled path is reported for context but carries no bar — paying for
+spans when you ask for them is the deal.
+
+Runs two ways:
+
+* under pytest with the shared benchmark fixtures
+  (``pytest benchmarks/bench_obs_overhead.py``);
+* as a standalone script — ``python benchmarks/bench_obs_overhead.py``
+  (full scale) or ``--quick`` (CI smoke: small dataset, reports but does
+  not enforce the bar, seconds of runtime).
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (probe: is the package importable?)
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro
+
+from repro.core.engine import QueryEngine, batch_key
+from repro.core.similarity import MatchRatioSimilarity
+from repro.eval.reporting import ExperimentTable
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+FULL = dict(
+    spec="T10.I6.D10K", num_items=500, num_patterns=400,
+    signatures=10, batch=64, k=10, reps=7,
+)
+QUICK = dict(
+    spec="T5.I3.D2K", num_items=200, num_patterns=120,
+    signatures=8, batch=24, k=8, reps=3,
+)
+
+#: Maximum tolerated disabled-path overhead over the stubbed baseline.
+OVERHEAD_BAR_PERCENT = 5.0
+
+
+def build_engine(cfg):
+    db = repro.generate(
+        cfg["spec"], seed=7,
+        num_items=cfg["num_items"], num_patterns=cfg["num_patterns"],
+    )
+    scheme = repro.partition_items(
+        db, num_signatures=cfg["signatures"], rng=3
+    )
+    table = repro.SignatureTable.build(db, scheme)
+    searcher = repro.SignatureTableSearcher(table, db)
+    return QueryEngine(searcher), db
+
+
+def install_stubs():
+    """Short-circuit the instrumentation hooks; returns a restore()."""
+    import repro.core.builder as builder_mod
+    import repro.core.engine as engine_mod
+    import repro.core.partitioning as partitioning_mod
+    import repro.core.search as search_mod
+
+    saved = [
+        (engine_mod, "span"),
+        (engine_mod, "current_tracer"),
+        (search_mod, "current_tracer"),
+        (builder_mod, "span"),
+        (partitioning_mod, "span"),
+    ]
+    originals = [(mod, name, getattr(mod, name)) for mod, name in saved]
+
+    def stub_span(name, **attributes):
+        return NOOP_SPAN
+
+    def stub_tracer():
+        return None
+
+    for mod, name in saved:
+        setattr(mod, name, stub_span if name == "span" else stub_tracer)
+
+    def restore():
+        for mod, name, original in originals:
+            setattr(mod, name, original)
+
+    return restore
+
+
+def run(quick: bool = False):
+    """Execute the benchmark; returns (table, overhead_percent)."""
+    cfg = QUICK if quick else FULL
+    engine, db = build_engine(cfg)
+    similarity = MatchRatioSimilarity()
+    key = batch_key("knn", similarity, k=cfg["k"], sort_by="optimistic")
+    queries = [sorted(db[tid]) for tid in range(cfg["batch"])]
+
+    def run_disabled():
+        return engine.run_batch(key, similarity, queries)
+
+    def run_enabled():
+        tracer = Tracer()
+        with tracer.activate():
+            return engine.run_batch(key, similarity, queries)
+
+    def timed(fn):
+        started = time.perf_counter()
+        fn()
+        return time.perf_counter() - started
+
+    run_disabled()  # warm caches before any timing
+    times = {"stubbed": [], "disabled": [], "enabled": []}
+    # Interleave modes within each rep so drift hits all three equally.
+    for _ in range(cfg["reps"]):
+        restore = install_stubs()
+        try:
+            times["stubbed"].append(timed(run_disabled))
+        finally:
+            restore()
+        times["disabled"].append(timed(run_disabled))
+        times["enabled"].append(timed(run_enabled))
+
+    best = {mode: min(samples) for mode, samples in times.items()}
+    overhead = {
+        mode: 100.0 * (best[mode] - best["stubbed"]) / best["stubbed"]
+        for mode in ("disabled", "enabled")
+    }
+
+    table = ExperimentTable(
+        title="Observability overhead on the batched k-NN workload",
+        columns=["mode", "best ms", "queries/sec", "overhead %"],
+        notes=[
+            f"spec={cfg['spec']}, batch={cfg['batch']}, k={cfg['k']}, "
+            f"best of {cfg['reps']} reps",
+            "stubbed = instrumentation hooks no-op'd (uninstrumented "
+            "baseline); disabled = shipped default; enabled = full span "
+            "recording",
+            f"bar: disabled overhead < {OVERHEAD_BAR_PERCENT:g}%",
+        ],
+    )
+    for mode in ("stubbed", "disabled", "enabled"):
+        table.add_row(
+            **{
+                "mode": mode,
+                "best ms": 1000.0 * best[mode],
+                "queries/sec": cfg["batch"] / best[mode],
+                "overhead %": overhead.get(mode, 0.0),
+            }
+        )
+    return table, overhead["disabled"]
+
+
+def test_disabled_tracing_overhead(emit):
+    table, overhead = run(quick=False)
+    emit(table, "obs_overhead")
+    assert overhead < OVERHEAD_BAR_PERCENT, (
+        f"disabled-path observability overhead {overhead:.2f}% exceeds "
+        f"the {OVERHEAD_BAR_PERCENT:g}% bar"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke run (CI): reports overhead, skips the bar",
+    )
+    args = parser.parse_args(argv)
+    table, overhead = run(quick=args.quick)
+    results = Path(__file__).resolve().parent.parent / "results"
+    table.save(results, "obs_overhead")
+    print(table.to_text())
+    if not args.quick and overhead >= OVERHEAD_BAR_PERCENT:
+        print(
+            f"FAIL: disabled overhead {overhead:.2f}% is above the "
+            f"{OVERHEAD_BAR_PERCENT:g}% bar"
+        )
+        return 1
+    mode = "quick smoke" if args.quick else "full"
+    print(f"PASS ({mode}): disabled overhead {overhead:+.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,11 +12,17 @@ The subcommands cover the full life cycle without writing Python:
 * ``repro query-batch`` — run a whole file of queries through the batched
   :class:`~repro.core.engine.QueryEngine`, optionally across worker
   processes (``--output json`` emits one JSON object per query).
+* ``repro explain`` — run one query with full observability: an
+  entry-by-entry branch-and-bound report (why each signature-table entry
+  was scanned or pruned, the bound trajectory, the termination reason)
+  plus the span tree (see :mod:`repro.obs`).
 * ``repro serve`` — keep a table resident and serve concurrent clients
   over the newline-delimited-JSON TCP protocol with dynamic
   micro-batching (see :mod:`repro.service`).
 * ``repro client`` — talk to a running server: ping, stats, graceful
   shutdown, a query file, or a closed-loop load burst.
+* ``repro metrics`` — fetch a running server's metric registry in
+  Prometheus text or JSON exposition.
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -151,6 +157,71 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.obs import SearchTrace, Tracer, render_explain
+    from repro.service.protocol import encode_neighbors, encode_search_stats
+
+    db = _load_database(args.database)
+    table = SignatureTable.load(args.table)
+    searcher = SignatureTableSearcher(table, db)
+    similarity = get_similarity(args.similarity)
+    target = [int(token) for token in args.items]
+
+    trace = SearchTrace()
+    tracer = Tracer(correlation_id="explain")
+    with tracer.activate():
+        if args.threshold is not None:
+            results, stats = searcher.multi_range_query(
+                target,
+                [(similarity, args.threshold)],
+                search_trace=trace,
+            )
+        else:
+            results, stats = searcher.knn(
+                target,
+                similarity,
+                k=args.k,
+                early_termination=args.early_termination,
+                sort_by=args.sort_by,
+                search_trace=trace,
+            )
+
+    if args.output == "json":
+        print(
+            json.dumps(
+                {
+                    "explain": trace.to_dict(),
+                    "spans": tracer.to_dicts(),
+                    "results": encode_neighbors(results[: args.k]),
+                    "stats": encode_search_stats(stats),
+                }
+            )
+        )
+        return 0
+    print(render_explain(trace, max_events=args.max_events))
+    if results:
+        print("top results:")
+        for rank, neighbor in enumerate(results[: args.k], start=1):
+            print(
+                f"  #{rank:<3d} tid={neighbor.tid:<8d} "
+                f"{args.similarity}={neighbor.similarity:.4f}"
+            )
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port) as client:
+        payload = client.metrics(args.format)
+    if args.format == "prometheus":
+        # Exposition text already ends with a newline.
+        sys.stdout.write(str(payload))
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _read_queries(path: str) -> List[List[int]]:
     """Read one query transaction per line (space-separated item ids)."""
     if path == "-":
@@ -196,13 +267,17 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
         # the human summary moves to stderr so pipelines stay clean.
         from repro.service.protocol import encode_neighbors
 
-        for index, (query, neighbors) in enumerate(zip(queries, results)):
+        for index, (query, neighbors, stat) in enumerate(
+            zip(queries, results, stats)
+        ):
             print(
                 json.dumps(
                     {
                         "query": index,
                         "items": query,
                         "results": encode_neighbors(neighbors[: args.k]),
+                        "latency_ms": 1000.0 * stat.elapsed_seconds,
+                        "entries_scanned": stat.entries_scanned,
                     }
                 )
             )
@@ -249,10 +324,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     db = _load_database(args.database)
     table = SignatureTable.load(args.table)
     engine = QueryEngine.for_table(table, db, workers=args.workers)
+    logger = None
+    if args.log_json:
+        from repro.obs import JsonLogger
+
+        logger = JsonLogger("server", enabled=True)
     server = QueryServer(
         engine,
         host=args.host,
         port=args.port,
+        logger=logger,
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         max_queue=args.max_queue,
@@ -546,6 +627,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_batch.set_defaults(func=_cmd_query_batch)
 
+    p_explain = subparsers.add_parser(
+        "explain",
+        help="run one query with a branch-and-bound explain report",
+    )
+    p_explain.add_argument("database", help="dataset path (.npz or .txt)")
+    p_explain.add_argument("table", help="signature-table path (.npz)")
+    p_explain.add_argument(
+        "items", nargs="+", help="target transaction as item ids"
+    )
+    p_explain.add_argument(
+        "--similarity",
+        "-s",
+        default="match_ratio",
+        choices=sorted(SIMILARITY_FUNCTIONS),
+    )
+    p_explain.add_argument("--k", type=int, default=5)
+    p_explain.add_argument(
+        "--early-termination",
+        type=float,
+        default=None,
+        help="stop after this fraction of the data (e.g. 0.02)",
+    )
+    p_explain.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="explain a range query with this threshold instead of k-NN",
+    )
+    p_explain.add_argument(
+        "--sort-by",
+        default="optimistic",
+        choices=["optimistic", "supercoordinate"],
+        help="entry scan order for k-NN (default optimistic)",
+    )
+    p_explain.add_argument(
+        "--max-events",
+        type=int,
+        default=None,
+        help="cap the per-entry rows in the human report",
+    )
+    p_explain.add_argument(
+        "--output",
+        "-o",
+        choices=["human", "json"],
+        default="human",
+        help="human-readable report (default) or one JSON object with "
+        "the explain record, span tree, results and stats",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_metrics = subparsers.add_parser(
+        "metrics", help="fetch a running server's metric registry"
+    )
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, default=7807)
+    p_metrics.add_argument(
+        "--format",
+        "-f",
+        choices=["json", "prometheus"],
+        default="prometheus",
+        help="exposition format (default prometheus)",
+    )
+    p_metrics.set_defaults(func=_cmd_metrics)
+
     p_serve = subparsers.add_parser(
         "serve",
         help="serve a table to concurrent clients (NDJSON over TCP)",
@@ -591,6 +736,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-remote-shutdown",
         action="store_true",
         help="refuse the protocol-level 'shutdown' op",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs (one object per line, with "
+        "correlation ids) on stderr",
     )
     p_serve.set_defaults(func=_cmd_serve)
 

@@ -28,6 +28,7 @@ from repro.core.signature import SignatureScheme
 from repro.core.similarity import SimilarityFunction
 from repro.core.table import SignatureTable
 from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.obs.trace import span
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_fraction
 
@@ -65,26 +66,32 @@ def build_index(
     :func:`repro.core.partitioning.partition_items`).
     """
     started = time.perf_counter()
-    if scheme is None:
-        scheme = partition_items(
-            db,
-            num_signatures=num_signatures,
-            critical_mass=critical_mass,
-            activation_threshold=activation_threshold,
-            min_support=min_support,
-            max_transactions=max_transactions,
-            rng=rng,
+    with span("builder.build_index", num_transactions=len(db)) as build_span:
+        if scheme is None:
+            scheme = partition_items(
+                db,
+                num_signatures=num_signatures,
+                critical_mass=critical_mass,
+                activation_threshold=activation_threshold,
+                min_support=min_support,
+                max_transactions=max_transactions,
+                rng=rng,
+            )
+        elif num_signatures is not None or critical_mass is not None:
+            raise ValueError(
+                "pass either a prebuilt scheme or partitioning knobs, not both"
+            )
+        with span("builder.table_build"):
+            index = MarketBasketIndex(
+                db,
+                scheme,
+                page_size=page_size,
+                auto_compact_fraction=auto_compact_fraction,
+            )
+        build_span.set_attribute("num_signatures", scheme.num_signatures)
+        build_span.set_attribute(
+            "occupied_entries", index.table.num_entries_occupied
         )
-    elif num_signatures is not None or critical_mass is not None:
-        raise ValueError(
-            "pass either a prebuilt scheme or partitioning knobs, not both"
-        )
-    index = MarketBasketIndex(
-        db,
-        scheme,
-        page_size=page_size,
-        auto_compact_fraction=auto_compact_fraction,
-    )
     index._build_seconds = time.perf_counter() - started
     return index
 
@@ -181,6 +188,10 @@ class MarketBasketIndex:
         """Merge the delta into a freshly built table (TIDs are preserved)."""
         if not self._delta:
             return
+        with span("builder.compact", delta_size=len(self._delta)):
+            self._compact()
+
+    def _compact(self) -> None:
         old_items, old_indptr = self._db.csr()
         delta_sizes = np.fromiter(
             (a.size for a in self._delta), dtype=np.int64, count=len(self._delta)

@@ -60,6 +60,7 @@ from repro.core.sharded import ShardedSignatureIndex
 from repro.core.similarity import SimilarityFunction
 from repro.core.table import SignatureTable
 from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.obs.trace import current_tracer, span
 from repro.storage.buffer import BufferPool
 from repro.storage.pages import IOCounters
 from repro.utils.validation import check_positive
@@ -399,19 +400,34 @@ class QueryEngine:
                 f"similarity {similarity_key(similarity)!r} does not match "
                 f"batch key {key.similarity!r}"
             )
-        if key.op == "knn":
-            return self.knn_batch(
-                targets,
-                similarity,
-                k=key.k,
-                early_termination=key.early_termination,
-                guarantee_tolerance=key.guarantee_tolerance,
-                sort_by=key.sort_by,
-                workers=workers,
-            )
-        return self.range_query_batch(
-            targets, similarity, key.threshold, workers=workers
+        pool = self._searcher.buffer_pool
+        pool_before = (
+            pool.stats.copy()
+            if pool is not None and current_tracer() is not None
+            else None
         )
+        with span(
+            "engine.run_batch", op=key.op, batch_size=len(targets)
+        ) as batch_span:
+            if key.op == "knn":
+                out = self.knn_batch(
+                    targets,
+                    similarity,
+                    k=key.k,
+                    early_termination=key.early_termination,
+                    guarantee_tolerance=key.guarantee_tolerance,
+                    sort_by=key.sort_by,
+                    workers=workers,
+                )
+            else:
+                out = self.range_query_batch(
+                    targets, similarity, key.threshold, workers=workers
+                )
+            if pool_before is not None:
+                batch_span.set_attribute(
+                    "buffer", pool.stats.delta(pool_before).as_dict()
+                )
+        return out
 
     # ------------------------------------------------------------------
     # Batch preparation
@@ -460,8 +476,9 @@ class QueryEngine:
         scheme = searcher.table.scheme
         bits = searcher.table.bits_matrix
         bound_sims = [similarity.bind(t.size) for t in target_arrays]
-        calculator = BatchBoundCalculator(scheme, target_arrays)
-        opts = calculator.optimistic_similarity(bits, bound_sims)
+        with span("engine.bound_matrix", entries=int(bits.shape[0])):
+            calculator = BatchBoundCalculator(scheme, target_arrays)
+            opts = calculator.optimistic_similarity(bits, bound_sims)
         orders: List[Optional[np.ndarray]]
         if sort_by == "optimistic":
             order_matrix = np.argsort(-opts, axis=1, kind="stable")
@@ -481,7 +498,8 @@ class QueryEngine:
                 orders.append(np.argsort(-keys, kind="stable"))
         else:
             orders = [None] * len(target_arrays)
-        sims = self._batch_similarities(target_arrays, bound_sims)
+        with span("engine.precompute_sims"):
+            sims = self._batch_similarities(target_arrays, bound_sims)
         # One (tids, pages) cache for the whole batch: entry contents are
         # query-independent, so each entry is resolved at most once.
         entry_reads: dict = {}
@@ -509,7 +527,8 @@ class QueryEngine:
         guarantee_tolerance: Optional[float],
         sort_by: str,
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
-        prepared = self._prepare_batch(target_arrays, similarity, sort_by)
+        with span("engine.prepare_batch", batch_size=len(target_arrays)):
+            prepared = self._prepare_batch(target_arrays, similarity, sort_by)
         results: List[List[Neighbor]] = []
         stats: List[SearchStats] = []
         for items, prep in zip(target_arrays, prepared):
@@ -532,7 +551,8 @@ class QueryEngine:
         similarity: SimilarityFunction,
         threshold: float,
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
-        prepared = self._prepare_batch(target_arrays, similarity, None)
+        with span("engine.prepare_batch", batch_size=len(target_arrays)):
+            prepared = self._prepare_batch(target_arrays, similarity, None)
         results: List[List[Neighbor]] = []
         stats: List[SearchStats] = []
         for items, prep in zip(target_arrays, prepared):
@@ -566,9 +586,16 @@ class QueryEngine:
         if count <= 1:
             return getattr(self, method)(target_arrays, **kwargs)
         chunks = _chunk_bounds(len(target_arrays), count)
-        parts = _fork_map(
-            (self, method, target_arrays, kwargs), _run_target_chunk, chunks
-        )
+        # Forked workers run untraced (spans never cross the process
+        # boundary); the fan-out span records the sharding instead.
+        with span(
+            "engine.fan_out",
+            workers=len(chunks),
+            chunk_sizes=[stop - start for start, stop in chunks],
+        ):
+            parts = _fork_map(
+                (self, method, target_arrays, kwargs), _run_target_chunk, chunks
+            )
         results: List = []
         stats: List[SearchStats] = []
         for chunk_results, chunk_stats in parts:

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.data.transaction import TransactionDatabase
 from repro.mining.support import count_pair_supports
+from repro.obs.trace import span
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.unionfind import UnionFind
 from repro.utils.validation import check_fraction, check_positive
@@ -242,9 +243,13 @@ def partition_items(
         raise PartitioningError("cannot partition an empty universe")
 
     if graph is None:
-        graph = correlation_graph(
-            db, min_support=min_support, max_transactions=max_transactions, rng=rng
-        )
+        with span("partition.correlation_graph") as graph_span:
+            graph = correlation_graph(
+                db, min_support=min_support,
+                max_transactions=max_transactions, rng=rng,
+            )
+            graph_span.set_attribute("num_items", graph.num_items)
+            graph_span.set_attribute("num_edges", graph.num_edges)
     if num_signatures is not None:
         check_positive(num_signatures, "num_signatures")
         if num_signatures > db.universe_size:
@@ -257,21 +262,36 @@ def partition_items(
         check_fraction(critical_mass, "critical_mass")
         effective_critical_mass = float(critical_mass)
 
-    signatures = single_linkage_partition(
-        graph.item_supports, graph.pairs, graph.distances, effective_critical_mass
-    )
+    with span(
+        "partition.single_linkage", critical_mass=effective_critical_mass
+    ) as linkage_span:
+        signatures = single_linkage_partition(
+            graph.item_supports, graph.pairs, graph.distances,
+            effective_critical_mass,
+        )
+        linkage_span.set_attribute("raw_signatures", len(signatures))
 
     if num_signatures is not None:
-        masses = [
-            float(sum(graph.item_supports[item] for item in sig))
-            for sig in signatures
-        ]
-        if len(signatures) > num_signatures:
-            _merge_smallest(signatures, masses, num_signatures)
-        elif len(signatures) < num_signatures:
-            _split_largest(
-                signatures, masses, graph.item_supports, num_signatures
-            )
+        raw_count = len(signatures)
+        with span(
+            "partition.adjust", raw=raw_count, target=num_signatures
+        ) as adjust_span:
+            masses = [
+                float(sum(graph.item_supports[item] for item in sig))
+                for sig in signatures
+            ]
+            if raw_count > num_signatures:
+                _merge_smallest(signatures, masses, num_signatures)
+                adjust_span.set_attribute(
+                    "merge_rounds", raw_count - num_signatures
+                )
+            elif raw_count < num_signatures:
+                _split_largest(
+                    signatures, masses, graph.item_supports, num_signatures
+                )
+                adjust_span.set_attribute(
+                    "split_rounds", num_signatures - raw_count
+                )
 
     return SignatureScheme(
         signatures,

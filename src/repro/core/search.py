@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -41,6 +42,8 @@ from repro.core.bounds import BoundCalculator
 from repro.core.similarity import SimilarityFunction
 from repro.core.table import SignatureTable
 from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.obs.search_trace import SearchTrace
+from repro.obs.trace import current_tracer
 from repro.storage.buffer import BufferPool
 from repro.storage.pages import IOCounters
 from repro.utils.validation import check_fraction, check_positive
@@ -78,6 +81,9 @@ class SearchStats:
     guaranteed_optimal: bool = True
     best_possible_remaining: float = -math.inf
     io: IOCounters = field(default_factory=IOCounters)
+    # Wall-clock scan time.  Excluded from equality so the differential
+    # tests can keep asserting full-stats identity across execution paths.
+    elapsed_seconds: float = field(default=0.0, compare=False)
 
     @property
     def access_fraction(self) -> float:
@@ -294,6 +300,7 @@ class SignatureTableSearcher:
         guarantee_tolerance: Optional[float] = None,
         sort_by: str = "optimistic",
         prepared: Optional[PreparedQuery] = None,
+        search_trace: Optional[SearchTrace] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """k-nearest-neighbour search (Section 4.3 generalisation).
 
@@ -318,8 +325,15 @@ class SignatureTableSearcher:
             similarities), normally supplied by the batched
             :class:`~repro.core.engine.QueryEngine`.  Must have been
             computed for this exact target/similarity/sort order.
+        search_trace:
+            Optional :class:`~repro.obs.search_trace.SearchTrace` that
+            records, entry by entry, why the scan visited or pruned each
+            signature-table entry (the query-explain facility).  Tracing
+            never changes results or stats — the differential tests pin
+            byte-identical output with and without it.
         """
         check_positive(k, "k")
+        started_s = time.perf_counter()
         if prepared is not None and prepared.order is not None:
             target_items = prepared.target_items
             bound_sim = prepared.bound_sim
@@ -350,6 +364,16 @@ class SignatureTableSearcher:
         # supercoordinate order only the individual entry may be skipped.
         sorted_by_bound = sort_by == "optimistic"
 
+        trace = search_trace
+        if trace is not None and not trace.query:
+            trace.query = {
+                "op": "knn",
+                "k": k,
+                "target_items": int(target_items.size),
+                "sort_by": sort_by,
+                "entries_total": int(order.size),
+            }
+
         rank = 0
         num_entries = order.size
         while rank < num_entries:
@@ -363,8 +387,20 @@ class SignatureTableSearcher:
             if len(heap) >= k and opt_entry <= pessimistic:
                 if sorted_by_bound:
                     stats.entries_pruned = num_entries - rank
+                    if trace is not None:
+                        trace.record_prune_tail(
+                            rank, num_entries - rank, opt_entry, pessimistic
+                        )
                     break
                 stats.entries_pruned += 1
+                if trace is not None:
+                    trace.record_prune(
+                        rank,
+                        entry,
+                        int(self.table.entry_codes[entry]),
+                        opt_entry,
+                        pessimistic,
+                    )
                 rank += 1
                 continue
             if (
@@ -376,9 +412,19 @@ class SignatureTableSearcher:
                 stats.entries_unexplored = num_entries - rank
                 stats.best_possible_remaining = roof
                 stats.guaranteed_optimal = roof <= pessimistic
+                if trace is not None:
+                    trace.record_unexplored(
+                        rank, num_entries - rank, "guarantee_tolerance",
+                        best_possible=roof, pessimistic=pessimistic,
+                    )
                 break
             if budget is not None and stats.transactions_accessed >= budget:
                 self._record_cutoff(stats, roof, num_entries - rank, pessimistic)
+                if trace is not None:
+                    trace.record_unexplored(
+                        rank, num_entries - rank, "budget",
+                        best_possible=roof, pessimistic=pessimistic,
+                    )
                 break
 
             tids, entry_pages = self._entry_read(entry, reads)
@@ -401,15 +447,31 @@ class SignatureTableSearcher:
             stats.transactions_accessed += int(take.size)
             stats.entries_scanned += 1
 
+            pessimistic_before = pessimistic
             self._update_heap(heap, k, sims, take)
             if len(heap) >= k:
                 pessimistic = heap[0][0]
+            if trace is not None:
+                trace.record_scan(
+                    rank,
+                    entry,
+                    int(self.table.entry_codes[entry]),
+                    opt_entry,
+                    pessimistic_before,
+                    pessimistic,
+                    int(take.size),
+                )
 
             if truncated:
                 self._record_cutoff(
                     stats, roof, num_entries - rank - 1, pessimistic,
                     partial_entry=True,
                 )
+                if trace is not None:
+                    trace.record_unexplored(
+                        rank, num_entries - rank, "budget_partial_entry",
+                        best_possible=roof, pessimistic=pessimistic,
+                    )
                 break
             rank += 1
 
@@ -417,6 +479,21 @@ class SignatureTableSearcher:
             (Neighbor(tid=-negative_tid, similarity=value) for value, negative_tid in heap),
             key=lambda nb: (-nb.similarity, nb.tid),
         )
+        stats.elapsed_seconds = time.perf_counter() - started_s
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.record(
+                "search.knn",
+                started_s,
+                time.perf_counter(),
+                k=k,
+                entries_scanned=stats.entries_scanned,
+                entries_pruned=stats.entries_pruned,
+                entries_unexplored=stats.entries_unexplored,
+                transactions_accessed=stats.transactions_accessed,
+                terminated_early=stats.terminated_early,
+                guaranteed_optimal=stats.guaranteed_optimal,
+            )
         return neighbors, stats
 
     def range_query(
@@ -437,6 +514,7 @@ class SignatureTableSearcher:
         target: Iterable[int],
         constraints: Sequence[Tuple[SimilarityFunction, float]],
         prepared: Optional[Sequence[PreparedQuery]] = None,
+        search_trace: Optional[SearchTrace] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """Conjunctive range query over several similarity functions.
 
@@ -448,10 +526,12 @@ class SignatureTableSearcher:
 
         ``prepared`` optionally supplies one :class:`PreparedQuery` per
         constraint (bounds + precomputed similarities), as produced by the
-        batched :class:`~repro.core.engine.QueryEngine`.
+        batched :class:`~repro.core.engine.QueryEngine`.  ``search_trace``
+        optionally records why each entry was scanned or pruned.
         """
         if not constraints:
             raise ValueError("constraints must be non-empty")
+        started_s = time.perf_counter()
         if prepared is not None:
             if len(prepared) != len(constraints):
                 raise ValueError(
@@ -474,12 +554,14 @@ class SignatureTableSearcher:
 
         bits = self.table.bits_matrix
         keep = np.ones(self.table.num_entries_occupied, dtype=bool)
+        per_constraint_opts: List[np.ndarray] = []
         for index, threshold in enumerate(thresholds):
             opts = (
                 opts_list[index]
                 if opts_list is not None
                 else calculator.optimistic_similarity(bits, bound_sims[index])
             )
+            per_constraint_opts.append(opts)
             keep &= opts >= threshold
 
         if prepared is not None:
@@ -497,9 +579,33 @@ class SignatureTableSearcher:
 
         stats = self._new_stats()
         stats.entries_pruned = int((~keep).sum())
+        trace = search_trace
+        if trace is not None:
+            if not trace.query:
+                trace.query = {
+                    "op": "range",
+                    "constraints": len(constraints),
+                    "thresholds": thresholds,
+                    "target_items": int(target_items.size),
+                    "entries_total": int(keep.size),
+                }
+            for position, entry in enumerate(np.nonzero(~keep)[0]):
+                entry = int(entry)
+                # Explain the prune with the first constraint that failed.
+                for index, threshold in enumerate(thresholds):
+                    bound = float(per_constraint_opts[index][entry])
+                    if bound < threshold:
+                        break
+                trace.record_prune(
+                    position,
+                    entry,
+                    int(self.table.entry_codes[entry]),
+                    bound,
+                    threshold,
+                )
         page_cache: set = set()
         results: List[Neighbor] = []
-        for entry in np.nonzero(keep)[0]:
+        for scan_rank, entry in enumerate(np.nonzero(keep)[0]):
             tids, entry_pages = self._entry_read(int(entry), reads)
             if self._count_io:
                 if entry_pages is not None:
@@ -522,6 +628,22 @@ class SignatureTableSearcher:
             satisfied = np.ones(tids.size, dtype=bool)
             for values, threshold in zip(per_function, thresholds):
                 satisfied &= np.asarray(values) >= threshold
+            if trace is not None:
+                entry_index = int(entry)
+                trace.record_scan(
+                    scan_rank,
+                    entry_index,
+                    int(self.table.entry_codes[entry_index]),
+                    float(
+                        min(
+                            per_constraint_opts[i][entry_index]
+                            for i in range(len(thresholds))
+                        )
+                    ),
+                    thresholds[0],
+                    thresholds[0],
+                    int(tids.size),
+                )
             for position in np.nonzero(satisfied)[0]:
                 results.append(
                     Neighbor(
@@ -530,6 +652,19 @@ class SignatureTableSearcher:
                     )
                 )
         results.sort(key=lambda nb: (-nb.similarity, nb.tid))
+        stats.elapsed_seconds = time.perf_counter() - started_s
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.record(
+                "search.range",
+                started_s,
+                time.perf_counter(),
+                constraints=len(constraints),
+                entries_scanned=stats.entries_scanned,
+                entries_pruned=stats.entries_pruned,
+                transactions_accessed=stats.transactions_accessed,
+                results=len(results),
+            )
         return results, stats
 
     def multi_target_range_query(

@@ -807,14 +807,20 @@ def run_service_load(
             finally:
                 handle.stop()
             latencies = result.latencies_ms() or [float("nan")]
+
+            # percentile() reports None below two samples; tables want NaN.
+            def _pct(fraction: float) -> float:
+                value = percentile(latencies, fraction)
+                return float("nan") if value is None else value
+
             table.add_row(
                 clients=clients,
                 **{
                     "max_wait_ms": float(wait_ms),
                     "req/sec": result.qps,
                     "speedup": result.qps / base_qps,
-                    "p50 ms": percentile(latencies, 0.50),
-                    "p99 ms": percentile(latencies, 0.99),
+                    "p50 ms": _pct(0.50),
+                    "p99 ms": _pct(0.99),
                     "mean batch": mean_batch,
                     "rejected": result.rejected,
                     "identical": "yes" if identical else "NO",

@@ -1,0 +1,136 @@
+"""Structured JSON logging with context-propagated correlation ids.
+
+One log line is one JSON object — ``ts`` (unix seconds), ``level``,
+``component``, ``event``, ``correlation_id`` (when one is active or bound)
+and any extra fields the call site supplies.  The TCP server assigns a
+correlation id per request and installs it with
+:func:`with_correlation_id`; the batcher and engine log through their own
+:class:`JsonLogger` instances, and because the id rides a
+:class:`~contextvars.ContextVar`, their lines join up without any of them
+passing ids around explicitly.
+
+Loggers are cheap and unconfigured by default (``enabled=False`` drops
+every line), so library code can log unconditionally and only the service
+entry points decide whether lines reach a stream.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from contextvars import ContextVar
+from typing import IO, Optional
+
+_CORRELATION_ID: "ContextVar[Optional[str]]" = ContextVar(
+    "repro_obs_correlation_id", default=None
+)
+
+_LEVELS = ("debug", "info", "warning", "error")
+
+
+def current_correlation_id() -> Optional[str]:
+    """The correlation id bound in this context, or ``None``."""
+    return _CORRELATION_ID.get()
+
+
+class with_correlation_id:
+    """Context manager binding a correlation id for the current context.
+
+    ::
+
+        with with_correlation_id(request_id):
+            await batcher.submit(request)   # every log line carries the id
+    """
+
+    __slots__ = ("_value", "_token")
+
+    def __init__(self, value: Optional[str]):
+        self._value = value
+        self._token = None
+
+    def __enter__(self) -> Optional[str]:
+        self._token = _CORRELATION_ID.set(self._value)
+        return self._value
+
+    def __exit__(self, *exc_info) -> None:
+        _CORRELATION_ID.reset(self._token)
+
+
+class JsonLogger:
+    """Line-oriented JSON logger for one component.
+
+    Parameters
+    ----------
+    component:
+        Name stamped on every line (``"server"``, ``"batcher"``, ...).
+    stream:
+        Where lines go; defaults to ``sys.stderr``.  A single lock
+        serialises writes so concurrent coroutines/threads never
+        interleave half-lines.
+    enabled:
+        When ``False`` (the default) every call is a cheap no-op, so
+        library code can log unconditionally.
+    min_level:
+        Lines below this level are dropped.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        stream: Optional[IO[str]] = None,
+        enabled: bool = False,
+        min_level: str = "debug",
+    ):
+        if min_level not in _LEVELS:
+            raise ValueError(f"unknown log level {min_level!r}")
+        self.component = component
+        self.enabled = enabled
+        self._stream = stream
+        self._min_index = _LEVELS.index(min_level)
+        self._lock = threading.Lock()
+
+    def child(self, component: str) -> "JsonLogger":
+        """A logger for a sub-component sharing this logger's settings."""
+        logger = JsonLogger(
+            component,
+            stream=self._stream,
+            enabled=self.enabled,
+            min_level=_LEVELS[self._min_index],
+        )
+        logger._lock = self._lock
+        return logger
+
+    def log(self, level: str, event: str, **fields: object) -> None:
+        if not self.enabled:
+            return
+        if _LEVELS.index(level) < self._min_index:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        correlation_id = _CORRELATION_ID.get()
+        if correlation_id is not None:
+            record["correlation_id"] = correlation_id
+        if fields:
+            record.update(fields)
+        line = json.dumps(record, separators=(",", ":"), default=str)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._lock:
+            stream.write(line + "\n")
+
+    def debug(self, event: str, **fields: object) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: object) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: object) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: object) -> None:
+        self.log("error", event, **fields)

@@ -1,0 +1,468 @@
+"""Lock-safe metric registry with Prometheus-text and JSON exposition.
+
+A :class:`MetricRegistry` holds metric *families* — :class:`Counter`,
+:class:`Gauge` and :class:`Histogram` — each optionally split by a fixed
+set of label names.  Families are created idempotently (asking twice for
+the same name returns the same family, asking with a different type or
+label set raises), children are created on demand via
+:meth:`_MetricFamily.labels`, and every mutation takes the family lock so
+the registry is safe to share between the asyncio event loop, the
+batcher's executor thread and any background scraper.
+
+Exposition comes in two formats:
+
+* :meth:`MetricRegistry.to_prometheus_text` — the Prometheus text format
+  (``# HELP`` / ``# TYPE`` preamble, one sample per line, histogram
+  ``_bucket``/``_sum``/``_count`` expansion) ready for a scrape endpoint;
+* :meth:`MetricRegistry.to_json` — a JSON-safe nested dict, what the
+  service's ``metrics`` control op returns with ``format: "json"``.
+
+:func:`parse_prometheus_text` is the matching (subset) parser; the test
+suite and the CI smoke use it to validate that the exposition round-trips.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds-flavoured, like Prometheus client).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ValueError(f"invalid metric name {name!r}")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _render_labels(
+    labelnames: Sequence[str], labelvalues: Sequence[str]
+) -> str:
+    if not labelnames:
+        return ""
+    parts = ", ".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + parts + "}"
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, family: "_MetricFamily", labelvalues: Tuple[str, ...]):
+        self._family = family
+        self._labelvalues = labelvalues
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Increase the counter (``amount`` must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counters cannot decrease (amount={amount})")
+        with self._family.lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """The current total."""
+        with self._family.lock:
+            return self._value
+
+    def _samples(self) -> List[Tuple[str, Tuple[str, ...], float]]:
+        return [("", self._labelvalues, self._value)]
+
+    def _json_value(self) -> object:
+        return self._value
+
+
+class Gauge:
+    """A value that can go up and down, or be computed by a callback."""
+
+    kind = "gauge"
+
+    def __init__(self, family: "_MetricFamily", labelvalues: Tuple[str, ...]):
+        self._family = family
+        self._labelvalues = labelvalues
+        self._value = 0.0
+        self._callback: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        """Set the gauge to an explicit value."""
+        with self._family.lock:
+            self._callback = None
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._family.lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, callback: Callable[[], float]) -> None:
+        """Compute the gauge on demand (e.g. live queue depth)."""
+        with self._family.lock:
+            self._callback = callback
+
+    @property
+    def value(self) -> float:
+        with self._family.lock:
+            if self._callback is not None:
+                return float(self._callback())
+            return self._value
+
+    def _samples(self) -> List[Tuple[str, Tuple[str, ...], float]]:
+        return [("", self._labelvalues, self.value)]
+
+    def _json_value(self) -> object:
+        return self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``observe(v)`` adds ``v`` to every bucket whose upper bound is >= v,
+    plus the implicit ``+Inf`` bucket, ``_sum`` and ``_count``.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        family: "_MetricFamily",
+        labelvalues: Tuple[str, ...],
+        buckets: Sequence[float],
+    ):
+        self._family = family
+        self._labelvalues = labelvalues
+        self._bounds = tuple(buckets)
+        self._bucket_counts = [0] * (len(self._bounds) + 1)  # + the +Inf bucket
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        with self._family.lock:
+            self._sum += value
+            self._count += 1
+            for index, bound in enumerate(self._bounds):
+                if value <= bound:
+                    self._bucket_counts[index] += 1
+                    return
+            self._bucket_counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        """Total number of observations."""
+        with self._family.lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of all observed values."""
+        with self._family.lock:
+            return self._sum
+
+    def _samples(self) -> List[Tuple[str, Tuple[str, ...], float]]:
+        samples: List[Tuple[str, Tuple[str, ...], float]] = []
+        cumulative = 0
+        for bound, bucket in zip(self._bounds, self._bucket_counts):
+            cumulative += bucket
+            samples.append(
+                (
+                    "_bucket",
+                    self._labelvalues + (_format_value(bound),),
+                    float(cumulative),
+                )
+            )
+        cumulative += self._bucket_counts[-1]
+        samples.append(
+            ("_bucket", self._labelvalues + ("+Inf",), float(cumulative))
+        )
+        samples.append(("_sum", self._labelvalues, self._sum))
+        samples.append(("_count", self._labelvalues, float(self._count)))
+        return samples
+
+    def _json_value(self) -> object:
+        with self._family.lock:
+            buckets = {}
+            cumulative = 0
+            for bound, bucket in zip(self._bounds, self._bucket_counts):
+                cumulative += bucket
+                buckets[_format_value(bound)] = cumulative
+            buckets["+Inf"] = cumulative + self._bucket_counts[-1]
+            return {"sum": self._sum, "count": self._count, "buckets": buckets}
+
+
+_CHILD_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _MetricFamily:
+    """All children of one metric name, split by label values."""
+
+    def __init__(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Tuple[str, ...],
+        buckets: Optional[Sequence[float]] = None,
+    ):
+        self.name = _check_name(name)
+        self.kind = kind
+        self.help = help
+        self.labelnames = labelnames
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        if kind == "histogram":
+            bounds = self.buckets if self.buckets is not None else DEFAULT_BUCKETS
+            if list(bounds) != sorted(bounds):
+                raise ValueError("histogram buckets must be sorted ascending")
+            self.buckets = tuple(bounds)
+        if not labelnames:
+            # Label-less families act directly as their single child.
+            self._default = self.labels()
+
+    def labels(self, **labelvalues: str):
+        """The child for one combination of label values (created lazily)."""
+        if set(labelvalues) != set(self.labelnames):
+            raise ValueError(
+                f"metric {self.name!r} requires labels {self.labelnames}, "
+                f"got {tuple(sorted(labelvalues))}"
+            )
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        with self.lock:
+            child = self._children.get(key)
+            if child is None:
+                if self.kind == "histogram":
+                    child = Histogram(self, key, self.buckets)
+                else:
+                    child = _CHILD_TYPES[self.kind](self, key)
+                self._children[key] = child
+        return child
+
+    # Label-less convenience: family proxies its single child.
+    def __getattr__(self, item):
+        if not self.labelnames and item in (
+            "inc", "dec", "set", "set_function", "observe",
+            "value", "count", "sum",
+        ):
+            return getattr(self._default, item)
+        raise AttributeError(item)
+
+    def children(self) -> Dict[Tuple[str, ...], object]:
+        with self.lock:
+            return dict(self._children)
+
+
+class MetricRegistry:
+    """A named collection of metric families with exposition."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: "Dict[str, _MetricFamily]" = {}
+
+    # ------------------------------------------------------------------
+    def _family(
+        self,
+        name: str,
+        kind: str,
+        help: str,
+        labelnames: Sequence[str],
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _MetricFamily:
+        labelnames = tuple(labelnames)
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.labelnames != labelnames:
+                    raise ValueError(
+                        f"metric {name!r} already registered as "
+                        f"{family.kind} with labels {family.labelnames}"
+                    )
+                return family
+            family = _MetricFamily(name, kind, help, labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> _MetricFamily:
+        """Create (or fetch) a counter family."""
+        return self._family(name, "counter", help, labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> _MetricFamily:
+        """Create (or fetch) a gauge family."""
+        return self._family(name, "gauge", help, labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> _MetricFamily:
+        """Create (or fetch) a histogram family."""
+        return self._family(name, "histogram", help, labelnames, buckets)
+
+    def families(self) -> List[_MetricFamily]:
+        """All registered families, sorted by name."""
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+    def to_prometheus_text(self) -> str:
+        """Render every metric in the Prometheus text exposition format."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for labelvalues, child in sorted(family.children().items()):
+                for suffix, values, sample in child._samples():
+                    if family.kind == "histogram" and suffix == "_bucket":
+                        names = family.labelnames + ("le",)
+                    else:
+                        names = family.labelnames
+                    lines.append(
+                        f"{family.name}{suffix}"
+                        f"{_render_labels(names, values)} "
+                        f"{_format_value(sample)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe dump: name -> {type, help, samples}."""
+        payload: Dict[str, object] = {}
+        for family in self.families():
+            samples = []
+            for labelvalues, child in sorted(family.children().items()):
+                samples.append(
+                    {
+                        "labels": dict(zip(family.labelnames, labelvalues)),
+                        "value": child._json_value(),
+                    }
+                )
+            payload[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return payload
+
+
+# ----------------------------------------------------------------------
+# Exposition parser (test / smoke validation)
+# ----------------------------------------------------------------------
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)\s*$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def parse_prometheus_text(
+    text: str,
+) -> Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float]:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    ``labels`` is a sorted tuple of ``(label, value)`` pairs.  Raises
+    :class:`ValueError` on malformed lines, type lines with unknown
+    metric kinds, or samples whose metric never had a ``# TYPE``.  This
+    is a validation-grade subset parser for the test suite and CI smoke,
+    not a full scrape client.
+    """
+    typed: Dict[str, str] = {}
+    samples: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], float] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) != 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: malformed TYPE line {raw!r}")
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {raw!r}")
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            raise ValueError(f"line {lineno}: sample {name!r} has no TYPE")
+        labels: List[Tuple[str, str]] = []
+        raw_labels = match.group("labels")
+        if raw_labels:
+            for pair in _LABEL_PAIR_RE.finditer(raw_labels):
+                value = pair.group(2)
+                value = (
+                    value.replace(r"\n", "\n")
+                    .replace(r"\"", '"')
+                    .replace(r"\\", "\\")
+                )
+                labels.append((pair.group(1), value))
+            if re.sub(r"[,\s]", "", _LABEL_PAIR_RE.sub("", raw_labels)):
+                raise ValueError(
+                    f"line {lineno}: malformed labels {raw_labels!r}"
+                )
+        raw_value = match.group("value")
+        if raw_value == "+Inf":
+            value = math.inf
+        elif raw_value == "-Inf":
+            value = -math.inf
+        else:
+            try:
+                value = float(raw_value)
+            except ValueError:
+                raise ValueError(
+                    f"line {lineno}: malformed value {raw_value!r}"
+                ) from None
+        samples[(name, tuple(sorted(labels)))] = value
+    return samples

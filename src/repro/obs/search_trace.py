@@ -1,0 +1,301 @@
+"""Query-explain: why each signature-table entry was scanned or pruned.
+
+A :class:`SearchTrace` is handed to
+:meth:`~repro.core.search.SignatureTableSearcher.knn` (or
+``multi_range_query``) and filled by the branch-and-bound loop itself, so
+the record is exact, not a re-derivation: every scanned entry appears
+with the optimistic bound that ordered it and the pessimistic bound
+before/after folding its candidates in, prunes appear with the bound
+comparison that justified them, and the termination reason is whichever
+exit the scan actually took.
+
+The per-entry counts reconcile with :class:`~repro.core.search.SearchStats`
+by construction (``scanned_entries == stats.entries_scanned`` etc.), and
+the explain tests pin that down.
+
+:func:`render_explain` turns a trace into the human-readable report the
+``repro explain`` CLI prints; :meth:`SearchTrace.to_dict` is the JSON
+shape (``--output json`` and programmatic consumers).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Termination reasons a scan can record.
+TERMINATIONS = (
+    "exhausted",            # every entry scanned or individually pruned
+    "pruned_tail",          # sorted-by-bound scan hit the first prunable entry
+    "guarantee_tolerance",  # best candidate within tolerance of every bound
+    "budget",               # early-termination transaction budget exhausted
+    "budget_partial_entry", # budget ran out midway through an entry
+)
+
+
+def _fmt(value: float) -> str:
+    if value == -math.inf:
+        return "-inf"
+    return f"{value:.4f}"
+
+
+@dataclass
+class EntryEvent:
+    """One decision of the scan loop about one table entry (or a tail).
+
+    ``action`` is ``"scanned"``, ``"pruned"`` (individual entry skipped
+    under the supercoordinate order), ``"pruned_tail"`` (every remaining
+    entry pruned at once under the bound-sorted order; ``count`` entries)
+    or ``"unexplored"`` (left behind by an early termination; ``count``
+    entries).  Bounds are ``None`` where they do not apply.
+    """
+
+    action: str
+    rank: int
+    count: int = 1
+    entry: Optional[int] = None
+    code: Optional[int] = None
+    optimistic: Optional[float] = None
+    pessimistic_before: Optional[float] = None
+    pessimistic_after: Optional[float] = None
+    transactions: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "action": self.action,
+            "rank": self.rank,
+            "count": self.count,
+        }
+        if self.entry is not None:
+            payload["entry"] = self.entry
+        if self.code is not None:
+            payload["supercoordinate"] = format(self.code, "b")
+        if self.optimistic is not None:
+            payload["optimistic_bound"] = self.optimistic
+        if self.pessimistic_before is not None and math.isfinite(
+            self.pessimistic_before
+        ):
+            payload["pessimistic_before"] = self.pessimistic_before
+        if self.pessimistic_after is not None and math.isfinite(
+            self.pessimistic_after
+        ):
+            payload["pessimistic_after"] = self.pessimistic_after
+        if self.transactions:
+            payload["transactions"] = self.transactions
+        return payload
+
+
+@dataclass
+class SearchTrace:
+    """Entry-by-entry record of one branch-and-bound search.
+
+    Create one and pass it as ``search_trace=`` to the searcher; the
+    query runs exactly as without it (the differential tests pin
+    byte-identical results) while every scan/prune decision is recorded.
+    """
+
+    query: Dict[str, object] = field(default_factory=dict)
+    events: List[EntryEvent] = field(default_factory=list)
+    termination: str = "exhausted"
+
+    # ------------------------------------------------------------------
+    # Recording (called by the scan loop)
+    # ------------------------------------------------------------------
+    def record_scan(
+        self,
+        rank: int,
+        entry: int,
+        code: int,
+        optimistic: float,
+        pessimistic_before: float,
+        pessimistic_after: float,
+        transactions: int,
+    ) -> None:
+        self.events.append(
+            EntryEvent(
+                action="scanned",
+                rank=rank,
+                entry=entry,
+                code=code,
+                optimistic=optimistic,
+                pessimistic_before=pessimistic_before,
+                pessimistic_after=pessimistic_after,
+                transactions=transactions,
+            )
+        )
+
+    def record_prune(
+        self, rank: int, entry: int, code: int, optimistic: float,
+        pessimistic: float,
+    ) -> None:
+        self.events.append(
+            EntryEvent(
+                action="pruned",
+                rank=rank,
+                entry=entry,
+                code=code,
+                optimistic=optimistic,
+                pessimistic_before=pessimistic,
+            )
+        )
+
+    def record_prune_tail(
+        self, rank: int, count: int, optimistic: float, pessimistic: float
+    ) -> None:
+        self.events.append(
+            EntryEvent(
+                action="pruned_tail",
+                rank=rank,
+                count=count,
+                optimistic=optimistic,
+                pessimistic_before=pessimistic,
+            )
+        )
+        self.termination = "pruned_tail"
+
+    def record_unexplored(
+        self, rank: int, count: int, reason: str,
+        best_possible: Optional[float] = None,
+        pessimistic: Optional[float] = None,
+    ) -> None:
+        if reason not in TERMINATIONS:
+            raise ValueError(f"unknown termination reason {reason!r}")
+        self.events.append(
+            EntryEvent(
+                action="unexplored",
+                rank=rank,
+                count=count,
+                optimistic=best_possible,
+                pessimistic_before=pessimistic,
+            )
+        )
+        self.termination = reason
+
+    # ------------------------------------------------------------------
+    # Reconciliation with SearchStats
+    # ------------------------------------------------------------------
+    @property
+    def scanned_entries(self) -> int:
+        return sum(1 for e in self.events if e.action == "scanned")
+
+    @property
+    def pruned_entries(self) -> int:
+        return sum(
+            e.count for e in self.events
+            if e.action in ("pruned", "pruned_tail")
+        )
+
+    @property
+    def unexplored_entries(self) -> int:
+        return sum(e.count for e in self.events if e.action == "unexplored")
+
+    @property
+    def transactions_accessed(self) -> int:
+        return sum(e.transactions for e in self.events)
+
+    def bound_trajectory(self) -> List[Dict[str, float]]:
+        """The (optimistic, pessimistic-after) sequence over scanned entries."""
+        return [
+            {
+                "rank": e.rank,
+                "optimistic": e.optimistic,
+                "pessimistic": e.pessimistic_after,
+            }
+            for e in self.events
+            if e.action == "scanned"
+        ]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe report (the ``repro explain --output json`` payload)."""
+        return {
+            "query": dict(self.query),
+            "termination": self.termination,
+            "entries": {
+                "scanned": self.scanned_entries,
+                "pruned": self.pruned_entries,
+                "unexplored": self.unexplored_entries,
+            },
+            "transactions_accessed": self.transactions_accessed,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+
+_TERMINATION_TEXT = {
+    "exhausted": "scanned or pruned every occupied entry",
+    "pruned_tail": "optimistic bound fell below the pessimistic bound "
+    "(every remaining entry provably worse)",
+    "guarantee_tolerance": "best candidate within the requested tolerance "
+    "of every unexplored entry's bound",
+    "budget": "early-termination transaction budget exhausted",
+    "budget_partial_entry": "early-termination budget exhausted inside an "
+    "entry (partial scan)",
+}
+
+
+def render_explain(trace: SearchTrace, max_events: Optional[int] = None) -> str:
+    """Human-readable explain report for one traced query."""
+    lines: List[str] = []
+    if trace.query:
+        described = ", ".join(
+            f"{key}={value}" for key, value in trace.query.items()
+        )
+        lines.append(f"query: {described}")
+    lines.append(
+        f"entries: {trace.scanned_entries} scanned, "
+        f"{trace.pruned_entries} pruned, "
+        f"{trace.unexplored_entries} unexplored "
+        f"({trace.transactions_accessed} transactions accessed)"
+    )
+    lines.append(
+        f"termination: {trace.termination} — "
+        f"{_TERMINATION_TEXT.get(trace.termination, trace.termination)}"
+    )
+    lines.append(
+        "scan trace (rank, supercoordinate, optimistic, pessimistic, action):"
+    )
+    events = trace.events
+    shown = events if max_events is None else events[:max_events]
+    for event in shown:
+        code = (
+            f"0b{event.code:b}" if event.code is not None else "—"
+        )
+        opt = _fmt(event.optimistic) if event.optimistic is not None else "—"
+        if event.action == "scanned":
+            pess = (
+                _fmt(event.pessimistic_after)
+                if event.pessimistic_after is not None
+                else "—"
+            )
+            lines.append(
+                f"  {event.rank:>4d}  {code:<14s} opt={opt:<8s} "
+                f"pess={pess:<8s} scanned ({event.transactions} txns)"
+            )
+        elif event.action == "pruned":
+            pess = (
+                _fmt(event.pessimistic_before)
+                if event.pessimistic_before is not None
+                else "—"
+            )
+            lines.append(
+                f"  {event.rank:>4d}  {code:<14s} opt={opt:<8s} "
+                f"pess={pess:<8s} pruned (bound cannot beat k-th best)"
+            )
+        elif event.action == "pruned_tail":
+            pess = (
+                _fmt(event.pessimistic_before)
+                if event.pessimistic_before is not None
+                else "—"
+            )
+            lines.append(
+                f"  {event.rank:>4d}  {'(tail)':<14s} opt={opt:<8s} "
+                f"pess={pess:<8s} pruned {event.count} remaining entries"
+            )
+        else:  # unexplored
+            lines.append(
+                f"  {event.rank:>4d}  {'(tail)':<14s} opt={opt:<8s} "
+                f"{'':<13s} left {event.count} entries unexplored"
+            )
+    if max_events is not None and len(events) > max_events:
+        lines.append(f"  ... {len(events) - max_events} more events")
+    return "\n".join(lines)

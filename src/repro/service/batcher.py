@@ -44,6 +44,8 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.engine import BatchKey, summarise_stats
 from repro.core.search import Neighbor, SearchStats
 from repro.core.similarity import SimilarityFunction
+from repro.obs.log import JsonLogger
+from repro.obs.trace import Tracer
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import ProtocolError, QueryRequest
 from repro.utils.validation import check_positive
@@ -56,6 +58,10 @@ class _Pending:
     request: QueryRequest
     future: "asyncio.Future"
     deadline: float
+    # Observability: the request's tracer (None when untraced) and the
+    # perf_counter timestamp of admission, for the queue-wait span.
+    tracer: Optional[Tracer] = None
+    enqueued_s: float = 0.0
 
 
 @dataclass
@@ -89,6 +95,10 @@ class MicroBatcher:
         Shared :class:`~repro.service.metrics.ServiceMetrics`; the
         batcher records executed batches and exposes the queue-depth
         gauge through it.
+    logger:
+        Optional structured :class:`~repro.obs.log.JsonLogger`; disabled
+        by default.  Flush events carry the correlation ids of every
+        traced request in the batch.
     """
 
     def __init__(
@@ -99,6 +109,7 @@ class MicroBatcher:
         max_queue: int = 1024,
         default_timeout_ms: float = 30_000.0,
         metrics: Optional[ServiceMetrics] = None,
+        logger: Optional[JsonLogger] = None,
     ) -> None:
         check_positive(max_batch_size, "max_batch_size")
         check_positive(max_queue, "max_queue")
@@ -111,6 +122,7 @@ class MicroBatcher:
         self.max_queue = int(max_queue)
         self.default_timeout_ms = float(default_timeout_ms)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._log = logger if logger is not None else JsonLogger("batcher")
         self._buckets: Dict[BatchKey, _Bucket] = {}
         self._active: set = set()
         self._in_flight = 0
@@ -133,9 +145,15 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     async def submit(
-        self, request: QueryRequest
+        self, request: QueryRequest, tracer: Optional[Tracer] = None
     ) -> Tuple[List[Neighbor], SearchStats]:
         """Admit one query; await and return its (results, stats).
+
+        ``tracer`` (optional) receives the request's queue-wait span and,
+        once the batch executes, a graft of the engine's span tree (the
+        engine runs on the executor thread, where context variables do
+        not propagate, so the batcher activates a dedicated tracer there
+        and stitches the result into every traced request).
 
         Raises :class:`~repro.service.protocol.ProtocolError` with code
         ``overloaded`` (admission bound hit), ``shutting_down`` (drain in
@@ -161,6 +179,8 @@ class MicroBatcher:
             request=request,
             future=loop.create_future(),
             deadline=time.monotonic() + timeout_ms / 1000.0,
+            tracer=tracer,
+            enqueued_s=time.perf_counter(),
         )
         self._in_flight += 1
         try:
@@ -183,15 +203,21 @@ class MicroBatcher:
             bucket = _Bucket(similarity=pending.request.similarity)
             self._buckets[key] = bucket
             bucket.timer = loop.call_later(
-                self.max_wait_ms / 1000.0, self._flush, key
+                self.max_wait_ms / 1000.0, self._flush, key, "timer"
             )
         bucket.items.append(pending)
         if len(bucket.items) >= self.max_batch_size:
-            self._flush(key)
+            self._flush(key, "size")
 
     # ------------------------------------------------------------------
-    def _flush(self, key: BatchKey) -> None:
-        """Close the open bucket for ``key`` and start executing it."""
+    def _flush(self, key: BatchKey, reason: str = "size") -> None:
+        """Close the open bucket for ``key`` and start executing it.
+
+        ``reason`` records *why* the batch closed — ``"size"`` (it
+        reached ``max_batch_size``), ``"timer"`` (its oldest request
+        waited ``max_wait_ms``) or ``"drain"`` (shutdown flush) — and is
+        stamped on queue-wait spans and flush log lines.
+        """
         bucket = self._buckets.pop(key, None)
         if bucket is None:
             return
@@ -207,30 +233,81 @@ class MicroBatcher:
             and not p.future.cancelled()
             and p.deadline > now
         ]
+        dropped = len(bucket.items) - len(take)
+        if dropped:
+            self._log.warning(
+                "batch.dropped_expired", op=key.op, count=dropped
+            )
         if not take:
             return
         task = asyncio.get_running_loop().create_task(
-            self._execute(key, bucket.similarity, take)
+            self._execute(key, bucket.similarity, take, reason)
         )
         self._active.add(task)
         task.add_done_callback(self._active.discard)
 
     async def _execute(
-        self, key: BatchKey, similarity: SimilarityFunction, take: List[_Pending]
+        self,
+        key: BatchKey,
+        similarity: SimilarityFunction,
+        take: List[_Pending],
+        reason: str,
     ) -> None:
         loop = asyncio.get_running_loop()
         targets = [p.request.items for p in take]
+        flushed_s = time.perf_counter()
+        traced = [p for p in take if p.tracer is not None]
+        for p in traced:
+            p.tracer.record(
+                "batcher.queue_wait",
+                p.enqueued_s,
+                flushed_s,
+                flush_reason=reason,
+                batch_size=len(take),
+            )
+        correlation_ids = [
+            p.request.correlation_id
+            for p in traced
+            if p.request.correlation_id is not None
+        ]
+        self._log.info(
+            "batch.flush",
+            op=key.op,
+            size=len(take),
+            reason=reason,
+            correlation_ids=correlation_ids,
+        )
+        # The engine runs on the executor thread, where the event loop's
+        # context (and thus any per-request tracer) does not propagate.
+        # When any rider asked for a trace, activate one dedicated tracer
+        # around the whole engine call and graft its span tree into every
+        # traced request afterwards.
+        engine_tracer = Tracer() if traced else None
+
+        def _run_engine():
+            if engine_tracer is None:
+                return self._engine.run_batch(key, similarity, targets)
+            with engine_tracer.activate():
+                return self._engine.run_batch(key, similarity, targets)
+
         try:
             results, stats = await loop.run_in_executor(
-                self._executor,
-                partial(self._engine.run_batch, key, similarity, targets),
+                self._executor, _run_engine
             )
         except Exception as exc:  # engine failure: fail the whole batch
+            self._log.error("batch.failed", op=key.op, error=str(exc))
             error = ProtocolError("internal", f"engine failure: {exc}")
             for p in take:
                 if not p.future.done():
                     p.future.set_exception(error)
             return
+        if engine_tracer is not None:
+            for root in engine_tracer.roots:
+                # Link the shared engine span back to every traced
+                # request riding in this batch.
+                root.set_attribute("correlation_ids", correlation_ids)
+                for p in traced:
+                    p.tracer.adopt(root)
         self.metrics.record_batch(summarise_stats(stats))
         for p, result, stat in zip(take, results, stats):
             if not p.future.done():
@@ -245,7 +322,7 @@ class MicroBatcher:
         """
         self._draining = True
         for key in list(self._buckets):
-            self._flush(key)
+            self._flush(key, "drain")
         while self._active:
             await asyncio.gather(*list(self._active), return_exceptions=True)
             await asyncio.sleep(0)  # let done-callbacks prune the task set

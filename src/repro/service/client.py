@@ -55,6 +55,11 @@ class ServiceClient:
         self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
         self._next_id = 0
         self._lock = threading.Lock()
+        #: Full decoded response of the most recent successful request —
+        #: traced queries carry ``trace`` (span tree) and
+        #: ``correlation_id`` here beyond the (results, stats) pair the
+        #: convenience methods return.
+        self.last_response: Dict[str, object] = {}
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -92,6 +97,7 @@ class ServiceClient:
                 str(error.get("code", "internal")),
                 str(error.get("message", "unknown server error")),
             )
+        self.last_response = response
         return response
 
     # ------------------------------------------------------------------
@@ -103,8 +109,14 @@ class ServiceClient:
         early_termination: Optional[float] = None,
         sort_by: str = "optimistic",
         timeout_ms: Optional[float] = None,
+        trace: bool = False,
     ) -> Tuple[List[Neighbor], Dict[str, object]]:
-        """k-NN over the wire; returns (neighbours, per-query stats dict)."""
+        """k-NN over the wire; returns (neighbours, per-query stats dict).
+
+        ``trace=True`` asks the server for the request's span tree; read
+        it from ``last_response["trace"]`` (with
+        ``last_response["correlation_id"]``) after the call.
+        """
         message: Dict[str, object] = {
             "op": "knn",
             "items": list(map(int, items)),
@@ -116,6 +128,8 @@ class ServiceClient:
             message["early_termination"] = float(early_termination)
         if timeout_ms is not None:
             message["timeout_ms"] = float(timeout_ms)
+        if trace:
+            message["trace"] = True
         response = self.request(message)
         return decode_neighbors(response["results"]), response["stats"]
 
@@ -125,6 +139,7 @@ class ServiceClient:
         similarity: str,
         threshold: float,
         timeout_ms: Optional[float] = None,
+        trace: bool = False,
     ) -> Tuple[List[Neighbor], Dict[str, object]]:
         """Range query (similarity >= threshold) over the wire."""
         message: Dict[str, object] = {
@@ -135,8 +150,16 @@ class ServiceClient:
         }
         if timeout_ms is not None:
             message["timeout_ms"] = float(timeout_ms)
+        if trace:
+            message["trace"] = True
         response = self.request(message)
         return decode_neighbors(response["results"]), response["stats"]
+
+    def metrics(self, format: str = "json") -> object:
+        """The server's metric registry, as ``json`` (dict) or
+        ``prometheus`` (exposition text)."""
+        response = self.request({"op": "metrics", "format": format})
+        return response["metrics"]
 
     def stats(self) -> Dict[str, object]:
         """The server's live metrics snapshot plus index description."""

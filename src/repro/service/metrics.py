@@ -1,33 +1,60 @@
-"""Live serving metrics: counters, latency percentiles, batch shapes.
+"""Live serving metrics backed by the :mod:`repro.obs` metric registry.
 
 One :class:`ServiceMetrics` instance is shared by the server, the
-micro-batcher and the admission controller.  Everything is cheap inline
-arithmetic — no background threads — and :meth:`ServiceMetrics.snapshot`
-renders the whole state as a JSON-safe dict, which is what the ``stats``
-endpoint returns to monitoring clients.
+micro-batcher and the admission controller.  Every lifetime counter lives
+in a :class:`~repro.obs.registry.MetricRegistry` — so the same numbers
+the ``stats`` endpoint reports are exposed in Prometheus text or JSON
+form through the ``metrics`` control op (and ``repro metrics``) — while
+the recent-window latency quantiles keep their bounded reservoir of the
+most recent completions (default 4096 samples), the usual
+serving-dashboard semantics.
 
-Latency percentiles come from a bounded reservoir of the most recent
-completions (default 4096 samples) — recent-window quantiles, the usual
-serving-dashboard semantics — while the counters (requests, rejections,
-batches, the merged :class:`~repro.core.engine.BatchSummary`-style
-totals and :class:`~repro.storage.pages.IOCounters`) cover the whole
-process lifetime.
+The attribute API (``metrics.received``, ``metrics.rejected_overload``,
+``metrics.io.pages_read``, ...) is preserved as read-only views over the
+registry, so existing callers and tests keep working unchanged.
+
+Percentiles over empty or singleton windows are ``None`` (a single
+sample carries no distributional information), never a crash or a fake
+zero.
 """
 
 from __future__ import annotations
 
 import time
-from collections import Counter, deque
+from collections import Counter as TallyCounter
+from collections import deque
 from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
 from repro.core.engine import BatchSummary
+from repro.obs.registry import MetricRegistry
 from repro.storage.pages import IOCounters
 
+#: Rejection reasons tracked as labels on ``repro_requests_rejected_total``.
+_REJECTION_REASONS = (
+    "overloaded",
+    "bad_request",
+    "shutting_down",
+    "timeout",
+    "internal",
+)
 
-def percentile(sorted_samples: Sequence[float], fraction: float) -> float:
-    """Nearest-rank percentile of an ascending-sorted, non-empty sample."""
-    if not sorted_samples:
-        raise ValueError("percentile of an empty sample")
+#: Batch-size buckets for the exposition histogram (exact sizes are kept
+#: in ``batch_size_histogram`` alongside).
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+def percentile(
+    sorted_samples: Sequence[float], fraction: float
+) -> Optional[float]:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    Returns ``None`` for empty *and* singleton samples: one observation
+    carries no distributional information, and pretending it is "the
+    p99" misleads dashboards (this is the documented contract of the
+    service's percentile reporting).
+    """
+    if len(sorted_samples) < 2:
+        return None
     rank = min(
         len(sorted_samples) - 1,
         max(0, int(round(fraction * (len(sorted_samples) - 1)))),
@@ -45,37 +72,90 @@ class ServiceMetrics:
         recent-QPS gauge.
     clock:
         Monotonic time source (injectable for tests).
+    registry:
+        Optional shared :class:`~repro.obs.registry.MetricRegistry`; by
+        default each hub owns a fresh one (exposed as ``.registry``).
     """
 
     def __init__(
         self,
         reservoir_size: int = 4096,
         clock: Callable[[], float] = time.monotonic,
+        registry: Optional[MetricRegistry] = None,
     ) -> None:
         self._clock = clock
         self.started_at = clock()
-        # Lifetime counters.
-        self.received = 0
-        self.completed = 0
-        self.rejected_overload = 0
-        self.rejected_bad_request = 0
-        self.rejected_shutdown = 0
-        self.timeouts = 0
-        self.internal_errors = 0
-        self.batches = 0
-        self.batch_size_histogram: Counter = Counter()
-        # Merged engine-side totals (BatchSummary semantics).
-        self.queries_summarised = 0
-        self.total_transactions = 0
-        self.transactions_accessed = 0
-        self.entries_scanned = 0
-        self.entries_pruned = 0
-        self.terminated_early = 0
-        self.io = IOCounters()
+        self.registry = registry if registry is not None else MetricRegistry()
+        reg = self.registry
+        self._received = reg.counter(
+            "repro_requests_received_total", "Query requests admitted into parsing"
+        )
+        self._completed = reg.counter(
+            "repro_requests_completed_total", "Query requests answered successfully"
+        )
+        self._rejected = reg.counter(
+            "repro_requests_rejected_total",
+            "Query requests rejected, by structured error code",
+            labelnames=("reason",),
+        )
+        self._batches = reg.counter(
+            "repro_batches_total", "Coalesced engine batches executed"
+        )
+        self._batch_size = reg.histogram(
+            "repro_batch_size",
+            "Coalesced batch sizes (queries per engine call)",
+            buckets=_BATCH_SIZE_BUCKETS,
+        )
+        self._latency = reg.histogram(
+            "repro_request_latency_seconds",
+            "End-to-end request latency (admission to response)",
+        )
+        self._engine_queries = reg.counter(
+            "repro_engine_queries_total", "Queries executed through the engine"
+        )
+        self._engine_transactions = reg.counter(
+            "repro_engine_transactions_accessed_total",
+            "Transactions whose objective was evaluated",
+        )
+        self._engine_scanned = reg.counter(
+            "repro_engine_entries_scanned_total", "Signature-table entries scanned"
+        )
+        self._engine_pruned = reg.counter(
+            "repro_engine_entries_pruned_total",
+            "Signature-table entries pruned by the optimistic bound",
+        )
+        self._engine_terminated = reg.counter(
+            "repro_engine_terminated_early_total",
+            "Queries cut off by the early-termination budget",
+        )
+        self._io_transactions = reg.counter(
+            "repro_io_transactions_read_total", "Transactions read from storage"
+        )
+        self._io_pages = reg.counter(
+            "repro_io_pages_read_total", "Pages read from the simulated disk"
+        )
+        self._io_seeks = reg.counter(
+            "repro_io_seeks_total", "Seek runs on the simulated disk"
+        )
+        self._queue_gauge = reg.gauge(
+            "repro_queue_depth", "Requests currently queued or executing"
+        )
+        self._uptime_gauge = reg.gauge(
+            "repro_uptime_seconds", "Seconds since the server started"
+        )
+        self._uptime_gauge.set_function(lambda: self.uptime_seconds)
+        # Largest per-query database size seen (a max, not a counter).
+        self._total_transactions_gauge = reg.gauge(
+            "repro_engine_total_transactions",
+            "Largest per-query database size observed",
+        )
+        # Exact batch sizes (the exposition histogram only keeps buckets).
+        self.batch_size_histogram: TallyCounter = TallyCounter()
         # Recent completions: (completed_at, latency_seconds).
         self._latencies: Deque[Tuple[float, float]] = deque(maxlen=reservoir_size)
         # Gauge callback installed by the batcher.
         self._queue_depth: Callable[[], int] = lambda: 0
+        self._queue_gauge.set_function(lambda: float(self._queue_depth()))
 
     # ------------------------------------------------------------------
     # Recording
@@ -86,39 +166,102 @@ class ServiceMetrics:
 
     def record_received(self) -> None:
         """One request admitted into parsing (any op)."""
-        self.received += 1
+        self._received.inc()
 
     def record_rejection(self, code: str) -> None:
         """One request rejected with a structured error code."""
-        if code == "overloaded":
-            self.rejected_overload += 1
-        elif code == "shutting_down":
-            self.rejected_shutdown += 1
-        elif code == "timeout":
-            self.timeouts += 1
-        elif code == "internal":
-            self.internal_errors += 1
-        else:
-            self.rejected_bad_request += 1
+        reason = code if code in _REJECTION_REASONS else "bad_request"
+        self._rejected.labels(reason=reason).inc()
 
     def record_completion(self, latency_seconds: float) -> None:
         """One query answered successfully."""
-        self.completed += 1
+        self._completed.inc()
+        self._latency.observe(float(latency_seconds))
         self._latencies.append((self._clock(), float(latency_seconds)))
 
     def record_batch(self, summary: BatchSummary) -> None:
         """One engine batch executed; fold in its merged stats."""
-        self.batches += 1
+        self._batches.inc()
+        self._batch_size.observe(float(summary.num_queries))
         self.batch_size_histogram[summary.num_queries] += 1
-        self.queries_summarised += summary.num_queries
-        self.total_transactions = max(
-            self.total_transactions, summary.total_transactions
+        self._engine_queries.inc(summary.num_queries)
+        if summary.total_transactions > self.total_transactions:
+            self._total_transactions_gauge.set(float(summary.total_transactions))
+        self._engine_transactions.inc(summary.transactions_accessed)
+        self._engine_scanned.inc(summary.entries_scanned)
+        self._engine_pruned.inc(summary.entries_pruned)
+        self._engine_terminated.inc(summary.terminated_early)
+        self._io_transactions.inc(summary.io.transactions_read)
+        self._io_pages.inc(summary.io.pages_read)
+        self._io_seeks.inc(summary.io.seeks)
+
+    # ------------------------------------------------------------------
+    # Attribute API (read-only views over the registry)
+    # ------------------------------------------------------------------
+    @property
+    def received(self) -> int:
+        return int(self._received.value)
+
+    @property
+    def completed(self) -> int:
+        return int(self._completed.value)
+
+    @property
+    def rejected_overload(self) -> int:
+        return int(self._rejected.labels(reason="overloaded").value)
+
+    @property
+    def rejected_bad_request(self) -> int:
+        return int(self._rejected.labels(reason="bad_request").value)
+
+    @property
+    def rejected_shutdown(self) -> int:
+        return int(self._rejected.labels(reason="shutting_down").value)
+
+    @property
+    def timeouts(self) -> int:
+        return int(self._rejected.labels(reason="timeout").value)
+
+    @property
+    def internal_errors(self) -> int:
+        return int(self._rejected.labels(reason="internal").value)
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value)
+
+    @property
+    def queries_summarised(self) -> int:
+        return int(self._engine_queries.value)
+
+    @property
+    def total_transactions(self) -> int:
+        return int(self._total_transactions_gauge.value)
+
+    @property
+    def transactions_accessed(self) -> int:
+        return int(self._engine_transactions.value)
+
+    @property
+    def entries_scanned(self) -> int:
+        return int(self._engine_scanned.value)
+
+    @property
+    def entries_pruned(self) -> int:
+        return int(self._engine_pruned.value)
+
+    @property
+    def terminated_early(self) -> int:
+        return int(self._engine_terminated.value)
+
+    @property
+    def io(self) -> IOCounters:
+        """The lifetime I/O totals as an :class:`IOCounters` view."""
+        return IOCounters(
+            transactions_read=int(self._io_transactions.value),
+            pages_read=int(self._io_pages.value),
+            seeks=int(self._io_seeks.value),
         )
-        self.transactions_accessed += summary.transactions_accessed
-        self.entries_scanned += summary.entries_scanned
-        self.entries_pruned += summary.entries_pruned
-        self.terminated_early += summary.terminated_early
-        self.io.merge(summary.io)
 
     # ------------------------------------------------------------------
     # Derived gauges
@@ -133,16 +276,25 @@ class ServiceMetrics:
         """Requests currently queued or executing in the batcher."""
         return int(self._queue_depth())
 
-    def latency_quantiles(self) -> Optional[Dict[str, float]]:
-        """Recent-window p50/p90/p99 latency in milliseconds."""
+    def latency_quantiles(self) -> Dict[str, Optional[float]]:
+        """Recent-window latency quantiles in milliseconds.
+
+        ``p50_ms``/``p90_ms``/``p99_ms`` are ``None`` when the window
+        holds fewer than two samples; ``max_ms`` is ``None`` only when
+        the window is empty.  ``count`` is the window size.
+        """
         samples = sorted(latency for _, latency in self._latencies)
-        if not samples:
-            return None
+
+        def scaled(fraction: float) -> Optional[float]:
+            value = percentile(samples, fraction)
+            return None if value is None else 1000.0 * value
+
         return {
-            "p50_ms": 1000.0 * percentile(samples, 0.50),
-            "p90_ms": 1000.0 * percentile(samples, 0.90),
-            "p99_ms": 1000.0 * percentile(samples, 0.99),
-            "max_ms": 1000.0 * samples[-1],
+            "p50_ms": scaled(0.50),
+            "p90_ms": scaled(0.90),
+            "p99_ms": scaled(0.99),
+            "max_ms": 1000.0 * samples[-1] if samples else None,
+            "count": len(samples),
         }
 
     def recent_qps(self, window_seconds: float = 10.0) -> float:
@@ -156,11 +308,16 @@ class ServiceMetrics:
 
     def mean_batch_size(self) -> float:
         """Average coalesced batch size over the process lifetime."""
-        if not self.batches:
+        batches = self.batches
+        if not batches:
             return 0.0
-        return self.queries_summarised / self.batches
+        return self.queries_summarised / batches
 
     # ------------------------------------------------------------------
+    def to_prometheus_text(self) -> str:
+        """The registry in Prometheus text exposition format."""
+        return self.registry.to_prometheus_text()
+
     def snapshot(self) -> Dict[str, object]:
         """JSON-safe view of everything (the ``stats`` endpoint payload)."""
         return {

@@ -49,7 +49,10 @@ from repro.core.similarity import (
 
 #: Request operations understood by the server.
 QUERY_OPS = ("knn", "range")
-CONTROL_OPS = ("stats", "ping", "shutdown")
+CONTROL_OPS = ("stats", "ping", "shutdown", "metrics")
+
+#: Exposition formats the ``metrics`` control op accepts.
+METRICS_FORMATS = ("json", "prometheus")
 
 #: Structured error codes carried in ``error.code``.
 ERROR_CODES = (
@@ -79,6 +82,11 @@ class QueryRequest:
     micro-batcher coalesces on and ``similarity`` the shared function
     instance; ``items`` is the target transaction.  ``timeout_ms`` is
     the client-requested deadline (``None`` means the server default).
+
+    ``trace`` asks the server to return the request's span tree inline
+    (observability; never changes results).  ``correlation_id`` is
+    assigned by the *server* when it admits the request — it stamps the
+    span tree, every structured log line, and the response.
     """
 
     id: object
@@ -86,6 +94,8 @@ class QueryRequest:
     similarity: SimilarityFunction
     items: List[int]
     timeout_ms: Optional[float] = None
+    trace: bool = False
+    correlation_id: Optional[str] = None
 
 
 def parse_request(line: str) -> Dict[str, object]:
@@ -129,6 +139,9 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
         not isinstance(timeout_ms, (int, float)) or timeout_ms <= 0
     ):
         raise ProtocolError("bad_request", "timeout_ms must be a positive number")
+    trace = message.get("trace", False)
+    if not isinstance(trace, bool):
+        raise ProtocolError("bad_request", "trace must be a boolean")
     try:
         key = batch_key(
             op,
@@ -146,6 +159,7 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
         similarity=similarity,
         items=[int(i) for i in items],
         timeout_ms=None if timeout_ms is None else float(timeout_ms),
+        trace=trace,
     )
 
 
@@ -179,6 +193,7 @@ def encode_search_stats(stats: SearchStats) -> Dict[str, object]:
         "guaranteed_optimal": stats.guaranteed_optimal,
         "pages_read": stats.io.pages_read,
         "seeks": stats.io.seeks,
+        "latency_ms": 1000.0 * stats.elapsed_seconds,
     }
 
 

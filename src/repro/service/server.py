@@ -29,13 +29,18 @@ real TCP server in-process.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import threading
 import time
+import uuid
 from typing import Dict, Optional, Tuple
 
+from repro.obs.log import JsonLogger, with_correlation_id
+from repro.obs.trace import Tracer
 from repro.service.batcher import MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    METRICS_FORMATS,
     ProtocolError,
     encode_search_stats,
     encode_neighbors,
@@ -66,6 +71,11 @@ class QueryServer:
     index_info:
         Optional static description of the resident index, echoed in
         the ``stats`` payload (e.g. dataset spec, K, num transactions).
+    logger:
+        Optional structured :class:`~repro.obs.log.JsonLogger` (disabled
+        by default).  The batcher logs through a child of it, and every
+        query log line carries the request's server-assigned correlation
+        id.
     """
 
     def __init__(
@@ -79,10 +89,12 @@ class QueryServer:
         default_timeout_ms: float = 30_000.0,
         allow_remote_shutdown: bool = True,
         index_info: Optional[Dict[str, object]] = None,
+        logger: Optional[JsonLogger] = None,
     ) -> None:
         self._engine = engine
         self._host = host
         self._port = port
+        self._log = logger if logger is not None else JsonLogger("server")
         self.metrics = ServiceMetrics()
         self._batcher_options = dict(
             max_batch_size=max_batch_size,
@@ -114,7 +126,10 @@ class QueryServer:
         if self._server is not None:
             raise RuntimeError("server already started")
         self.batcher = MicroBatcher(
-            self._engine, metrics=self.metrics, **self._batcher_options
+            self._engine,
+            metrics=self.metrics,
+            logger=self._log.child("batcher"),
+            **self._batcher_options,
         )
         self._shutdown_done = asyncio.Event()
         self._server = await asyncio.start_server(
@@ -206,6 +221,33 @@ class QueryServer:
             payload = {"stats": self.metrics.snapshot(), "index": self.index_info}
             await self._send(writer, write_lock, ok_response(request_id, payload))
             return
+        if op == "metrics":
+            fmt = message.get("format", "json")
+            if fmt not in METRICS_FORMATS:
+                known = ", ".join(METRICS_FORMATS)
+                self.metrics.record_rejection("bad_request")
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_response(
+                        request_id,
+                        "bad_request",
+                        f"unknown metrics format {fmt!r}; known: {known}",
+                    ),
+                )
+                return
+            if fmt == "prometheus":
+                payload = {
+                    "format": "prometheus",
+                    "metrics": self.metrics.registry.to_prometheus_text(),
+                }
+            else:
+                payload = {
+                    "format": "json",
+                    "metrics": self.metrics.registry.to_json(),
+                }
+            await self._send(writer, write_lock, ok_response(request_id, payload))
+            return
         if op == "shutdown":
             if not self.allow_remote_shutdown:
                 self.metrics.record_rejection("bad_request")
@@ -250,24 +292,55 @@ class QueryServer:
         writer: "asyncio.StreamWriter",
         write_lock: "asyncio.Lock",
     ) -> None:
+        # The server owns correlation ids: every admitted query gets one,
+        # stamped on log lines, the span tree and (if traced) the response.
+        cid = uuid.uuid4().hex[:16]
+        request = dataclasses.replace(request, correlation_id=cid)
+        tracer = Tracer(correlation_id=cid) if request.trace else None
         started = time.monotonic()
-        try:
-            results, stats = await self.batcher.submit(request)
-        except ProtocolError as exc:
-            self.metrics.record_rejection(exc.code)
-            response = error_response(request.id, exc.code, exc.message)
-        except Exception as exc:  # defensive: never kill the connection task
-            self.metrics.record_rejection("internal")
-            response = error_response(request.id, "internal", str(exc))
-        else:
-            self.metrics.record_completion(time.monotonic() - started)
-            response = ok_response(
-                request.id,
-                {
+        with with_correlation_id(cid):
+            self._log.info(
+                "request.received",
+                op=request.key.op,
+                num_items=len(request.items),
+                traced=request.trace,
+            )
+            try:
+                if tracer is not None:
+                    with tracer.activate(), tracer.span(
+                        "service.request", op=request.key.op
+                    ):
+                        results, stats = await self.batcher.submit(
+                            request, tracer=tracer
+                        )
+                else:
+                    results, stats = await self.batcher.submit(request)
+            except ProtocolError as exc:
+                self.metrics.record_rejection(exc.code)
+                self._log.warning(
+                    "request.rejected", code=exc.code, message=exc.message
+                )
+                response = error_response(request.id, exc.code, exc.message)
+            except Exception as exc:  # defensive: never kill the connection task
+                self.metrics.record_rejection("internal")
+                self._log.error("request.failed", error=str(exc))
+                response = error_response(request.id, "internal", str(exc))
+            else:
+                latency = time.monotonic() - started
+                self.metrics.record_completion(latency)
+                self._log.info(
+                    "request.completed",
+                    latency_ms=1000.0 * latency,
+                    results=len(results),
+                )
+                payload = {
                     "results": encode_neighbors(results),
                     "stats": encode_search_stats(stats),
-                },
-            )
+                    "correlation_id": cid,
+                }
+                if tracer is not None:
+                    payload["trace"] = tracer.to_dicts()
+                response = ok_response(request.id, payload)
         await self._send(writer, write_lock, response)
 
     @staticmethod

@@ -59,6 +59,29 @@ class BufferStats:
         self.evictions += other.evictions
         return self
 
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (trace spans, metrics endpoints, reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def delta(self, since: "BufferStats") -> "BufferStats":
+        """The counter increments accumulated since an earlier snapshot."""
+        return BufferStats(
+            hits=self.hits - since.hits,
+            misses=self.misses - since.misses,
+            evictions=self.evictions - since.evictions,
+        )
+
+    def copy(self) -> "BufferStats":
+        """An independent snapshot of the current counters."""
+        return BufferStats(
+            hits=self.hits, misses=self.misses, evictions=self.evictions
+        )
+
 
 class BufferPool:
     """A bounded LRU page cache in front of a :class:`PagedStore`.

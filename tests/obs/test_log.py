@@ -1,0 +1,87 @@
+"""Structured JSON logging: line shape, correlation ids, levels."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import (
+    JsonLogger,
+    current_correlation_id,
+    with_correlation_id,
+)
+
+
+def logged_lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogger:
+    def test_disabled_by_default(self):
+        stream = io.StringIO()
+        JsonLogger("server", stream=stream).info("event")
+        assert stream.getvalue() == ""
+
+    def test_one_json_object_per_line(self):
+        stream = io.StringIO()
+        log = JsonLogger("server", stream=stream, enabled=True)
+        log.info("request.received", op="knn", items=4)
+        log.warning("request.rejected", code="overloaded")
+        first, second = logged_lines(stream)
+        assert first["component"] == "server"
+        assert first["event"] == "request.received"
+        assert first["level"] == "info"
+        assert first["op"] == "knn" and first["items"] == 4
+        assert isinstance(first["ts"], float)
+        assert second["level"] == "warning"
+
+    def test_min_level_filters(self):
+        stream = io.StringIO()
+        log = JsonLogger("c", stream=stream, enabled=True, min_level="warning")
+        log.debug("dropped")
+        log.info("dropped-too")
+        log.error("kept")
+        (line,) = logged_lines(stream)
+        assert line["event"] == "kept"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            JsonLogger("c", min_level="chatty")
+
+    def test_child_shares_stream_and_settings(self):
+        stream = io.StringIO()
+        parent = JsonLogger("server", stream=stream, enabled=True)
+        child = parent.child("batcher")
+        child.info("batch.flush", size=3)
+        (line,) = logged_lines(stream)
+        assert line["component"] == "batcher"
+        assert child._lock is parent._lock
+
+    def test_non_json_fields_stringified(self):
+        stream = io.StringIO()
+        log = JsonLogger("c", stream=stream, enabled=True)
+        log.info("event", obj={1, 2})  # sets are not JSON-serialisable
+        (line,) = logged_lines(stream)
+        assert isinstance(line["obj"], str)
+
+
+class TestCorrelationIds:
+    def test_default_is_none(self):
+        assert current_correlation_id() is None
+
+    def test_bound_id_rides_the_context(self):
+        stream = io.StringIO()
+        log = JsonLogger("server", stream=stream, enabled=True)
+        with with_correlation_id("req-42"):
+            assert current_correlation_id() == "req-42"
+            log.info("inside")
+        log.info("outside")
+        inside, outside = logged_lines(stream)
+        assert inside["correlation_id"] == "req-42"
+        assert "correlation_id" not in outside
+
+    def test_nested_binding_restores_outer(self):
+        with with_correlation_id("outer"):
+            with with_correlation_id("inner"):
+                assert current_correlation_id() == "inner"
+            assert current_correlation_id() == "outer"

@@ -1,0 +1,198 @@
+"""Metric registry: counters/gauges/histograms, labels, exposition."""
+
+import json
+import math
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    MetricRegistry,
+    parse_prometheus_text,
+)
+
+
+class TestCounters:
+    def test_increments(self):
+        reg = MetricRegistry()
+        c = reg.counter("requests_total", "Requests")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5.0
+
+    def test_negative_increment_rejected(self):
+        reg = MetricRegistry()
+        c = reg.counter("requests_total")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_labeled_children_are_independent(self):
+        reg = MetricRegistry()
+        family = reg.counter("errors_total", "Errors", labelnames=("code",))
+        family.labels(code="timeout").inc(2)
+        family.labels(code="overloaded").inc()
+        assert family.labels(code="timeout").value == 2.0
+        assert family.labels(code="overloaded").value == 1.0
+
+    def test_wrong_label_set_rejected(self):
+        reg = MetricRegistry()
+        family = reg.counter("errors_total", labelnames=("code",))
+        with pytest.raises(ValueError):
+            family.labels(reason="timeout")
+        with pytest.raises(ValueError):
+            family.labels()
+
+    def test_registration_is_idempotent(self):
+        reg = MetricRegistry()
+        first = reg.counter("hits_total", "Hits")
+        again = reg.counter("hits_total", "Hits")
+        assert first is again
+
+    def test_type_mismatch_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("thing")
+        with pytest.raises(ValueError):
+            reg.gauge("thing")
+
+    def test_labelname_mismatch_rejected(self):
+        reg = MetricRegistry()
+        reg.counter("thing", labelnames=("a",))
+        with pytest.raises(ValueError):
+            reg.counter("thing", labelnames=("b",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("bad name")
+        with pytest.raises(ValueError):
+            reg.counter("ok_name", labelnames=("bad-label",))
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        reg = MetricRegistry()
+        g = reg.gauge("depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert g.value == 12.0
+
+    def test_callback_gauge(self):
+        reg = MetricRegistry()
+        g = reg.gauge("live")
+        state = {"v": 7}
+        g.set_function(lambda: state["v"])
+        assert g.value == 7.0
+        state["v"] = 9
+        assert g.value == 9.0
+        g.set(1.0)  # explicit set clears the callback
+        state["v"] = 100
+        assert g.value == 1.0
+
+
+class TestHistograms:
+    def test_buckets_are_cumulative_in_exposition(self):
+        reg = MetricRegistry()
+        h = reg.histogram("sizes", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 100.0):
+            h.observe(value)
+        samples = parse_prometheus_text(reg.to_prometheus_text())
+        assert samples[("sizes_bucket", (("le", "1"),))] == 1.0
+        assert samples[("sizes_bucket", (("le", "2"),))] == 2.0
+        assert samples[("sizes_bucket", (("le", "4"),))] == 3.0
+        assert samples[("sizes_bucket", (("le", "+Inf"),))] == 4.0
+        assert samples[("sizes_count", ())] == 4.0
+        assert samples[("sizes_sum", ())] == 105.0
+
+    def test_default_buckets_applied(self):
+        reg = MetricRegistry()
+        h = reg.histogram("latency_seconds")
+        h.observe(0.003)
+        assert h.count == 1
+        text = reg.to_prometheus_text()
+        assert f'le="{DEFAULT_BUCKETS[0]}"' in text.replace("0.001", "0.001")
+
+    def test_unsorted_buckets_rejected(self):
+        reg = MetricRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", buckets=(2.0, 1.0))
+
+
+class TestExposition:
+    def make_registry(self):
+        reg = MetricRegistry()
+        reg.counter("repro_queries_total", "Queries", labelnames=("op",))
+        reg._families["repro_queries_total"].labels(op="knn").inc(3)
+        reg._families["repro_queries_total"].labels(op="range").inc(1)
+        reg.gauge("repro_depth", "Depth").set(2)
+        reg.histogram("repro_batch", "Batch", buckets=(1.0, 8.0)).observe(4)
+        return reg
+
+    def test_prometheus_text_has_help_and_type(self):
+        text = self.make_registry().to_prometheus_text()
+        assert "# HELP repro_queries_total Queries" in text
+        assert "# TYPE repro_queries_total counter" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "# TYPE repro_batch histogram" in text
+
+    def test_parser_round_trips_values(self):
+        samples = parse_prometheus_text(
+            self.make_registry().to_prometheus_text()
+        )
+        assert samples[("repro_queries_total", (("op", "knn"),))] == 3.0
+        assert samples[("repro_queries_total", (("op", "range"),))] == 1.0
+        assert samples[("repro_depth", ())] == 2.0
+        assert samples[("repro_batch_bucket", (("le", "8"),))] == 1.0
+
+    def test_json_exposition_is_serialisable(self):
+        payload = json.loads(json.dumps(self.make_registry().to_json()))
+        queries = payload["repro_queries_total"]
+        assert queries["type"] == "counter"
+        values = {
+            sample["labels"]["op"]: sample["value"]
+            for sample in queries["samples"]
+        }
+        assert values == {"knn": 3.0, "range": 1.0}
+        batch = payload["repro_batch"]["samples"][0]["value"]
+        assert batch["count"] == 1
+        assert batch["buckets"]["+Inf"] == 1
+
+    def test_label_values_escaped(self):
+        reg = MetricRegistry()
+        reg.counter("c", labelnames=("msg",)).labels(msg='say "hi"\n').inc()
+        samples = parse_prometheus_text(reg.to_prometheus_text())
+        assert samples[("c", (("msg", 'say "hi"\n'),))] == 1.0
+
+    def test_parser_rejects_untyped_samples(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("mystery_metric 1\n")
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(
+                "# TYPE ok counter\nok not_a_number\n"
+            )
+
+    def test_parser_handles_inf(self):
+        text = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\n"
+        samples = parse_prometheus_text(text)
+        assert samples[("h_bucket", (("le", "+Inf"),))] == 3.0
+        assert math.isfinite(samples[("h_bucket", (("le", "+Inf"),))])
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_counts(self):
+        reg = MetricRegistry()
+        c = reg.counter("n")
+
+        def hammer():
+            for _ in range(2000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 16000.0

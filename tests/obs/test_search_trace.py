@@ -1,0 +1,140 @@
+"""Query-explain: the trace reconciles with SearchStats by construction."""
+
+import json
+
+import pytest
+
+import repro
+from repro.obs.search_trace import TERMINATIONS, SearchTrace, render_explain
+
+
+SIM = repro.MatchRatioSimilarity()
+
+
+def targets(db, count=6):
+    return [sorted(db[tid]) for tid in range(0, len(db), len(db) // count)]
+
+
+def reconcile(trace, stats):
+    assert trace.scanned_entries == stats.entries_scanned
+    assert trace.pruned_entries == stats.entries_pruned
+    assert trace.unexplored_entries == stats.entries_unexplored
+    assert trace.transactions_accessed == stats.transactions_accessed
+
+
+class TestReconciliation:
+    def test_knn_optimistic_order(self, small_searcher, small_db):
+        for target in targets(small_db):
+            trace = SearchTrace()
+            _, stats = small_searcher.knn(
+                target, SIM, k=5, search_trace=trace
+            )
+            reconcile(trace, stats)
+            assert trace.termination in TERMINATIONS
+
+    def test_knn_supercoordinate_order(self, small_searcher, small_db):
+        for target in targets(small_db):
+            trace = SearchTrace()
+            _, stats = small_searcher.knn(
+                target, SIM, k=5, sort_by="supercoordinate",
+                search_trace=trace,
+            )
+            reconcile(trace, stats)
+
+    def test_early_termination_records_unexplored(
+        self, small_searcher, small_db
+    ):
+        trace = SearchTrace()
+        _, stats = small_searcher.knn(
+            sorted(small_db[0]), SIM, k=3, early_termination=0.02,
+            search_trace=trace,
+        )
+        reconcile(trace, stats)
+        if stats.terminated_early:
+            assert trace.termination in ("budget", "budget_partial_entry")
+            assert trace.unexplored_entries == stats.entries_unexplored > 0
+
+    def test_range_query(self, small_searcher, small_db):
+        trace = SearchTrace()
+        _, stats = small_searcher.multi_range_query(
+            sorted(small_db[1]), [(SIM, 0.4)], search_trace=trace
+        )
+        reconcile(trace, stats)
+        assert trace.query["op"] == "range"
+
+    def test_guarantee_tolerance(self, small_searcher, small_db):
+        trace = SearchTrace()
+        _, stats = small_searcher.knn(
+            sorted(small_db[2]), SIM, k=3, guarantee_tolerance=0.5,
+            search_trace=trace,
+        )
+        reconcile(trace, stats)
+
+
+class TestTraceShape:
+    def make_trace(self, small_searcher, small_db):
+        trace = SearchTrace()
+        _, stats = small_searcher.knn(
+            sorted(small_db[5]), SIM, k=4, search_trace=trace
+        )
+        return trace, stats
+
+    def test_query_context_recorded(self, small_searcher, small_db):
+        trace, _ = self.make_trace(small_searcher, small_db)
+        assert trace.query["op"] == "knn"
+        assert trace.query["k"] == 4
+        assert trace.query["sort_by"] == "optimistic"
+
+    def test_bound_trajectory_is_monotone_in_pessimistic(
+        self, small_searcher, small_db
+    ):
+        trace, _ = self.make_trace(small_searcher, small_db)
+        trajectory = trace.bound_trajectory()
+        assert trajectory, "expected at least one scanned entry"
+        pessimistic = [
+            point["pessimistic"]
+            for point in trajectory
+            if point["pessimistic"] is not None
+        ]
+        assert pessimistic == sorted(pessimistic)
+        # Under the optimistic sort order, optimistic bounds descend.
+        optimistic = [point["optimistic"] for point in trajectory]
+        assert optimistic == sorted(optimistic, reverse=True)
+
+    def test_to_dict_is_json_safe(self, small_searcher, small_db):
+        trace, stats = self.make_trace(small_searcher, small_db)
+        payload = json.loads(json.dumps(trace.to_dict()))
+        assert payload["entries"]["scanned"] == stats.entries_scanned
+        assert payload["termination"] == trace.termination
+        assert len(payload["events"]) == len(trace.events)
+        scanned = [
+            event for event in payload["events"]
+            if event["action"] == "scanned"
+        ]
+        assert all("supercoordinate" in event for event in scanned)
+
+    def test_unknown_termination_rejected(self):
+        with pytest.raises(ValueError):
+            SearchTrace().record_unexplored(0, 3, "gave_up")
+
+
+class TestRenderExplain:
+    def test_report_mentions_counts_and_termination(
+        self, small_searcher, small_db
+    ):
+        trace = SearchTrace()
+        _, stats = small_searcher.knn(
+            sorted(small_db[7]), SIM, k=5, search_trace=trace
+        )
+        report = render_explain(trace)
+        assert f"{stats.entries_scanned} scanned" in report
+        assert f"{stats.entries_pruned} pruned" in report
+        assert trace.termination in report
+        assert "scan trace" in report
+
+    def test_max_events_truncates(self, small_searcher, small_db):
+        trace = SearchTrace()
+        small_searcher.knn(sorted(small_db[9]), SIM, k=5, search_trace=trace)
+        assert len(trace.events) > 3
+        report = render_explain(trace, max_events=3)
+        assert "more events" in report

@@ -1,0 +1,139 @@
+"""Tracer/span semantics: nesting, no-op path, retroactive records."""
+
+import asyncio
+import json
+import time
+
+from repro.obs.trace import NOOP_SPAN, Span, Tracer, current_tracer, span
+
+
+class TestDisabledPath:
+    def test_no_tracer_yields_noop_span(self):
+        assert current_tracer() is None
+        assert span("anything", attr=1) is NOOP_SPAN
+
+    def test_noop_span_absorbs_the_api(self):
+        with span("untraced") as sp:
+            assert sp is NOOP_SPAN
+            sp.set_attribute("k", 1).set_attribute("j", 2)
+            sp.add_event("ignored", detail="x")
+
+
+class TestNesting:
+    def test_children_nest_under_open_spans(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("outer", kind="test"):
+                with span("inner"):
+                    pass
+                with span("sibling"):
+                    pass
+        assert [root.name for root in tracer.roots] == ["outer"]
+        outer = tracer.roots[0]
+        assert [child.name for child in outer.children] == [
+            "inner", "sibling",
+        ]
+        assert outer.attributes["kind"] == "test"
+        assert outer.end_s is not None and outer.duration_s >= 0.0
+
+    def test_activation_restores_previous_state(self):
+        tracer = Tracer()
+        with tracer.activate():
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_exception_stamps_error_and_closes(self):
+        tracer = Tracer()
+        try:
+            with tracer.activate(), span("failing"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        failing = tracer.roots[0]
+        assert "RuntimeError" in failing.attributes["error"]
+        assert failing.end_s is not None
+
+    def test_correlation_id_stamped_on_roots_only(self):
+        tracer = Tracer(correlation_id="abc123")
+        with tracer.activate():
+            with span("root"):
+                with span("child"):
+                    pass
+        root = tracer.roots[0]
+        assert root.attributes["correlation_id"] == "abc123"
+        assert "correlation_id" not in root.children[0].attributes
+
+
+class TestRetroactiveRecords:
+    def test_record_attaches_a_closed_span(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        end = start + 0.25
+        recorded = tracer.record("work", start, end, items=3)
+        assert recorded in tracer.roots
+        assert abs(recorded.duration_s - 0.25) < 1e-9
+        assert recorded.attributes["items"] == 3
+
+    def test_record_nests_under_open_span(self):
+        tracer = Tracer()
+        with tracer.activate(), span("parent"):
+            tracer.record("late", 1.0, 2.0)
+        assert tracer.roots[0].children[0].name == "late"
+
+    def test_adopt_grafts_foreign_spans(self):
+        theirs = Tracer()
+        with theirs.activate(), span("engine"):
+            pass
+        mine = Tracer()
+        with mine.activate(), span("request"):
+            mine.adopt(theirs.roots[0])
+        assert mine.roots[0].children[0].name == "engine"
+
+
+class TestSerialisation:
+    def test_to_dicts_is_json_safe_and_relative(self):
+        tracer = Tracer(correlation_id="cid")
+        with tracer.activate():
+            with span("a", n=1):
+                with span("b"):
+                    pass
+        payload = json.loads(json.dumps(tracer.to_dicts()))
+        assert len(payload) == 1
+        root = payload[0]
+        assert root["name"] == "a"
+        assert root["start_ms"] == 0.0
+        child = root["children"][0]
+        assert child["start_ms"] >= 0.0
+        assert child["duration_ms"] <= root["duration_ms"]
+
+    def test_events_serialise_with_relative_times(self):
+        tracer = Tracer()
+        with tracer.activate():
+            with span("op") as sp:
+                sp.add_event("milestone", step=2)
+        event = tracer.to_dicts()[0]["events"][0]
+        assert event["name"] == "milestone"
+        assert event["step"] == 2
+        assert event["at_ms"] >= 0.0
+        assert "at_s" not in event
+
+
+class TestAsyncIsolation:
+    def test_concurrent_tasks_keep_separate_tracers(self):
+        async def traced(name):
+            tracer = Tracer()
+            with tracer.activate():
+                with span(name):
+                    await asyncio.sleep(0.01)
+                    with span(f"{name}.child"):
+                        await asyncio.sleep(0.01)
+            return tracer
+
+        async def main():
+            return await asyncio.gather(traced("t1"), traced("t2"))
+
+        t1, t2 = asyncio.run(main())
+        assert [r.name for r in t1.roots] == ["t1"]
+        assert [r.name for r in t2.roots] == ["t2"]
+        assert t1.roots[0].children[0].name == "t1.child"
+        assert t2.roots[0].children[0].name == "t2.child"

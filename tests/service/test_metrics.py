@@ -25,9 +25,11 @@ def make_summary(num_queries=4, total=1000):
 
 
 class TestPercentile:
-    def test_single_sample(self):
-        assert percentile([7.0], 0.5) == 7.0
-        assert percentile([7.0], 0.99) == 7.0
+    def test_single_sample_is_none(self):
+        # One observation carries no distributional information: the
+        # documented contract is None, not a fake "p99".
+        assert percentile([7.0], 0.5) is None
+        assert percentile([7.0], 0.99) is None
 
     def test_median_and_tail(self):
         samples = sorted(float(v) for v in range(1, 101))
@@ -35,13 +37,12 @@ class TestPercentile:
         assert percentile(samples, 0.99) == 99.0
         assert percentile(samples, 1.0) == 100.0
 
-    def test_empty_raises(self):
-        try:
-            percentile([], 0.5)
-        except ValueError:
-            pass
-        else:  # pragma: no cover - defensive
-            raise AssertionError("expected ValueError")
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_two_samples(self):
+        assert percentile([1.0, 3.0], 0.0) == 1.0
+        assert percentile([1.0, 3.0], 1.0) == 3.0
 
 
 class TestCounters:
@@ -96,8 +97,24 @@ class TestLatency:
             metrics.record_completion(0.001)
         assert len(metrics._latencies) == 8
 
-    def test_no_latencies_is_none(self):
-        assert ServiceMetrics().latency_quantiles() is None
+    def test_empty_window_reports_nones(self):
+        quantiles = ServiceMetrics().latency_quantiles()
+        assert quantiles == {
+            "p50_ms": None,
+            "p90_ms": None,
+            "p99_ms": None,
+            "max_ms": None,
+            "count": 0,
+        }
+
+    def test_singleton_window_has_max_but_no_percentiles(self):
+        metrics = ServiceMetrics()
+        metrics.record_completion(0.005)
+        quantiles = metrics.latency_quantiles()
+        assert quantiles["p50_ms"] is None
+        assert quantiles["p99_ms"] is None
+        assert quantiles["max_ms"] == 5.0
+        assert quantiles["count"] == 1
 
 
 class TestSnapshot:
@@ -112,7 +129,9 @@ class TestSnapshot:
         assert snapshot["requests"]["rejected_overload"] == 1
         assert snapshot["batching"]["size_histogram"] == {"4": 1}
         assert snapshot["engine"]["queries"] == 4
-        assert snapshot["latency"]["p50_ms"] == 5.0
+        # A single completion yields no percentiles (None, not 0/crash).
+        assert snapshot["latency"]["p50_ms"] is None
+        assert snapshot["latency"]["max_ms"] == 5.0
 
     def test_empty_summary_has_no_effect_on_optimality_fields(self):
         # The empty-batch summary carries guaranteed_optimal=None and
@@ -156,3 +175,53 @@ class TestBatchSummaryRegressions:
         bad = SearchStats(total_transactions=10, guaranteed_optimal=False)
         assert summarise_stats([good, good]).guaranteed_optimal is True
         assert summarise_stats([good, bad]).guaranteed_optimal is False
+
+
+class TestRegistryExposition:
+    """ServiceMetrics is a view over the repro.obs metric registry."""
+
+    def test_counters_appear_in_prometheus_text(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        metrics = ServiceMetrics()
+        metrics.record_received()
+        metrics.record_received()
+        metrics.record_completion(0.004)
+        metrics.record_rejection("overloaded")
+        metrics.record_batch(make_summary(num_queries=4))
+        samples = parse_prometheus_text(metrics.to_prometheus_text())
+        assert samples[("repro_requests_received_total", ())] == 2.0
+        assert samples[("repro_requests_completed_total", ())] == 1.0
+        assert samples[
+            ("repro_requests_rejected_total", (("reason", "overloaded"),))
+        ] == 1.0
+        assert samples[("repro_batches_total", ())] == 1.0
+        assert samples[("repro_engine_queries_total", ())] == 4.0
+        # Histogram exposition: cumulative buckets plus _sum/_count.
+        assert samples[("repro_batch_size_bucket", (("le", "4"),))] == 1.0
+        assert samples[("repro_batch_size_bucket", (("le", "+Inf"),))] == 1.0
+        assert samples[("repro_batch_size_count", ())] == 1.0
+        assert samples[("repro_batch_size_sum", ())] == 4.0
+
+    def test_unknown_rejection_code_maps_to_bad_request(self):
+        metrics = ServiceMetrics()
+        metrics.record_rejection("not_a_real_code")
+        assert metrics.rejected_bad_request == 1
+
+    def test_shared_registry_is_accepted(self):
+        from repro.obs.registry import MetricRegistry
+
+        registry = MetricRegistry()
+        metrics = ServiceMetrics(registry=registry)
+        metrics.record_received()
+        assert metrics.registry is registry
+        assert "repro_requests_received_total" in registry.to_json()
+
+    def test_queue_depth_gauge_exports_live_value(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        metrics = ServiceMetrics()
+        depth = {"value": 7}
+        metrics.bind_queue_depth(lambda: depth["value"])
+        samples = parse_prometheus_text(metrics.to_prometheus_text())
+        assert samples[("repro_queue_depth", ())] == 7.0
