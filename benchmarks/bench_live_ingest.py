@@ -1,0 +1,99 @@
+"""Live-index ingest throughput and query-latency overhead.
+
+Sweeps the WAL's ``fsync_interval`` (group commit) while ingesting into
+a fresh :class:`~repro.live.LiveIndex`, then measures exact-kNN latency
+with the delta index holding {0%, 1%, 5%} of the base — each query row
+verified in-run to be byte-identical to a frozen fresh-built
+:class:`~repro.core.table.SignatureTable` over the same logical
+database.
+
+The acceptance bar: results identical at every delta size, and query
+overhead at a 5% delta stays under ``MAX_OVERHEAD``x the frozen
+searcher (the delta is scanned exactly, but it is small by the
+compaction policy's construction).
+
+Runs two ways:
+
+* under pytest with the shared benchmark fixtures
+  (``pytest benchmarks/bench_live_ingest.py``);
+* as a standalone script — ``python benchmarks/bench_live_ingest.py``
+  (full scale) or ``--quick`` (CI smoke: tiny dataset, identity checks
+  only, seconds of runtime).
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (probe: is the package importable?)
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.eval.harness import ExperimentContext, run_live_ingest
+
+FULL_SPEC = "T10.I6.D25K"
+QUICK_SPEC = "T5.I3.D2K"
+MAX_OVERHEAD = 3.0
+
+
+def run(quick: bool = False):
+    """Execute the sweep; returns ``(table, identical, worst_overhead)``."""
+    if quick:
+        ctx = ExperimentContext("quick", num_queries=16)
+        spec = QUICK_SPEC
+        ingest_rows = 64
+    else:
+        ctx = ExperimentContext("quick", num_queries=60)
+        spec = FULL_SPEC
+        ingest_rows = None  # 5% of the base
+    table = run_live_ingest(
+        "match_ratio",
+        ctx,
+        spec=spec,
+        k=10,
+        fsync_intervals=(1, 8, 64),
+        delta_fractions=(0.0, 0.01, 0.05),
+        ingest_rows=ingest_rows,
+    )
+    query_rows = [row for row in table.rows if row["phase"] == "query"]
+    identical = all(row["identical"] == "yes" for row in query_rows)
+    worst = max(float(row["vs frozen"]) for row in query_rows)
+    return table, identical, worst
+
+
+def test_live_ingest(emit):
+    table, identical, worst = run(quick=False)
+    emit(table, "live_ingest")
+    assert identical, "live results diverged from the fresh-build oracle"
+    assert worst <= MAX_OVERHEAD, (
+        f"query overhead at the largest delta is {worst:.2f}x the frozen "
+        f"searcher (bar: {MAX_OVERHEAD}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke run (CI): verifies identity, skips the overhead bar",
+    )
+    args = parser.parse_args(argv)
+    table, identical, worst = run(quick=args.quick)
+    print(table.to_text())
+    if not identical:
+        print("FAIL: live results diverged from the fresh-build oracle")
+        return 1
+    if not args.quick and worst > MAX_OVERHEAD:
+        print(
+            f"FAIL: query overhead {worst:.2f}x the frozen searcher "
+            f"exceeds the {MAX_OVERHEAD}x bar"
+        )
+        return 1
+    print(f"OK: identical results; worst query overhead {worst:.2f}x frozen")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

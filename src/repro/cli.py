@@ -18,9 +18,16 @@ The subcommands cover the full life cycle without writing Python:
   plus the span tree (see :mod:`repro.obs`).
 * ``repro serve`` — keep a table resident and serve concurrent clients
   over the newline-delimited-JSON TCP protocol with dynamic
-  micro-batching (see :mod:`repro.service`).
+  micro-batching (see :mod:`repro.service`); ``--live DIR`` serves a
+  mutable WAL-backed live index instead (see :mod:`repro.live`).
+* ``repro ingest`` — create a live-index directory and/or durably
+  insert transactions into it (reports ingest throughput).
+* ``repro compact`` — fold a live index's delta and tombstones into a
+  fresh base segment (``--repartition`` re-learns the partition first;
+  prints the drift advisor's recommendation).
 * ``repro client`` — talk to a running server: ping, stats, graceful
-  shutdown, a query file, or a closed-loop load burst.
+  shutdown, a query file, a closed-loop load burst, or the mutation
+  ops (insert/delete/compact/checkpoint) against a live server.
 * ``repro metrics`` — fetch a running server's metric registry in
   Prometheus text or JSON exposition.
 
@@ -318,12 +325,45 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
-    from repro.core.engine import QueryEngine
     from repro.service.server import QueryServer
 
-    db = _load_database(args.database)
-    table = SignatureTable.load(args.table)
-    engine = QueryEngine.for_table(table, db, workers=args.workers)
+    live_index = None
+    metrics_registry = None
+    if args.live is not None:
+        from repro.live import LiveIndex, LiveQueryEngine
+        from repro.obs import MetricRegistry
+
+        # One registry carries both the service counters and the live
+        # index's WAL/compaction gauges, so a single scrape shows both.
+        metrics_registry = MetricRegistry()
+        live_index = LiveIndex.recover(
+            args.live, metrics_registry=metrics_registry
+        )
+        engine = LiveQueryEngine(live_index)
+        num_transactions = live_index.num_transactions
+        universe_size = live_index.scheme.universe_size
+        index_info = {"directory": args.live, **live_index.describe()}
+        index_info["universe_size"] = universe_size
+        source = args.live
+    else:
+        if args.database is None or args.table is None:
+            raise ValueError(
+                "serve needs either --live DIR or a database and a table"
+            )
+        from repro.core.engine import QueryEngine
+
+        db = _load_database(args.database)
+        table = SignatureTable.load(args.table)
+        engine = QueryEngine.for_table(table, db, workers=args.workers)
+        num_transactions = len(db)
+        index_info = {
+            "database": args.database,
+            "table": args.table,
+            "num_transactions": len(db),
+            "universe_size": db.universe_size,
+            "num_signatures": table.scheme.num_signatures,
+        }
+        source = args.database
     logger = None
     if args.log_json:
         from repro.obs import JsonLogger
@@ -339,21 +379,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         default_timeout_ms=args.timeout_ms,
         allow_remote_shutdown=not args.no_remote_shutdown,
-        index_info={
-            "database": args.database,
-            "table": args.table,
-            "num_transactions": len(db),
-            "universe_size": db.universe_size,
-            "num_signatures": table.scheme.num_signatures,
-        },
+        index_info=index_info,
+        live_index=live_index,
+        metrics_registry=metrics_registry,
     )
 
     async def _serve() -> None:
         import signal
 
         host, port = await server.start()
+        mode = "live" if live_index is not None else "frozen"
         print(
-            f"serving {args.database} ({len(db)} transactions) on "
+            f"serving {source} ({num_transactions} transactions, {mode}) on "
             f"{host}:{port}  [max_batch_size={args.max_batch_size}, "
             f"max_wait_ms={args.max_wait_ms:g}, max_queue={args.max_queue}]",
             flush=True,
@@ -376,11 +413,131 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             flush=True,
         )
 
-    asyncio.run(_serve())
+    try:
+        asyncio.run(_serve())
+    finally:
+        if live_index is not None:
+            live_index.close()
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.live import LiveIndex
+
+    exists = os.path.exists(os.path.join(args.directory, "manifest.json"))
+    if args.init is not None:
+        if exists:
+            raise ValueError(
+                f"{args.directory!r} already holds a live index; "
+                "drop --init to ingest into it"
+            )
+        db = _load_database(args.init)
+        num_signatures = args.signatures
+        if num_signatures is None:
+            from repro.core.advisor import suggest_parameters
+
+            num_signatures = suggest_parameters(db).num_signatures
+        scheme = partition_items(
+            db,
+            num_signatures=num_signatures,
+            activation_threshold=args.activation_threshold,
+            rng=args.seed,
+        )
+        index = LiveIndex.create(
+            args.directory,
+            db,
+            scheme=scheme,
+            page_size=args.page_size,
+            fsync_interval=args.fsync_interval,
+        )
+        print(
+            f"created live index over {len(db)} transactions "
+            f"(K={scheme.num_signatures}, r={scheme.activation_threshold}) "
+            f"in {args.directory}"
+        )
+    elif not exists:
+        raise ValueError(
+            f"no live index at {args.directory!r}; pass --init DATABASE "
+            "to create one"
+        )
+    else:
+        index = LiveIndex.recover(
+            args.directory, fsync_interval=args.fsync_interval
+        )
+    try:
+        if args.transactions is not None:
+            rows = _read_queries(args.transactions)
+            started = time.perf_counter()
+            for row in rows:
+                index.insert(row)
+            elapsed = time.perf_counter() - started
+            print(
+                f"ingested {len(rows)} transactions in {elapsed:.2f}s "
+                f"({len(rows) / max(elapsed, 1e-9):.0f} inserts/sec, "
+                f"{index.wal.counters.fsyncs} fsyncs, "
+                f"WAL {index.wal.size_bytes} bytes)"
+            )
+        if args.checkpoint:
+            applied = index.checkpoint()
+            print(f"checkpointed through seqno {applied}; WAL truncated")
+        info = index.describe()
+        print(
+            f"-- {info['num_transactions']} logical transactions "
+            f"({info['delta_size']} in delta, {info['tombstones']} tombstones)"
+        )
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    from repro.live import LiveIndex
+
+    index = LiveIndex.recover(args.directory)
+    try:
+        drift = index.drift_report()
+        if drift is not None:
+            print(f"drift advisor: {drift.recommendation}")
+        repartition = args.repartition or (
+            args.auto_repartition and drift is not None and drift.drifted
+        )
+        if args.if_needed and not index.should_compact():
+            info = index.describe()
+            print(
+                f"compaction not needed ({info['delta_size']} delta rows, "
+                f"{info['tombstones']} tombstones)"
+            )
+            return 0
+        report = index.compact(repartition=repartition)
+        print(
+            f"compacted: merged {report.merged_inserts} inserts, dropped "
+            f"{report.dropped_tombstones} tombstones -> "
+            f"{report.new_num_transactions} transactions "
+            f"({report.duration_seconds:.2f}s"
+            f"{', repartitioned' if report.repartitioned else ''}); "
+            f"WAL truncated through seqno {report.applied_seqno}"
+        )
+    finally:
+        index.close()
     return 0
 
 
 def _cmd_client(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceError
+
+    try:
+        return _run_client_action(args)
+    except ServiceError as exc:
+        print(f"error: server rejected the request: {exc}", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run_client_action(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient, run_load, wait_ready
 
     if args.wait_ready is not None:
@@ -405,6 +562,51 @@ def _cmd_client(args: argparse.Namespace) -> int:
             draining = client.shutdown()
         print("server draining" if draining else "shutdown refused")
         return 0 if draining else 1
+    if args.action == "insert":
+        if not args.items:
+            print("error: insert needs --items", file=sys.stderr)
+            return 2
+        with ServiceClient(args.host, args.port) as client:
+            tid = client.insert([int(i) for i in args.items])
+        print(f"inserted as logical tid {tid}")
+        return 0
+    if args.action == "delete":
+        if args.tid is None:
+            print("error: delete needs --tid", file=sys.stderr)
+            return 2
+        with ServiceClient(args.host, args.port) as client:
+            client.delete(args.tid)
+        print(f"deleted logical tid {args.tid}")
+        return 0
+    if args.action == "compact":
+        with ServiceClient(args.host, args.port) as client:
+            report = client.compact(repartition=args.repartition)
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    if args.action == "checkpoint":
+        with ServiceClient(args.host, args.port) as client:
+            applied = client.checkpoint()
+        print(f"checkpointed through seqno {applied}")
+        return 0
+    if args.action == "query":
+        if not args.items:
+            print("error: query needs --items", file=sys.stderr)
+            return 2
+        items = [int(i) for i in args.items]
+        with ServiceClient(args.host, args.port) as client:
+            if args.threshold is not None:
+                neighbors, _ = client.range_query(
+                    items, args.similarity, args.threshold,
+                    timeout_ms=args.timeout_ms,
+                )
+            else:
+                neighbors, _ = client.knn(
+                    items, args.similarity, k=args.k,
+                    timeout_ms=args.timeout_ms,
+                )
+        for neighbor in neighbors:
+            print(f"tid {neighbor.tid}  similarity {neighbor.similarity:.6f}")
+        return 0
 
     # action == "burst": a closed-loop concurrent load burst.
     if args.queries is not None:
@@ -695,8 +897,22 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="serve a table to concurrent clients (NDJSON over TCP)",
     )
-    p_serve.add_argument("database", help="dataset path (.npz or .txt)")
-    p_serve.add_argument("table", help="signature-table path (.npz)")
+    p_serve.add_argument(
+        "database", nargs="?", default=None,
+        help="dataset path (.npz or .txt); omit with --live",
+    )
+    p_serve.add_argument(
+        "table", nargs="?", default=None,
+        help="signature-table path (.npz); omit with --live",
+    )
+    p_serve.add_argument(
+        "--live",
+        default=None,
+        metavar="DIR",
+        help="serve a mutable live index from this directory instead of a "
+        "frozen table; enables the insert/delete/compact/checkpoint ops "
+        "(create the directory with 'repro ingest DIR --init DATABASE')",
+    )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=7807)
     p_serve.add_argument(
@@ -745,13 +961,102 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_ingest = subparsers.add_parser(
+        "ingest",
+        help="create a live index and/or durably insert transactions",
+    )
+    p_ingest.add_argument("directory", help="live-index directory")
+    p_ingest.add_argument(
+        "transactions",
+        nargs="?",
+        default=None,
+        help="transactions to insert, one per line as space-separated item "
+        "ids ('-' reads stdin; '#' lines are comments)",
+    )
+    p_ingest.add_argument(
+        "--init",
+        default=None,
+        metavar="DATABASE",
+        help="create the live index over this base dataset first",
+    )
+    p_ingest.add_argument(
+        "--signatures", "-K", type=int, default=None,
+        help="signature cardinality K for --init (default: advisor pick)",
+    )
+    p_ingest.add_argument(
+        "--activation-threshold", "-r", type=int, default=1,
+        help="activation threshold r for --init (default 1)",
+    )
+    p_ingest.add_argument(
+        "--page-size", type=int, default=64,
+        help="transactions per simulated disk page for --init (default 64)",
+    )
+    p_ingest.add_argument(
+        "--seed", type=int, default=0, help="partitioning seed for --init"
+    )
+    p_ingest.add_argument(
+        "--fsync-interval",
+        type=int,
+        default=1,
+        help="fsync the WAL every N inserts (default 1 = every insert)",
+    )
+    p_ingest.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help="write a checkpoint and truncate the WAL after ingesting",
+    )
+    p_ingest.set_defaults(func=_cmd_ingest)
+
+    p_compact = subparsers.add_parser(
+        "compact",
+        help="fold a live index's delta and tombstones into the base",
+    )
+    p_compact.add_argument("directory", help="live-index directory")
+    p_compact.add_argument(
+        "--repartition",
+        action="store_true",
+        help="re-learn the signature partition from the merged data",
+    )
+    p_compact.add_argument(
+        "--auto-repartition",
+        action="store_true",
+        help="repartition only if the drift advisor recommends it",
+    )
+    p_compact.add_argument(
+        "--if-needed",
+        action="store_true",
+        help="compact only when the compaction policy triggers",
+    )
+    p_compact.set_defaults(func=_cmd_compact)
+
     p_client = subparsers.add_parser(
         "client", help="talk to a running repro server"
     )
     p_client.add_argument(
         "action",
-        choices=["ping", "stats", "shutdown", "burst"],
-        help="ping/stats/shutdown, or a closed-loop 'burst' of queries",
+        choices=[
+            "ping", "stats", "shutdown", "burst", "query",
+            "insert", "delete", "compact", "checkpoint",
+        ],
+        help="ping/stats/shutdown, a single 'query', a closed-loop 'burst' "
+        "of queries, or a mutation against a live server",
+    )
+    p_client.add_argument(
+        "--items",
+        nargs="+",
+        default=None,
+        help="item ids for the insert action",
+    )
+    p_client.add_argument(
+        "--tid",
+        type=int,
+        default=None,
+        help="logical tid for the delete action",
+    )
+    p_client.add_argument(
+        "--repartition",
+        action="store_true",
+        help="ask the server to repartition during the compact action",
     )
     p_client.add_argument("--host", default="127.0.0.1")
     p_client.add_argument("--port", type=int, default=7807)

@@ -15,11 +15,20 @@ and to a diminishing-returns cap relative to the database size), and an
 ``r`` that keeps the *expected number of activated signatures* near a
 healthy fraction of ``K`` using the analytical model of
 :mod:`repro.eval.model`.
+
+:func:`activation_drift` is the live-index companion: once a partition is
+built, its pruning power depends on the data continuing to *look like*
+the data it was built from.  The function compares the per-signature
+activation distribution of recently inserted transactions (the delta)
+against the base segment's and recommends re-partitioning at the next
+compaction when they diverge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.data.transaction import TransactionDatabase
 from repro.utils.validation import check_positive
@@ -50,6 +59,113 @@ class IndexAdvice:
             f"~{self.expected_active_signatures:.1f} signatures active per "
             f"transaction)\n{self.rationale}"
         )
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """How far the delta's activation distribution strays from the base.
+
+    Each signature is a Bernoulli variable ("does a transaction activate
+    it?"); the report aggregates per-signature divergences between the
+    base and delta activation fractions.
+
+    ``kl_divergence`` sums the smoothed binary KL divergences
+    ``KL(delta_s || base_s)`` over signatures — the expected extra
+    log-loss per transaction of modelling delta traffic with the base's
+    activation profile.  ``chi_square`` is the corresponding summed
+    chi-square statistic (delta observed vs base expected, both sides of
+    each Bernoulli).  ``drifted`` is the actionable flag:
+    re-partition at the next compaction
+    (``LiveIndex.compact(repartition=True)``) when it is set.
+    """
+
+    kl_divergence: float
+    chi_square: float
+    max_divergence_signature: int
+    num_delta: int
+    kl_threshold: float
+    drifted: bool
+    base_fractions: np.ndarray
+    delta_fractions: np.ndarray
+
+    @property
+    def recommendation(self) -> str:
+        """One-line operator guidance."""
+        if self.drifted:
+            return (
+                f"activation drift KL={self.kl_divergence:.4f} exceeds "
+                f"{self.kl_threshold:.4f} (worst signature "
+                f"{self.max_divergence_signature}): re-partition at the "
+                "next compaction (compact(repartition=True))"
+            )
+        if self.num_delta < 8:
+            return (
+                f"only {self.num_delta} delta rows — too few to judge "
+                f"drift (KL={self.kl_divergence:.4f}); keep the current "
+                "partition"
+            )
+        return (
+            f"activation drift KL={self.kl_divergence:.4f} within "
+            f"{self.kl_threshold:.4f}: keep the current partition"
+        )
+
+    def __str__(self) -> str:
+        return self.recommendation
+
+
+def _binary_kl(p: np.ndarray, q: np.ndarray) -> np.ndarray:
+    """Element-wise KL(Bernoulli(p) || Bernoulli(q)), both sides summed."""
+    return p * np.log(p / q) + (1.0 - p) * np.log((1.0 - p) / (1.0 - q))
+
+
+def activation_drift(
+    base_fractions: np.ndarray,
+    delta_fractions: np.ndarray,
+    num_delta: int,
+    kl_threshold: float = 0.1,
+) -> DriftReport:
+    """Compare per-signature activation fractions of delta vs base.
+
+    Parameters
+    ----------
+    base_fractions, delta_fractions:
+        Length-``K`` arrays; component ``s`` is the fraction of
+        transactions (base segment / delta) whose activation count for
+        signature ``s`` reaches the scheme's threshold.
+    num_delta:
+        Number of delta transactions behind ``delta_fractions`` — scales
+        the chi-square statistic and damps the verdict on tiny samples
+        (fewer than 8 rows never flags drift).
+    kl_threshold:
+        Summed-KL level above which re-partitioning is recommended.
+    """
+    base = np.asarray(base_fractions, dtype=np.float64)
+    delta = np.asarray(delta_fractions, dtype=np.float64)
+    if base.shape != delta.shape:
+        raise ValueError(
+            f"fraction arrays disagree: {base.shape} vs {delta.shape}"
+        )
+    check_positive(num_delta, "num_delta")
+    check_positive(kl_threshold, "kl_threshold")
+    # Additive smoothing keeps the logs finite when a signature is never
+    # (or always) activated on one side.
+    epsilon = 1.0 / (2.0 * max(num_delta, 1) + 2.0)
+    p = np.clip(delta, epsilon, 1.0 - epsilon)
+    q = np.clip(base, epsilon, 1.0 - epsilon)
+    per_signature = _binary_kl(p, q)
+    chi = num_delta * ((p - q) ** 2 / q + (p - q) ** 2 / (1.0 - q))
+    kl_total = float(per_signature.sum())
+    drifted = num_delta >= 8 and kl_total > kl_threshold
+    return DriftReport(
+        kl_divergence=kl_total,
+        chi_square=float(chi.sum()),
+        max_divergence_signature=int(np.argmax(per_signature)),
+        num_delta=int(num_delta),
+        kl_threshold=float(kl_threshold),
+        drifted=drifted,
+        base_fractions=base,
+        delta_fractions=delta,
+    )
 
 
 def max_k_for_memory(memory_budget_bytes: int) -> int:

@@ -15,6 +15,14 @@ The search follows the paper's Figure 3:
    bound.  Because entries are sorted by bound, the first pruned entry
    terminates the scan with every remaining entry pruned as well.
 
+Exact (non-early-terminated) queries return the top ``k`` under the
+total order ``(-similarity, tid)`` — ties at the k-th boundary are
+resolved toward the smallest tid, independent of the table's entry or
+storage order.  Layout independence is what lets the live index
+(:mod:`repro.live`) answer byte-identically across delta merges and
+compactions, and it matches the :class:`~repro.baselines.linear_scan.
+LinearScanIndex` ground-truth ordering exactly.
+
 Supported queries (Sections 2.1, 4.2, 4.3): nearest neighbour, k-NN,
 early-terminated approximate k-NN with an a-posteriori quality guarantee,
 guarantee-tolerance termination, range queries, conjunctive multi-function
@@ -384,7 +392,12 @@ class SignatureTableSearcher:
                 if sorted_by_bound
                 else float(opts[order[rank:]].max())
             )
-            if len(heap) >= k and opt_entry <= pessimistic:
+            # Prune only entries that cannot *reach* the pessimistic bound:
+            # an entry whose optimistic bound exactly equals it may still
+            # contain a tie with a smaller tid, which the deterministic
+            # (-similarity, tid) result order must admit — so equality is
+            # scanned, strict inferiority is pruned.
+            if len(heap) >= k and opt_entry < pessimistic:
                 if sorted_by_bound:
                     stats.entries_pruned = num_entries - rank
                     if trace is not None:
@@ -861,7 +874,7 @@ class SignatureTableSearcher:
         while rank < num_entries:
             entry = int(order[rank])
             opt_entry = float(opts[entry])
-            if len(heap) >= k and opt_entry <= pessimistic:
+            if len(heap) >= k and opt_entry < pessimistic:
                 stats.entries_pruned = num_entries - rank
                 break
             if budget is not None and stats.transactions_accessed >= budget:
@@ -927,14 +940,21 @@ class SignatureTableSearcher:
             return
         remaining_sims = sims[position:]
         remaining_tids = tids[position:]
-        # Replacement phase: only strictly-better candidates matter, and
-        # each replacement can only raise heap[0][0], so re-checking the
-        # current floor inside the loop preserves exact semantics.
-        candidates = np.nonzero(remaining_sims > heap[0][0])[0]
+        # Replacement phase under the total order (similarity, -tid): a
+        # candidate displaces the floor when it is strictly more similar
+        # *or* ties the floor with a smaller tid.  Tie-aware replacement
+        # makes the kept set independent of the scan order — the result
+        # is exactly the top k under (-similarity, tid) no matter how the
+        # table clusters the data, which is what lets a compacted (or
+        # delta-merged) index answer byte-identically to a fresh build.
+        # The vectorised prefilter keeps the Python loop to candidates
+        # that can possibly matter (similarity >= current floor).
+        candidates = np.nonzero(remaining_sims >= heap[0][0])[0]
         for index in candidates:
             value = float(remaining_sims[index])
-            if value > heap[0][0]:
-                heapq.heapreplace(heap, (value, -int(remaining_tids[index])))
+            entry = (value, -int(remaining_tids[index]))
+            if entry > heap[0]:
+                heapq.heapreplace(heap, entry)
 
     def _new_stats(self) -> SearchStats:
         return SearchStats(

@@ -29,6 +29,11 @@ from repro.data.transaction import TransactionDatabase
 from repro.storage.pages import PagedStore
 from repro.utils.validation import check_positive
 
+#: On-disk ``.npz`` format version written by :meth:`SignatureTable.save`.
+#: Bump when the key set or the meaning of a key changes; :meth:`load`
+#: rejects files from a future version instead of mis-reading them.
+TABLE_FORMAT_VERSION = 1
+
 
 @dataclass(frozen=True)
 class TableStats:
@@ -269,6 +274,7 @@ class SignatureTable:
         """Serialise the table (including its scheme) to ``.npz``."""
         np.savez_compressed(
             path,
+            format_version=np.int64(TABLE_FORMAT_VERSION),
             entry_codes=self._entry_codes,
             entry_offsets=self._entry_offsets,
             ordered_tids=self._ordered_tids,
@@ -282,8 +288,22 @@ class SignatureTable:
 
     @classmethod
     def load(cls, path) -> "SignatureTable":
-        """Load a table previously stored with :meth:`save`."""
+        """Load a table previously stored with :meth:`save`.
+
+        Files written before versioning (no ``format_version`` key) load
+        as version 0; files from an unknown (future) version raise
+        :class:`ValueError` naming both versions.
+        """
         with np.load(path) as data:
+            version = (
+                int(data["format_version"]) if "format_version" in data else 0
+            )
+            if version > TABLE_FORMAT_VERSION:
+                raise ValueError(
+                    f"table file has format_version {version}, but this build "
+                    f"reads at most {TABLE_FORMAT_VERSION}; upgrade the library "
+                    f"or rebuild the table"
+                )
             mapping = data["item_to_signature"]
             k = int(data["num_signatures"])
             signatures: list = [[] for _ in range(k)]

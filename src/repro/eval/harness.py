@@ -827,3 +827,146 @@ def run_service_load(
                 },
             )
     return table
+
+
+def run_live_ingest(
+    similarity_name: str,
+    ctx: ExperimentContext,
+    spec: Optional[str] = None,
+    num_signatures: Optional[int] = None,
+    k: int = 10,
+    fsync_intervals: Sequence[int] = (1, 8, 64),
+    delta_fractions: Sequence[float] = (0.0, 0.01, 0.05),
+    ingest_rows: Optional[int] = None,
+) -> ExperimentTable:
+    """Live-index ingest throughput and query-latency overhead.
+
+    Two sweeps in one table:
+
+    * ``ingest`` rows — durable insert throughput into a fresh
+      :class:`~repro.live.LiveIndex` while sweeping the WAL's
+      ``fsync_interval`` (group commit), reporting inserts/sec and the
+      WAL bytes/fsyncs actually paid;
+    * ``query`` rows — mean exact-kNN latency with the delta holding
+      {0%, 1%, 5%} of the base, against the same queries through a
+      frozen fresh-built searcher over the identical logical database.
+      Each row verifies in-run that live results are byte-identical to
+      the fresh build (the differential guarantee).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.similarity import get_similarity
+    from repro.live import LiveIndex
+
+    spec = spec or ctx.profile["large_spec"]
+    num_signatures = num_signatures or ctx.profile["default_k"]
+    similarity = get_similarity(similarity_name)
+    indexed, _ = ctx.database(spec)
+    scheme = ctx.scheme(spec, num_signatures)
+    queries = ctx.queries(spec)
+    if ingest_rows is None:
+        ingest_rows = max(64, len(indexed) // 20)
+
+    config = parse_spec(spec, seed=ctx.seed + 1)
+    extra = MarketBasketGenerator(config).generate(num_transactions=ingest_rows)
+    extra_rows = [sorted(extra[i]) for i in range(len(extra))]
+
+    table = ExperimentTable(
+        title=(
+            f"Live index: ingest throughput and query overhead — "
+            f"{similarity_name} ({spec}, K={num_signatures}, k={k})"
+        ),
+        columns=[
+            "phase",
+            "fsync_interval",
+            "delta %",
+            "ops",
+            "ops/sec",
+            "mean ms",
+            "wal KiB",
+            "fsyncs",
+            "vs frozen",
+            "identical",
+        ],
+        notes=ctx.notes(
+            [
+                f"similarity={similarity_name}",
+                "frozen baseline: fresh SignatureTable.build over the same rows",
+                "identical: live kNN == fresh-build kNN, tids and floats",
+            ]
+        ),
+    )
+
+    workdir = tempfile.mkdtemp(prefix="repro-live-bench-")
+    try:
+        for interval in fsync_intervals:
+            rows = extra_rows
+            path = os.path.join(workdir, f"ingest-f{interval}")
+            with LiveIndex.create(
+                path, indexed, scheme=scheme, fsync_interval=interval
+            ) as live:
+                started = time.perf_counter()
+                for items in rows:
+                    live.insert(items)
+                elapsed = time.perf_counter() - started
+                table.add_row(
+                    **{
+                        "phase": "ingest",
+                        "fsync_interval": interval,
+                        "delta %": "",
+                        "ops": len(rows),
+                        "ops/sec": len(rows) / elapsed,
+                        "mean ms": 1000.0 * elapsed / len(rows),
+                        "wal KiB": live.wal.bytes_written / 1024.0,
+                        "fsyncs": live.wal.counters.fsyncs,
+                        "vs frozen": "",
+                        "identical": "-",
+                    }
+                )
+            shutil.rmtree(path, ignore_errors=True)
+
+        for fraction in delta_fractions:
+            num_delta = int(round(fraction * len(indexed)))
+            path = os.path.join(workdir, f"query-d{num_delta}")
+            with LiveIndex.create(path, indexed, scheme=scheme) as live:
+                for items in extra_rows[:num_delta]:
+                    live.insert(items)
+                db = live.logical_db()
+                frozen = SignatureTableSearcher(
+                    SignatureTable.build(db, scheme), db
+                )
+                started = time.perf_counter()
+                frozen_results = [
+                    frozen.knn(target, similarity, k=k)[0] for target in queries
+                ]
+                frozen_elapsed = time.perf_counter() - started
+
+                started = time.perf_counter()
+                live_results = [
+                    live.knn(target, similarity, k=k)[0] for target in queries
+                ]
+                live_elapsed = time.perf_counter() - started
+                identical = all(
+                    [(n.tid, n.similarity) for n in got]
+                    == [(n.tid, n.similarity) for n in want]
+                    for got, want in zip(live_results, frozen_results)
+                )
+                table.add_row(
+                    **{
+                        "phase": "query",
+                        "fsync_interval": "",
+                        "delta %": 100.0 * fraction,
+                        "ops": len(queries),
+                        "ops/sec": len(queries) / live_elapsed,
+                        "mean ms": 1000.0 * live_elapsed / len(queries),
+                        "wal KiB": "",
+                        "fsyncs": "",
+                        "vs frozen": live_elapsed / frozen_elapsed,
+                        "identical": "yes" if identical else "NO",
+                    }
+                )
+            shutil.rmtree(path, ignore_errors=True)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return table

@@ -1,0 +1,43 @@
+"""Live index maintenance: WAL-backed delta index with background compaction.
+
+The base :class:`~repro.core.table.SignatureTable` is immutable — built
+once over a frozen database.  This package layers a *mutable* index on
+top of it, LSM-style:
+
+* :class:`~repro.live.wal.WriteAheadLog` — an append-only log of
+  inserts/deletes (length-prefixed, CRC32-protected records using the
+  :mod:`repro.storage.codec` varint encoding) that makes every
+  acknowledged mutation durable;
+* :class:`~repro.live.delta.DeltaIndex` — a small in-memory signature
+  table over recently inserted transactions, grouped by supercoordinate
+  under the *same* :class:`~repro.core.signature.SignatureScheme` as the
+  base so the branch-and-bound optimistic bounds stay valid;
+* :class:`~repro.live.index.LiveIndex` — the composite: base segment +
+  delta + tombstones + WAL, with crash recovery
+  (:meth:`~repro.live.index.LiveIndex.recover`), atomic checkpoints and
+  background compaction that swaps segments without blocking readers;
+* :class:`~repro.live.engine.LiveQueryEngine` — the ``run_batch``
+  adapter that lets the query service's micro-batcher serve a live
+  index exactly as it serves a frozen one.
+
+Queries fan out to base and delta, filter tombstones and merge under
+the deterministic ``(-similarity, tid)`` order — results are
+byte-identical to rebuilding a fresh table over the logically-current
+database (the differential oracle pinned by ``tests/live``).
+"""
+
+from repro.live.delta import DeltaIndex
+from repro.live.engine import LiveQueryEngine
+from repro.live.index import CompactionPolicy, CompactionReport, LiveIndex
+from repro.live.wal import WalRecord, WriteAheadLog, replay_wal
+
+__all__ = [
+    "CompactionPolicy",
+    "CompactionReport",
+    "DeltaIndex",
+    "LiveIndex",
+    "LiveQueryEngine",
+    "WalRecord",
+    "WriteAheadLog",
+    "replay_wal",
+]

@@ -1,0 +1,274 @@
+"""In-memory delta index: a small mutable signature table over inserts.
+
+Recently inserted transactions live here until compaction folds them
+into the base segment.  Rows are grouped by supercoordinate under the
+*same* :class:`~repro.core.signature.SignatureScheme` as the base table,
+so the branch-and-bound optimistic bound of Lemma 2.1 applies to each
+group exactly as it applies to a base entry — a k-NN over the delta
+prunes groups whose bound cannot reach the current pessimistic bound.
+
+Positions are insertion-order indices (0, 1, 2, ...) and are *stable*:
+deleting a delta row clears its live flag but never renumbers the rows,
+because WAL replay and the logical-tid mapping both rely on positions
+meaning the same thing across the index's lifetime.  Similarities are
+computed with the exact integer arithmetic of the base searcher
+(``x = |T ∩ target|``, ``y = |T| + |target| - 2x``), so a result merged
+from base + delta is bit-for-bit what a fresh build would return.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.bounds import BoundCalculator
+from repro.core.signature import SignatureScheme
+from repro.core.similarity import SimilarityFunction
+from repro.data.transaction import as_item_array
+
+
+class DeltaSnapshot:
+    """An immutable view of the delta taken under the swap lock.
+
+    Queries run against a snapshot so a concurrent insert/delete (or the
+    compaction swap) cannot shift rows mid-scan.  The snapshot shares
+    the per-row item arrays (they are never mutated) and copies only the
+    cheap group structure.
+    """
+
+    __slots__ = ("scheme", "rows", "sizes", "groups")
+
+    def __init__(
+        self,
+        scheme: SignatureScheme,
+        rows: List[np.ndarray],
+        groups: Dict[int, List[int]],
+    ) -> None:
+        self.scheme = scheme
+        #: Item arrays of live rows, insertion order — index = delta rank.
+        self.rows = rows
+        self.sizes = np.fromiter(
+            (items.size for items in rows), dtype=np.int64, count=len(rows)
+        )
+        #: supercoordinate -> ranks (indices into ``rows``).
+        self.groups = groups
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def _similarities(
+        self,
+        row_indices: np.ndarray,
+        target_mask: np.ndarray,
+        target_size: int,
+        bound_sim: SimilarityFunction,
+    ) -> np.ndarray:
+        """Exact similarities of the target to the given rows."""
+        x = np.fromiter(
+            (int(target_mask[self.rows[i]].sum()) for i in row_indices),
+            dtype=np.int64,
+            count=row_indices.size,
+        )
+        y = self.sizes[row_indices] + target_size - 2 * x
+        return np.asarray(bound_sim.evaluate(x, y), dtype=np.float64)
+
+    def _group_table(self) -> Tuple[List[int], np.ndarray]:
+        """Occupied group codes and their boolean bit matrix."""
+        codes = sorted(self.groups)
+        k = self.scheme.num_signatures
+        powers = 1 << np.arange(k, dtype=np.int64)
+        code_array = np.asarray(codes, dtype=np.int64)
+        bits = (code_array[:, None] & powers[None, :]) != 0
+        return codes, bits
+
+    def knn_candidates(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        k: int,
+    ) -> List[Tuple[int, float]]:
+        """Top-k delta rows as ``(rank, similarity)`` pairs.
+
+        ``rank`` is the row's index among *live* rows in insertion order
+        — exactly the offset the logical-tid mapping adds to the live
+        base count.  Groups are visited in decreasing optimistic-bound
+        order and pruned exactly like base entries (strict inferiority
+        only, so boundary ties survive — the same determinism contract
+        as :meth:`~repro.core.search.SignatureTableSearcher.knn`).  The
+        returned pairs are sorted by ``(-similarity, rank)``.
+        """
+        if not self.rows:
+            return []
+        target_items = as_item_array(target, self.scheme.universe_size)
+        bound_sim = similarity.bind(target_items.size)
+        target_mask = np.zeros(self.scheme.universe_size, dtype=np.int64)
+        target_mask[target_items] = 1
+        codes, bits = self._group_table()
+        calculator = BoundCalculator(self.scheme, target_items)
+        opts = np.asarray(
+            calculator.optimistic_similarity(bits, bound_sim), dtype=np.float64
+        )
+        order = np.argsort(-opts, kind="stable")
+
+        best: List[Tuple[int, float]] = []
+        floor = -np.inf
+        for group_rank in order:
+            if len(best) >= k and float(opts[group_rank]) < floor:
+                break  # groups sorted by bound: the rest are inferior too
+            row_indices = np.asarray(
+                self.groups[codes[int(group_rank)]], dtype=np.int64
+            )
+            sims = self._similarities(
+                row_indices, target_mask, target_items.size, bound_sim
+            )
+            for index, value in zip(row_indices.tolist(), sims.tolist()):
+                best.append((index, float(value)))
+            best.sort(key=lambda pair: (-pair[1], pair[0]))
+            del best[k:]
+            if len(best) >= k:
+                floor = best[-1][1]
+        return best
+
+    def range_candidates(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        threshold: float,
+    ) -> List[Tuple[int, float]]:
+        """Delta rows with similarity >= ``threshold``, as ``(rank, sim)``.
+
+        Groups whose optimistic bound falls below the threshold are
+        pruned outright, mirroring the base range scan.
+        """
+        if not self.rows:
+            return []
+        target_items = as_item_array(target, self.scheme.universe_size)
+        bound_sim = similarity.bind(target_items.size)
+        target_mask = np.zeros(self.scheme.universe_size, dtype=np.int64)
+        target_mask[target_items] = 1
+        codes, bits = self._group_table()
+        calculator = BoundCalculator(self.scheme, target_items)
+        opts = np.asarray(
+            calculator.optimistic_similarity(bits, bound_sim), dtype=np.float64
+        )
+        results: List[Tuple[int, float]] = []
+        for group_index, code in enumerate(codes):
+            if float(opts[group_index]) < threshold:
+                continue
+            row_indices = np.asarray(self.groups[code], dtype=np.int64)
+            sims = self._similarities(
+                row_indices, target_mask, target_items.size, bound_sim
+            )
+            for index, value in zip(row_indices.tolist(), sims.tolist()):
+                if value >= threshold:
+                    results.append((index, float(value)))
+        results.sort(key=lambda pair: (-pair[1], pair[0]))
+        return results
+
+
+class DeltaIndex:
+    """Mutable signature-grouped store of inserted transactions.
+
+    Not thread-safe on its own — the owning
+    :class:`~repro.live.index.LiveIndex` serialises mutations and takes
+    :meth:`snapshot` under its swap lock for queries.
+    """
+
+    def __init__(self, scheme: SignatureScheme) -> None:
+        self.scheme = scheme
+        self._items: List[np.ndarray] = []
+        self._codes: List[int] = []
+        self._live: List[bool] = []
+        self._live_count = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of *live* rows."""
+        return self._live_count
+
+    @property
+    def total_rows(self) -> int:
+        """All rows ever inserted, including deleted ones."""
+        return len(self._items)
+
+    def insert(self, items: Iterable[int]) -> int:
+        """Add a transaction; returns its stable delta position."""
+        array = as_item_array(items, self.scheme.universe_size)
+        position = len(self._items)
+        self._items.append(array)
+        self._codes.append(int(self.scheme.supercoordinate(array)))
+        self._live.append(True)
+        self._live_count += 1
+        return position
+
+    def remove(self, position: int) -> None:
+        """Mark a row deleted (positions of other rows are unchanged)."""
+        if not 0 <= position < len(self._items):
+            raise IndexError(
+                f"delta position {position} out of range [0, {len(self._items)})"
+            )
+        if not self._live[position]:
+            raise ValueError(f"delta position {position} already deleted")
+        self._live[position] = False
+        self._live_count -= 1
+
+    def items_at(self, position: int) -> np.ndarray:
+        """The item array of a (live or dead) row."""
+        return self._items[position]
+
+    def is_live(self, position: int) -> bool:
+        """Whether a row is still live."""
+        return self._live[position]
+
+    def live_positions(self) -> List[int]:
+        """Positions of live rows, insertion order."""
+        return [p for p, live in enumerate(self._live) if live]
+
+    def live_arrays(self) -> List[np.ndarray]:
+        """Item arrays of live rows, insertion order (shared, not copied)."""
+        return [
+            self._items[p] for p, live in enumerate(self._live) if live
+        ]
+
+    def memory_bytes(self) -> int:
+        """Approximate in-memory footprint of the delta rows."""
+        return int(sum(items.nbytes for items in self._items))
+
+    def clear(self) -> None:
+        """Drop every row (after compaction folded them into the base)."""
+        self._items.clear()
+        self._codes.clear()
+        self._live.clear()
+        self._live_count = 0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> DeltaSnapshot:
+        """An immutable view of the live rows for one query."""
+        rows: List[np.ndarray] = []
+        groups: Dict[int, List[int]] = {}
+        for position, live in enumerate(self._live):
+            if not live:
+                continue
+            groups.setdefault(self._codes[position], []).append(len(rows))
+            rows.append(self._items[position])
+        return DeltaSnapshot(self.scheme, rows, groups)
+
+    def activation_fractions(self) -> Optional[np.ndarray]:
+        """Per-signature activation fraction over live rows (drift input).
+
+        ``None`` when the delta is empty.  Component ``s`` is the
+        fraction of live delta transactions that activate signature
+        ``s`` under the scheme's threshold — the distribution the drift
+        advisor compares against the base segment's.
+        """
+        if self._live_count == 0:
+            return None
+        r = self.scheme.activation_threshold
+        active = np.zeros(self.scheme.num_signatures, dtype=np.int64)
+        for position, live in enumerate(self._live):
+            if not live:
+                continue
+            counts = self.scheme.activation_counts(self._items[position])
+            active += counts >= r
+        return active / float(self._live_count)

@@ -1,0 +1,77 @@
+"""Batch-execution adapter from the query service to a live index.
+
+The TCP service's micro-batcher (:mod:`repro.service.batcher`) needs
+only one engine hook — ``run_batch(key, similarity, targets)`` — so a
+:class:`LiveQueryEngine` wrapping a :class:`~repro.live.index.LiveIndex`
+drops into :class:`~repro.service.server.QueryServer` exactly where a
+frozen :class:`~repro.core.engine.QueryEngine` would.  Each target in a
+coalesced batch runs against one consistent snapshot of the live state
+(the snapshot is taken per target, so a batch interleaved with inserts
+observes each mutation atomically, never half of one).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.engine import BatchKey, similarity_key
+from repro.core.search import Neighbor, SearchStats
+from repro.core.similarity import SimilarityFunction
+from repro.live.index import LiveIndex
+
+
+class LiveQueryEngine:
+    """Serve coalesced service batches from a :class:`LiveIndex`."""
+
+    def __init__(self, index: LiveIndex) -> None:
+        self.index = index
+
+    def describe(self) -> dict:
+        """JSON-safe description for the service ``stats`` endpoint."""
+        return self.index.describe()
+
+    def run_batch(
+        self,
+        key: BatchKey,
+        similarity: SimilarityFunction,
+        targets: Sequence[Iterable[int]],
+        workers=None,
+    ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+        """Execute one coalesced batch against the live index.
+
+        Matches the :meth:`QueryEngine.run_batch
+        <repro.core.engine.QueryEngine.run_batch>` contract (``workers``
+        is accepted for signature compatibility; live batches run
+        sequentially — the base searcher already parallelises nothing
+        per query and the delta scan is memory-resident).
+        """
+        if similarity_key(similarity) != key.similarity:
+            raise ValueError(
+                f"similarity {similarity_key(similarity)!r} does not match "
+                f"batch key {key.similarity!r}"
+            )
+        del workers
+        results: List[List[Neighbor]] = []
+        stats: List[SearchStats] = []
+        if key.op == "knn":
+            for target in targets:
+                neighbors, one = self.index.knn(
+                    target,
+                    similarity,
+                    k=key.k,
+                    early_termination=key.early_termination,
+                    guarantee_tolerance=key.guarantee_tolerance,
+                    sort_by=key.sort_by,
+                )
+                results.append(neighbors)
+                stats.append(one)
+        elif key.op == "range":
+            for target in targets:
+                neighbors, one = self.index.range_query(
+                    target, similarity, key.threshold
+                )
+                results.append(neighbors)
+                stats.append(one)
+        else:  # pragma: no cover - batch_key rejects unknown ops
+            raise ValueError(f"unknown batch op {key.op!r}")
+        return results, stats

@@ -1,0 +1,838 @@
+"""The live index: base segment + delta + tombstones + WAL, LSM-style.
+
+:class:`LiveIndex` makes the frozen :class:`~repro.core.table.SignatureTable`
+mutable without giving up its query algorithm or its results:
+
+* **Inserts** go to the in-memory :class:`~repro.live.delta.DeltaIndex`
+  (grouped by supercoordinate under the base's scheme) after being made
+  durable in the :class:`~repro.live.wal.WriteAheadLog`.
+* **Deletes** address *logical* tids — positions in the logically-current
+  database (live base rows in tid order, then live delta rows in
+  insertion order).  A base delete adds a tombstone; a delta delete
+  drops the row directly.
+* **Queries** fan out: the base searcher answers with ``k`` widened by
+  the tombstone count (so dropping dead rows cannot starve the result),
+  the delta snapshot answers its own top-k, candidates are merged under
+  the deterministic ``(-similarity, logical_tid)`` order.  Exact results
+  are byte-identical to a fresh :meth:`SignatureTable.build
+  <repro.core.table.SignatureTable.build>` over the logical database —
+  the differential oracle in ``tests/live`` pins it, including across
+  crashes.
+* **Compaction** rebuilds the base from the logical database, writes an
+  atomic checkpoint (``.npz`` snapshot files + manifest rename), resets
+  the WAL, and swaps segments under a short lock — readers are never
+  blocked by the rebuild, writers wait (single-writer design).
+* **Recovery** (:meth:`LiveIndex.recover`) loads the newest checkpoint
+  and replays the WAL tail past its sequence number; a torn tail from a
+  crash is truncated away.
+
+Concurrency model: one re-entrant *mutation lock* serialises
+insert/delete/compact/checkpoint; a short *swap lock* guards the
+segment references and is held only to snapshot state (readers) or to
+swap it (compaction) — never across I/O or a rebuild.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.advisor import DriftReport, activation_drift
+from repro.core.search import Neighbor, SearchStats, SignatureTableSearcher
+from repro.core.signature import SignatureScheme
+from repro.core.similarity import SimilarityFunction
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.live.delta import DeltaIndex
+from repro.live.wal import (
+    OP_DELETE,
+    OP_INSERT,
+    WriteAheadLog,
+    replay_wal,
+)
+from repro.obs.trace import span
+from repro.utils.validation import check_fraction, check_positive
+
+#: Manifest schema version for the index directory.
+MANIFEST_FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_WAL_FILE = "wal.log"
+
+
+@dataclass(frozen=True)
+class CompactionPolicy:
+    """When the delta or the tombstones justify folding into the base.
+
+    ``max_delta_fraction`` triggers on ``len(delta) / base_total`` and
+    ``max_tombstone_fraction`` on the fraction of base rows tombstoned;
+    ``min_delta_rows`` keeps tiny indexes from compacting on every
+    insert.
+    """
+
+    max_delta_fraction: float = 0.10
+    max_tombstone_fraction: float = 0.20
+    min_delta_rows: int = 64
+
+    def __post_init__(self) -> None:
+        check_fraction(self.max_delta_fraction, "max_delta_fraction")
+        check_fraction(self.max_tombstone_fraction, "max_tombstone_fraction")
+        check_positive(self.min_delta_rows, "min_delta_rows")
+
+    def should_compact(
+        self, delta_rows: int, tombstones: int, base_total: int
+    ) -> bool:
+        """Whether the current live-index shape crosses a threshold."""
+        base = max(base_total, 1)
+        if (
+            delta_rows >= self.min_delta_rows
+            and delta_rows / base >= self.max_delta_fraction
+        ):
+            return True
+        return tombstones / base >= self.max_tombstone_fraction
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one compaction did."""
+
+    merged_inserts: int
+    dropped_tombstones: int
+    new_num_transactions: int
+    applied_seqno: int
+    duration_seconds: float
+    repartitioned: bool
+
+
+class _ReadState:
+    """Everything one query needs, snapshotted under the swap lock."""
+
+    __slots__ = (
+        "searcher", "base_live", "num_base_live", "num_dead", "delta",
+    )
+
+    def __init__(self, searcher, base_live, delta) -> None:
+        self.searcher = searcher
+        self.base_live = base_live
+        self.num_base_live = int(base_live.sum())
+        self.num_dead = int(base_live.size - self.num_base_live)
+        self.delta = delta
+
+
+def _fsync_file(path: str) -> None:
+    """Flush a freshly written file to the platter."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _fsync_dir(path: str) -> None:
+    """Best-effort directory fsync (makes renames durable on POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class LiveIndex:
+    """A mutable, durable index over one immutable base segment.
+
+    Construct with :meth:`create` (new directory) or :meth:`recover`
+    (existing directory, possibly after a crash); the raw constructor is
+    internal.  Thread-safe: any number of concurrent readers, one
+    writer at a time.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        table: SignatureTable,
+        db: TransactionDatabase,
+        *,
+        base_files: Tuple[str, str],
+        applied_seqno: int,
+        fsync_interval: int = 1,
+        policy: Optional[CompactionPolicy] = None,
+        metrics_registry=None,
+    ) -> None:
+        self.path = os.fspath(path)
+        self.policy = policy if policy is not None else CompactionPolicy()
+        self._scheme = table.scheme
+        self._page_size = table.store.page_size
+        self._base_table = table
+        self._base_db = db
+        self._base_searcher = SignatureTableSearcher(table, db)
+        self._base_live = np.ones(len(db), dtype=bool)
+        self._base_files = base_files
+        self._delta = DeltaIndex(table.scheme)
+        self._wal = WriteAheadLog(
+            os.path.join(self.path, _WAL_FILE), fsync_interval=fsync_interval
+        )
+        self._applied_seqno = int(applied_seqno)
+        self._next_seqno = int(applied_seqno) + 1
+        self._mutation_lock = threading.RLock()
+        self._swap_lock = threading.Lock()
+        self._closed = False
+        self._base_fractions: Optional[np.ndarray] = None
+        self.compactions = 0
+        self._metrics = None
+        if metrics_registry is not None:
+            self._bind_metrics(metrics_registry)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        path,
+        db: TransactionDatabase,
+        scheme: Optional[SignatureScheme] = None,
+        table: Optional[SignatureTable] = None,
+        page_size: int = 64,
+        **options,
+    ) -> "LiveIndex":
+        """Initialise a new index directory over a base database.
+
+        Exactly one of ``scheme`` (the table is built here) or ``table``
+        (a prebuilt base) must be given.  Writes the initial checkpoint
+        (base snapshot + manifest) and an empty WAL, then returns the
+        open index.
+        """
+        if (scheme is None) == (table is None):
+            raise ValueError("provide exactly one of scheme or table")
+        if table is None:
+            table = SignatureTable.build(db, scheme, page_size=page_size)
+        path = os.fspath(path)
+        os.makedirs(path, exist_ok=True)
+        if os.path.exists(os.path.join(path, _MANIFEST)):
+            raise ValueError(
+                f"{path!r} already holds a live index; use LiveIndex.recover"
+            )
+        base_files = cls._write_base_snapshot(path, 0, table, db)
+        cls._commit_manifest(
+            path,
+            applied_seqno=0,
+            base_files=base_files,
+            page_size=table.store.page_size,
+        )
+        wal_path = os.path.join(path, _WAL_FILE)
+        with open(wal_path, "wb"):
+            pass
+        return cls(
+            path,
+            table,
+            db,
+            base_files=base_files,
+            applied_seqno=0,
+            **options,
+        )
+
+    @classmethod
+    def recover(cls, path, **options) -> "LiveIndex":
+        """Open an index directory, replaying the WAL tail after a crash.
+
+        Loads the checkpointed base (and any checkpointed delta /
+        tombstones), then re-applies every WAL record with a sequence
+        number past the checkpoint.  A torn record at the WAL tail —
+        the signature of a crash mid-append — ends the replay cleanly
+        and is truncated away; the reconstructed state is exactly the
+        acknowledged-mutation state at the moment of the crash.
+        """
+        path = os.fspath(path)
+        manifest_path = os.path.join(path, _MANIFEST)
+        if not os.path.exists(manifest_path):
+            raise FileNotFoundError(f"no live index at {path!r} ({_MANIFEST} missing)")
+        started_s = time.perf_counter()
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        version = int(manifest.get("format_version", 0))
+        if version > MANIFEST_FORMAT_VERSION:
+            raise ValueError(
+                f"index manifest has format_version {version}, but this build "
+                f"reads at most {MANIFEST_FORMAT_VERSION}"
+            )
+        table = SignatureTable.load(os.path.join(path, manifest["base_table"]))
+        db = TransactionDatabase.load(os.path.join(path, manifest["base_db"]))
+        applied = int(manifest["applied_seqno"])
+        index = cls(
+            path,
+            table,
+            db,
+            base_files=(manifest["base_table"], manifest["base_db"]),
+            applied_seqno=applied,
+            **options,
+        )
+        if manifest.get("tombstones"):
+            dead = np.load(os.path.join(path, manifest["tombstones"]))["tids"]
+            for tid in dead.tolist():
+                index._base_live[int(tid)] = False
+        if manifest.get("delta_db"):
+            delta_db = TransactionDatabase.load(
+                os.path.join(path, manifest["delta_db"])
+            )
+            for tid in range(len(delta_db)):
+                index._delta.insert(delta_db.items_of(tid))
+        records, valid_bytes = replay_wal(index._wal.path)
+        replayed = 0
+        for record in records:
+            if record.seqno <= applied:
+                continue  # already folded into the checkpoint
+            index._apply(record)
+            index._next_seqno = record.seqno + 1
+            replayed += 1
+        if valid_bytes < os.path.getsize(index._wal.path):
+            # Torn tail: drop the partial record so future appends start
+            # at a clean boundary.
+            index._wal.close()
+            with open(index._wal.path, "rb+") as handle:
+                handle.truncate(valid_bytes)
+                handle.flush()
+                os.fsync(handle.fileno())
+            index._wal = WriteAheadLog(
+                index._wal.path, fsync_interval=index._wal.fsync_interval
+            )
+        with span(
+            "live.recover",
+            replayed=replayed,
+            applied_seqno=applied,
+            wal_bytes=valid_bytes,
+        ):
+            pass
+        del started_s
+        return index
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def scheme(self) -> SignatureScheme:
+        """The signature scheme shared by base and delta."""
+        return self._scheme
+
+    @property
+    def base_table(self) -> SignatureTable:
+        """The current immutable base segment."""
+        return self._base_table
+
+    @property
+    def num_transactions(self) -> int:
+        """Logical size: live base rows plus live delta rows."""
+        with self._swap_lock:
+            return int(self._base_live.sum()) + len(self._delta)
+
+    @property
+    def delta_size(self) -> int:
+        """Live rows currently in the delta."""
+        return len(self._delta)
+
+    @property
+    def tombstone_count(self) -> int:
+        """Base rows deleted but not yet compacted away."""
+        return int(self._base_live.size - self._base_live.sum())
+
+    @property
+    def applied_seqno(self) -> int:
+        """Highest sequence number folded into the checkpoint on disk."""
+        return self._applied_seqno
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The write-ahead log (for I/O accounting and tests)."""
+        return self._wal
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe description for the service ``stats`` endpoint."""
+        with self._swap_lock:
+            base_live = int(self._base_live.sum())
+            delta = len(self._delta)
+        return {
+            "kind": "live",
+            "num_transactions": base_live + delta,
+            "base_transactions": int(self._base_live.size),
+            "delta_size": delta,
+            "tombstones": int(self._base_live.size - base_live),
+            "wal_bytes": self._wal.size_bytes,
+            "applied_seqno": self._applied_seqno,
+            "compactions": self.compactions,
+            "num_signatures": self._scheme.num_signatures,
+        }
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+    def insert(self, items: Iterable[int]) -> int:
+        """Durably insert a transaction; returns its logical tid.
+
+        The WAL append happens *before* the in-memory apply, so an
+        acknowledged insert is always recoverable.
+        """
+        array = as_item_array(items, self._scheme.universe_size)
+        if array.size == 0:
+            raise ValueError("cannot insert an empty transaction")
+        with self._mutation_lock:
+            self._check_open()
+            with span("live.insert", num_items=int(array.size)):
+                seqno = self._next_seqno
+                appended = self._wal.append_insert(seqno, array)
+                self._next_seqno = seqno + 1
+                with self._swap_lock:
+                    self._delta.insert(array)
+                    logical = (
+                        int(self._base_live.sum()) + len(self._delta) - 1
+                    )
+            self._record_wal_metrics(appended)
+            return logical
+
+    def delete(self, logical_tid: int) -> None:
+        """Durably delete the transaction at a logical tid.
+
+        Logical tids address the *current* logical database (live base
+        rows in tid order, then live delta rows in insertion order) —
+        the numbering a fresh build over the current state would use.
+        Raises :class:`ValueError` when the tid is out of range (nothing
+        is logged in that case).
+        """
+        with self._mutation_lock:
+            self._check_open()
+            logical_tid = int(logical_tid)
+            num_live = int(self._base_live.sum())
+            total = num_live + len(self._delta)
+            if not 0 <= logical_tid < total:
+                raise ValueError(
+                    f"logical tid {logical_tid} out of range [0, {total})"
+                )
+            with span("live.delete", logical_tid=logical_tid):
+                seqno = self._next_seqno
+                appended = self._wal.append_delete(seqno, logical_tid)
+                self._next_seqno = seqno + 1
+                with self._swap_lock:
+                    self._apply_delete(logical_tid)
+            self._record_wal_metrics(appended)
+
+    def _apply(self, record) -> None:
+        """Re-apply one WAL record during recovery (no re-logging)."""
+        if record.op == OP_INSERT:
+            with self._swap_lock:
+                self._delta.insert(record.items)
+        elif record.op == OP_DELETE:
+            with self._swap_lock:
+                self._apply_delete(int(record.logical_tid))
+        else:  # pragma: no cover - encode_record rejects unknown ops
+            raise ValueError(f"unknown WAL op {record.op}")
+
+    def _apply_delete(self, logical_tid: int) -> None:
+        """Resolve and apply a delete against the current state.
+
+        Caller holds the swap lock.  Deterministic given the same state
+        and the same op sequence — the property WAL replay relies on.
+        """
+        num_live = int(self._base_live.sum())
+        if logical_tid < num_live:
+            base_tid = int(np.nonzero(self._base_live)[0][logical_tid])
+            self._base_live[base_tid] = False
+        else:
+            rank = logical_tid - num_live
+            positions = self._delta.live_positions()
+            if rank >= len(positions):
+                raise ValueError(
+                    f"logical tid {logical_tid} out of range"
+                )
+            self._delta.remove(positions[rank])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def _read_state(self) -> _ReadState:
+        with self._swap_lock:
+            return _ReadState(
+                self._base_searcher,
+                self._base_live.copy(),
+                self._delta.snapshot(),
+            )
+
+    @staticmethod
+    def _merge(
+        base_neighbors: List[Neighbor],
+        base_live: np.ndarray,
+        delta_pairs: List[Tuple[int, float]],
+        num_base_live: int,
+    ) -> List[Neighbor]:
+        """Remap to logical tids, drop tombstones, merge deterministically."""
+        logical_of_base = np.cumsum(base_live) - 1
+        merged = [
+            Neighbor(tid=int(logical_of_base[nb.tid]), similarity=nb.similarity)
+            for nb in base_neighbors
+            if base_live[nb.tid]
+        ]
+        merged.extend(
+            Neighbor(tid=num_base_live + rank, similarity=value)
+            for rank, value in delta_pairs
+        )
+        merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
+        return merged
+
+    def knn(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        k: int = 1,
+        early_termination: Optional[float] = None,
+        guarantee_tolerance: Optional[float] = None,
+        sort_by: str = "optimistic",
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """k-NN over the logical database; tids in results are logical.
+
+        Exact queries (no ``early_termination``) are byte-identical to a
+        fresh build over the logical database.  The base is asked for
+        ``k`` plus the tombstone count so that filtering dead rows can
+        never surface fewer than the true top ``k`` live ones; the delta
+        snapshot contributes its own top ``k``.  With early termination
+        the base scan is approximate exactly as in the frozen searcher
+        (the delta, being memory-resident, is always scanned fully).
+        """
+        check_positive(k, "k")
+        state = self._read_state()
+        base_neighbors, stats = state.searcher.knn(
+            target,
+            similarity,
+            k=k + state.num_dead,
+            early_termination=early_termination,
+            guarantee_tolerance=guarantee_tolerance,
+            sort_by=sort_by,
+        )
+        delta_pairs = state.delta.knn_candidates(target, similarity, k)
+        merged = self._merge(
+            base_neighbors, state.base_live, delta_pairs, state.num_base_live
+        )
+        del merged[k:]
+        stats.total_transactions = state.num_base_live + len(state.delta)
+        stats.transactions_accessed += len(state.delta)
+        return merged, stats
+
+    def range_query(
+        self,
+        target: Iterable[int],
+        similarity: SimilarityFunction,
+        threshold: float,
+    ) -> Tuple[List[Neighbor], SearchStats]:
+        """All logical transactions with similarity >= ``threshold``."""
+        state = self._read_state()
+        base_neighbors, stats = state.searcher.range_query(
+            target, similarity, threshold
+        )
+        delta_pairs = state.delta.range_candidates(target, similarity, threshold)
+        merged = self._merge(
+            base_neighbors, state.base_live, delta_pairs, state.num_base_live
+        )
+        stats.total_transactions = state.num_base_live + len(state.delta)
+        stats.transactions_accessed += len(state.delta)
+        return merged, stats
+
+    def logical_db(self) -> TransactionDatabase:
+        """Materialise the logically-current database.
+
+        Row ``t`` is the transaction a fresh build would index at tid
+        ``t`` — the differential oracle compares against exactly this.
+        """
+        with self._swap_lock:
+            live_tids = np.nonzero(self._base_live)[0]
+            delta_arrays = self._delta.snapshot().rows
+            base_db = self._base_db
+        parts = [base_db.subset(live_tids)]
+        if delta_arrays:
+            parts.append(
+                TransactionDatabase(
+                    delta_arrays, universe_size=base_db.universe_size
+                )
+            )
+        return TransactionDatabase.concatenate(parts)
+
+    # ------------------------------------------------------------------
+    # Drift
+    # ------------------------------------------------------------------
+    def drift_report(self, kl_threshold: float = 0.1) -> Optional[DriftReport]:
+        """Compare delta vs base per-signature activation distributions.
+
+        Returns ``None`` while the delta is empty.  A drifted report
+        recommends re-partitioning at the next compaction
+        (``compact(repartition=True)``).
+        """
+        with self._swap_lock:
+            delta_fractions = self._delta.activation_fractions()
+            num_delta = len(self._delta)
+        if delta_fractions is None:
+            return None
+        if self._base_fractions is None:
+            counts = self._scheme.activation_counts_batch(self._base_db)
+            active = counts >= self._scheme.activation_threshold
+            live = self._base_live
+            self._base_fractions = (
+                active[live].mean(axis=0)
+                if live.any()
+                else np.zeros(self._scheme.num_signatures)
+            )
+        return activation_drift(
+            self._base_fractions,
+            delta_fractions,
+            num_delta=num_delta,
+            kl_threshold=kl_threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction / checkpoint
+    # ------------------------------------------------------------------
+    def should_compact(self) -> bool:
+        """Whether the configured :class:`CompactionPolicy` triggers."""
+        with self._swap_lock:
+            return self.policy.should_compact(
+                len(self._delta),
+                int(self._base_live.size - self._base_live.sum()),
+                int(self._base_live.size),
+            )
+
+    def maybe_compact(self) -> Optional[CompactionReport]:
+        """Compact inline if the policy triggers; returns the report."""
+        if not self.should_compact():
+            return None
+        return self.compact()
+
+    def compact_in_background(self) -> threading.Thread:
+        """Run :meth:`compact` on a daemon thread; returns the thread.
+
+        Readers proceed throughout (the rebuild happens outside the swap
+        lock); writers block until the compaction finishes.
+        """
+        thread = threading.Thread(
+            target=self.compact, name="repro-live-compact", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def compact(self, repartition: bool = False) -> CompactionReport:
+        """Fold delta + tombstones into a fresh base segment.
+
+        Rebuilds the base table over the logical database, writes an
+        atomic checkpoint, resets the WAL, and swaps the segments in
+        under the swap lock.  With ``repartition=True`` the signature
+        partition is re-learned from the merged data first (the drift
+        advisor's recommendation); the scheme keeps its ``K`` and ``r``.
+        """
+        started_s = time.perf_counter()
+        with self._mutation_lock:
+            self._check_open()
+            with span("live.compact", repartition=repartition):
+                merged_inserts = len(self._delta)
+                dropped = int(self._base_live.size - self._base_live.sum())
+                new_db = self.logical_db()
+                if len(new_db) == 0:
+                    raise ValueError(
+                        "cannot compact an empty logical database; "
+                        "insert before compacting"
+                    )
+                scheme = self._scheme
+                if repartition:
+                    from repro.core.partitioning import partition_items
+
+                    scheme = partition_items(
+                        new_db,
+                        num_signatures=self._scheme.num_signatures,
+                        activation_threshold=self._scheme.activation_threshold,
+                        rng=0,
+                    )
+                new_table = SignatureTable.build(
+                    new_db, scheme, page_size=self._page_size
+                )
+                applied = self._next_seqno - 1
+                base_files = self._write_base_snapshot(
+                    self.path, applied, new_table, new_db
+                )
+                self._commit_manifest(
+                    self.path,
+                    applied_seqno=applied,
+                    base_files=base_files,
+                    page_size=self._page_size,
+                )
+                self._wal.reset()
+                new_searcher = SignatureTableSearcher(new_table, new_db)
+                with self._swap_lock:
+                    self._base_table = new_table
+                    self._base_db = new_db
+                    self._base_searcher = new_searcher
+                    self._base_live = np.ones(len(new_db), dtype=bool)
+                    self._base_files = base_files
+                    self._delta.clear()
+                    self._scheme = scheme
+                    self._delta.scheme = scheme
+                    self._applied_seqno = applied
+                    self._base_fractions = None
+                self.compactions += 1
+        duration = time.perf_counter() - started_s
+        if self._metrics is not None:
+            self._metrics["compactions"].inc()
+            self._metrics["compaction_seconds"].observe(duration)
+        return CompactionReport(
+            merged_inserts=merged_inserts,
+            dropped_tombstones=dropped,
+            new_num_transactions=len(new_db),
+            applied_seqno=applied,
+            duration_seconds=duration,
+            repartitioned=repartition,
+        )
+
+    def checkpoint(self) -> int:
+        """Snapshot the full state (base + delta + tombstones), reset the WAL.
+
+        Unlike :meth:`compact`, the in-memory segments are untouched —
+        the delta stays a delta.  Durability only: recovery after this
+        point starts from the snapshot with an empty log.  Returns the
+        checkpointed sequence number.
+        """
+        started_s = time.perf_counter()
+        with self._mutation_lock:
+            self._check_open()
+            with span("live.checkpoint"):
+                applied = self._next_seqno - 1
+                stamp = f"{applied:012d}"
+                delta_file: Optional[str] = None
+                tombstone_file: Optional[str] = None
+                delta_arrays = self._delta.live_arrays()
+                if delta_arrays:
+                    delta_file = f"state-{stamp}.delta.npz"
+                    TransactionDatabase(
+                        delta_arrays,
+                        universe_size=self._scheme.universe_size,
+                    ).save(os.path.join(self.path, delta_file))
+                    _fsync_file(os.path.join(self.path, delta_file))
+                dead = np.nonzero(~self._base_live)[0]
+                if dead.size:
+                    tombstone_file = f"state-{stamp}.tombstones.npz"
+                    np.savez_compressed(
+                        os.path.join(self.path, tombstone_file), tids=dead
+                    )
+                    _fsync_file(os.path.join(self.path, tombstone_file))
+                self._commit_manifest(
+                    self.path,
+                    applied_seqno=applied,
+                    base_files=self._base_files,
+                    page_size=self._page_size,
+                    delta_db=delta_file,
+                    tombstones=tombstone_file,
+                )
+                self._wal.reset()
+                self._applied_seqno = applied
+        if self._metrics is not None:
+            self._metrics["compaction_seconds"].observe(
+                time.perf_counter() - started_s
+            )
+        return applied
+
+    # ------------------------------------------------------------------
+    # Persistence internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _write_base_snapshot(
+        path: str, seqno: int, table: SignatureTable, db: TransactionDatabase
+    ) -> Tuple[str, str]:
+        stamp = f"{seqno:012d}"
+        table_file = f"base-{stamp}.table.npz"
+        db_file = f"base-{stamp}.db.npz"
+        table.save(os.path.join(path, table_file))
+        _fsync_file(os.path.join(path, table_file))
+        db.save(os.path.join(path, db_file))
+        _fsync_file(os.path.join(path, db_file))
+        return table_file, db_file
+
+    @staticmethod
+    def _commit_manifest(
+        path: str,
+        applied_seqno: int,
+        base_files: Tuple[str, str],
+        page_size: int,
+        delta_db: Optional[str] = None,
+        tombstones: Optional[str] = None,
+    ) -> None:
+        """Atomically publish a new manifest (the checkpoint commit point)."""
+        manifest = {
+            "format_version": MANIFEST_FORMAT_VERSION,
+            "applied_seqno": int(applied_seqno),
+            "base_table": base_files[0],
+            "base_db": base_files[1],
+            "delta_db": delta_db,
+            "tombstones": tombstones,
+            "page_size": int(page_size),
+        }
+        tmp = os.path.join(path, _MANIFEST + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, os.path.join(path, _MANIFEST))
+        _fsync_dir(path)
+
+    # ------------------------------------------------------------------
+    # Metrics / lifecycle
+    # ------------------------------------------------------------------
+    def _bind_metrics(self, registry) -> None:
+        self._metrics = {
+            "appends": registry.counter(
+                "repro_wal_appends_total", "WAL records appended"
+            ),
+            "bytes": registry.counter(
+                "repro_wal_bytes_total", "WAL bytes appended"
+            ),
+            "compactions": registry.counter(
+                "repro_live_compactions_total", "Compactions completed"
+            ),
+            "compaction_seconds": registry.histogram(
+                "repro_live_compaction_seconds",
+                "Compaction / checkpoint duration",
+            ),
+        }
+        registry.gauge(
+            "repro_live_delta_size", "Live rows in the delta index"
+        ).set_function(lambda: float(len(self._delta)))
+        registry.gauge(
+            "repro_live_tombstones", "Tombstoned base rows"
+        ).set_function(
+            lambda: float(self._base_live.size - self._base_live.sum())
+        )
+        registry.gauge(
+            "repro_wal_fsyncs", "fsync calls issued by the WAL"
+        ).set_function(lambda: float(self._wal.counters.fsyncs))
+
+    def _record_wal_metrics(self, appended_bytes: int) -> None:
+        if self._metrics is not None:
+            self._metrics["appends"].inc()
+            self._metrics["bytes"].inc(appended_bytes)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ValueError("live index is closed")
+
+    def close(self) -> None:
+        """Flush and close the WAL (idempotent); queries stay usable."""
+        with self._mutation_lock:
+            if not self._closed:
+                self._wal.close()
+                self._closed = True
+
+    def __enter__(self) -> "LiveIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,293 @@
+"""Write-ahead log for the live index.
+
+Every mutation is appended to an append-only file *before* it is applied
+to the in-memory delta/tombstone state, so an acknowledged insert or
+delete survives a crash: :func:`replay_wal` reads the log back and
+:meth:`~repro.live.index.LiveIndex.recover` re-applies the tail that a
+checkpoint has not yet folded in.
+
+Record framing
+--------------
+Each record is ``[varint payload_length][payload][crc32]`` where the
+CRC32 (4 bytes, little-endian, over the payload only) detects torn or
+corrupted tails.  The payload reuses the :mod:`repro.storage.codec`
+varint encoding::
+
+    payload := op_byte  varint(seqno)  body
+    op 1 (INSERT): body = encode_transaction(items)
+    op 2 (DELETE): body = varint(logical_tid)
+
+``seqno`` increases by one per record.  Checkpoints store the highest
+sequence number they have folded in; replay skips records at or below
+it, which makes *any* crash ordering between "snapshot committed" and
+"log reset" safe — stale records are simply ignored.
+
+Torn tails
+----------
+A crash can leave a partial record at the end of the file (short length
+prefix, short payload, or a CRC mismatch).  Replay treats the first
+malformed record as the end of the log and reports the byte offset of
+the last *valid* record boundary; everything before it is intact because
+records are only ever appended.  A malformed record anywhere *before*
+the tail would mean silent corruption, so replay distinguishes the two:
+a clean stop at the tail is normal recovery, and callers can truncate
+the file back to the reported offset.
+
+Durability
+----------
+``fsync_interval=n`` batches fsyncs: the file is flushed to the OS on
+every append but synced to the platter every ``n`` appends (and on
+:meth:`WriteAheadLog.sync` / :meth:`WriteAheadLog.close`).  Appends and
+syncs are charged to an :class:`~repro.storage.pages.IOCounters`
+(``pages_written``/``fsyncs``), so ingest shows up in the same I/O
+reports queries use.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.storage.codec import (
+    _decode_varint,
+    _encode_varint,
+    decode_transaction,
+    encode_transaction,
+)
+from repro.storage.pages import IOCounters
+from repro.utils.validation import check_positive
+
+#: Record operation codes.
+OP_INSERT = 1
+OP_DELETE = 2
+
+#: Bytes per simulated page for write accounting (matches the codec's
+#: default physical page size).
+PAGE_BYTES = 4096
+
+_CRC_BYTES = 4
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record.
+
+    ``items`` is set for inserts, ``logical_tid`` for deletes; ``seqno``
+    is the record's monotonically increasing sequence number.
+    """
+
+    seqno: int
+    op: int
+    items: Optional[np.ndarray] = None
+    logical_tid: Optional[int] = None
+
+
+def encode_record(record: WalRecord) -> bytes:
+    """Frame one record: varint length + payload + CRC32(payload)."""
+    payload = bytearray([record.op])
+    _encode_varint(record.seqno, payload)
+    if record.op == OP_INSERT:
+        assert record.items is not None
+        payload.extend(encode_transaction(record.items))
+    elif record.op == OP_DELETE:
+        assert record.logical_tid is not None
+        _encode_varint(int(record.logical_tid), payload)
+    else:
+        raise ValueError(f"unknown WAL op {record.op}")
+    out = bytearray()
+    _encode_varint(len(payload), out)
+    out.extend(payload)
+    out.extend(zlib.crc32(bytes(payload)).to_bytes(_CRC_BYTES, "little"))
+    return bytes(out)
+
+
+def decode_payload(payload: bytes) -> WalRecord:
+    """Decode one CRC-verified payload into a :class:`WalRecord`."""
+    if not payload:
+        raise ValueError("empty WAL payload")
+    op = payload[0]
+    seqno, offset = _decode_varint(payload, 1)
+    if op == OP_INSERT:
+        items, offset = decode_transaction(payload, offset)
+        record = WalRecord(seqno=seqno, op=op, items=items)
+    elif op == OP_DELETE:
+        logical_tid, offset = _decode_varint(payload, offset)
+        record = WalRecord(seqno=seqno, op=op, logical_tid=logical_tid)
+    else:
+        raise ValueError(f"unknown WAL op {op}")
+    if offset != len(payload):
+        raise ValueError(
+            f"{len(payload) - offset} trailing bytes in WAL payload"
+        )
+    return record
+
+
+def iter_records(data: bytes) -> Iterator[Tuple[WalRecord, int]]:
+    """Yield ``(record, end_offset)`` pairs until the data ends or tears.
+
+    Stops silently at the first malformed record — by the append-only
+    invariant that is a torn tail from a crash, and everything after it
+    is garbage.  ``end_offset`` is the offset one past the record's CRC,
+    i.e. the file prefix length that contains only whole records.
+    """
+    offset = 0
+    total = len(data)
+    while offset < total:
+        try:
+            length, body_start = _decode_varint(data, offset)
+        except ValueError:
+            return  # torn length prefix
+        body_end = body_start + length
+        if body_end + _CRC_BYTES > total:
+            return  # torn payload or CRC
+        payload = data[body_start:body_end]
+        expected = int.from_bytes(
+            data[body_end : body_end + _CRC_BYTES], "little"
+        )
+        if zlib.crc32(payload) != expected:
+            return  # corrupted (or torn mid-overwrite) record
+        try:
+            record = decode_payload(payload)
+        except ValueError:
+            return
+        offset = body_end + _CRC_BYTES
+        yield record, offset
+
+
+def replay_wal(path) -> Tuple[List[WalRecord], int]:
+    """Read every intact record from a WAL file.
+
+    Returns ``(records, valid_bytes)`` where ``valid_bytes`` is the
+    length of the longest file prefix made of whole records — a torn
+    tail past it is ignored (and may be truncated away by the caller).
+    A missing file replays as empty.
+    """
+    if not os.path.exists(path):
+        return [], 0
+    with open(path, "rb") as handle:
+        data = handle.read()
+    records: List[WalRecord] = []
+    valid = 0
+    for record, end in iter_records(data):
+        records.append(record)
+        valid = end
+    return records, valid
+
+
+class WriteAheadLog:
+    """Append-only durable log of live-index mutations.
+
+    Parameters
+    ----------
+    path:
+        Log file location; created (empty) when absent.  Appends go to
+        the current end of the file, so reopening an existing log
+        continues it.
+    fsync_interval:
+        Sync to disk every this-many appends (1 = every append, the
+        durable default).  :meth:`sync` and :meth:`close` always sync
+        pending appends.
+    counters:
+        Optional :class:`~repro.storage.pages.IOCounters` charged with
+        ``pages_written`` (bytes appended, in :data:`PAGE_BYTES` pages)
+        and ``fsyncs``.
+    """
+
+    def __init__(
+        self,
+        path,
+        fsync_interval: int = 1,
+        counters: Optional[IOCounters] = None,
+    ) -> None:
+        check_positive(fsync_interval, "fsync_interval")
+        self.path = os.fspath(path)
+        self.fsync_interval = int(fsync_interval)
+        self.counters = counters if counters is not None else IOCounters()
+        self._handle = open(self.path, "ab")
+        self._unsynced = 0
+        #: Lifetime append/byte tallies (feed the obs gauges).
+        self.appends = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def size_bytes(self) -> int:
+        """Current log size on disk."""
+        return os.path.getsize(self.path)
+
+    def append(self, record: WalRecord) -> int:
+        """Append one record; returns the bytes written.
+
+        The record is flushed to the OS immediately and fsynced on the
+        batching schedule — call :meth:`sync` to force durability now.
+        """
+        encoded = encode_record(record)
+        self._handle.write(encoded)
+        self._handle.flush()
+        self.appends += 1
+        self.bytes_written += len(encoded)
+        self.counters.pages_written += -(-len(encoded) // PAGE_BYTES)
+        self._unsynced += 1
+        if self._unsynced >= self.fsync_interval:
+            self.sync()
+        return len(encoded)
+
+    def append_insert(self, seqno: int, items: Sequence[int]) -> int:
+        """Append an INSERT record."""
+        return self.append(
+            WalRecord(
+                seqno=seqno,
+                op=OP_INSERT,
+                items=np.asarray(items, dtype=np.int64),
+            )
+        )
+
+    def append_delete(self, seqno: int, logical_tid: int) -> int:
+        """Append a DELETE record."""
+        return self.append(
+            WalRecord(seqno=seqno, op=OP_DELETE, logical_tid=int(logical_tid))
+        )
+
+    def sync(self) -> None:
+        """fsync pending appends to the platter."""
+        if self._unsynced == 0:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self.counters.fsyncs += 1
+        self._unsynced = 0
+
+    def reset(self) -> None:
+        """Atomically truncate the log to empty (post-checkpoint).
+
+        Writes an empty temporary file and renames it over the log, so a
+        crash leaves either the full old log (whose records the fresh
+        checkpoint supersedes by sequence number) or the empty new one —
+        never a half-truncated file.
+        """
+        self.close()
+        tmp = self.path + ".tmp"
+        with open(tmp, "wb") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self.counters.fsyncs += 1
+        self._handle = open(self.path, "ab")
+        self._unsynced = 0
+
+    def close(self) -> None:
+        """Sync and close the file handle (idempotent)."""
+        if self._handle.closed:
+            return
+        self.sync()
+        self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

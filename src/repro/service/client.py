@@ -155,6 +155,36 @@ class ServiceClient:
         response = self.request(message)
         return decode_neighbors(response["results"]), response["stats"]
 
+    # ------------------------------------------------------------------
+    # Mutations (live indexes only)
+    # ------------------------------------------------------------------
+    def insert(self, items: Sequence[int]) -> int:
+        """Durably insert a transaction; returns its logical tid.
+
+        The server acknowledges only after the WAL append — a returned
+        tid survives a crash.  Raises :class:`ServiceError` with
+        ``bad_request`` against a read-only (frozen) server.
+        """
+        response = self.request(
+            {"op": "insert", "items": list(map(int, items))}
+        )
+        return int(response["tid"])
+
+    def delete(self, tid: int) -> None:
+        """Durably delete the transaction at a logical tid."""
+        self.request({"op": "delete", "tid": int(tid)})
+
+    def compact(self, repartition: bool = False) -> Dict[str, object]:
+        """Fold the delta/tombstones into a fresh base; returns the report."""
+        message: Dict[str, object] = {"op": "compact"}
+        if repartition:
+            message["repartition"] = True
+        return dict(self.request(message)["compaction"])
+
+    def checkpoint(self) -> int:
+        """Snapshot state and truncate the WAL; returns the applied seqno."""
+        return int(self.request({"op": "checkpoint"})["applied_seqno"])
+
     def metrics(self, format: str = "json") -> object:
         """The server's metric registry, as ``json`` (dict) or
         ``prometheus`` (exposition text)."""

@@ -23,6 +23,19 @@ deadline).
 never batched).  ``{"op": "ping"}`` — liveness probe.  ``{"op":
 "shutdown"}`` — ask the server to drain and exit gracefully.
 
+Mutations (live indexes only — see :doc:`docs/durability`)
+----------------------------------------------------------
+``{"id": 4, "op": "insert", "items": [3, 17, 40]}`` — durably insert a
+transaction; responds ``{"ok": true, "tid": <logical tid>}`` once the
+WAL append has been applied.  ``{"id": 5, "op": "delete", "tid": 12}``
+— durably delete the transaction at a logical tid.  ``{"op":
+"compact"}`` (optional ``"repartition": true``) folds the delta and
+tombstones into a fresh base segment; ``{"op": "checkpoint"}``
+snapshots state and truncates the WAL without rebuilding.  A server
+fronting a frozen (read-only) index rejects all four with
+``bad_request``; during drain they are rejected with
+``shutting_down`` like queries.
+
 Responses
 ---------
 ``{"id": 1, "ok": true, "results": [{"tid": 7, "similarity": 0.8},
@@ -50,6 +63,7 @@ from repro.core.similarity import (
 #: Request operations understood by the server.
 QUERY_OPS = ("knn", "range")
 CONTROL_OPS = ("stats", "ping", "shutdown", "metrics")
+MUTATION_OPS = ("insert", "delete", "compact", "checkpoint")
 
 #: Exposition formats the ``metrics`` control op accepts.
 METRICS_FORMATS = ("json", "prometheus")
@@ -109,8 +123,8 @@ def parse_request(line: str) -> Dict[str, object]:
             "bad_request", f"request must be a JSON object, got {type(message).__name__}"
         )
     op = message.get("op")
-    if op not in QUERY_OPS + CONTROL_OPS:
-        known = ", ".join(QUERY_OPS + CONTROL_OPS)
+    if op not in QUERY_OPS + CONTROL_OPS + MUTATION_OPS:
+        known = ", ".join(QUERY_OPS + CONTROL_OPS + MUTATION_OPS)
         raise ProtocolError("bad_request", f"unknown op {op!r}; known: {known}")
     return message
 
@@ -161,6 +175,55 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
         timeout_ms=None if timeout_ms is None else float(timeout_ms),
         trace=trace,
     )
+
+
+@dataclass(frozen=True)
+class MutationRequest:
+    """A parsed, validated mutation request (live indexes only).
+
+    ``items`` is set for ``insert``, ``tid`` for ``delete`` and
+    ``repartition`` for ``compact``; the other fields are ``None`` /
+    ``False`` when they do not apply.
+    """
+
+    id: object
+    op: str
+    items: Optional[List[int]] = None
+    tid: Optional[int] = None
+    repartition: bool = False
+
+
+def parse_mutation(message: Dict[str, object]) -> MutationRequest:
+    """Validate a mutation request dict into a :class:`MutationRequest`."""
+    op = message["op"]
+    assert op in MUTATION_OPS, op
+    request_id = message.get("id")
+    if op == "insert":
+        items = message.get("items")
+        if (
+            not isinstance(items, list)
+            or not items
+            or not all(
+                isinstance(i, int) and not isinstance(i, bool) for i in items
+            )
+        ):
+            raise ProtocolError(
+                "bad_request", "items must be a non-empty list of item ids"
+            )
+        return MutationRequest(id=request_id, op=op, items=[int(i) for i in items])
+    if op == "delete":
+        tid = message.get("tid")
+        if not isinstance(tid, int) or isinstance(tid, bool) or tid < 0:
+            raise ProtocolError(
+                "bad_request", "tid must be a non-negative integer logical tid"
+            )
+        return MutationRequest(id=request_id, op=op, tid=int(tid))
+    if op == "compact":
+        repartition = message.get("repartition", False)
+        if not isinstance(repartition, bool):
+            raise ProtocolError("bad_request", "repartition must be a boolean")
+        return MutationRequest(id=request_id, op=op, repartition=repartition)
+    return MutationRequest(id=request_id, op=op)  # checkpoint
 
 
 # ----------------------------------------------------------------------

@@ -41,11 +41,13 @@ from repro.service.batcher import MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     METRICS_FORMATS,
+    MUTATION_OPS,
     ProtocolError,
     encode_search_stats,
     encode_neighbors,
     error_response,
     ok_response,
+    parse_mutation,
     parse_query,
     parse_request,
 )
@@ -71,6 +73,19 @@ class QueryServer:
     index_info:
         Optional static description of the resident index, echoed in
         the ``stats`` payload (e.g. dataset spec, K, num transactions).
+    live_index:
+        Optional :class:`~repro.live.index.LiveIndex` behind the engine.
+        When given, the ``insert``/``delete``/``compact``/``checkpoint``
+        mutation ops are served (on the default executor, since WAL
+        appends block); without it they are rejected with
+        ``bad_request`` — the index is read-only.  During a graceful
+        drain mutations are rejected with ``shutting_down`` exactly
+        like queries.
+    metrics_registry:
+        Optional shared :class:`~repro.obs.registry.MetricRegistry` for
+        :class:`~repro.service.metrics.ServiceMetrics` — pass the same
+        registry the live index exports its WAL/compaction gauges to so
+        one ``metrics`` scrape shows both.
     logger:
         Optional structured :class:`~repro.obs.log.JsonLogger` (disabled
         by default).  The batcher logs through a child of it, and every
@@ -90,12 +105,15 @@ class QueryServer:
         allow_remote_shutdown: bool = True,
         index_info: Optional[Dict[str, object]] = None,
         logger: Optional[JsonLogger] = None,
+        live_index=None,
+        metrics_registry=None,
     ) -> None:
         self._engine = engine
         self._host = host
         self._port = port
         self._log = logger if logger is not None else JsonLogger("server")
-        self.metrics = ServiceMetrics()
+        self.live_index = live_index
+        self.metrics = ServiceMetrics(registry=metrics_registry)
         self._batcher_options = dict(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
@@ -267,6 +285,33 @@ class QueryServer:
                 self.shutdown()
             )
             return
+        if op in MUTATION_OPS:
+            try:
+                if self._shutdown_started:
+                    raise ProtocolError(
+                        "shutting_down", "server is draining; mutation rejected"
+                    )
+                if self.live_index is None:
+                    raise ProtocolError(
+                        "bad_request",
+                        f"op {op!r} requires a live index; this server is "
+                        "read-only",
+                    )
+                mutation = parse_mutation(message)
+            except ProtocolError as exc:
+                self.metrics.record_rejection(exc.code)
+                await self._send(
+                    writer,
+                    write_lock,
+                    error_response(request_id, exc.code, exc.message),
+                )
+                return
+            task = asyncio.get_running_loop().create_task(
+                self._serve_mutation(mutation, writer, write_lock)
+            )
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
+            return
         # Query op: validated + batched, served by its own task so the
         # reader keeps pulling concurrent requests off this connection.
         self.metrics.record_received()
@@ -285,6 +330,55 @@ class QueryServer:
         )
         self._request_tasks.add(task)
         task.add_done_callback(self._request_tasks.discard)
+
+    async def _serve_mutation(
+        self,
+        mutation,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+    ) -> None:
+        """Apply one mutation off the event loop and answer it.
+
+        WAL appends fsync, and compaction rebuilds a table — both block,
+        so mutations run on the default executor.  The live index's own
+        mutation lock serialises them; reads stay on the loop and are
+        never blocked (they only take the brief swap lock).
+        """
+        cid = uuid.uuid4().hex[:16]
+        loop = asyncio.get_running_loop()
+        live = self.live_index
+        with with_correlation_id(cid):
+            self._log.info("mutation.received", op=mutation.op)
+            try:
+                if mutation.op == "insert":
+                    tid = await loop.run_in_executor(
+                        None, live.insert, mutation.items
+                    )
+                    payload = {"tid": int(tid)}
+                elif mutation.op == "delete":
+                    await loop.run_in_executor(None, live.delete, mutation.tid)
+                    payload = {"deleted": int(mutation.tid)}
+                elif mutation.op == "compact":
+                    report = await loop.run_in_executor(
+                        None, live.compact, mutation.repartition
+                    )
+                    payload = {"compaction": dataclasses.asdict(report)}
+                else:  # checkpoint
+                    applied = await loop.run_in_executor(None, live.checkpoint)
+                    payload = {"applied_seqno": int(applied)}
+            except ValueError as exc:
+                self.metrics.record_rejection("bad_request")
+                self._log.warning("mutation.rejected", error=str(exc))
+                response = error_response(mutation.id, "bad_request", str(exc))
+            except Exception as exc:  # defensive: never kill the connection
+                self.metrics.record_rejection("internal")
+                self._log.error("mutation.failed", error=str(exc))
+                response = error_response(mutation.id, "internal", str(exc))
+            else:
+                self._log.info("mutation.completed", op=mutation.op)
+                payload["correlation_id"] = cid
+                response = ok_response(mutation.id, payload)
+        await self._send(writer, write_lock, response)
 
     async def _serve_query(
         self,

@@ -147,13 +147,18 @@ class BufferPool:
         num_transactions: int,
         counters: Optional[IOCounters] = None,
     ) -> int:
-        """Read an already-resolved (sorted, distinct) page set.
+        """Read a pre-resolved page set.
 
         Identical accounting to :meth:`read`, for callers that know the
         page set up front (the batched engine caches each table entry's
-        pages once per batch).  Returns the number of missed pages.
+        pages once per batch).  The input is normalised to a sorted,
+        distinct page set first — unsorted or duplicated pages would
+        otherwise inflate the seek count (every out-of-order page starts
+        a new "run") and double-charge repeated pages as misses.  Returns
+        the number of missed pages.
         """
-        missed = [page for page in pages if not self._touch(page)]
+        page_array = np.unique(np.asarray(pages, dtype=np.int64))
+        missed = [page for page in page_array.tolist() if not self._touch(page)]
         if counters is not None:
             counters.transactions_read += num_transactions
             counters.pages_read += len(missed)

@@ -70,12 +70,30 @@ def encode_transaction(transaction: Iterable[int]) -> bytes:
 
 
 def decode_transaction(data: bytes, offset: int = 0) -> Tuple[np.ndarray, int]:
-    """Decode one transaction; returns ``(items, next_offset)``."""
+    """Decode one transaction; returns ``(items, next_offset)``.
+
+    Raises :class:`ValueError` on truncation and on streams whose deltas
+    would yield a non-strictly-increasing id list (a zero delta after the
+    first id) — corruption must never silently decode into a structurally
+    valid transaction the encoder could not have produced.
+    """
     count, offset = _decode_varint(data, offset)
+    if count > len(data) - offset:
+        # Every item takes at least one varint byte; a count the stream
+        # cannot possibly hold is corruption.  Checking before the
+        # allocation keeps a flipped count byte from requesting gigabytes.
+        raise ValueError(
+            f"truncated record: count {count} exceeds the "
+            f"{len(data) - offset} remaining bytes"
+        )
     items = np.empty(count, dtype=np.int64)
     previous = 0
     for position in range(count):
         delta, offset = _decode_varint(data, offset)
+        if position > 0 and delta == 0:
+            raise ValueError(
+                f"zero delta at position {position}: ids must be strictly increasing"
+            )
         previous += delta
         items[position] = previous
     return items, offset

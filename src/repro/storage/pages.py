@@ -28,26 +28,44 @@ from repro.utils.validation import check_positive
 
 @dataclass
 class IOCounters:
-    """Mutable accumulator of simulated I/O activity."""
+    """Mutable accumulator of simulated I/O activity.
+
+    The write-side fields (``pages_written``, ``fsyncs``) default to zero
+    so read-only paths keep producing counters equal to pre-write-path
+    ones; the WAL and compaction charge them so ingest costs show up in
+    the same reports queries use.
+    """
 
     transactions_read: int = 0
     pages_read: int = 0
     seeks: int = 0
+    pages_written: int = 0
+    fsyncs: int = 0
 
     def merge(self, other: "IOCounters") -> "IOCounters":
         """Add another counter's totals into this one (returns self)."""
         self.transactions_read += other.transactions_read
         self.pages_read += other.pages_read
         self.seeks += other.seeks
+        self.pages_written += other.pages_written
+        self.fsyncs += other.fsyncs
         return self
 
     def reset(self) -> None:
         self.transactions_read = 0
         self.pages_read = 0
         self.seeks = 0
+        self.pages_written = 0
+        self.fsyncs = 0
 
     def copy(self) -> "IOCounters":
-        return IOCounters(self.transactions_read, self.pages_read, self.seeks)
+        return IOCounters(
+            self.transactions_read,
+            self.pages_read,
+            self.seeks,
+            self.pages_written,
+            self.fsyncs,
+        )
 
 
 @dataclass(frozen=True)
@@ -61,10 +79,23 @@ class DiskModel:
 
     seek_ms: float = 10.0
     transfer_ms: float = 1.0
+    #: Writing a page costs one transfer by default; an fsync costs one
+    #: seek (the head settles before the platter acknowledges).  Both are
+    #: multiplied by counters that read-only paths leave at zero, so the
+    #: model is backward compatible with pre-write-path reports.
+    write_ms: Optional[float] = None
+    fsync_ms: Optional[float] = None
 
     def cost_ms(self, counters: IOCounters) -> float:
         """Estimated elapsed time for the recorded activity."""
-        return self.seek_ms * counters.seeks + self.transfer_ms * counters.pages_read
+        write_ms = self.transfer_ms if self.write_ms is None else self.write_ms
+        fsync_ms = self.seek_ms if self.fsync_ms is None else self.fsync_ms
+        return (
+            self.seek_ms * counters.seeks
+            + self.transfer_ms * counters.pages_read
+            + write_ms * counters.pages_written
+            + fsync_ms * counters.fsyncs
+        )
 
 
 class PagedStore:

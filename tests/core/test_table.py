@@ -215,3 +215,52 @@ class TestPersistence:
         searcher = SignatureTableSearcher(loaded, db)
         neighbor, _ = searcher.nearest([0, 1], MatchRatioSimilarity())
         assert neighbor.tid == 0
+
+
+class TestFormatVersion:
+    def test_saved_file_carries_current_version(self, tiny, tmp_path):
+        from repro.core.table import TABLE_FORMAT_VERSION
+
+        _, _, table = tiny
+        path = tmp_path / "table.npz"
+        table.save(path)
+        with np.load(path) as data:
+            assert int(data["format_version"]) == TABLE_FORMAT_VERSION
+
+    def test_legacy_file_without_version_loads(self, tiny, tmp_path):
+        # Files written before versioning had no format_version key.
+        _, _, table = tiny
+        path = tmp_path / "table.npz"
+        table.save(path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files if k != "format_version"}
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **fields)
+        loaded = SignatureTable.load(legacy)
+        assert loaded.scheme == table.scheme
+        assert loaded.entry_codes.tolist() == table.entry_codes.tolist()
+
+    def test_future_version_rejected_with_both_versions_named(
+        self, tiny, tmp_path
+    ):
+        from repro.core.table import TABLE_FORMAT_VERSION
+
+        _, _, table = tiny
+        path = tmp_path / "table.npz"
+        table.save(path)
+        with np.load(path) as data:
+            fields = {k: data[k] for k in data.files}
+        fields["format_version"] = np.int64(TABLE_FORMAT_VERSION + 41)
+        future = tmp_path / "future.npz"
+        np.savez_compressed(future, **fields)
+        with pytest.raises(ValueError) as excinfo:
+            SignatureTable.load(future)
+        assert str(TABLE_FORMAT_VERSION + 41) in str(excinfo.value)
+        assert str(TABLE_FORMAT_VERSION) in str(excinfo.value)
+
+    def test_round_trip_verifies_against_database(self, tiny, tmp_path):
+        db, _, table = tiny
+        path = tmp_path / "table.npz"
+        table.save(path)
+        loaded = SignatureTable.load(path)
+        loaded.verify(db)  # raises on any structural mismatch

@@ -1,0 +1,31 @@
+"""Shared fixtures for the live-index tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import partition_items
+from repro.data.transaction import TransactionDatabase
+
+UNIVERSE = 60
+
+
+def random_transaction(rng, universe=UNIVERSE):
+    size = int(rng.integers(2, 9))
+    return np.sort(rng.choice(universe, size=size, replace=False))
+
+
+def random_database(rng, n, universe=UNIVERSE):
+    return TransactionDatabase(
+        [random_transaction(rng, universe) for _ in range(n)],
+        universe_size=universe,
+    )
+
+
+@pytest.fixture()
+def base_db():
+    return random_database(np.random.default_rng(7), 150)
+
+
+@pytest.fixture()
+def scheme(base_db):
+    return partition_items(base_db, num_signatures=6, rng=0)

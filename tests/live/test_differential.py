@@ -1,0 +1,124 @@
+"""The live-index differential oracle.
+
+After *any* interleaving of inserts, deletes, compactions and
+checkpoints, exact queries against the :class:`LiveIndex` must be
+byte-identical — tids and float similarity values — to a fresh
+:class:`SignatureTable` built over the logically-current database.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.search import SignatureTableSearcher
+from repro.core.similarity import get_similarity
+from repro.core.table import SignatureTable
+from repro.live import LiveIndex
+
+from tests.live.conftest import random_database, random_transaction
+
+
+def fresh_searcher(live):
+    db = live.logical_db()
+    table = SignatureTable.build(db, live.scheme)
+    return SignatureTableSearcher(table, db)
+
+
+def assert_oracle(live, rng, num_queries=8):
+    """Exact knn + range results must match a fresh build, byte for byte."""
+    oracle = fresh_searcher(live)
+    similarities = [get_similarity(n) for n in ("jaccard", "match_ratio")]
+    for _ in range(num_queries):
+        target = random_transaction(rng)
+        similarity = similarities[int(rng.integers(len(similarities)))]
+        k = int(rng.integers(1, 12))
+        got, got_stats = live.knn(target, similarity, k=k)
+        want, _ = oracle.knn(target, similarity, k=k)
+        assert [(n.tid, n.similarity) for n in got] == [
+            (n.tid, n.similarity) for n in want
+        ]
+        assert got_stats.total_transactions == live.num_transactions
+        threshold = float(rng.uniform(0.05, 0.7))
+        got_r, _ = live.range_query(target, similarity, threshold)
+        want_r, _ = oracle.range_query(target, similarity, threshold)
+        assert [(n.tid, n.similarity) for n in got_r] == [
+            (n.tid, n.similarity) for n in want_r
+        ]
+
+
+def random_op(live, rng):
+    """Apply one random mutation; returns its name."""
+    roll = float(rng.uniform())
+    if roll < 0.55:
+        live.insert(random_transaction(rng))
+        return "insert"
+    if roll < 0.85 and live.num_transactions > 1:
+        live.delete(int(rng.integers(0, live.num_transactions)))
+        return "delete"
+    if roll < 0.93:
+        live.checkpoint()
+        return "checkpoint"
+    live.compact(repartition=bool(rng.integers(2)))
+    return "compact"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_interleaving(tmp_path, seed):
+    """~60 random ops with the oracle checked at random points."""
+    rng = np.random.default_rng(seed)
+    db = random_database(rng, 120)
+    from repro.core.partitioning import partition_items
+
+    scheme = partition_items(db, num_signatures=6, rng=seed)
+    with LiveIndex.create(tmp_path / "idx", db, scheme=scheme) as live:
+        assert_oracle(live, rng, num_queries=4)
+        for step in range(60):
+            random_op(live, rng)
+            if step % 12 == 0:
+                assert_oracle(live, rng, num_queries=3)
+        assert_oracle(live, rng, num_queries=8)
+
+
+def test_oracle_survives_reopen(tmp_path, base_db, scheme):
+    """The oracle holds identically after close + recover."""
+    rng = np.random.default_rng(9)
+    with LiveIndex.create(tmp_path / "idx", base_db, scheme=scheme) as live:
+        for _ in range(30):
+            random_op(live, rng)
+    with LiveIndex.recover(tmp_path / "idx") as recovered:
+        assert_oracle(recovered, rng, num_queries=10)
+
+
+def test_heavy_delete_then_query(tmp_path, base_db, scheme):
+    """Deleting most of the base must not starve top-k results."""
+    rng = np.random.default_rng(10)
+    similarity = get_similarity("jaccard")
+    with LiveIndex.create(tmp_path / "idx", base_db, scheme=scheme) as live:
+        while live.num_transactions > 12:
+            live.delete(int(rng.integers(0, live.num_transactions)))
+        for _ in range(5):
+            live.insert(random_transaction(rng))
+        oracle = fresh_searcher(live)
+        for _ in range(10):
+            target = random_transaction(rng)
+            got, _ = live.knn(target, similarity, k=10)
+            want, _ = oracle.knn(target, similarity, k=10)
+            assert [(n.tid, n.similarity) for n in got] == [
+                (n.tid, n.similarity) for n in want
+            ]
+
+
+def test_early_termination_still_returns_k(tmp_path, base_db, scheme):
+    """Approximate mode stays well-formed (results exist, k respected)."""
+    rng = np.random.default_rng(11)
+    similarity = get_similarity("match_ratio")
+    with LiveIndex.create(tmp_path / "idx", base_db, scheme=scheme) as live:
+        for _ in range(20):
+            live.insert(random_transaction(rng))
+        neighbors, stats = live.knn(
+            random_transaction(rng), similarity, k=5, early_termination=0.2
+        )
+        assert len(neighbors) == 5
+        assert stats.total_transactions == live.num_transactions
+        tids = [n.tid for n in neighbors]
+        assert all(0 <= t < live.num_transactions for t in tids)
+        assert tids == sorted(set(tids), key=tids.index)  # no duplicates

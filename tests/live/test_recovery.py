@@ -1,0 +1,204 @@
+"""Crash recovery: WAL replay must reconstruct state exactly.
+
+Two attack models:
+
+* **Torn tail** — the process died mid-append.  We simulate it by
+  truncating the WAL at *every byte offset* and require that recovery
+  reconstructs exactly the acknowledged prefix of mutations.
+* **SIGKILL** — a real subprocess ingesting transactions is killed with
+  ``SIGKILL`` (no atexit, no flush); recovery must come up with every
+  acknowledged insert present and the differential oracle intact.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.search import SignatureTableSearcher
+from repro.core.similarity import get_similarity
+from repro.core.table import SignatureTable
+from repro.live import LiveIndex, replay_wal
+from repro.live.wal import encode_record, iter_records
+
+from tests.live.conftest import random_database, random_transaction
+
+
+def snapshot_results(live, targets, similarity):
+    return [
+        [(n.tid, n.similarity) for n in live.knn(t, similarity, k=6)[0]]
+        for t in targets
+    ]
+
+
+class TestTornTail:
+    def test_recovery_at_every_wal_truncation_point(self, tmp_path, scheme):
+        """Truncating the WAL anywhere recovers the acknowledged prefix."""
+        rng = np.random.default_rng(20)
+        db = random_database(rng, 60)
+        similarity = get_similarity("jaccard")
+        path = tmp_path / "idx"
+        live = LiveIndex.create(path, db, scheme=scheme)
+
+        # Apply a scripted op sequence, remembering expected state after
+        # each op (as knn answers over fixed probe targets).
+        ops = []
+        op_rng = np.random.default_rng(21)
+        for _ in range(12):
+            if op_rng.uniform() < 0.7 or live.num_transactions < 2:
+                ops.append(("insert", random_transaction(op_rng)))
+            else:
+                ops.append(
+                    ("delete", int(op_rng.integers(0, live.num_transactions)))
+                )
+
+        targets = [random_transaction(op_rng) for _ in range(4)]
+        expected = [snapshot_results(live, targets, similarity)]
+        for op, arg in ops:
+            if op == "insert":
+                live.insert(arg)
+            else:
+                live.delete(arg)
+            expected.append(snapshot_results(live, targets, similarity))
+        live.close()
+
+        wal_bytes = (path / "wal.log").read_bytes()
+        boundaries = [0] + [end for _, end in iter_records(wal_bytes)]
+        assert len(boundaries) == len(ops) + 1
+
+        for cut in range(len(wal_bytes) + 1):
+            (path / "wal.log").write_bytes(wal_bytes[:cut])
+            applied = sum(1 for b in boundaries[1:] if b <= cut)
+            recovered = LiveIndex.recover(path)
+            try:
+                assert (
+                    snapshot_results(recovered, targets, similarity)
+                    == expected[applied]
+                ), f"truncation at byte {cut} (ops applied: {applied})"
+            finally:
+                recovered.close()
+
+    def test_recovery_truncates_torn_tail_for_future_appends(
+        self, tmp_path, base_db, scheme
+    ):
+        path = tmp_path / "idx"
+        live = LiveIndex.create(path, base_db, scheme=scheme)
+        live.insert([1, 2, 3])
+        live.close()
+        with open(path / "wal.log", "ab") as handle:
+            handle.write(b"\x7fgarbage-torn-tail")
+        recovered = LiveIndex.recover(path)
+        recovered.insert([4, 5])
+        recovered.close()
+        # The torn bytes are gone: a second recovery sees both inserts.
+        again = LiveIndex.recover(path)
+        try:
+            assert again.delta_size == 2
+        finally:
+            again.close()
+
+    def test_stale_wal_records_skipped_after_checkpoint_crash(
+        self, tmp_path, base_db, scheme
+    ):
+        """Crash between manifest commit and WAL reset must not double-apply.
+
+        We simulate the crash ordering by checkpointing and then
+        re-appending the pre-checkpoint records to the WAL (as if the
+        reset never happened): their seqnos are <= applied_seqno, so
+        recovery must ignore them.
+        """
+        path = tmp_path / "idx"
+        live = LiveIndex.create(path, base_db, scheme=scheme)
+        live.insert([1, 2, 3])
+        live.insert([4, 5])
+        records, _ = replay_wal(path / "wal.log")
+        live.checkpoint()
+        live.close()
+        with open(path / "wal.log", "ab") as handle:
+            for record in records:
+                handle.write(encode_record(record))
+        recovered = LiveIndex.recover(path)
+        try:
+            assert recovered.delta_size == 2  # not 4
+        finally:
+            recovered.close()
+
+
+_INGEST_SCRIPT = r"""
+import sys
+import numpy as np
+from repro.data.transaction import TransactionDatabase
+from repro.core.partitioning import partition_items
+from repro.live import LiveIndex
+
+path = sys.argv[1]
+rng = np.random.default_rng(42)
+rows = [
+    np.sort(rng.choice(60, size=int(rng.integers(2, 9)), replace=False))
+    for _ in range(80)
+]
+db = TransactionDatabase(rows, universe_size=60)
+scheme = partition_items(db, num_signatures=6, rng=0)
+index = LiveIndex.create(path, db, scheme=scheme)
+while True:  # acknowledge each insert on stdout; killed by the parent
+    size = int(rng.integers(2, 9))
+    tid = index.insert(np.sort(rng.choice(60, size=size, replace=False)))
+    print(tid, flush=True)
+"""
+
+
+class TestSigkill:
+    def test_sigkill_mid_ingest_recovers_every_acknowledged_insert(
+        self, tmp_path
+    ):
+        path = tmp_path / "idx"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parents[2] / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", _INGEST_SCRIPT, str(path)],
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        acknowledged = []
+        try:
+            for _ in range(25):  # read 25 acknowledgements, then kill
+                line = proc.stdout.readline()
+                assert line, "ingest subprocess died early"
+                acknowledged.append(int(line))
+        finally:
+            proc.kill()  # SIGKILL: no cleanup, no flush
+            proc.wait(timeout=30)
+
+        recovered = LiveIndex.recover(path)
+        try:
+            # Every acknowledged insert survived.  The process may have
+            # appended more records after the last acknowledgement we
+            # read (the pipe buffers), never fewer.
+            assert recovered.delta_size >= len(acknowledged)
+            assert recovered.num_transactions == 80 + recovered.delta_size
+            # And the recovered state satisfies the differential oracle.
+            similarity = get_similarity("match_ratio")
+            db = recovered.logical_db()
+            oracle = SignatureTableSearcher(
+                SignatureTable.build(db, recovered.scheme), db
+            )
+            rng = np.random.default_rng(1)
+            for _ in range(6):
+                target = random_transaction(rng)
+                got, _ = recovered.knn(target, similarity, k=5)
+                want, _ = oracle.knn(target, similarity, k=5)
+                assert [(n.tid, n.similarity) for n in got] == [
+                    (n.tid, n.similarity) for n in want
+                ]
+        finally:
+            recovered.close()
+
+    def test_sigkill_is_not_sigterm(self):
+        # Guard against the test silently degrading to a graceful stop.
+        assert signal.SIGKILL.value == 9

@@ -1,5 +1,8 @@
 """Property tests for the delta+varint codec."""
 
+import numpy as np
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -59,3 +62,85 @@ def test_encoding_is_compact(items):
     case), and beats raw int64 once deltas are small."""
     encoded = encode_transaction(items)
     assert len(encoded) <= 10 * (len(items) + 1)
+
+
+# ---------------------------------------------------------------------------
+# Corruption fuzzing: a decoder fed damaged bytes may reject (ValueError)
+# but must never crash differently or mis-decode into a structurally
+# invalid transaction (unsorted / duplicated ids).
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=5000), min_size=1, max_size=30),
+    st.data(),
+)
+def test_any_truncation_raises_value_error(items, data):
+    encoded = encode_transaction(items)
+    cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    with pytest.raises(ValueError):
+        decode_transaction(encoded[:cut])
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=5000), min_size=1, max_size=30),
+    st.data(),
+)
+def test_byte_flip_never_misdecodes(items, data):
+    encoded = bytearray(encode_transaction(items))
+    position = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+    flip = data.draw(st.integers(min_value=1, max_value=255))
+    encoded[position] ^= flip
+    try:
+        decoded, offset = decode_transaction(bytes(encoded))
+    except ValueError:
+        return  # rejection is always acceptable
+    # Whatever decoded must be a transaction the encoder could produce.
+    assert offset <= len(encoded)
+    assert (np.diff(decoded) > 0).all()
+    assert (decoded >= 0).all()
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.binary(max_size=64))
+def test_garbage_bytes_never_crash(blob):
+    """Arbitrary bytes either decode cleanly or raise ValueError — never
+    another exception type, never a structurally invalid result."""
+    try:
+        decoded, offset = decode_transaction(blob)
+    except ValueError:
+        return
+    assert 0 < offset <= len(blob) or (decoded.size == 0 and offset == 1)
+    assert (np.diff(decoded) > 0).all()
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(max_size=128))
+def test_database_decoder_rejects_garbage_gracefully(blob):
+    try:
+        db = decode_database(blob)
+    except ValueError:
+        return
+    # A clean decode must round-trip to the very same bytes.
+    assert encode_database(db) == blob
+
+
+def test_zero_delta_rejected():
+    # Hand-craft a record: count=2, first=5, delta=0 -> duplicate id.
+    with pytest.raises(ValueError, match="strictly increasing"):
+        decode_transaction(bytes([2, 5, 0]))
+
+
+def test_overlong_varint_rejected():
+    # Ten continuation bytes exceed the 63-bit budget.
+    with pytest.raises(ValueError, match="varint"):
+        decode_transaction(b"\x80" * 10 + b"\x01")
+
+
+def test_huge_count_rejected_before_allocation():
+    # Regression: a flipped count varint (~16.9e9 here) used to request
+    # a 126 GiB array before reading a single payload byte.
+    with pytest.raises(ValueError, match="count"):
+        decode_transaction(b"\x80\x80\x80\x80?")

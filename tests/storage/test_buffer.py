@@ -89,6 +89,43 @@ class TestBufferPool:
             BufferPool(PagedStore(10), capacity=0)
 
 
+class TestReadPagesNormalisation:
+    """read_pages must sort and dedupe its input (regression).
+
+    The batched engine hands page sets in table-entry order; unsorted or
+    duplicated pages previously inflated seeks (each out-of-order page
+    started a new "run") and double-charged repeated pages as misses.
+    """
+
+    def test_duplicates_charged_once(self, pool):
+        counters = IOCounters()
+        missed = pool.read_pages([3, 3, 3], num_transactions=3, counters=counters)
+        assert missed == 1
+        assert counters.pages_read == 1
+        assert counters.seeks == 1
+
+    def test_unsorted_input_matches_sorted(self):
+        store = PagedStore(100, page_size=10)
+        scrambled = BufferPool(store, capacity=8)
+        ordered = BufferPool(store, capacity=8)
+        a, b = IOCounters(), IOCounters()
+        scrambled.read_pages([7, 2, 5, 2, 7, 1], num_transactions=6, counters=a)
+        ordered.read_pages([1, 2, 5, 7], num_transactions=6, counters=b)
+        assert a == b
+        assert a.seeks == 3  # runs: [1,2], [5], [7]
+
+    def test_contiguous_run_survives_scrambling(self, pool):
+        counters = IOCounters()
+        pool.read_pages([2, 0, 1], num_transactions=3, counters=counters)
+        assert counters.seeks == 1
+        assert counters.pages_read == 3
+
+    def test_cache_hits_after_normalised_read(self, pool):
+        pool.read_pages([1, 0, 1], num_transactions=2)
+        counters = IOCounters()
+        assert pool.read_pages([0, 1], num_transactions=2, counters=counters) == 0
+        assert counters.pages_read == 0
+
 class TestSearcherIntegration:
     def test_pool_must_wrap_table_store(self, medium_table, medium_indexed):
         import repro

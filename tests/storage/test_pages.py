@@ -134,3 +134,58 @@ class TestReadAccounting:
         store.read([5, 9, 1], counters)
         assert counters.seeks == 1
         assert counters.pages_read == 2
+
+
+class TestWriteAccounting:
+    """Write-side counters (pages_written, fsyncs) added for the WAL."""
+
+    def test_defaults_keep_read_only_counters_equal(self):
+        # Pre-write-path code constructs counters positionally; the new
+        # fields must not change equality for read-only paths.
+        assert IOCounters(1, 2, 3) == IOCounters(
+            transactions_read=1, pages_read=2, seeks=3
+        )
+
+    def test_merge_includes_write_side(self):
+        a = IOCounters(1, 2, 3, pages_written=4, fsyncs=5)
+        a.merge(IOCounters(pages_written=40, fsyncs=50))
+        assert (a.pages_written, a.fsyncs) == (44, 55)
+        assert (a.transactions_read, a.pages_read, a.seeks) == (1, 2, 3)
+
+    def test_reset_clears_write_side(self):
+        counters = IOCounters(pages_written=7, fsyncs=9)
+        counters.reset()
+        assert counters == IOCounters()
+
+    def test_copy_carries_write_side(self):
+        a = IOCounters(pages_written=2, fsyncs=1)
+        b = a.copy()
+        b.fsyncs = 99
+        assert (a.pages_written, a.fsyncs) == (2, 1)
+        assert b.pages_written == 2
+
+
+class TestDiskModelWriteCosts:
+    def test_write_and_fsync_charged(self):
+        model = DiskModel(
+            seek_ms=10.0, transfer_ms=1.0, write_ms=2.0, fsync_ms=8.0
+        )
+        counters = IOCounters(pages_written=3, fsyncs=2)
+        assert model.cost_ms(counters) == 3 * 2.0 + 2 * 8.0
+
+    def test_write_costs_default_to_read_costs(self):
+        # Without explicit write costs, a written page costs transfer_ms
+        # and an fsync costs seek_ms (a forced head movement).
+        model = DiskModel(seek_ms=10.0, transfer_ms=1.0)
+        counters = IOCounters(pages_written=4, fsyncs=3)
+        assert model.cost_ms(counters) == 4 * 1.0 + 3 * 10.0
+
+    def test_mixed_read_write_cost_is_additive(self):
+        model = DiskModel(
+            seek_ms=10.0, transfer_ms=1.0, write_ms=2.0, fsync_ms=8.0
+        )
+        read_only = IOCounters(pages_read=5, seeks=2)
+        mixed = read_only.copy()
+        mixed.pages_written = 1
+        mixed.fsyncs = 1
+        assert model.cost_ms(mixed) == model.cost_ms(read_only) + 2.0 + 8.0

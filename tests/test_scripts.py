@@ -146,3 +146,14 @@ class TestSummarizeResults:
         if not any(results.glob("*.csv")):
             pytest.skip("no benchmark results present")
         assert summarize.main([str(results)]) == 0
+
+
+class TestCrashRecoverySmoke:
+    def test_import_safe(self):
+        module = load_script("crash_recovery_smoke")
+        assert callable(module.main)
+
+    def test_passes_end_to_end(self, capsys):
+        module = load_script("crash_recovery_smoke")
+        assert module.main(["--acks", "5"]) == 0
+        assert "PASS" in capsys.readouterr().out
