@@ -1,0 +1,164 @@
+"""Fault-injection overhead: a disabled injector must be (near) free.
+
+Times the same durable-insert workload against a live index two ways:
+
+* ``none`` — ``injector=None``, the production default: the fault
+  gates short-circuit before doing any work (the pre-faults baseline);
+* ``disabled`` — a real :class:`~repro.faults.FaultInjector` wired into
+  the WAL and checkpoint path, carrying a plan whose only spec triggers
+  far beyond the run, so every write and fsync pays a full
+  ``check(site)`` call that never fires.
+
+The acceptance bar is on the *disabled* path: best-of-reps wall time
+within ``5%`` of the ``none`` baseline (reported as ``overhead %``).
+When a fault actually fires you are in a test, and cost is irrelevant.
+
+Runs two ways:
+
+* under pytest with the shared benchmark fixtures
+  (``pytest benchmarks/bench_fault_overhead.py``);
+* as a standalone script — ``python benchmarks/bench_fault_overhead.py``
+  (full scale) or ``--quick`` (CI smoke: small workload, reports but
+  does not enforce the bar, seconds of runtime).
+"""
+
+import argparse
+import random
+import shutil
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (probe: is the package importable?)
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    import repro
+
+from repro.eval.reporting import ExperimentTable
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.live.index import LiveIndex
+
+FULL = dict(
+    spec="T8.I4.D2K", num_items=300, num_patterns=200,
+    signatures=6, inserts=1200, fsync_interval=32, reps=7,
+)
+QUICK = dict(
+    spec="T5.I3.D500", num_items=150, num_patterns=80,
+    signatures=4, inserts=250, fsync_interval=32, reps=3,
+)
+
+#: Maximum tolerated disabled-injector overhead over the no-injector path.
+OVERHEAD_BAR_PERCENT = 5.0
+
+
+def make_injector() -> FaultInjector:
+    """An armed injector that never fires inside the benchmark."""
+    plan = FaultPlan(
+        specs=[FaultSpec(site="wal.write", kind="eio", after=10**9)],
+        seed=0,
+    )
+    return FaultInjector(plan)
+
+
+def run(quick: bool = False):
+    """Execute the benchmark; returns (table, overhead_percent)."""
+    cfg = QUICK if quick else FULL
+    db = repro.generate(
+        cfg["spec"], seed=11,
+        num_items=cfg["num_items"], num_patterns=cfg["num_patterns"],
+    )
+    scheme = repro.partition_items(db, num_signatures=cfg["signatures"], rng=5)
+    rng = random.Random(17)
+    payloads = [
+        sorted(rng.sample(range(cfg["num_items"]), k=rng.randint(2, 8)))
+        for _ in range(cfg["inserts"])
+    ]
+
+    def timed_inserts(injector):
+        root = tempfile.mkdtemp(prefix="bench-faults-")
+        try:
+            index = LiveIndex.create(
+                Path(root) / "index", db, scheme=scheme,
+                fsync_interval=cfg["fsync_interval"], injector=injector,
+            )
+            try:
+                started = time.perf_counter()
+                for payload in payloads:
+                    index.insert(payload)
+                return time.perf_counter() - started
+            finally:
+                index.close()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    timed_inserts(None)  # warm caches before any timing
+    times = {"none": [], "disabled": []}
+    # Interleave modes within each rep so drift hits both equally.
+    for _ in range(cfg["reps"]):
+        times["none"].append(timed_inserts(None))
+        times["disabled"].append(timed_inserts(make_injector()))
+
+    best = {mode: min(samples) for mode, samples in times.items()}
+    overhead = 100.0 * (best["disabled"] - best["none"]) / best["none"]
+
+    table = ExperimentTable(
+        title="Fault-injection overhead on the durable-insert workload",
+        columns=["mode", "best ms", "inserts/sec", "overhead %"],
+        notes=[
+            f"spec={cfg['spec']}, inserts={cfg['inserts']}, "
+            f"fsync_interval={cfg['fsync_interval']}, "
+            f"best of {cfg['reps']} reps",
+            "none = injector absent (production default); disabled = "
+            "armed injector whose spec never fires, paying a check() "
+            "per WAL write and fsync",
+            f"bar: disabled overhead < {OVERHEAD_BAR_PERCENT:g}%",
+        ],
+    )
+    for mode in ("none", "disabled"):
+        table.add_row(
+            **{
+                "mode": mode,
+                "best ms": 1000.0 * best[mode],
+                "inserts/sec": cfg["inserts"] / best[mode],
+                "overhead %": overhead if mode == "disabled" else 0.0,
+            }
+        )
+    return table, overhead
+
+
+def test_disabled_injector_overhead(emit):
+    table, overhead = run(quick=False)
+    emit(table, "fault_overhead")
+    assert overhead < OVERHEAD_BAR_PERCENT, (
+        f"disabled-injector overhead {overhead:.2f}% exceeds the "
+        f"{OVERHEAD_BAR_PERCENT:g}% bar"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke run (CI): reports overhead, skips the bar",
+    )
+    args = parser.parse_args(argv)
+    table, overhead = run(quick=args.quick)
+    results = Path(__file__).resolve().parent.parent / "results"
+    table.save(results, "fault_overhead")
+    print(table.to_text())
+    if not args.quick and overhead >= OVERHEAD_BAR_PERCENT:
+        print(
+            f"FAIL: disabled-injector overhead {overhead:.2f}% is above "
+            f"the {OVERHEAD_BAR_PERCENT:g}% bar"
+        )
+        return 1
+    mode = "quick smoke" if args.quick else "full"
+    print(f"PASS ({mode}): disabled-injector overhead {overhead:+.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,14 @@ WAL and checks:
    :class:`~repro.core.table.SignatureTable` built over the recovered
    logical database (the differential oracle).
 
+With ``--with-faults`` the smoke additionally sweeps a handful of
+seeded errfs fault schedules (``repro.faults.run_errfs_schedule``):
+each schedule injects deterministic WAL/checkpoint I/O faults and
+simulated crashes into a randomized workload, then checks the terminal
+state is byte-identical to a replay of exactly the acknowledged ops.
+
 Usage:  python scripts/crash_recovery_smoke.py [--acks N] [--keep DIR]
+        [--with-faults] [--fault-seeds N]
 
 Exit code 0 on success, 1 on any violation.
 """
@@ -121,6 +128,28 @@ def run_smoke(index_path: Path, acks: int) -> int:
     return failures
 
 
+def run_fault_schedules(root: Path, num_seeds: int) -> int:
+    """Sweep seeded errfs chaos schedules; returns the number of failures."""
+    from repro.faults import run_errfs_schedule
+
+    failures = 0
+    injected = 0
+    for seed in range(num_seeds):
+        summary = run_errfs_schedule(seed, root / f"seed-{seed:04d}")
+        injected += summary.faults_injected
+        if not summary.verified:
+            print(f"FAIL: fault schedule seed={seed}: {summary.mismatch}")
+            print(f"  plan: {summary.fault_plan}")
+            failures += 1
+    if failures == 0:
+        print(
+            f"ok: {num_seeds} seeded fault schedules verified "
+            f"({injected} faults injected), terminal state matched the "
+            f"acknowledged-op replay every time"
+        )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -135,17 +164,38 @@ def main(argv=None) -> int:
         default=None,
         help="run in DIR and keep it afterwards (default: fresh tempdir)",
     )
+    parser.add_argument(
+        "--with-faults",
+        action="store_true",
+        help="also sweep seeded errfs fault-injection schedules and "
+        "verify exactly-once recovery under each",
+    )
+    parser.add_argument(
+        "--fault-seeds",
+        type=int,
+        default=16,
+        metavar="N",
+        help="fault schedules to sweep with --with-faults (default 16)",
+    )
     args = parser.parse_args(argv)
     if str(SRC_DIR) not in sys.path:
         sys.path.insert(0, str(SRC_DIR))
 
     if args.keep is not None:
-        index_path = Path(args.keep) / "crash-smoke-idx"
-        failures = run_smoke(index_path, args.acks)
+        workroot = Path(args.keep)
+        failures = run_smoke(workroot / "crash-smoke-idx", args.acks)
+        if args.with_faults:
+            failures += run_fault_schedules(
+                workroot / "fault-smoke", args.fault_seeds
+            )
     else:
         workdir = tempfile.mkdtemp(prefix="repro-crash-smoke-")
         try:
             failures = run_smoke(Path(workdir) / "idx", args.acks)
+            if args.with_faults:
+                failures += run_fault_schedules(
+                    Path(workdir) / "faults", args.fault_seeds
+                )
         finally:
             shutil.rmtree(workdir, ignore_errors=True)
 

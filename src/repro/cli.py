@@ -336,8 +336,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # One registry carries both the service counters and the live
         # index's WAL/compaction gauges, so a single scrape shows both.
         metrics_registry = MetricRegistry()
+        injector = None
+        if getattr(args, "fault_plan", None):
+            from repro.faults import FaultInjector, FaultPlan
+
+            injector = FaultInjector(
+                FaultPlan.load(args.fault_plan),
+                metrics_registry=metrics_registry,
+            )
+            print(f"fault injection armed from {args.fault_plan}", flush=True)
         live_index = LiveIndex.recover(
-            args.live, metrics_registry=metrics_registry
+            args.live, metrics_registry=metrics_registry, injector=injector
         )
         engine = LiveQueryEngine(live_index)
         num_transactions = live_index.num_transactions
@@ -426,6 +435,12 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
 
     from repro.live import LiveIndex
 
+    injector = None
+    if getattr(args, "fault_plan", None):
+        from repro.faults import FaultInjector, FaultPlan
+
+        injector = FaultInjector(FaultPlan.load(args.fault_plan))
+        print(f"fault injection armed from {args.fault_plan}", flush=True)
     exists = os.path.exists(os.path.join(args.directory, "manifest.json"))
     if args.init is not None:
         if exists:
@@ -451,6 +466,7 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
             scheme=scheme,
             page_size=args.page_size,
             fsync_interval=args.fsync_interval,
+            injector=injector,
         )
         print(
             f"created live index over {len(db)} transactions "
@@ -464,15 +480,24 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
         )
     else:
         index = LiveIndex.recover(
-            args.directory, fsync_interval=args.fsync_interval
+            args.directory,
+            fsync_interval=args.fsync_interval,
+            injector=injector,
         )
     try:
         if args.transactions is not None:
             rows = _read_queries(args.transactions)
             started = time.perf_counter()
+            failures = 0
             for row in rows:
-                index.insert(row)
+                try:
+                    index.insert(row)
+                except OSError as exc:
+                    failures += 1
+                    print(f"insert failed (not applied): {exc}", file=sys.stderr)
             elapsed = time.perf_counter() - started
+            if failures:
+                print(f"-- {failures}/{len(rows)} inserts failed", file=sys.stderr)
             print(
                 f"ingested {len(rows)} transactions in {elapsed:.2f}s "
                 f"({len(rows) / max(elapsed, 1e-9):.0f} inserts/sec, "
@@ -538,7 +563,13 @@ def _cmd_client(args: argparse.Namespace) -> int:
 
 
 def _run_client_action(args: argparse.Namespace) -> int:
-    from repro.service.client import ServiceClient, run_load, wait_ready
+    from repro.service.client import ServiceClient as _RawClient
+    from repro.service.client import run_load, wait_ready
+
+    def ServiceClient(host, port):
+        return _RawClient(
+            host, port, retries=args.retries, deadline=args.deadline
+        )
 
     if args.wait_ready is not None:
         if not wait_ready(args.host, args.port, timeout=args.wait_ready):
@@ -553,6 +584,11 @@ def _run_client_action(args: argparse.Namespace) -> int:
         with ServiceClient(args.host, args.port) as client:
             print("pong" if client.ping() else "no answer")
         return 0
+    if args.action == "health":
+        with ServiceClient(args.host, args.port) as client:
+            health = client.health()
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0 if health.get("ready") and not health.get("degraded") else 1
     if args.action == "stats":
         with ServiceClient(args.host, args.port) as client:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
@@ -640,12 +676,15 @@ def _run_client_action(args: argparse.Namespace) -> int:
         concurrency=args.concurrency,
         total_requests=args.requests,
         timeout_ms=args.timeout_ms,
+        retries=args.retries,
     )
     latencies = result.latencies_ms()
     mid = latencies[len(latencies) // 2] if latencies else float("nan")
+    retried = f", {result.retried} retried" if result.retried else ""
     print(
         f"{result.completed}/{len(result.records)} requests ok "
-        f"({result.rejected} rejected) in {result.elapsed_seconds:.2f}s — "
+        f"({result.rejected} rejected{retried}) in "
+        f"{result.elapsed_seconds:.2f}s — "
         f"{result.qps:.1f} req/s at concurrency {result.concurrency}, "
         f"~p50 {mid:.1f} ms"
     )
@@ -959,6 +998,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit structured JSON logs (one object per line, with "
         "correlation ids) on stderr",
     )
+    p_serve.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="inject deterministic faults into the live index's WAL and "
+        "checkpoint I/O from this JSON fault plan (testing only; "
+        "requires --live)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_ingest = subparsers.add_parser(
@@ -1005,6 +1052,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write a checkpoint and truncate the WAL after ingesting",
     )
+    p_ingest.add_argument(
+        "--fault-plan",
+        default=None,
+        metavar="FILE",
+        help="inject deterministic faults into WAL and checkpoint I/O "
+        "from this JSON fault plan (testing only)",
+    )
     p_ingest.set_defaults(func=_cmd_ingest)
 
     p_compact = subparsers.add_parser(
@@ -1035,11 +1089,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument(
         "action",
         choices=[
-            "ping", "stats", "shutdown", "burst", "query",
+            "ping", "health", "stats", "shutdown", "burst", "query",
             "insert", "delete", "compact", "checkpoint",
         ],
-        help="ping/stats/shutdown, a single 'query', a closed-loop 'burst' "
-        "of queries, or a mutation against a live server",
+        help="ping/health/stats/shutdown, a single 'query', a closed-loop "
+        "'burst' of queries, or a mutation against a live server",
     )
     p_client.add_argument(
         "--items",
@@ -1107,6 +1161,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_client.add_argument(
         "--seed", type=int, default=0, help="seed for generated burst queries"
+    )
+    p_client.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry retryable failures (overloaded/unavailable, dropped "
+        "connections) up to this many times with jittered exponential "
+        "backoff (default 0 = no retries)",
+    )
+    p_client.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="overall per-call deadline budget; retries never sleep past "
+        "it (default: unbounded)",
     )
     p_client.set_defaults(func=_cmd_client)
 

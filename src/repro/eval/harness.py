@@ -702,6 +702,7 @@ def run_service_load(
     max_batch_size: int = 64,
     max_queue: int = 4096,
     total_requests: Optional[int] = None,
+    retries: int = 0,
 ) -> ExperimentTable:
     """Serving throughput/latency vs client concurrency and batch window.
 
@@ -797,6 +798,7 @@ def run_service_load(
                     k=k,
                     concurrency=clients,
                     total_requests=requests,
+                    retries=retries,
                 )
                 identical = result.completed == len(result.records) and all(
                     record.neighbors == expected[record.query_index]

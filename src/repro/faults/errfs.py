@@ -1,0 +1,111 @@
+"""errfs-style failing-file shims for the durable write path.
+
+:class:`FailingWalFile` subclasses the write-ahead log's physical-I/O
+seam (:class:`~repro.live.wal.WalFile`) and consults a
+:class:`~repro.faults.plan.FaultInjector` before every primitive:
+
+* site ``wal.write`` — kinds ``eio``/``enospc`` (raise before any byte
+  lands), ``short_write`` (accept only ``nbytes`` bytes, no error — the
+  log's short-write loop must finish the record), ``torn_write``
+  (persist ``nbytes`` bytes *then* raise ``EIO`` — the classic torn
+  record the rewind logic must clean up), ``crash`` (persist ``nbytes``
+  bytes then raise :class:`~repro.faults.plan.SimulatedCrash`, which no
+  cleanup path is allowed to catch);
+* site ``wal.fsync`` — kinds ``eio``/``enospc``/``crash``;
+* site ``wal.truncate`` — kinds ``eio``/``enospc`` (fail the rewind
+  itself, forcing the log's dirty-tail refusal path).
+
+:func:`checkpoint_fault` is the same idea for the checkpoint/compaction
+file writes in :class:`~repro.live.index.LiveIndex`, which go through
+numpy/JSON rather than a file object we can wrap: the index calls it at
+each step boundary (sites ``checkpoint.write``, ``checkpoint.manifest``)
+and the helper raises the mapped error when the plan says so.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+
+from repro.faults.plan import FaultInjector, FaultSpec, SimulatedCrash
+from repro.live.wal import WalFile
+
+_ERRNO_BY_KIND = {
+    "eio": errno.EIO,
+    "enospc": errno.ENOSPC,
+    # A torn write surfaces as EIO; the distinction is that its prefix
+    # bytes already landed on disk.
+    "torn_write": errno.EIO,
+}
+
+
+def _raise_for(spec: FaultSpec, what: str) -> None:
+    """Raise the exception a fired spec maps to (never returns)."""
+    if spec.kind == "crash":
+        raise SimulatedCrash(f"injected crash during {what}")
+    code = _ERRNO_BY_KIND.get(spec.kind)
+    if code is None:
+        raise ValueError(
+            f"fault kind {spec.kind!r} cannot be raised at site {spec.site!r}"
+        )
+    raise OSError(code, f"injected {spec.kind.upper()} during {what}")
+
+
+class FailingWalFile(WalFile):
+    """A :class:`~repro.live.wal.WalFile` that fails on command."""
+
+    def __init__(self, path, injector: FaultInjector) -> None:
+        super().__init__(path)
+        self.injector = injector
+
+    def _write_exact(self, data) -> int:
+        """Persist every byte of ``data`` (partial-fault bookkeeping)."""
+        view = memoryview(data)
+        written = 0
+        while written < len(view):
+            written += os.write(self._fd, view[written:])
+        return written
+
+    def write(self, data) -> int:
+        spec = self.injector.check("wal.write")
+        if spec is None:
+            return super().write(data)
+        if spec.kind == "short_write":
+            # Accept a prefix without erroring: the caller's loop must
+            # notice and finish the record with further writes.
+            accepted = max(1, min(spec.nbytes, len(data)))
+            return self._write_exact(data[:accepted])
+        if spec.kind in ("torn_write", "crash"):
+            # Persist a prefix, then fail: the torn record is now
+            # physically on disk and must be rewound (or, for a crash,
+            # found and truncated by recovery).
+            self._write_exact(data[: min(spec.nbytes, len(data))])
+            _raise_for(spec, "WAL write")
+        _raise_for(spec, "WAL write")
+        raise AssertionError("unreachable")
+
+    def fsync(self) -> None:
+        spec = self.injector.check("wal.fsync")
+        if spec is not None:
+            _raise_for(spec, "WAL fsync")
+        super().fsync()
+
+    def truncate(self, size: int) -> None:
+        spec = self.injector.check("wal.truncate")
+        if spec is not None:
+            _raise_for(spec, "WAL truncate")
+        super().truncate(size)
+
+
+def checkpoint_fault(injector, site: str) -> None:
+    """Fault gate for checkpoint/compaction I/O steps.
+
+    No-op when ``injector`` is ``None`` (the production fast path) or
+    when the plan has nothing for this op; otherwise raises the mapped
+    ``OSError`` / :class:`~repro.faults.plan.SimulatedCrash`.
+    """
+    if injector is None:
+        return
+    spec = injector.check(site)
+    if spec is not None:
+        _raise_for(spec, site)

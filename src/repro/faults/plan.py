@@ -1,0 +1,244 @@
+"""Fault plans and the deterministic injector that evaluates them.
+
+A *site* is a named instrumentation point in the stack (e.g.
+``wal.write``, ``wal.fsync``, ``checkpoint.write``, ``proxy.s2c``); a
+*kind* is what goes wrong there (``eio``, ``enospc``, ``short_write``,
+``torn_write``, ``crash``, ``reset``, ``truncate``, ``delay``).  A
+:class:`FaultSpec` binds the two with a trigger:
+
+* ``after=N`` — fire on the N-th operation at that site (1-based, the
+  op-count trigger);
+* ``probability=p`` — fire each op with probability ``p``, drawn from
+  the plan's seeded RNG (deterministic given the seed and the op
+  sequence);
+* ``times`` — how many times the spec may fire in total (default 1,
+  the one-shot; ``None`` means unlimited).
+
+:class:`FaultPlan` is a JSON-serialisable bag of specs plus the seed —
+the unit the CLI loads via ``--fault-plan`` and the chaos suite sweeps
+by seed.  :class:`FaultInjector` is the runtime: shims call
+:meth:`FaultInjector.check` with their site name and act on the
+returned spec (or ``None``, the fast path).  All decision state (per-
+site op counters, per-spec fire counts, one RNG) lives in the injector
+and is guarded by one lock, so a plan evaluated twice with the same
+seed against the same op sequence injects exactly the same faults.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Fault kinds understood by the shims.  File-backed sites use the
+#: first five; the TCP proxy uses the last three.
+FAULT_KINDS = (
+    "eio",          # OSError(EIO) before the operation touches anything
+    "enospc",       # OSError(ENOSPC) before the operation touches anything
+    "short_write",  # write accepts only ``nbytes`` bytes (no error)
+    "torn_write",   # write persists ``nbytes`` bytes, then raises EIO
+    "crash",        # write persists ``nbytes`` bytes, then SimulatedCrash
+    "reset",        # proxy: drop the connection abruptly
+    "truncate",     # proxy: forward a prefix of the chunk, then drop
+    "delay",        # proxy: sleep ``delay_ms`` before forwarding
+)
+
+
+class SimulatedCrash(Exception):
+    """The injected process death: no cleanup handlers may run.
+
+    Deliberately *not* an :class:`OSError` — error-handling paths that
+    tidy up after I/O failures (tail rewind, retries) must not see it,
+    exactly as they would not run across a real ``SIGKILL``.
+    """
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault rule: where, what, and when.
+
+    Exactly one trigger must be set: ``after`` (op-count) or
+    ``probability``.  ``times=1`` is the one-shot default; ``None``
+    lifts the cap.  ``nbytes`` parameterises the partial-write kinds
+    (how many bytes land before the fault) and ``delay_ms`` the proxy
+    latency kind.
+    """
+
+    site: str
+    kind: str
+    after: Optional[int] = None
+    probability: Optional[float] = None
+    times: Optional[int] = 1
+    nbytes: int = 1
+    delay_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            known = ", ".join(FAULT_KINDS)
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {known}")
+        if not self.site:
+            raise ValueError("fault site must be a non-empty string")
+        if (self.after is None) == (self.probability is None):
+            raise ValueError(
+                "exactly one of 'after' (op-count) or 'probability' must be set"
+            )
+        if self.after is not None and self.after < 1:
+            raise ValueError("'after' is 1-based: the first op is after=1")
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.times is not None and self.times < 1:
+            raise ValueError("times must be >= 1 (or None for unlimited)")
+        if self.nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        if self.delay_ms < 0:
+            raise ValueError("delay_ms must be >= 0")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe form (inverse of :meth:`from_dict`)."""
+        out: Dict[str, object] = {"site": self.site, "kind": self.kind}
+        if self.after is not None:
+            out["after"] = self.after
+        if self.probability is not None:
+            out["probability"] = self.probability
+        if self.times != 1:
+            out["times"] = self.times
+        if self.nbytes != 1:
+            out["nbytes"] = self.nbytes
+        if self.delay_ms:
+            out["delay_ms"] = self.delay_ms
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultSpec":
+        known = {"site", "kind", "after", "probability", "times", "nbytes", "delay_ms"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown fault spec fields: {sorted(unknown)}")
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, serialisable collection of fault rules."""
+
+    specs: Sequence[FaultSpec] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": int(self.seed),
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        if not isinstance(data, dict):
+            raise ValueError("fault plan must be a JSON object")
+        unknown = set(data) - {"seed", "faults"}
+        if unknown:
+            raise ValueError(f"unknown fault plan fields: {sorted(unknown)}")
+        raw = data.get("faults", [])
+        if not isinstance(raw, list):
+            raise ValueError("'faults' must be a list of fault specs")
+        return cls(
+            specs=tuple(FaultSpec.from_dict(entry) for entry in raw),
+            seed=int(data.get("seed", 0)),
+        )
+
+    def save(self, path) -> None:
+        """Write the plan as JSON."""
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan written by :meth:`save` (or by hand)."""
+        with open(os.fspath(path), "r", encoding="utf-8") as handle:
+            return cls.from_dict(json.load(handle))
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` deterministically at runtime.
+
+    Thread-safe.  ``check(site)`` counts one operation at the site and
+    returns the first spec whose trigger fires (or ``None``).  With a
+    ``metrics_registry`` the injector exports
+    ``repro_fault_checks_total`` and ``repro_fault_injected_total``
+    (labelled by site and kind) so chaos runs show up on the same
+    scrape as the service they are torturing.
+    """
+
+    def __init__(self, plan: Optional[FaultPlan] = None, metrics_registry=None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.enabled = True
+        self._rng = random.Random(self.plan.seed)
+        self._lock = threading.Lock()
+        self._op_counts: Dict[str, int] = {}
+        self._fired: Dict[int, int] = {}
+        #: Total faults injected (all sites), for quick assertions.
+        self.injected = 0
+        self._checks_metric = None
+        self._injected_metric = None
+        if metrics_registry is not None:
+            self._checks_metric = metrics_registry.counter(
+                "repro_fault_checks_total",
+                "Fault-injection site evaluations",
+                labelnames=("site",),
+            )
+            self._injected_metric = metrics_registry.counter(
+                "repro_fault_injected_total",
+                "Faults injected, by site and kind",
+                labelnames=("site", "kind"),
+            )
+
+    def op_count(self, site: str) -> int:
+        """Operations seen so far at a site."""
+        with self._lock:
+            return self._op_counts.get(site, 0)
+
+    def check(self, site: str) -> Optional[FaultSpec]:
+        """Count one op at ``site``; return the spec to inject, if any.
+
+        At most one spec fires per op (the first matching one, in plan
+        order), so plans compose predictably.
+        """
+        if not self.enabled:
+            return None
+        with self._lock:
+            count = self._op_counts.get(site, 0) + 1
+            self._op_counts[site] = count
+            if self._checks_metric is not None:
+                self._checks_metric.labels(site=site).inc()
+            for index, spec in enumerate(self.plan.specs):
+                if spec.site != site:
+                    continue
+                fired = self._fired.get(index, 0)
+                if spec.times is not None and fired >= spec.times:
+                    continue
+                if spec.after is not None:
+                    hit = count == spec.after
+                else:
+                    hit = self._rng.random() < spec.probability
+                if hit:
+                    self._fired[index] = fired + 1
+                    self.injected += 1
+                    if self._injected_metric is not None:
+                        self._injected_metric.labels(
+                            site=site, kind=spec.kind
+                        ).inc()
+                    return spec
+        return None
+
+    def fired_counts(self) -> List[int]:
+        """Per-spec fire counts, in plan order (introspection for tests)."""
+        with self._lock:
+            return [
+                self._fired.get(index, 0) for index in range(len(self.plan.specs))
+            ]

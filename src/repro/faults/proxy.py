@@ -1,0 +1,168 @@
+"""In-process TCP fault proxy between :class:`ServiceClient` and the server.
+
+:class:`FaultProxy` listens on its own port and forwards byte streams to
+an upstream ``(host, port)`` — normally a
+:class:`~repro.service.server.QueryServer` — while consulting a
+:class:`~repro.faults.plan.FaultInjector` on every forwarded chunk:
+
+* site ``proxy.c2s`` — client-to-server chunks (requests);
+* site ``proxy.s2c`` — server-to-client chunks (responses).
+
+Kinds: ``reset`` (drop both sides of the connection abruptly — the
+client sees a mid-request connection error and cannot know whether the
+mutation was applied, the exact window idempotency keys exist for),
+``truncate`` (forward only ``nbytes`` bytes of the chunk, then drop the
+connection — a half-written response line), and ``delay`` (sleep
+``delay_ms`` before forwarding — latency injection for deadline-budget
+tests).
+
+The proxy is thread-based (one accept thread, two pump threads per
+connection) so it composes with both the asyncio server and the blocking
+client without touching either event loop.  Ops are counted per site
+across all connections, so an ``after=N`` trigger means "the N-th chunk
+in that direction through this proxy", deterministic for the
+one-request-at-a-time clients the chaos suite drives.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultInjector
+
+_CHUNK = 65536
+
+
+class FaultProxy:
+    """A fault-injecting TCP forwarder; use as a context manager.
+
+    Parameters
+    ----------
+    upstream:
+        ``(host, port)`` of the real server.
+    injector:
+        The shared :class:`~repro.faults.plan.FaultInjector` (sites
+        ``proxy.c2s`` / ``proxy.s2c``).  ``None`` forwards faithfully.
+    host, port:
+        Listen address; ``port=0`` picks a free port (see
+        :attr:`address`).
+    """
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        injector: Optional[FaultInjector] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = (upstream[0], int(upstream[1]))
+        self.injector = injector
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, int(port)))
+        self._listener.listen(32)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._closing = False
+        self._lock = threading.Lock()
+        self._conns: List[Tuple[socket.socket, socket.socket]] = []
+        #: Connections dropped by an injected reset/truncate.
+        self.connections_killed = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-fault-proxy", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                server = socket.create_connection(self.upstream, timeout=10.0)
+            except OSError:
+                client.close()
+                continue
+            with self._lock:
+                self._conns.append((client, server))
+            for source, sink, site in (
+                (client, server, "proxy.c2s"),
+                (server, client, "proxy.s2c"),
+            ):
+                threading.Thread(
+                    target=self._pump,
+                    args=(source, sink, site),
+                    name=f"repro-fault-proxy-{site}",
+                    daemon=True,
+                ).start()
+
+    @staticmethod
+    def _kill(*socks: socket.socket) -> None:
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _pump(self, source: socket.socket, sink: socket.socket, site: str) -> None:
+        while True:
+            try:
+                chunk = source.recv(_CHUNK)
+            except OSError:
+                break
+            if not chunk:
+                break
+            spec = self.injector.check(site) if self.injector else None
+            if spec is not None:
+                if spec.kind == "delay":
+                    time.sleep(spec.delay_ms / 1000.0)
+                elif spec.kind == "reset":
+                    self.connections_killed += 1
+                    self._kill(source, sink)
+                    return
+                elif spec.kind == "truncate":
+                    try:
+                        sink.sendall(chunk[: spec.nbytes])
+                    except OSError:
+                        pass
+                    self.connections_killed += 1
+                    self._kill(source, sink)
+                    return
+                # Unknown-for-this-site kinds forward faithfully rather
+                # than crashing the pump.
+            try:
+                sink.sendall(chunk)
+            except OSError:
+                break
+        # EOF or error: propagate the half-close so line readers finish.
+        try:
+            sink.shutdown(socket.SHUT_WR)
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop accepting and drop every forwarded connection."""
+        self._closing = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for client, server in conns:
+            self._kill(client, server)
+
+    def __enter__(self) -> "FaultProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,142 @@
+"""Bounded idempotency-key dedupe table for live-index mutations.
+
+A retrying client stamps every mutation with ``(client_id, request_id)``
+(the request_id monotonically increasing per client).  The live index
+consults this table *before* logging a keyed mutation: a hit means the
+op was already applied — the cached result is returned and nothing is
+re-applied or re-logged, which is what makes retry-after-ambiguous-ack
+safe (a second ``delete tid=7`` would otherwise delete whichever row
+*now* lives at logical tid 7).
+
+Durability: entries are **not** separately persisted on every write —
+each keyed WAL record carries its own key, so WAL replay rebuilds the
+table exactly (see :meth:`~repro.live.index.LiveIndex.recover`).  When
+a checkpoint truncates the WAL, the index snapshots the table alongside
+(:meth:`to_json` / :meth:`from_json`) so exactly-once survives
+checkpoint + crash + recovery too.
+
+Bounds: at most ``max_entries_per_client`` recent request_ids per client
+(oldest evicted first) and at most ``max_clients`` clients (least
+recently *used* evicted first).  The protocol's one-outstanding-request-
+per-connection clients only ever retry their newest request_id, so the
+bounds are safety valves, not correctness limits — but an eviction is
+counted (:attr:`evictions`) so a chaos run can prove it never relied on
+an evicted entry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+
+class DedupeTable:
+    """Maps ``(client_id, request_id)`` to the mutation's cached result.
+
+    Cached results are small JSON-safe dicts (``{"tid": 17}`` for an
+    insert, ``{"deleted": 4}`` for a delete).  Thread-safe; the live
+    index calls it under its mutation lock but recovery and tests may
+    poke it directly.
+    """
+
+    def __init__(
+        self, max_clients: int = 1024, max_entries_per_client: int = 256
+    ) -> None:
+        if max_clients < 1 or max_entries_per_client < 1:
+            raise ValueError("dedupe bounds must be >= 1")
+        self.max_clients = int(max_clients)
+        self.max_entries_per_client = int(max_entries_per_client)
+        self._lock = threading.Lock()
+        # client_id -> (request_id -> result), both LRU-ordered.
+        self._clients: "OrderedDict[str, OrderedDict[int, Dict[str, object]]]"
+        self._clients = OrderedDict()
+        #: Lifetime counters (metrics + chaos assertions).
+        self.hits = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(entries) for entries in self._clients.values())
+
+    @property
+    def num_clients(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    def lookup(
+        self, client_id: str, request_id: int
+    ) -> Optional[Dict[str, object]]:
+        """The cached result for a key, or ``None`` on first sight."""
+        with self._lock:
+            entries = self._clients.get(client_id)
+            if entries is None:
+                return None
+            self._clients.move_to_end(client_id)
+            result = entries.get(int(request_id))
+            if result is not None:
+                self.hits += 1
+                return dict(result)
+            return None
+
+    def record(
+        self, client_id: str, request_id: int, result: Dict[str, object]
+    ) -> None:
+        """Remember a completed mutation's result (idempotent)."""
+        with self._lock:
+            entries = self._clients.get(client_id)
+            if entries is None:
+                entries = self._clients[client_id] = OrderedDict()
+                while len(self._clients) > self.max_clients:
+                    self._clients.popitem(last=False)
+                    self.evictions += 1
+            else:
+                self._clients.move_to_end(client_id)
+            entries[int(request_id)] = dict(result)
+            entries.move_to_end(int(request_id))
+            while len(entries) > self.max_entries_per_client:
+                entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._clients.clear()
+
+    # ------------------------------------------------------------------
+    # Checkpoint persistence
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """JSON-safe snapshot (order-preserving, inverse of :meth:`from_json`)."""
+        with self._lock:
+            return {
+                "max_clients": self.max_clients,
+                "max_entries_per_client": self.max_entries_per_client,
+                "clients": {
+                    client_id: [
+                        [int(request_id), dict(result)]
+                        for request_id, result in entries.items()
+                    ]
+                    for client_id, entries in self._clients.items()
+                },
+            }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "DedupeTable":
+        table = cls(
+            max_clients=int(data.get("max_clients", 1024)),
+            max_entries_per_client=int(data.get("max_entries_per_client", 256)),
+        )
+        for client_id, entries in dict(data.get("clients", {})).items():
+            for request_id, result in entries:
+                table.record(str(client_id), int(request_id), dict(result))
+        # Replaying a snapshot is bookkeeping, not traffic.
+        table.hits = 0
+        table.evictions = 0
+        return table
+
+    def merge_snapshot(self, data: Dict[str, object]) -> None:
+        """Fold a checkpoint snapshot in underneath newer WAL entries."""
+        for client_id, entries in dict(data.get("clients", {})).items():
+            for request_id, result in entries:
+                if self.lookup(str(client_id), int(request_id)) is None:
+                    self.record(str(client_id), int(request_id), dict(result))

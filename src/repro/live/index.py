@@ -49,13 +49,9 @@ from repro.core.signature import SignatureScheme
 from repro.core.similarity import SimilarityFunction
 from repro.core.table import SignatureTable
 from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.live.dedupe import DedupeTable
 from repro.live.delta import DeltaIndex
-from repro.live.wal import (
-    OP_DELETE,
-    OP_INSERT,
-    WriteAheadLog,
-    replay_wal,
-)
+from repro.live.wal import WriteAheadLog, replay_wal
 from repro.obs.trace import span
 from repro.utils.validation import check_fraction, check_positive
 
@@ -168,6 +164,8 @@ class LiveIndex:
         fsync_interval: int = 1,
         policy: Optional[CompactionPolicy] = None,
         metrics_registry=None,
+        injector=None,
+        dedupe: Optional[DedupeTable] = None,
     ) -> None:
         self.path = os.fspath(path)
         self.policy = policy if policy is not None else CompactionPolicy()
@@ -179,8 +177,14 @@ class LiveIndex:
         self._base_live = np.ones(len(db), dtype=bool)
         self._base_files = base_files
         self._delta = DeltaIndex(table.scheme)
+        self._injector = injector
+        #: Idempotency-key table: a keyed mutation seen twice answers
+        #: from here instead of re-applying (see :mod:`repro.live.dedupe`).
+        self.dedupe = dedupe if dedupe is not None else DedupeTable()
         self._wal = WriteAheadLog(
-            os.path.join(self.path, _WAL_FILE), fsync_interval=fsync_interval
+            os.path.join(self.path, _WAL_FILE),
+            fsync_interval=fsync_interval,
+            injector=injector,
         )
         self._applied_seqno = int(applied_seqno)
         self._next_seqno = int(applied_seqno) + 1
@@ -287,6 +291,14 @@ class LiveIndex:
             )
             for tid in range(len(delta_db)):
                 index._delta.insert(delta_db.items_of(tid))
+        if manifest.get("dedupe"):
+            # Checkpointed idempotency keys sit under any keyed WAL
+            # records replayed below, so a retransmitted mutation from
+            # before the checkpoint still answers from the table.
+            with open(
+                os.path.join(path, manifest["dedupe"]), "r", encoding="utf-8"
+            ) as handle:
+                index.dedupe = DedupeTable.from_json(json.load(handle))
         records, valid_bytes = replay_wal(index._wal.path)
         replayed = 0
         for record in records:
@@ -304,7 +316,9 @@ class LiveIndex:
                 handle.flush()
                 os.fsync(handle.fileno())
             index._wal = WriteAheadLog(
-                index._wal.path, fsync_interval=index._wal.fsync_interval
+                index._wal.path,
+                fsync_interval=index._wal.fsync_interval,
+                injector=index._injector,
             )
         with span(
             "live.recover",
@@ -369,47 +383,83 @@ class LiveIndex:
             "wal_bytes": self._wal.size_bytes,
             "applied_seqno": self._applied_seqno,
             "compactions": self.compactions,
+            "dedupe_entries": len(self.dedupe),
             "num_signatures": self._scheme.num_signatures,
         }
 
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
-    def insert(self, items: Iterable[int]) -> int:
+    def insert(
+        self,
+        items: Iterable[int],
+        client_id: Optional[str] = None,
+        request_id: Optional[int] = None,
+    ) -> int:
         """Durably insert a transaction; returns its logical tid.
 
         The WAL append happens *before* the in-memory apply, so an
-        acknowledged insert is always recoverable.
+        acknowledged insert is always recoverable.  With an idempotency
+        key (``client_id`` + ``request_id``) the insert is
+        *exactly-once*: a retransmission of an already-applied key
+        answers with the originally acknowledged tid and changes
+        nothing, even across crash + recovery (the key rides the WAL
+        record and the checkpoint).
         """
         array = as_item_array(items, self._scheme.universe_size)
         if array.size == 0:
             raise ValueError("cannot insert an empty transaction")
+        keyed = client_id is not None and request_id is not None
         with self._mutation_lock:
             self._check_open()
+            if keyed:
+                cached = self.dedupe.lookup(client_id, request_id)
+                if cached is not None:
+                    return int(cached["tid"])
             with span("live.insert", num_items=int(array.size)):
                 seqno = self._next_seqno
-                appended = self._wal.append_insert(seqno, array)
+                appended = self._wal.append_insert(
+                    seqno,
+                    array,
+                    client_id=client_id if keyed else None,
+                    request_id=request_id if keyed else None,
+                )
                 self._next_seqno = seqno + 1
                 with self._swap_lock:
                     self._delta.insert(array)
                     logical = (
                         int(self._base_live.sum()) + len(self._delta) - 1
                     )
+                if keyed:
+                    self.dedupe.record(
+                        client_id, request_id, {"tid": int(logical)}
+                    )
             self._record_wal_metrics(appended)
             return logical
 
-    def delete(self, logical_tid: int) -> None:
+    def delete(
+        self,
+        logical_tid: int,
+        client_id: Optional[str] = None,
+        request_id: Optional[int] = None,
+    ) -> None:
         """Durably delete the transaction at a logical tid.
 
         Logical tids address the *current* logical database (live base
         rows in tid order, then live delta rows in insertion order) —
         the numbering a fresh build over the current state would use.
         Raises :class:`ValueError` when the tid is out of range (nothing
-        is logged in that case).
+        is logged in that case).  With an idempotency key a
+        retransmission of an applied delete is a no-op — crucial here,
+        since blindly re-applying it would delete whichever *different*
+        row now occupies that logical tid.
         """
         with self._mutation_lock:
             self._check_open()
             logical_tid = int(logical_tid)
+            keyed = client_id is not None and request_id is not None
+            if keyed and self.dedupe.lookup(client_id, request_id) is not None:
+                return
             num_live = int(self._base_live.sum())
             total = num_live + len(self._delta)
             if not 0 <= logical_tid < total:
@@ -418,20 +468,46 @@ class LiveIndex:
                 )
             with span("live.delete", logical_tid=logical_tid):
                 seqno = self._next_seqno
-                appended = self._wal.append_delete(seqno, logical_tid)
+                appended = self._wal.append_delete(
+                    seqno,
+                    logical_tid,
+                    client_id=client_id if keyed else None,
+                    request_id=request_id if keyed else None,
+                )
                 self._next_seqno = seqno + 1
                 with self._swap_lock:
                     self._apply_delete(logical_tid)
+                if keyed:
+                    self.dedupe.record(
+                        client_id, request_id, {"deleted": int(logical_tid)}
+                    )
             self._record_wal_metrics(appended)
 
     def _apply(self, record) -> None:
-        """Re-apply one WAL record during recovery (no re-logging)."""
-        if record.op == OP_INSERT:
+        """Re-apply one WAL record during recovery (no re-logging).
+
+        Keyed records also repopulate the dedupe table; replay visits
+        the same intermediate states as the original run, so the logical
+        tid recorded for a keyed insert equals the originally
+        acknowledged one.
+        """
+        if record.is_insert:
             with self._swap_lock:
                 self._delta.insert(record.items)
-        elif record.op == OP_DELETE:
+                logical = int(self._base_live.sum()) + len(self._delta) - 1
+            if record.key is not None:
+                self.dedupe.record(
+                    record.client_id, record.request_id, {"tid": logical}
+                )
+        elif record.is_delete:
             with self._swap_lock:
                 self._apply_delete(int(record.logical_tid))
+            if record.key is not None:
+                self.dedupe.record(
+                    record.client_id,
+                    record.request_id,
+                    {"deleted": int(record.logical_tid)},
+                )
         else:  # pragma: no cover - encode_record rejects unknown ops
             raise ValueError(f"unknown WAL op {record.op}")
 
@@ -658,14 +734,18 @@ class LiveIndex:
                     new_db, scheme, page_size=self._page_size
                 )
                 applied = self._next_seqno - 1
+                self._fault_gate("checkpoint.write")
                 base_files = self._write_base_snapshot(
                     self.path, applied, new_table, new_db
                 )
+                dedupe_file = self._write_dedupe_snapshot(applied)
+                self._fault_gate("checkpoint.manifest")
                 self._commit_manifest(
                     self.path,
                     applied_seqno=applied,
                     base_files=base_files,
                     page_size=self._page_size,
+                    dedupe=dedupe_file,
                 )
                 self._wal.reset()
                 new_searcher = SignatureTableSearcher(new_table, new_db)
@@ -710,6 +790,7 @@ class LiveIndex:
                 stamp = f"{applied:012d}"
                 delta_file: Optional[str] = None
                 tombstone_file: Optional[str] = None
+                self._fault_gate("checkpoint.write")
                 delta_arrays = self._delta.live_arrays()
                 if delta_arrays:
                     delta_file = f"state-{stamp}.delta.npz"
@@ -725,6 +806,8 @@ class LiveIndex:
                         os.path.join(self.path, tombstone_file), tids=dead
                     )
                     _fsync_file(os.path.join(self.path, tombstone_file))
+                dedupe_file = self._write_dedupe_snapshot(applied)
+                self._fault_gate("checkpoint.manifest")
                 self._commit_manifest(
                     self.path,
                     applied_seqno=applied,
@@ -732,6 +815,7 @@ class LiveIndex:
                     page_size=self._page_size,
                     delta_db=delta_file,
                     tombstones=tombstone_file,
+                    dedupe=dedupe_file,
                 )
                 self._wal.reset()
                 self._applied_seqno = applied
@@ -744,6 +828,27 @@ class LiveIndex:
     # ------------------------------------------------------------------
     # Persistence internals
     # ------------------------------------------------------------------
+    def _fault_gate(self, site: str) -> None:
+        """Fault-injection gate for a checkpoint step (no-op in production)."""
+        if self._injector is None:
+            return
+        from repro.faults.errfs import checkpoint_fault
+
+        checkpoint_fault(self._injector, site)
+
+    def _write_dedupe_snapshot(self, applied: int) -> Optional[str]:
+        """Persist the dedupe table beside a checkpoint (which resets the
+        WAL — the keys riding it would otherwise be lost)."""
+        if len(self.dedupe) == 0:
+            return None
+        name = f"state-{applied:012d}.dedupe.json"
+        full = os.path.join(self.path, name)
+        with open(full, "w", encoding="utf-8") as handle:
+            json.dump(self.dedupe.to_json(), handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        return name
+
     @staticmethod
     def _write_base_snapshot(
         path: str, seqno: int, table: SignatureTable, db: TransactionDatabase
@@ -765,6 +870,7 @@ class LiveIndex:
         page_size: int,
         delta_db: Optional[str] = None,
         tombstones: Optional[str] = None,
+        dedupe: Optional[str] = None,
     ) -> None:
         """Atomically publish a new manifest (the checkpoint commit point)."""
         manifest = {
@@ -774,6 +880,7 @@ class LiveIndex:
             "base_db": base_files[1],
             "delta_db": delta_db,
             "tombstones": tombstones,
+            "dedupe": dedupe,
             "page_size": int(page_size),
         }
         tmp = os.path.join(path, _MANIFEST + ".tmp")
@@ -819,6 +926,17 @@ class LiveIndex:
         if self._metrics is not None:
             self._metrics["appends"].inc()
             self._metrics["bytes"].inc(appended_bytes)
+
+    def probe(self) -> bool:
+        """One durability probe: is the WAL writable and syncable again?
+
+        The server's degraded mode calls this before re-admitting
+        mutations after a WAL/checkpoint write failure.  Never raises.
+        """
+        with self._mutation_lock:
+            if self._closed:
+                return False
+            return self._wal.probe()
 
     def _check_open(self) -> None:
         if self._closed:

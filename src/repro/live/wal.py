@@ -13,14 +13,23 @@ CRC32 (4 bytes, little-endian, over the payload only) detects torn or
 corrupted tails.  The payload reuses the :mod:`repro.storage.codec`
 varint encoding::
 
-    payload := op_byte  varint(seqno)  body
-    op 1 (INSERT): body = encode_transaction(items)
-    op 2 (DELETE): body = varint(logical_tid)
+    payload := op_byte  varint(seqno)  [idempotency_key]  body
+    op 1 (INSERT):       body = encode_transaction(items)
+    op 2 (DELETE):       body = varint(logical_tid)
+    op 3 (INSERT_KEYED): key + INSERT body
+    op 4 (DELETE_KEYED): key + DELETE body
 
-``seqno`` increases by one per record.  Checkpoints store the highest
-sequence number they have folded in; replay skips records at or below
-it, which makes *any* crash ordering between "snapshot committed" and
-"log reset" safe — stale records are simply ignored.
+    idempotency_key := varint(len(client_id)) client_id_utf8
+                       varint(request_id)
+
+Keyed records carry the ``(client_id, request_id)`` a retrying client
+stamped on the mutation; replay feeds them into the live index's dedupe
+table so exactly-once semantics survive crash + recovery (see
+:mod:`repro.live.dedupe`).  ``seqno`` increases by one per record.
+Checkpoints store the highest sequence number they have folded in;
+replay skips records at or below it, which makes *any* crash ordering
+between "snapshot committed" and "log reset" safe — stale records are
+simply ignored.
 
 Torn tails
 ----------
@@ -33,14 +42,32 @@ the tail would mean silent corruption, so replay distinguishes the two:
 a clean stop at the tail is normal recovery, and callers can truncate
 the file back to the reported offset.
 
+The *writer* maintains the same invariant online: a failed append (short
+write mid-record, ``EIO``, ``ENOSPC``) rewinds the file back to the last
+whole-record boundary before the error is surfaced, so an unacknowledged
+record can never linger in front of later acknowledged ones.  If the
+rewind itself fails the log refuses further appends (every attempt first
+re-tries the rewind — the self-healing path a durability probe uses)
+rather than appending after garbage.
+
 Durability
 ----------
-``fsync_interval=n`` batches fsyncs: the file is flushed to the OS on
-every append but synced to the platter every ``n`` appends (and on
-:meth:`WriteAheadLog.sync` / :meth:`WriteAheadLog.close`).  Appends and
-syncs are charged to an :class:`~repro.storage.pages.IOCounters`
+``fsync_interval=n`` batches fsyncs: the file is written straight to the
+OS on every append but synced to the platter every ``n`` appends (and on
+:meth:`WriteAheadLog.sync` / :meth:`WriteAheadLog.close`).  With
+``n == 1`` a failed fsync also rewinds the record that triggered it —
+an insert that raises must not become durable behind the caller's back.
+Appends and syncs are charged to an
+:class:`~repro.storage.pages.IOCounters`
 (``pages_written``/``fsyncs``), so ingest shows up in the same I/O
 reports queries use.
+
+Fault injection
+---------------
+All physical I/O goes through a :class:`WalFile`, the seam
+:class:`repro.faults.errfs.FailingWalFile` wraps; pass ``injector=``
+(a :class:`~repro.faults.plan.FaultInjector`) to construct the log with
+the failing wrapper.  With no injector the log pays nothing.
 """
 
 from __future__ import annotations
@@ -64,10 +91,19 @@ from repro.utils.validation import check_positive
 #: Record operation codes.
 OP_INSERT = 1
 OP_DELETE = 2
+OP_INSERT_KEYED = 3
+OP_DELETE_KEYED = 4
+
+_INSERT_OPS = (OP_INSERT, OP_INSERT_KEYED)
+_DELETE_OPS = (OP_DELETE, OP_DELETE_KEYED)
+_KEYED_OPS = (OP_INSERT_KEYED, OP_DELETE_KEYED)
 
 #: Bytes per simulated page for write accounting (matches the codec's
 #: default physical page size).
 PAGE_BYTES = 4096
+
+#: Upper bound on an encoded client id, mirrored by protocol validation.
+MAX_CLIENT_ID_BYTES = 64
 
 _CRC_BYTES = 4
 
@@ -77,27 +113,57 @@ class WalRecord:
     """One decoded log record.
 
     ``items`` is set for inserts, ``logical_tid`` for deletes; ``seqno``
-    is the record's monotonically increasing sequence number.
+    is the record's monotonically increasing sequence number.  Keyed
+    records additionally carry the client's idempotency key
+    ``(client_id, request_id)``.
     """
 
     seqno: int
     op: int
     items: Optional[np.ndarray] = None
     logical_tid: Optional[int] = None
+    client_id: Optional[str] = None
+    request_id: Optional[int] = None
+
+    @property
+    def is_insert(self) -> bool:
+        return self.op in _INSERT_OPS
+
+    @property
+    def is_delete(self) -> bool:
+        return self.op in _DELETE_OPS
+
+    @property
+    def key(self) -> Optional[Tuple[str, int]]:
+        """The idempotency key, or ``None`` for unkeyed records."""
+        if self.op in _KEYED_OPS:
+            return (self.client_id or "", int(self.request_id or 0))
+        return None
 
 
 def encode_record(record: WalRecord) -> bytes:
     """Frame one record: varint length + payload + CRC32(payload)."""
+    if record.op not in _INSERT_OPS + _DELETE_OPS:
+        raise ValueError(f"unknown WAL op {record.op}")
     payload = bytearray([record.op])
     _encode_varint(record.seqno, payload)
-    if record.op == OP_INSERT:
+    if record.op in _KEYED_OPS:
+        if record.client_id is None or record.request_id is None:
+            raise ValueError("keyed WAL records need client_id and request_id")
+        encoded_id = record.client_id.encode("utf-8")
+        if not 0 < len(encoded_id) <= MAX_CLIENT_ID_BYTES:
+            raise ValueError(
+                f"client_id must encode to 1..{MAX_CLIENT_ID_BYTES} bytes"
+            )
+        _encode_varint(len(encoded_id), payload)
+        payload.extend(encoded_id)
+        _encode_varint(int(record.request_id), payload)
+    if record.is_insert:
         assert record.items is not None
         payload.extend(encode_transaction(record.items))
-    elif record.op == OP_DELETE:
+    else:
         assert record.logical_tid is not None
         _encode_varint(int(record.logical_tid), payload)
-    else:
-        raise ValueError(f"unknown WAL op {record.op}")
     out = bytearray()
     _encode_varint(len(payload), out)
     out.extend(payload)
@@ -110,15 +176,40 @@ def decode_payload(payload: bytes) -> WalRecord:
     if not payload:
         raise ValueError("empty WAL payload")
     op = payload[0]
-    seqno, offset = _decode_varint(payload, 1)
-    if op == OP_INSERT:
-        items, offset = decode_transaction(payload, offset)
-        record = WalRecord(seqno=seqno, op=op, items=items)
-    elif op == OP_DELETE:
-        logical_tid, offset = _decode_varint(payload, offset)
-        record = WalRecord(seqno=seqno, op=op, logical_tid=logical_tid)
-    else:
+    if op not in _INSERT_OPS + _DELETE_OPS:
         raise ValueError(f"unknown WAL op {op}")
+    seqno, offset = _decode_varint(payload, 1)
+    client_id: Optional[str] = None
+    request_id: Optional[int] = None
+    if op in _KEYED_OPS:
+        id_length, offset = _decode_varint(payload, offset)
+        # Bound before slicing: a corrupted length varint must not read
+        # past the payload (CRC already vouches, but stay defensive).
+        if id_length == 0 or id_length > MAX_CLIENT_ID_BYTES:
+            raise ValueError(f"WAL client_id length {id_length} out of range")
+        if offset + id_length > len(payload):
+            raise ValueError("WAL client_id overruns the payload")
+        client_id = payload[offset : offset + id_length].decode("utf-8")
+        offset += id_length
+        request_id, offset = _decode_varint(payload, offset)
+    if op in _INSERT_OPS:
+        items, offset = decode_transaction(payload, offset)
+        record = WalRecord(
+            seqno=seqno,
+            op=op,
+            items=items,
+            client_id=client_id,
+            request_id=request_id,
+        )
+    else:
+        logical_tid, offset = _decode_varint(payload, offset)
+        record = WalRecord(
+            seqno=seqno,
+            op=op,
+            logical_tid=logical_tid,
+            client_id=client_id,
+            request_id=request_id,
+        )
     if offset != len(payload):
         raise ValueError(
             f"{len(payload) - offset} trailing bytes in WAL payload"
@@ -178,6 +269,45 @@ def replay_wal(path) -> Tuple[List[WalRecord], int]:
     return records, valid
 
 
+class WalFile:
+    """Raw append-only file descriptor: the physical-I/O seam.
+
+    Every byte the :class:`WriteAheadLog` persists flows through this
+    object's four primitives — ``write`` (which may be short, like the
+    ``os.write`` it wraps), ``fsync``, ``truncate`` and ``close`` — so a
+    fault shim (:class:`repro.faults.errfs.FailingWalFile`) can fail any
+    of them without touching the log's framing or recovery logic.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = os.fspath(path)
+        self._fd = os.open(
+            self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND, 0o644
+        )
+
+    def write(self, data) -> int:
+        """Append bytes; returns how many were accepted (may be short)."""
+        return os.write(self._fd, data)
+
+    def fsync(self) -> None:
+        os.fsync(self._fd)
+
+    def truncate(self, size: int) -> None:
+        os.ftruncate(self._fd, size)
+
+    def size(self) -> int:
+        return os.fstat(self._fd).st_size
+
+    @property
+    def closed(self) -> bool:
+        return self._fd < 0
+
+    def close(self) -> None:
+        if self._fd >= 0:
+            fd, self._fd = self._fd, -1
+            os.close(fd)
+
+
 class WriteAheadLog:
     """Append-only durable log of live-index mutations.
 
@@ -195,6 +325,10 @@ class WriteAheadLog:
         Optional :class:`~repro.storage.pages.IOCounters` charged with
         ``pages_written`` (bytes appended, in :data:`PAGE_BYTES` pages)
         and ``fsyncs``.
+    injector:
+        Optional :class:`~repro.faults.plan.FaultInjector`; when given,
+        physical I/O runs through the errfs-style failing wrapper
+        (sites ``wal.write`` / ``wal.fsync`` / ``wal.truncate``).
     """
 
     def __init__(
@@ -202,16 +336,29 @@ class WriteAheadLog:
         path,
         fsync_interval: int = 1,
         counters: Optional[IOCounters] = None,
+        injector=None,
     ) -> None:
         check_positive(fsync_interval, "fsync_interval")
         self.path = os.fspath(path)
         self.fsync_interval = int(fsync_interval)
         self.counters = counters if counters is not None else IOCounters()
-        self._handle = open(self.path, "ab")
+        self.injector = injector
+        self._file = self._open_file()
+        #: End of the last whole record on disk (the rewind target).
+        self._tail_offset = self._file.size()
+        #: True when a failed rewind left garbage past ``_tail_offset``.
+        self._tail_dirty = False
         self._unsynced = 0
         #: Lifetime append/byte tallies (feed the obs gauges).
         self.appends = 0
         self.bytes_written = 0
+
+    def _open_file(self) -> WalFile:
+        if self.injector is not None:
+            from repro.faults.errfs import FailingWalFile
+
+            return FailingWalFile(self.path, self.injector)
+        return WalFile(self.path)
 
     # ------------------------------------------------------------------
     @property
@@ -219,47 +366,158 @@ class WriteAheadLog:
         """Current log size on disk."""
         return os.path.getsize(self.path)
 
+    def _error(self, exc: OSError, seqno: Optional[int], what: str) -> OSError:
+        """Re-raise an I/O failure with the WAL path and seqno attached."""
+        where = f"WAL {self.path!r}"
+        if seqno is not None:
+            where += f" seqno {seqno}"
+        wrapped = OSError(
+            exc.errno, f"{what} failed at {where}: {exc.strerror or exc}"
+        )
+        wrapped.filename = self.path
+        return wrapped
+
+    def _write_all(self, data: bytes, seqno: int) -> None:
+        """Write every byte of ``data``, looping over short writes.
+
+        ``os.write`` may accept fewer bytes than offered (signals, disk
+        pressure, the fault shim); assuming it wrote everything would
+        tear the record silently.  A zero-progress write is surfaced as
+        ``ENOSPC`` rather than spinning.
+        """
+        view = memoryview(data)
+        written = 0
+        while written < len(data):
+            accepted = self._file.write(view[written:])
+            if not accepted or accepted < 0:
+                import errno as _errno
+
+                raise OSError(
+                    _errno.ENOSPC,
+                    f"write accepted 0 of {len(data) - written} bytes",
+                )
+            written += accepted
+
+    def _rewind(self, offset: int) -> None:
+        """Drop a partial record: truncate back to the last boundary.
+
+        Best-effort — if the truncate itself fails the tail is marked
+        dirty and every later append re-tries the rewind before writing
+        (never appending after garbage).
+        """
+        try:
+            self._file.truncate(offset)
+            self._tail_dirty = False
+        except OSError:
+            self._tail_dirty = True
+
+    def _ensure_clean_tail(self, seqno: Optional[int]) -> None:
+        if not self._tail_dirty:
+            return
+        try:
+            self._file.truncate(self._tail_offset)
+        except OSError as exc:
+            raise self._error(exc, seqno, "torn-tail rewind") from exc
+        self._tail_dirty = False
+
+    def _do_sync(self) -> None:
+        self._file.fsync()
+        self.counters.fsyncs += 1
+
     def append(self, record: WalRecord) -> int:
         """Append one record; returns the bytes written.
 
-        The record is flushed to the OS immediately and fsynced on the
+        The record goes straight to the OS and is fsynced on the
         batching schedule — call :meth:`sync` to force durability now.
+        On failure (short write, ``EIO``, ``ENOSPC``, or a failed fsync
+        at ``fsync_interval == 1``) the file is rewound to the previous
+        record boundary before the :class:`OSError` — carrying the WAL
+        path and seqno — is raised, so a failed append is never left
+        half-written in front of later appends.
         """
         encoded = encode_record(record)
-        self._handle.write(encoded)
-        self._handle.flush()
+        self._ensure_clean_tail(record.seqno)
+        base = self._tail_offset
+        synced = False
+        try:
+            self._write_all(encoded, record.seqno)
+            if self._unsynced + 1 >= self.fsync_interval:
+                self._do_sync()
+                synced = True
+        except OSError as exc:
+            # The record was not acknowledged; it must not survive on
+            # disk (written-but-unsynced bytes could surface after a
+            # crash as a mutation nobody acked).
+            self._rewind(base)
+            raise self._error(exc, record.seqno, "append") from exc
+        self._unsynced = 0 if synced else self._unsynced + 1
+        self._tail_offset = base + len(encoded)
         self.appends += 1
         self.bytes_written += len(encoded)
         self.counters.pages_written += -(-len(encoded) // PAGE_BYTES)
-        self._unsynced += 1
-        if self._unsynced >= self.fsync_interval:
-            self.sync()
         return len(encoded)
 
-    def append_insert(self, seqno: int, items: Sequence[int]) -> int:
-        """Append an INSERT record."""
+    def append_insert(
+        self,
+        seqno: int,
+        items: Sequence[int],
+        client_id: Optional[str] = None,
+        request_id: Optional[int] = None,
+    ) -> int:
+        """Append an INSERT record (keyed when an idempotency key is given)."""
+        keyed = client_id is not None
         return self.append(
             WalRecord(
                 seqno=seqno,
-                op=OP_INSERT,
+                op=OP_INSERT_KEYED if keyed else OP_INSERT,
                 items=np.asarray(items, dtype=np.int64),
+                client_id=client_id,
+                request_id=request_id,
             )
         )
 
-    def append_delete(self, seqno: int, logical_tid: int) -> int:
-        """Append a DELETE record."""
+    def append_delete(
+        self,
+        seqno: int,
+        logical_tid: int,
+        client_id: Optional[str] = None,
+        request_id: Optional[int] = None,
+    ) -> int:
+        """Append a DELETE record (keyed when an idempotency key is given)."""
+        keyed = client_id is not None
         return self.append(
-            WalRecord(seqno=seqno, op=OP_DELETE, logical_tid=int(logical_tid))
+            WalRecord(
+                seqno=seqno,
+                op=OP_DELETE_KEYED if keyed else OP_DELETE,
+                logical_tid=int(logical_tid),
+                client_id=client_id,
+                request_id=request_id,
+            )
         )
 
     def sync(self) -> None:
         """fsync pending appends to the platter."""
         if self._unsynced == 0:
             return
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
-        self.counters.fsyncs += 1
+        try:
+            self._do_sync()
+        except OSError as exc:
+            raise self._error(exc, None, "sync") from exc
         self._unsynced = 0
+
+    def probe(self) -> bool:
+        """One durability probe: rewind any torn tail, force an fsync.
+
+        Returns ``True`` when the log is writable and durable again —
+        the server's degraded-mode recovery check.  Never raises.
+        """
+        try:
+            self._ensure_clean_tail(None)
+            self._do_sync()
+            self._unsynced = 0
+            return True
+        except OSError:
+            return False
 
     def reset(self) -> None:
         """Atomically truncate the log to empty (post-checkpoint).
@@ -276,15 +534,24 @@ class WriteAheadLog:
             os.fsync(handle.fileno())
         os.replace(tmp, self.path)
         self.counters.fsyncs += 1
-        self._handle = open(self.path, "ab")
+        self._file = self._open_file()
+        self._tail_offset = 0
+        self._tail_dirty = False
         self._unsynced = 0
 
     def close(self) -> None:
-        """Sync and close the file handle (idempotent)."""
-        if self._handle.closed:
+        """Sync and close the file handle (idempotent).
+
+        The descriptor is closed even when the final sync fails; the
+        failure still propagates so callers know the tail may not be
+        durable.
+        """
+        if self._file.closed:
             return
-        self.sync()
-        self._handle.close()
+        try:
+            self.sync()
+        finally:
+            self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -16,14 +16,17 @@ verify byte-identical results against direct engine calls.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.search import Neighbor
 from repro.service.protocol import decode_neighbors, decode_response, encode_request
+from repro.service.resilience import RetryPolicy
 
 
 class ServiceError(RuntimeError):
@@ -41,6 +44,17 @@ class ServiceClient:
     Usable as a context manager.  Each call sends one request and blocks
     for its response; ``socket_timeout`` bounds the wait on the socket
     itself (independent of the server-side ``timeout_ms`` deadline).
+
+    Resilience (see :doc:`docs/resilience`): construction still connects
+    eagerly (so "no server there" fails fast), but after any socket
+    failure the connection is torn down and the *next* call reconnects.
+    With ``retries > 0`` each call transparently retries connection
+    errors and the retryable server codes (``overloaded``,
+    ``unavailable``) under exponential backoff with full jitter, within
+    an optional per-call ``deadline`` budget.  Mutations are always
+    stamped with an idempotency key ``(client_id, request_id)``, so a
+    retry after an ambiguous failure — connection dropped between send
+    and ack — can never double-apply.
     """
 
     def __init__(
@@ -48,26 +62,79 @@ class ServiceClient:
         host: str = "127.0.0.1",
         port: int = 7807,
         socket_timeout: Optional[float] = 60.0,
+        retries: int = 0,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
+        deadline: Optional[float] = None,
+        retry_seed: Optional[int] = None,
+        client_id: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = int(port)
-        self._sock = socket.create_connection((host, self.port), timeout=socket_timeout)
-        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+        self._socket_timeout = socket_timeout
+        #: Stable identity half of the idempotency key.
+        self.client_id = (
+            client_id if client_id is not None else uuid.uuid4().hex[:16]
+        )
+        self.retry_policy = RetryPolicy(
+            max_retries=int(retries),
+            base_delay=backoff_base,
+            max_delay=backoff_max,
+            deadline=deadline,
+            rng=random.Random(retry_seed) if retry_seed is not None else None,
+        )
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
         self._next_id = 0
+        self._next_request_id = 0
         self._lock = threading.Lock()
+        #: Lifetime resilience counters.
+        self.retries_attempted = 0
+        self.reconnects = 0
         #: Full decoded response of the most recent successful request —
         #: traced queries carry ``trace`` (span tree) and
         #: ``correlation_id`` here beyond the (results, stats) pair the
         #: convenience methods return.
         self.last_response: Dict[str, object] = {}
+        self._connect()  # eager: constructing against no server raises
 
     # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self._socket_timeout
+        )
+        self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def _teardown(self) -> None:
+        """Drop a (possibly half-read) connection so the next call
+        reconnects cleanly.
+
+        After a timeout or send/recv error the stream position is
+        unknown — a late response for the failed request could otherwise
+        be mis-read as the answer to the *next* one.
+        """
+        reader, sock = self._reader, self._sock
+        self._reader = None
+        self._sock = None
+        if reader is not None:
+            try:
+                reader.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._connect()
+            self.reconnects += 1
+
     def close(self) -> None:
         """Close the connection (idempotent)."""
-        try:
-            self._reader.close()
-        finally:
-            self._sock.close()
+        self._teardown()
 
     def __enter__(self) -> "ServiceClient":
         return self
@@ -81,24 +148,57 @@ class ServiceClient:
 
         Fills in a fresh ``id`` when the message has none; raises
         :class:`ServiceError` if the server answered ``ok: false``.
+        Connection failures tear the socket down (the next call
+        reconnects); with retries configured they — and retryable server
+        codes — are retried under backoff within the deadline budget.
         """
         with self._lock:
             if "id" not in message:
                 self._next_id += 1
                 message = dict(message, id=self._next_id)
-            self._sock.sendall(encode_request(message))
-            line = self._reader.readline()
-        if not line:
-            raise ConnectionError("server closed the connection")
-        response = decode_response(line)
-        if not response["ok"]:
-            error = response.get("error") or {}
-            raise ServiceError(
-                str(error.get("code", "internal")),
-                str(error.get("message", "unknown server error")),
-            )
-        self.last_response = response
-        return response
+            policy = self.retry_policy
+            deadline_at = policy.start()
+            attempt = 0
+            while True:
+                try:
+                    self._ensure_connected()
+                    self._sock.sendall(encode_request(message))
+                    line = self._reader.readline()
+                    if not line:
+                        raise ConnectionError("server closed the connection")
+                    try:
+                        response = decode_response(line)
+                    except ValueError as exc:
+                        # A truncated/garbled line means the stream state
+                        # is unknown — a transport failure, not a reply.
+                        raise ConnectionError(
+                            f"malformed response line: {exc}"
+                        ) from exc
+                except (OSError, ConnectionError) as exc:
+                    # Satellite invariant: never leave a half-read
+                    # socket behind — tear down, then maybe retry.
+                    self._teardown()
+                    retry, delay = policy.should_retry(attempt, deadline_at)
+                    if not retry:
+                        raise
+                    self.retries_attempted += 1
+                    attempt += 1
+                    time.sleep(delay)
+                    continue
+                if not response["ok"]:
+                    error = response.get("error") or {}
+                    code = str(error.get("code", "internal"))
+                    detail = str(error.get("message", "unknown server error"))
+                    if policy.is_retryable_code(code):
+                        retry, delay = policy.should_retry(attempt, deadline_at)
+                        if retry:
+                            self.retries_attempted += 1
+                            attempt += 1
+                            time.sleep(delay)
+                            continue
+                    raise ServiceError(code, detail)
+                self.last_response = response
+                return response
 
     # ------------------------------------------------------------------
     def knn(
@@ -158,21 +258,37 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # Mutations (live indexes only)
     # ------------------------------------------------------------------
+    def _idempotency_key(self) -> Dict[str, object]:
+        """A fresh mutation key, stable across retries of one call."""
+        self._next_request_id += 1
+        return {"client_id": self.client_id, "request_id": self._next_request_id}
+
     def insert(self, items: Sequence[int]) -> int:
         """Durably insert a transaction; returns its logical tid.
 
         The server acknowledges only after the WAL append — a returned
-        tid survives a crash.  Raises :class:`ServiceError` with
+        tid survives a crash.  The request carries an idempotency key,
+        so a retry that races a lost ack returns the original tid
+        instead of inserting twice.  Raises :class:`ServiceError` with
         ``bad_request`` against a read-only (frozen) server.
         """
-        response = self.request(
-            {"op": "insert", "items": list(map(int, items))}
-        )
-        return int(response["tid"])
+        message: Dict[str, object] = {
+            "op": "insert",
+            "items": list(map(int, items)),
+        }
+        message.update(self._idempotency_key())
+        return int(self.request(message)["tid"])
 
     def delete(self, tid: int) -> None:
-        """Durably delete the transaction at a logical tid."""
-        self.request({"op": "delete", "tid": int(tid)})
+        """Durably delete the transaction at a logical tid.
+
+        Idempotency-keyed like :meth:`insert` — a retried delete whose
+        first attempt landed is a no-op, never a second delete of
+        whichever row has shifted into that tid.
+        """
+        message: Dict[str, object] = {"op": "delete", "tid": int(tid)}
+        message.update(self._idempotency_key())
+        self.request(message)
 
     def compact(self, repartition: bool = False) -> Dict[str, object]:
         """Fold the delta/tombstones into a fresh base; returns the report."""
@@ -200,6 +316,15 @@ class ServiceClient:
         """Liveness probe; True when the server answers."""
         return bool(self.request({"op": "ping"}).get("pong"))
 
+    def health(self) -> Dict[str, object]:
+        """Readiness report: ``ready``, ``degraded``, ``draining``,
+        ``mutable`` and the compaction breaker state."""
+        response = self.request({"op": "health"})
+        return {
+            key: response.get(key)
+            for key in ("ready", "degraded", "draining", "mutable", "breaker")
+        }
+
     def shutdown(self) -> bool:
         """Ask the server to drain and exit gracefully."""
         return bool(self.request({"op": "shutdown"}).get("draining"))
@@ -225,12 +350,18 @@ def wait_ready(
 # ----------------------------------------------------------------------
 @dataclass
 class RequestRecord:
-    """Outcome of one load-generator request."""
+    """Outcome of one load-generator request.
+
+    One record per *logical* request: retries fold into this single
+    record (``attempts`` counts them), so a retried-then-succeeded
+    request is reported exactly once and never double-counted.
+    """
 
     query_index: int
     latency_seconds: float
     neighbors: Optional[List[Neighbor]] = None
     error_code: Optional[str] = None
+    attempts: int = 1
 
 
 @dataclass
@@ -243,13 +374,23 @@ class LoadResult:
 
     @property
     def completed(self) -> int:
-        """Requests that returned results."""
+        """Logical requests that returned results (retried ones count once)."""
         return sum(1 for r in self.records if r.error_code is None)
 
     @property
     def rejected(self) -> int:
-        """Requests rejected with a structured error code."""
+        """Logical requests whose final outcome was a structured error."""
         return sum(1 for r in self.records if r.error_code is not None)
+
+    @property
+    def retried(self) -> int:
+        """Logical requests that needed more than one attempt."""
+        return sum(1 for r in self.records if r.attempts > 1)
+
+    @property
+    def total_attempts(self) -> int:
+        """Wire-level attempts across all logical requests."""
+        return sum(r.attempts for r in self.records)
 
     @property
     def qps(self) -> float:
@@ -277,6 +418,7 @@ def run_load(
     total_requests: Optional[int] = None,
     timeout_ms: Optional[float] = None,
     socket_timeout: Optional[float] = 120.0,
+    retries: int = 0,
 ) -> LoadResult:
     """Closed-loop burst: ``concurrency`` clients, one request in flight each.
 
@@ -284,6 +426,9 @@ def run_load(
     any ``total_requests`` maps deterministically onto the query set and
     results stay comparable with direct engine execution.  Rejections
     (``overloaded``/``timeout``) are recorded per request, never raised.
+    With ``retries > 0`` each client retries retryable outcomes under
+    backoff; a request's final outcome is still recorded exactly once,
+    with its attempt count.
     """
     if not queries:
         raise ValueError("run_load needs at least one query")
@@ -293,7 +438,9 @@ def run_load(
     records: List[Optional[RequestRecord]] = [None] * total
 
     def worker() -> None:
-        with ServiceClient(host, port, socket_timeout=socket_timeout) as client:
+        with ServiceClient(
+            host, port, socket_timeout=socket_timeout, retries=retries
+        ) as client:
             while True:
                 with counter_lock:
                     index = counter["next"]
@@ -303,6 +450,7 @@ def run_load(
                 query_index = index % len(queries)
                 items = queries[query_index]
                 started = time.monotonic()
+                retries_before = client.retries_attempted
                 try:
                     if threshold is not None:
                         neighbors, _ = client.range_query(
@@ -320,12 +468,14 @@ def run_load(
                         query_index=query_index,
                         latency_seconds=time.monotonic() - started,
                         neighbors=neighbors,
+                        attempts=1 + client.retries_attempted - retries_before,
                     )
                 except ServiceError as exc:
                     records[index] = RequestRecord(
                         query_index=query_index,
                         latency_seconds=time.monotonic() - started,
                         error_code=exc.code,
+                        attempts=1 + client.retries_attempted - retries_before,
                     )
 
     threads = [

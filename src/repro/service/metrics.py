@@ -35,6 +35,7 @@ _REJECTION_REASONS = (
     "bad_request",
     "shutting_down",
     "timeout",
+    "unavailable",
     "internal",
 )
 
@@ -223,6 +224,10 @@ class ServiceMetrics:
         return int(self._rejected.labels(reason="timeout").value)
 
     @property
+    def rejected_unavailable(self) -> int:
+        return int(self._rejected.labels(reason="unavailable").value)
+
+    @property
     def internal_errors(self) -> int:
         return int(self._rejected.labels(reason="internal").value)
 
@@ -330,6 +335,7 @@ class ServiceMetrics:
                 "rejected_bad_request": self.rejected_bad_request,
                 "rejected_shutdown": self.rejected_shutdown,
                 "timeouts": self.timeouts,
+                "rejected_unavailable": self.rejected_unavailable,
                 "internal_errors": self.internal_errors,
             },
             "throughput": {

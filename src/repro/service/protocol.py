@@ -21,14 +21,21 @@ deadline).
 
 ``{"id": 3, "op": "stats"}`` — live metrics snapshot (served inline,
 never batched).  ``{"op": "ping"}`` — liveness probe.  ``{"op":
-"shutdown"}`` — ask the server to drain and exit gracefully.
+"health"}`` — readiness: ``{"ready": true, "degraded": false,
+"draining": false}``; ``degraded`` means the durable write path failed
+and mutations are being rejected ``unavailable`` while reads keep
+serving.  ``{"op": "shutdown"}`` — ask the server to drain and exit
+gracefully.
 
 Mutations (live indexes only — see :doc:`docs/durability`)
 ----------------------------------------------------------
 ``{"id": 4, "op": "insert", "items": [3, 17, 40]}`` — durably insert a
 transaction; responds ``{"ok": true, "tid": <logical tid>}`` once the
 WAL append has been applied.  ``{"id": 5, "op": "delete", "tid": 12}``
-— durably delete the transaction at a logical tid.  ``{"op":
+— durably delete the transaction at a logical tid.  Both accept an
+optional idempotency key (``"client_id": "c1", "request_id": 7``): a
+retransmission of an already-applied key answers with the original
+result and changes nothing (see :doc:`docs/resilience`).  ``{"op":
 "compact"}`` (optional ``"repartition": true``) folds the delta and
 tombstones into a fresh base segment; ``{"op": "checkpoint"}``
 snapshots state and truncates the WAL without rebuilding.  A server
@@ -62,11 +69,14 @@ from repro.core.similarity import (
 
 #: Request operations understood by the server.
 QUERY_OPS = ("knn", "range")
-CONTROL_OPS = ("stats", "ping", "shutdown", "metrics")
+CONTROL_OPS = ("stats", "ping", "shutdown", "metrics", "health")
 MUTATION_OPS = ("insert", "delete", "compact", "checkpoint")
 
 #: Exposition formats the ``metrics`` control op accepts.
 METRICS_FORMATS = ("json", "prometheus")
+
+#: Upper bound on an idempotency-key client id, mirrored by the WAL.
+MAX_CLIENT_ID_BYTES = 64
 
 #: Structured error codes carried in ``error.code``.
 ERROR_CODES = (
@@ -74,6 +84,7 @@ ERROR_CODES = (
     "overloaded",      # admission control rejected the request (retryable)
     "timeout",         # the per-request deadline expired before completion
     "shutting_down",   # server is draining; no new queries admitted
+    "unavailable",     # durable write path is degraded; retryable
     "internal",        # unexpected server-side failure
 )
 
@@ -183,7 +194,9 @@ class MutationRequest:
 
     ``items`` is set for ``insert``, ``tid`` for ``delete`` and
     ``repartition`` for ``compact``; the other fields are ``None`` /
-    ``False`` when they do not apply.
+    ``False`` when they do not apply.  ``client_id``/``request_id`` are
+    the optional idempotency key a retrying client stamps on
+    ``insert``/``delete`` so a retransmission is applied exactly once.
     """
 
     id: object
@@ -191,6 +204,39 @@ class MutationRequest:
     items: Optional[List[int]] = None
     tid: Optional[int] = None
     repartition: bool = False
+    client_id: Optional[str] = None
+    request_id: Optional[int] = None
+
+
+def _parse_idempotency_key(message: Dict[str, object]):
+    """Validate the optional ``client_id``/``request_id`` pair."""
+    client_id = message.get("client_id")
+    request_id = message.get("request_id")
+    if client_id is None and request_id is None:
+        return None, None
+    if client_id is None or request_id is None:
+        raise ProtocolError(
+            "bad_request",
+            "client_id and request_id must be provided together",
+        )
+    if (
+        not isinstance(client_id, str)
+        or not 0 < len(client_id.encode("utf-8")) <= MAX_CLIENT_ID_BYTES
+    ):
+        raise ProtocolError(
+            "bad_request",
+            f"client_id must be a string of 1..{MAX_CLIENT_ID_BYTES} "
+            "UTF-8 bytes",
+        )
+    if (
+        not isinstance(request_id, int)
+        or isinstance(request_id, bool)
+        or request_id < 0
+    ):
+        raise ProtocolError(
+            "bad_request", "request_id must be a non-negative integer"
+        )
+    return client_id, int(request_id)
 
 
 def parse_mutation(message: Dict[str, object]) -> MutationRequest:
@@ -198,6 +244,9 @@ def parse_mutation(message: Dict[str, object]) -> MutationRequest:
     op = message["op"]
     assert op in MUTATION_OPS, op
     request_id = message.get("id")
+    client_id, idem_request_id = (
+        _parse_idempotency_key(message) if op in ("insert", "delete") else (None, None)
+    )
     if op == "insert":
         items = message.get("items")
         if (
@@ -210,14 +259,26 @@ def parse_mutation(message: Dict[str, object]) -> MutationRequest:
             raise ProtocolError(
                 "bad_request", "items must be a non-empty list of item ids"
             )
-        return MutationRequest(id=request_id, op=op, items=[int(i) for i in items])
+        return MutationRequest(
+            id=request_id,
+            op=op,
+            items=[int(i) for i in items],
+            client_id=client_id,
+            request_id=idem_request_id,
+        )
     if op == "delete":
         tid = message.get("tid")
         if not isinstance(tid, int) or isinstance(tid, bool) or tid < 0:
             raise ProtocolError(
                 "bad_request", "tid must be a non-negative integer logical tid"
             )
-        return MutationRequest(id=request_id, op=op, tid=int(tid))
+        return MutationRequest(
+            id=request_id,
+            op=op,
+            tid=int(tid),
+            client_id=client_id,
+            request_id=idem_request_id,
+        )
     if op == "compact":
         repartition = message.get("repartition", False)
         if not isinstance(repartition, bool):

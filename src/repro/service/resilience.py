@@ -1,0 +1,181 @@
+"""Retry backoff and circuit-breaker policies for the service path.
+
+:class:`RetryPolicy` owns the *decision* side of client resilience: which
+structured error codes are worth retrying, how long to back off before
+attempt *n* (exponential with **full jitter** — each delay is drawn
+uniformly from ``[0, min(max_delay, base * 2**n)]``, the standard cure
+for retry synchronisation), and how much of the per-call deadline budget
+is left.  The :class:`~repro.service.client.ServiceClient` owns the
+*mechanics* (reconnecting, resending, idempotency keys).
+
+:class:`CircuitBreaker` is the server-side guard for repeatedly failing
+maintenance work (compaction): after ``failure_threshold`` consecutive
+failures the breaker *opens* and callers fail fast with
+:class:`CircuitOpenError`; after ``reset_timeout`` seconds one probe call
+is let through (*half-open*) — success closes the breaker, failure
+re-opens it for another timeout.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Optional, Tuple
+
+#: Error codes a client may safely retry.  ``overloaded`` and
+#: ``unavailable`` are transient by contract; ``shutting_down`` is not
+#: (the server will not come back on this address).
+RETRYABLE_CODES = ("overloaded", "unavailable")
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter and a deadline budget.
+
+    Parameters
+    ----------
+    max_retries:
+        Retries *after* the first attempt (0 disables retrying).
+    base_delay, max_delay:
+        Backoff bounds in seconds: attempt ``n`` (0-based) sleeps a
+        uniform draw from ``[0, min(max_delay, base_delay * 2**n)]``.
+    deadline:
+        Optional per-call wall-clock budget in seconds, covering every
+        attempt *and* every backoff sleep.  Once spent, no further
+        retries happen (the last error surfaces).
+    rng:
+        Seeded :class:`random.Random` for deterministic tests; a fresh
+        unseeded one by default.
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        deadline: Optional[float] = None,
+        rng: Optional[random.Random] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be positive (or None)")
+        self.max_retries = int(max_retries)
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.deadline = deadline
+        self._rng = rng if rng is not None else random.Random()
+        self._clock = clock
+
+    def start(self) -> Optional[float]:
+        """Begin one call; returns its absolute deadline (or ``None``)."""
+        if self.deadline is None:
+            return None
+        return self._clock() + self.deadline
+
+    def backoff(self, attempt: int) -> float:
+        """The jittered delay before retry ``attempt`` (0-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
+
+    def should_retry(
+        self, attempt: int, deadline_at: Optional[float]
+    ) -> Tuple[bool, float]:
+        """Whether retry ``attempt`` may run, and how long to sleep first.
+
+        A retry is denied when the attempt budget is spent or when the
+        backoff sleep would land past the call's deadline — better to
+        surface the real error now than a deadline error later.
+        """
+        if attempt >= self.max_retries:
+            return False, 0.0
+        delay = self.backoff(attempt)
+        if deadline_at is not None:
+            remaining = deadline_at - self._clock()
+            if remaining <= delay:
+                return False, 0.0
+        return True, delay
+
+    @staticmethod
+    def is_retryable_code(code: str) -> bool:
+        """Whether a structured server error code is safely retryable."""
+        return code in RETRYABLE_CODES
+
+
+class CircuitOpenError(RuntimeError):
+    """The breaker is open: the guarded operation fails fast."""
+
+    def __init__(self, name: str, retry_after: float) -> None:
+        super().__init__(
+            f"{name} circuit breaker is open; retry in {retry_after:.1f}s"
+        )
+        self.retry_after = retry_after
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a half-open probe. Thread-safe."""
+
+    def __init__(
+        self,
+        name: str = "operation",
+        failure_threshold: int = 3,
+        reset_timeout: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be positive")
+        self.name = name
+        self.failure_threshold = int(failure_threshold)
+        self.reset_timeout = float(reset_timeout)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        """``closed``, ``open`` or ``half_open``."""
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._clock() - self._opened_at >= self.reset_timeout:
+                return "half_open"
+            return "open"
+
+    def check(self) -> None:
+        """Raise :class:`CircuitOpenError` unless a call may proceed.
+
+        In the half-open state exactly one caller is admitted as the
+        probe; concurrent callers keep failing fast until it reports.
+        """
+        with self._lock:
+            if self._opened_at is None:
+                return
+            elapsed = self._clock() - self._opened_at
+            if elapsed >= self.reset_timeout and not self._probing:
+                self._probing = True  # this caller is the probe
+                return
+            raise CircuitOpenError(
+                self.name, max(0.0, self.reset_timeout - elapsed)
+            )
+
+    def record_success(self) -> None:
+        """The guarded operation succeeded: close and reset."""
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> None:
+        """The guarded operation failed: count, maybe (re-)open."""
+        with self._lock:
+            self._failures += 1
+            self._probing = False
+            if self._failures >= self.failure_threshold:
+                self._opened_at = self._clock()

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import functools
 import threading
 import time
 import uuid
@@ -39,6 +40,7 @@ from repro.obs.log import JsonLogger, with_correlation_id
 from repro.obs.trace import Tracer
 from repro.service.batcher import MicroBatcher
 from repro.service.metrics import ServiceMetrics
+from repro.service.resilience import CircuitBreaker, CircuitOpenError
 from repro.service.protocol import (
     METRICS_FORMATS,
     MUTATION_OPS,
@@ -107,6 +109,8 @@ class QueryServer:
         logger: Optional[JsonLogger] = None,
         live_index=None,
         metrics_registry=None,
+        breaker_threshold: int = 3,
+        breaker_reset_seconds: float = 30.0,
     ) -> None:
         self._engine = engine
         self._host = host
@@ -114,6 +118,23 @@ class QueryServer:
         self._log = logger if logger is not None else JsonLogger("server")
         self.live_index = live_index
         self.metrics = ServiceMetrics(registry=metrics_registry)
+        #: True after a durable-write failure: mutations are rejected
+        #: ``unavailable`` (reads keep serving from the consistent
+        #: in-memory state) until a WAL probe succeeds again.
+        self.degraded = False
+        self._degraded_gauge = self.metrics.registry.gauge(
+            "repro_service_degraded",
+            "1 while the durable write path is degraded, else 0",
+        )
+        self._degraded_gauge.set_function(lambda: float(self.degraded))
+        #: Repeated compaction/checkpoint failures trip this breaker:
+        #: further maintenance ops fail fast with ``unavailable`` until
+        #: the reset timeout lets one probe through.
+        self.compaction_breaker = CircuitBreaker(
+            name="compaction",
+            failure_threshold=breaker_threshold,
+            reset_timeout=breaker_reset_seconds,
+        )
         self._batcher_options = dict(
             max_batch_size=max_batch_size,
             max_wait_ms=max_wait_ms,
@@ -239,6 +260,16 @@ class QueryServer:
             payload = {"stats": self.metrics.snapshot(), "index": self.index_info}
             await self._send(writer, write_lock, ok_response(request_id, payload))
             return
+        if op == "health":
+            payload = {
+                "ready": not self._shutdown_started,
+                "degraded": bool(self.degraded),
+                "draining": bool(self._shutdown_started),
+                "mutable": self.live_index is not None,
+                "breaker": self.compaction_breaker.state,
+            }
+            await self._send(writer, write_lock, ok_response(request_id, payload))
+            return
         if op == "metrics":
             fmt = message.get("format", "json")
             if fmt not in METRICS_FORMATS:
@@ -347,16 +378,46 @@ class QueryServer:
         cid = uuid.uuid4().hex[:16]
         loop = asyncio.get_running_loop()
         live = self.live_index
+        maintenance = mutation.op in ("compact", "checkpoint")
         with with_correlation_id(cid):
             self._log.info("mutation.received", op=mutation.op)
             try:
+                if self.degraded:
+                    # One durability probe re-admits mutations after a
+                    # write failure; until it succeeds every mutation
+                    # fails fast with the same retryable code.
+                    if await loop.run_in_executor(None, live.probe):
+                        self.degraded = False
+                        self._log.info("mutation.degraded_recovered")
+                    else:
+                        raise ProtocolError(
+                            "unavailable",
+                            "durable write path is degraded; serving "
+                            "reads only",
+                        )
+                if maintenance:
+                    self.compaction_breaker.check()
                 if mutation.op == "insert":
                     tid = await loop.run_in_executor(
-                        None, live.insert, mutation.items
+                        None,
+                        functools.partial(
+                            live.insert,
+                            mutation.items,
+                            client_id=mutation.client_id,
+                            request_id=mutation.request_id,
+                        ),
                     )
                     payload = {"tid": int(tid)}
                 elif mutation.op == "delete":
-                    await loop.run_in_executor(None, live.delete, mutation.tid)
+                    await loop.run_in_executor(
+                        None,
+                        functools.partial(
+                            live.delete,
+                            mutation.tid,
+                            client_id=mutation.client_id,
+                            request_id=mutation.request_id,
+                        ),
+                    )
                     payload = {"deleted": int(mutation.tid)}
                 elif mutation.op == "compact":
                     report = await loop.run_in_executor(
@@ -366,11 +427,35 @@ class QueryServer:
                 else:  # checkpoint
                     applied = await loop.run_in_executor(None, live.checkpoint)
                     payload = {"applied_seqno": int(applied)}
+                if maintenance:
+                    self.compaction_breaker.record_success()
+            except ProtocolError as exc:
+                self.metrics.record_rejection(exc.code)
+                self._log.warning(
+                    "mutation.rejected", code=exc.code, error=exc.message
+                )
+                response = error_response(mutation.id, exc.code, exc.message)
+            except CircuitOpenError as exc:
+                self.metrics.record_rejection("unavailable")
+                self._log.warning("mutation.breaker_open", error=str(exc))
+                response = error_response(mutation.id, "unavailable", str(exc))
+            except OSError as exc:
+                # The WAL/checkpoint write failed after (at most) a
+                # clean rewind: this op was not applied, and the server
+                # degrades to read-only until a probe write succeeds.
+                self.degraded = True
+                if maintenance:
+                    self.compaction_breaker.record_failure()
+                self.metrics.record_rejection("unavailable")
+                self._log.error("mutation.unavailable", error=str(exc))
+                response = error_response(mutation.id, "unavailable", str(exc))
             except ValueError as exc:
                 self.metrics.record_rejection("bad_request")
                 self._log.warning("mutation.rejected", error=str(exc))
                 response = error_response(mutation.id, "bad_request", str(exc))
             except Exception as exc:  # defensive: never kill the connection
+                if maintenance:
+                    self.compaction_breaker.record_failure()
                 self.metrics.record_rejection("internal")
                 self._log.error("mutation.failed", error=str(exc))
                 response = error_response(mutation.id, "internal", str(exc))

@@ -1,0 +1,27 @@
+"""Shared fixtures for the fault-injection tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import partition_items
+from repro.data.transaction import TransactionDatabase
+
+UNIVERSE = 30
+
+
+def random_transaction(rng, universe=UNIVERSE):
+    size = int(rng.integers(2, 7))
+    return np.sort(rng.choice(universe, size=size, replace=False))
+
+
+@pytest.fixture()
+def base_db():
+    rng = np.random.default_rng(21)
+    return TransactionDatabase(
+        [random_transaction(rng) for _ in range(30)], universe_size=UNIVERSE
+    )
+
+
+@pytest.fixture()
+def scheme(base_db):
+    return partition_items(base_db, num_signatures=4, rng=0)

@@ -1,0 +1,91 @@
+"""The bounded idempotency-key dedupe table."""
+
+import pytest
+
+from repro.live.dedupe import DedupeTable
+
+
+class TestLookupAndRecord:
+    def test_miss_then_hit(self):
+        table = DedupeTable()
+        assert table.lookup("alpha", 1) is None
+        table.record("alpha", 1, {"tid": 42})
+        assert table.lookup("alpha", 1) == {"tid": 42}
+        assert table.hits == 1
+
+    def test_keys_are_scoped_per_client(self):
+        table = DedupeTable()
+        table.record("alpha", 1, {"tid": 1})
+        assert table.lookup("beta", 1) is None
+        table.record("beta", 1, {"tid": 2})
+        assert table.lookup("alpha", 1) == {"tid": 1}
+        assert table.lookup("beta", 1) == {"tid": 2}
+        assert len(table) == 2
+        assert table.num_clients == 2
+
+    def test_lookup_returns_a_copy(self):
+        table = DedupeTable()
+        table.record("alpha", 1, {"tid": 7})
+        cached = table.lookup("alpha", 1)
+        cached["tid"] = 99
+        assert table.lookup("alpha", 1) == {"tid": 7}
+
+    def test_bounds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DedupeTable(max_clients=0)
+        with pytest.raises(ValueError):
+            DedupeTable(max_entries_per_client=0)
+
+
+class TestEviction:
+    def test_oldest_request_ids_evicted_first(self):
+        table = DedupeTable(max_entries_per_client=3)
+        for rid in range(5):
+            table.record("alpha", rid, {"tid": rid})
+        assert table.evictions == 2
+        assert table.lookup("alpha", 0) is None
+        assert table.lookup("alpha", 1) is None
+        assert table.lookup("alpha", 4) == {"tid": 4}
+
+    def test_least_recently_used_client_evicted(self):
+        table = DedupeTable(max_clients=2)
+        table.record("alpha", 1, {"tid": 1})
+        table.record("beta", 1, {"tid": 2})
+        table.lookup("alpha", 1)  # refresh alpha: beta is now LRU
+        table.record("gamma", 1, {"tid": 3})
+        assert table.num_clients == 2
+        assert table.lookup("beta", 1) is None
+        assert table.lookup("alpha", 1) == {"tid": 1}
+        assert table.lookup("gamma", 1) == {"tid": 3}
+
+
+class TestSnapshot:
+    def test_json_round_trip_preserves_entries(self):
+        table = DedupeTable(max_clients=8, max_entries_per_client=4)
+        table.record("alpha", 1, {"tid": 10})
+        table.record("alpha", 2, {"deleted": 3})
+        table.record("beta", 1, {"tid": 11})
+        restored = DedupeTable.from_json(table.to_json())
+        assert restored.max_clients == 8
+        assert restored.max_entries_per_client == 4
+        assert len(restored) == 3
+        assert restored.lookup("alpha", 2) == {"deleted": 3}
+        # Rebuilding is bookkeeping: traffic counters start clean.
+        assert restored.evictions == 0
+
+    def test_merge_snapshot_never_overwrites_newer_entries(self):
+        table = DedupeTable()
+        table.record("alpha", 1, {"tid": 99})  # newer, from WAL replay
+        old = DedupeTable()
+        old.record("alpha", 1, {"tid": 1})
+        old.record("alpha", 2, {"tid": 2})
+        table.merge_snapshot(old.to_json())
+        assert table.lookup("alpha", 1) == {"tid": 99}
+        assert table.lookup("alpha", 2) == {"tid": 2}
+
+    def test_clear(self):
+        table = DedupeTable()
+        table.record("alpha", 1, {"tid": 1})
+        table.clear()
+        assert len(table) == 0
+        assert table.lookup("alpha", 1) is None

@@ -1,0 +1,165 @@
+"""errfs-style WAL fault injection and the log's self-healing invariants."""
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro.faults import FailingWalFile, FaultInjector, FaultPlan, FaultSpec, SimulatedCrash
+from repro.live.wal import WalRecord, OP_INSERT, WriteAheadLog, replay_wal
+
+
+def make_wal(path, specs, fsync_interval=1, seed=0):
+    injector = FaultInjector(FaultPlan(specs=tuple(specs), seed=seed))
+    wal = WriteAheadLog(
+        path, fsync_interval=fsync_interval, injector=injector
+    )
+    return wal, injector
+
+
+def insert_record(seqno):
+    return WalRecord(
+        seqno=seqno, op=OP_INSERT, items=np.array([1, 2, 3 + seqno])
+    )
+
+
+class TestFailingWrites:
+    def test_wal_uses_failing_file_when_injected(self, tmp_path):
+        wal, _ = make_wal(tmp_path / "wal.log", [])
+        assert isinstance(wal._file, FailingWalFile)
+        wal.close()
+
+    def test_eio_rewinds_and_surfaces_path_and_seqno(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal, _ = make_wal(path, [FaultSpec(site="wal.write", kind="eio", after=2)])
+        wal.append(insert_record(1))
+        with pytest.raises(OSError) as excinfo:
+            wal.append(insert_record(2))
+        assert excinfo.value.errno == errno.EIO
+        assert str(path) in str(excinfo.value)
+        assert "seqno 2" in str(excinfo.value)
+        # The failed record left no bytes behind; the log keeps working.
+        wal.append(insert_record(2))
+        wal.close()
+        records, valid = replay_wal(path)
+        assert [r.seqno for r in records] == [1, 2]
+        assert valid == path.stat().st_size
+
+    def test_enospc_surfaces_with_wal_context(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal, _ = make_wal(path, [FaultSpec(site="wal.write", kind="enospc", after=1)])
+        with pytest.raises(OSError) as excinfo:
+            wal.append(insert_record(1))
+        assert excinfo.value.errno == errno.ENOSPC
+        wal.close()
+        assert replay_wal(path) == ([], 0)
+
+    def test_torn_write_prefix_is_rewound(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal, _ = make_wal(
+            path,
+            [FaultSpec(site="wal.write", kind="torn_write", after=2, nbytes=5)],
+        )
+        wal.append(insert_record(1))
+        size_after_first = path.stat().st_size
+        with pytest.raises(OSError):
+            wal.append(insert_record(2))
+        # The five torn bytes were truncated away before the error rose.
+        assert path.stat().st_size == size_after_first
+        wal.append(insert_record(2))
+        wal.close()
+        records, _ = replay_wal(path)
+        assert [r.seqno for r in records] == [1, 2]
+
+    def test_short_write_is_finished_by_the_append_loop(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal, injector = make_wal(
+            path,
+            [FaultSpec(site="wal.write", kind="short_write", after=1, nbytes=3)],
+        )
+        wal.append(insert_record(1))  # must not raise, must not tear
+        wal.close()
+        assert injector.injected == 1
+        records, valid = replay_wal(path)
+        assert [r.seqno for r in records] == [1]
+        assert valid == path.stat().st_size
+
+    def test_crash_leaves_torn_tail_for_recovery_not_rewind(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal, _ = make_wal(
+            path,
+            [FaultSpec(site="wal.write", kind="crash", after=2, nbytes=4)],
+        )
+        wal.append(insert_record(1))
+        size_after_first = path.stat().st_size
+        with pytest.raises(SimulatedCrash):
+            wal.append(insert_record(2))
+        # No cleanup ran (a crash is not an OSError): the torn prefix is
+        # still on disk, exactly what recovery must truncate away.
+        assert path.stat().st_size == size_after_first + 4
+        records, valid = replay_wal(path)
+        assert [r.seqno for r in records] == [1]
+        assert valid == size_after_first
+
+
+class TestFailingFsync:
+    def test_fsync_eio_rewinds_the_triggering_record(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal, _ = make_wal(path, [FaultSpec(site="wal.fsync", kind="eio", after=2)])
+        wal.append(insert_record(1))
+        with pytest.raises(OSError) as excinfo:
+            wal.append(insert_record(2))
+        assert "append failed" in str(excinfo.value)
+        # fsync_interval=1: the unacknowledged record must not survive.
+        records, _ = replay_wal(path)
+        assert [r.seqno for r in records] == [1]
+        wal.append(insert_record(2))
+        wal.close()
+        records, _ = replay_wal(path)
+        assert [r.seqno for r in records] == [1, 2]
+
+
+class TestDirtyTail:
+    def test_failed_rewind_blocks_appends_until_healed(self, tmp_path):
+        path = tmp_path / "wal.log"
+        # Op 1 at wal.write tears a record; op 1 at wal.truncate fails
+        # the rewind, leaving a dirty tail the log must refuse to append
+        # after.
+        wal, _ = make_wal(
+            path,
+            [
+                FaultSpec(site="wal.write", kind="torn_write", after=1, nbytes=6),
+                FaultSpec(site="wal.truncate", kind="eio", after=1),
+            ],
+        )
+        with pytest.raises(OSError):
+            wal.append(insert_record(1))
+        assert path.stat().st_size == 6  # torn bytes still on disk
+        # Next append first re-tries the rewind (the truncate fault is
+        # exhausted), then writes cleanly.
+        wal.append(insert_record(1))
+        wal.close()
+        records, valid = replay_wal(path)
+        assert [r.seqno for r in records] == [1]
+        assert valid == path.stat().st_size
+
+    def test_probe_heals_and_reports(self, tmp_path):
+        path = tmp_path / "wal.log"
+        wal, _ = make_wal(
+            path,
+            [
+                FaultSpec(site="wal.write", kind="torn_write", after=1, nbytes=6),
+                FaultSpec(site="wal.truncate", kind="eio", after=1),
+                FaultSpec(site="wal.fsync", kind="eio", after=1),
+            ],
+        )
+        with pytest.raises(OSError):
+            wal.append(insert_record(1))
+        # First probe: rewind succeeds (truncate fault exhausted) but
+        # the fsync fault fires -> still unhealthy.
+        assert wal.probe() is False
+        # Second probe: everything passes.
+        assert wal.probe() is True
+        assert path.stat().st_size == 0
+        wal.append(insert_record(1))
+        wal.close()

@@ -1,0 +1,163 @@
+"""Fault plans, specs, and the deterministic injector."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, FaultInjector, FaultPlan, FaultSpec
+from repro.obs import MetricRegistry
+
+
+class TestFaultSpec:
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(site="wal.write", kind="eio")
+        with pytest.raises(ValueError, match="exactly one"):
+            FaultSpec(site="wal.write", kind="eio", after=1, probability=0.5)
+
+    def test_validation_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="wal.write", kind="lightning", after=1)
+        with pytest.raises(ValueError, match="site"):
+            FaultSpec(site="", kind="eio", after=1)
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec(site="wal.write", kind="eio", after=0)
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(site="wal.write", kind="eio", probability=1.5)
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="wal.write", kind="eio", after=1, times=0)
+
+    def test_dict_round_trip(self):
+        spec = FaultSpec(
+            site="proxy.s2c", kind="delay", after=3, times=None, delay_ms=25.0
+        )
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault spec fields"):
+            FaultSpec.from_dict({"site": "wal.write", "kind": "eio", "when": 2})
+
+
+class TestFaultPlan:
+    def test_json_round_trip_via_file(self, tmp_path):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="wal.write", kind="torn_write", after=4, nbytes=7),
+                FaultSpec(site="wal.fsync", kind="eio", probability=0.25),
+            ),
+            seed=99,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown fault plan"):
+            FaultPlan.from_dict({"seed": 1, "faults": [], "extra": True})
+
+
+class TestFaultInjector:
+    def test_after_trigger_is_one_shot_by_default(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site="wal.write", kind="eio", after=3),))
+        )
+        hits = [injector.check("wal.write") for _ in range(6)]
+        assert [spec is not None for spec in hits] == [
+            False, False, True, False, False, False,
+        ]
+        assert injector.injected == 1
+        assert injector.op_count("wal.write") == 6
+
+    def test_times_caps_and_lifts_repeat_fires(self):
+        capped = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="wal.fsync", kind="eio", probability=1.0, times=2
+                    ),
+                )
+            )
+        )
+        fired = sum(capped.check("wal.fsync") is not None for _ in range(5))
+        assert fired == 2
+        unlimited = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="wal.fsync", kind="eio", probability=1.0, times=None
+                    ),
+                )
+            )
+        )
+        assert sum(unlimited.check("wal.fsync") is not None for _ in range(5)) == 5
+
+    def test_sites_count_independently(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site="wal.write", kind="eio", after=2),))
+        )
+        assert injector.check("wal.fsync") is None
+        assert injector.check("wal.write") is None
+        assert injector.check("wal.write") is not None
+
+    def test_probability_trigger_is_deterministic_given_seed(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="wal.write", kind="short_write", probability=0.3,
+                          times=None),
+            ),
+            seed=1234,
+        )
+        first = [
+            FaultInjector(plan).check("wal.write") is not None
+            for _ in range(1)
+        ]
+        runs = []
+        for _ in range(2):
+            injector = FaultInjector(plan)
+            runs.append(
+                [injector.check("wal.write") is not None for _ in range(50)]
+            )
+        assert runs[0] == runs[1]
+        assert any(runs[0])  # p=0.3 over 50 draws fires somewhere
+        assert first  # smoke: a single draw is also reproducible
+
+    def test_disabled_injector_never_fires_or_counts(self):
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(FaultSpec(site="wal.write", kind="eio", probability=1.0),)
+            )
+        )
+        injector.enabled = False
+        assert injector.check("wal.write") is None
+        assert injector.op_count("wal.write") == 0
+        assert injector.injected == 0
+
+    def test_first_matching_spec_wins_and_fired_counts(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="wal.write", kind="eio", after=1),
+                FaultSpec(site="wal.write", kind="enospc", probability=1.0),
+            )
+        )
+        injector = FaultInjector(plan)
+        assert injector.check("wal.write").kind == "eio"
+        assert injector.check("wal.write").kind == "enospc"
+        assert injector.fired_counts() == [1, 1]
+
+    def test_metrics_registry_export(self):
+        registry = MetricRegistry()
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site="wal.write", kind="eio", after=2),)),
+            metrics_registry=registry,
+        )
+        injector.check("wal.write")
+        injector.check("wal.write")
+        text = registry.to_prometheus_text()
+        assert 'repro_fault_checks_total{site="wal.write"} 2' in text
+        assert (
+            'repro_fault_injected_total{site="wal.write", kind="eio"} 1' in text
+        )
+
+    def test_fault_kinds_cover_file_and_proxy(self):
+        assert {"eio", "enospc", "short_write", "torn_write", "crash"} <= set(
+            FAULT_KINDS
+        )
+        assert {"reset", "truncate", "delay"} <= set(FAULT_KINDS)

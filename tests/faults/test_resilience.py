@@ -1,0 +1,140 @@
+"""Retry backoff, deadline budgets, and the compaction circuit breaker."""
+
+import random
+
+import pytest
+
+from repro.service.resilience import (
+    RETRYABLE_CODES,
+    CircuitBreaker,
+    CircuitOpenError,
+    RetryPolicy,
+)
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+
+class TestRetryPolicy:
+    def test_backoff_is_full_jitter_within_exponential_ceiling(self):
+        policy = RetryPolicy(
+            max_retries=8, base_delay=0.1, max_delay=1.0, rng=random.Random(5)
+        )
+        for attempt in range(8):
+            ceiling = min(1.0, 0.1 * 2**attempt)
+            for _ in range(20):
+                assert 0.0 <= policy.backoff(attempt) <= ceiling
+
+    def test_backoff_deterministic_given_seed(self):
+        a = RetryPolicy(rng=random.Random(11))
+        b = RetryPolicy(rng=random.Random(11))
+        assert [a.backoff(n) for n in range(4)] == [
+            b.backoff(n) for n in range(4)
+        ]
+
+    def test_attempt_budget(self):
+        policy = RetryPolicy(max_retries=2, rng=random.Random(0))
+        assert policy.should_retry(0, None)[0]
+        assert policy.should_retry(1, None)[0]
+        assert not policy.should_retry(2, None)[0]
+
+    def test_zero_retries_disables_retrying(self):
+        policy = RetryPolicy(max_retries=0)
+        assert policy.should_retry(0, None) == (False, 0.0)
+
+    def test_deadline_denies_retry_that_would_sleep_past_it(self):
+        clock = FakeClock()
+        policy = RetryPolicy(
+            max_retries=5,
+            base_delay=1.0,
+            max_delay=1.0,
+            deadline=10.0,
+            rng=random.Random(3),
+            clock=clock,
+        )
+        deadline_at = policy.start()
+        assert deadline_at == clock.now + 10.0
+        retry, delay = policy.should_retry(0, deadline_at)
+        assert retry and 0.0 <= delay <= 1.0
+        clock.now = deadline_at - 1e-6  # budget (effectively) spent
+        assert policy.should_retry(0, deadline_at) == (False, 0.0)
+
+    def test_retryable_codes(self):
+        assert RetryPolicy.is_retryable_code("overloaded")
+        assert RetryPolicy.is_retryable_code("unavailable")
+        assert not RetryPolicy.is_retryable_code("shutting_down")
+        assert not RetryPolicy.is_retryable_code("bad_request")
+        assert set(RETRYABLE_CODES) == {"overloaded", "unavailable"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError):
+            RetryPolicy(deadline=0.0)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3, reset_timeout=30.0, clock=clock
+        )
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.check()  # still admits
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.check()
+        assert excinfo.value.retry_after == pytest.approx(30.0)
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.now += 10.0
+        assert breaker.state == "half_open"
+        breaker.check()  # the probe is admitted
+        with pytest.raises(CircuitOpenError):
+            breaker.check()  # concurrent caller fails fast
+
+    def test_probe_success_closes_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, reset_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.now += 10.0
+        breaker.check()
+        breaker.record_failure()  # probe failed: open for another window
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.check()
+        clock.now += 10.0
+        breaker.check()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.check()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)
