@@ -7,6 +7,12 @@ run that both return byte-identical neighbour lists and
 :class:`~repro.core.search.SearchStats`.  The acceptance bar is >= 2x on a
 T10.I6.D25K batch of 64 queries.
 
+A second section compares the vectorized bitset kernel
+(:mod:`repro.core.kernels`, ``kernel="packed"``) against the scalar
+per-entry scan on a single core, again with in-run byte-identity of
+results *and* stats.  Its bar is >= 5x single-core queries/sec on the
+same workload.
+
 Runs two ways:
 
 * under pytest with the shared benchmark fixtures
@@ -26,13 +32,18 @@ except ImportError:  # running as a script without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.similarity import MatchRatioSimilarity
-from repro.eval.harness import ExperimentContext, run_batch_throughput
+from repro.eval.harness import (
+    ExperimentContext,
+    run_batch_throughput,
+    run_kernel_throughput,
+)
 
 FULL_SPEC = "T10.I6.D25K"
 FULL_BATCH = 64
 QUICK_SPEC = "T5.I3.D2K"
 QUICK_BATCH = 16
 REQUIRED_SPEEDUP = 2.0
+REQUIRED_KERNEL_SPEEDUP = 5.0
 
 
 def run(quick: bool = False):
@@ -57,6 +68,23 @@ def run(quick: bool = False):
     return table, identical, best_speedup
 
 
+def run_kernel(quick: bool = False):
+    """The kernel section; returns ``(table, identical, speedup)``."""
+    if quick:
+        ctx = ExperimentContext("quick", num_queries=QUICK_BATCH)
+        spec, repeats = QUICK_SPEC, 1
+    else:
+        ctx = ExperimentContext("quick", num_queries=FULL_BATCH)
+        spec, repeats = FULL_SPEC, 3
+    table = run_kernel_throughput(
+        MatchRatioSimilarity(), ctx, spec=spec, k=10, repeats=repeats
+    )
+    packed = [row for row in table.rows if row["kernel"] == "packed"]
+    identical = all(row["identical"] == "yes" for row in packed)
+    speedup = max(float(row["speedup"]) for row in packed)
+    return table, identical, speedup
+
+
 def test_engine_batch_throughput(emit):
     table, identical, best_speedup = run(quick=False)
     emit(table, "engine_batch")
@@ -64,6 +92,16 @@ def test_engine_batch_throughput(emit):
     assert best_speedup >= REQUIRED_SPEEDUP, (
         f"batched engine reached only {best_speedup:.2f}x "
         f"(need >= {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def test_kernel_throughput(emit):
+    table, identical, speedup = run_kernel(quick=False)
+    emit(table, "engine_kernel")
+    assert identical, "packed kernel diverged from the scalar engine"
+    assert speedup >= REQUIRED_KERNEL_SPEEDUP, (
+        f"packed kernel reached only {speedup:.2f}x single-core "
+        f"(need >= {REQUIRED_KERNEL_SPEEDUP}x)"
     )
 
 
@@ -77,8 +115,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     table, identical, best_speedup = run(quick=args.quick)
     print(table.to_text())
+    kernel_table, kernel_identical, kernel_speedup = run_kernel(
+        quick=args.quick
+    )
+    print(kernel_table.to_text())
     if not identical:
         print("FAIL: batched results diverged from the sequential loop")
+        return 1
+    if not kernel_identical:
+        print("FAIL: packed kernel diverged from the scalar engine")
         return 1
     if not args.quick and best_speedup < REQUIRED_SPEEDUP:
         print(
@@ -86,9 +131,17 @@ def main(argv=None) -> int:
             f"{REQUIRED_SPEEDUP}x bar"
         )
         return 1
+    if not args.quick and kernel_speedup < REQUIRED_KERNEL_SPEEDUP:
+        print(
+            f"FAIL: kernel speedup {kernel_speedup:.2f}x is below the "
+            f"{REQUIRED_KERNEL_SPEEDUP}x bar"
+        )
+        return 1
     mode = "quick smoke" if args.quick else "full"
     print(
-        f"PASS ({mode}): identical results, best speedup {best_speedup:.2f}x"
+        f"PASS ({mode}): identical results, best batch speedup "
+        f"{best_speedup:.2f}x, packed kernel {kernel_speedup:.2f}x "
+        f"single-core"
     )
     return 0
 

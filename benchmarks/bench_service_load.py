@@ -12,6 +12,12 @@ acceptance bar is >= 2x the sequential loop at 32 concurrent clients on
 T10.I6.D25K — the dynamic micro-batcher must recover the PR 1 batch
 speedup for online traffic.
 
+A second section compares the two wire protocols (NDJSON vs the binary
+frame protocol of :mod:`repro.service.frames`) against one shared
+server on a small dataset, where encode/decode cost dominates.  Both
+wires must return byte-identical neighbour lists, and the binary
+frames' best-of-N p99 must not exceed NDJSON's.
+
 Runs two ways:
 
 * under pytest with the shared benchmark fixtures
@@ -30,7 +36,11 @@ try:
 except ImportError:  # running as a script without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.eval.harness import ExperimentContext, run_service_load
+from repro.eval.harness import (
+    ExperimentContext,
+    run_service_load,
+    run_wire_comparison,
+)
 
 FULL_SPEC = "T10.I6.D25K"
 FULL_QUERIES = 64
@@ -38,6 +48,9 @@ QUICK_SPEC = "T5.I3.D2K"
 QUICK_QUERIES = 16
 REQUIRED_SPEEDUP = 2.0
 TARGET_CONCURRENCY = 32
+# The wire comparison runs on the small spec so per-request compute is
+# tiny and the wire encode/decode cost is what the p99 measures.
+WIRE_SPEC = QUICK_SPEC
 
 
 def run(quick: bool = False):
@@ -73,6 +86,24 @@ def run(quick: bool = False):
     return table, identical, max(at_target)
 
 
+def run_wires(quick: bool = False):
+    """The wire section; returns ``(table, identical, p99_by_wire)``."""
+    queries = QUICK_QUERIES if quick else FULL_QUERIES
+    ctx = ExperimentContext("quick", num_queries=queries)
+    table = run_wire_comparison(
+        "match_ratio",
+        ctx,
+        spec=WIRE_SPEC,
+        k=10,
+        concurrency=8,
+        total_requests=64 if quick else 1024,
+        repeats=1 if quick else 5,
+    )
+    identical = all(row["identical"] == "yes" for row in table.rows)
+    p99 = {row["wire"]: float(row["p99 ms"]) for row in table.rows}
+    return table, identical, p99
+
+
 def test_service_load_throughput(emit):
     table, identical, speedup = run(quick=False)
     emit(table, "service_load")
@@ -80,6 +111,16 @@ def test_service_load_throughput(emit):
     assert speedup >= REQUIRED_SPEEDUP, (
         f"serving at {TARGET_CONCURRENCY} clients reached only "
         f"{speedup:.2f}x the sequential loop (need >= {REQUIRED_SPEEDUP}x)"
+    )
+
+
+def test_wire_comparison(emit):
+    table, identical, p99 = run_wires(quick=False)
+    emit(table, "service_wire")
+    assert identical, "wire protocols returned different neighbour lists"
+    assert p99["binary"] <= p99["ndjson"], (
+        f"binary-frame p99 {p99['binary']:.2f} ms exceeds NDJSON p99 "
+        f"{p99['ndjson']:.2f} ms"
     )
 
 
@@ -93,8 +134,13 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     table, identical, speedup = run(quick=args.quick)
     print(table.to_text())
+    wire_table, wire_identical, p99 = run_wires(quick=args.quick)
+    print(wire_table.to_text())
     if not identical:
         print("FAIL: served results diverged from direct engine execution")
+        return 1
+    if not wire_identical:
+        print("FAIL: wire protocols returned different neighbour lists")
         return 1
     if not args.quick and speedup < REQUIRED_SPEEDUP:
         print(
@@ -102,9 +148,16 @@ def main(argv=None) -> int:
             f"clients is below the {REQUIRED_SPEEDUP}x bar"
         )
         return 1
+    if not args.quick and p99["binary"] > p99["ndjson"]:
+        print(
+            f"FAIL: binary-frame p99 {p99['binary']:.2f} ms exceeds NDJSON "
+            f"p99 {p99['ndjson']:.2f} ms"
+        )
+        return 1
     print(
         f"OK: identical results; {speedup:.2f}x the sequential loop at "
-        f"{TARGET_CONCURRENCY} concurrent clients"
+        f"{TARGET_CONCURRENCY} concurrent clients; wire p99 "
+        f"binary {p99['binary']:.2f} ms vs ndjson {p99['ndjson']:.2f} ms"
     )
     return 0
 

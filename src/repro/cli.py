@@ -363,7 +363,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
         db = _load_database(args.database)
         table = SignatureTable.load(args.table)
-        engine = QueryEngine.for_table(table, db, workers=args.workers)
+        engine = QueryEngine.for_table(
+            table, db, workers=args.workers, kernel=args.kernel
+        )
         num_transactions = len(db)
         index_info = {
             "database": args.database,
@@ -391,6 +393,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         index_info=index_info,
         live_index=live_index,
         metrics_registry=metrics_registry,
+        wire=args.wire,
     )
 
     async def _serve() -> None:
@@ -568,7 +571,11 @@ def _run_client_action(args: argparse.Namespace) -> int:
 
     def ServiceClient(host, port):
         return _RawClient(
-            host, port, retries=args.retries, deadline=args.deadline
+            host,
+            port,
+            retries=args.retries,
+            deadline=args.deadline,
+            wire=args.wire,
         )
 
     if args.wait_ready is not None:
@@ -677,6 +684,7 @@ def _run_client_action(args: argparse.Namespace) -> int:
         total_requests=args.requests,
         timeout_ms=args.timeout_ms,
         retries=args.retries,
+        wire=args.wire,
     )
     latencies = result.latencies_ms()
     mid = latencies[len(latencies) // 2] if latencies else float("nan")
@@ -685,8 +693,8 @@ def _run_client_action(args: argparse.Namespace) -> int:
         f"{result.completed}/{len(result.records)} requests ok "
         f"({result.rejected} rejected{retried}) in "
         f"{result.elapsed_seconds:.2f}s — "
-        f"{result.qps:.1f} req/s at concurrency {result.concurrency}, "
-        f"~p50 {mid:.1f} ms"
+        f"{result.qps:.1f} req/s at concurrency {result.concurrency} "
+        f"over {result.wire}, ~p50 {mid:.1f} ms"
     )
     return 0 if result.completed else 1
 
@@ -1006,6 +1014,20 @@ def build_parser() -> argparse.ArgumentParser:
         "checkpoint I/O from this JSON fault plan (testing only; "
         "requires --live)",
     )
+    p_serve.add_argument(
+        "--wire",
+        choices=["auto", "ndjson"],
+        default="auto",
+        help="wire policy: 'auto' lets clients negotiate the binary "
+        "frame protocol, 'ndjson' refuses it (default auto)",
+    )
+    p_serve.add_argument(
+        "--kernel",
+        choices=["packed", "python"],
+        default="packed",
+        help="candidate-scan kernel for frozen tables: vectorized "
+        "bitset 'packed' or scalar 'python' (default packed)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_ingest = subparsers.add_parser(
@@ -1177,6 +1199,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="overall per-call deadline budget; retries never sleep past "
         "it (default: unbounded)",
+    )
+    p_client.add_argument(
+        "--wire",
+        choices=["auto", "binary", "ndjson"],
+        default="auto",
+        help="wire protocol: 'binary' demands the frame protocol, "
+        "'ndjson' skips negotiation, 'auto' tries binary and falls "
+        "back (default auto)",
     )
     p_client.set_defaults(func=_cmd_client)
 

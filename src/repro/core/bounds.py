@@ -25,7 +25,7 @@ products, since ``bound(e) = Σ_j base_j + b_ej · (alt_j - base_j)``.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -153,18 +153,37 @@ class BatchBoundCalculator:
     targets:
         One item array per query (already normalised, e.g. via
         :func:`~repro.data.transaction.as_item_array`).
+    activation_counts:
+        Optional precomputed ``(Q, K)`` activation-count matrix for the
+        targets (e.g. from the packed popcount kernels in
+        :mod:`repro.core.kernels`).  When given it replaces the
+        per-target ``scheme.activation_counts`` loop; counts are integer
+        quantities, so any exact producer yields identical bounds.
     """
 
     def __init__(
-        self, scheme: SignatureScheme, targets: Sequence[Iterable[int]]
+        self,
+        scheme: SignatureScheme,
+        targets: Sequence[Iterable[int]],
+        activation_counts: Optional[np.ndarray] = None,
     ) -> None:
         if len(targets) == 0:
             raise ValueError("targets must be non-empty")
         self._scheme = scheme
         r = scheme.activation_threshold
-        counts = np.stack(
-            [scheme.activation_counts(t) for t in targets]
-        ).astype(np.float64)
+        if activation_counts is not None:
+            counts = np.asarray(activation_counts, dtype=np.int64)
+            if counts.shape != (len(targets), scheme.num_signatures):
+                raise ValueError(
+                    f"activation_counts must have shape "
+                    f"({len(targets)}, {scheme.num_signatures}), "
+                    f"got {counts.shape}"
+                )
+            counts = counts.astype(np.float64)
+        else:
+            counts = np.stack(
+                [scheme.activation_counts(t) for t in targets]
+            ).astype(np.float64)
         self._r_matrix = counts
         self._dist_base = np.maximum(0.0, counts - r + 1)
         dist_active = np.maximum(0.0, r - counts)

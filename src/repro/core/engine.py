@@ -49,6 +49,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.bounds import BatchBoundCalculator
 from repro.core.search import (
     Neighbor,
@@ -272,6 +273,13 @@ class QueryEngine:
         Default process count for batch execution.  ``1`` (default) runs
         in-process; ``N > 1`` forks ``N`` workers, each executing a
         contiguous slice of the batch.  Per-call ``workers=`` overrides.
+    kernel:
+        ``"packed"`` (default) executes eligible batches through the
+        vectorised bitset kernels of :mod:`repro.core.kernels`;
+        ``"python"`` keeps every query on the scalar reference loop.
+        ``None`` consults the ``REPRO_KERNEL`` environment variable.
+        Results and stats are bit-identical either way — the knob trades
+        nothing but speed, and the differential tests pin the identity.
 
     All batch methods return ``(results, stats)`` lists indexed by query
     position, with each element exactly equal to the corresponding
@@ -279,11 +287,15 @@ class QueryEngine:
     """
 
     def __init__(
-        self, searcher: SignatureTableSearcher, workers: int = 1
+        self,
+        searcher: SignatureTableSearcher,
+        workers: int = 1,
+        kernel: Optional[str] = None,
     ) -> None:
         check_positive(workers, "workers")
         self._searcher = searcher
         self._workers = int(workers)
+        self._kernel = kernels.resolve_kernel(kernel)
 
     @classmethod
     def for_table(
@@ -294,6 +306,7 @@ class QueryEngine:
         precompute: bool = True,
         count_io: bool = True,
         buffer_pool: Optional[BufferPool] = None,
+        kernel: Optional[str] = None,
     ) -> "QueryEngine":
         """Build an engine (and its internal searcher) in one call."""
         searcher = SignatureTableSearcher(
@@ -303,7 +316,7 @@ class QueryEngine:
             count_io=count_io,
             buffer_pool=buffer_pool,
         )
-        return cls(searcher, workers=workers)
+        return cls(searcher, workers=workers, kernel=kernel)
 
     # ------------------------------------------------------------------
     @property
@@ -315,6 +328,28 @@ class QueryEngine:
     def workers(self) -> int:
         """The default worker count for batch execution."""
         return self._workers
+
+    @property
+    def kernel(self) -> str:
+        """The active kernel (``"packed"`` or ``"python"``)."""
+        return self._kernel
+
+    def _packed_eligible(self) -> bool:
+        """Whether the vectorised scan kernels may serve this engine.
+
+        The kernels replicate the default configuration only: precomputed
+        similarities and the per-query page cache.  A buffer pool carries
+        cross-query LRU state the vectorised accounting cannot replay,
+        and an active tracer expects the per-query spans the reference
+        loop emits — both fall back to the scalar path.
+        """
+        searcher = self._searcher
+        return (
+            self._kernel == "packed"
+            and searcher.precompute
+            and searcher.buffer_pool is None
+            and current_tracer() is None
+        )
 
     # ------------------------------------------------------------------
     # Public batch queries
@@ -448,7 +483,10 @@ class QueryEngine:
         if not self._searcher.precompute:
             return [None] * len(target_arrays)
         db = self._searcher.db
-        matches = db.match_counts_batch(target_arrays)
+        matches = db.match_counts_batch(
+            target_arrays,
+            kernel="auto" if self._kernel == "packed" else "python",
+        )
         sims: List[Optional[np.ndarray]] = []
         for q, (items, bound_sim) in enumerate(zip(target_arrays, bound_sims)):
             y = db.sizes + items.size - 2 * matches[q]
@@ -477,7 +515,14 @@ class QueryEngine:
         bits = searcher.table.bits_matrix
         bound_sims = [similarity.bind(t.size) for t in target_arrays]
         with span("engine.bound_matrix", entries=int(bits.shape[0])):
-            calculator = BatchBoundCalculator(scheme, target_arrays)
+            counts = (
+                kernels.batch_activation_counts(scheme, target_arrays)
+                if self._kernel == "packed"
+                else None
+            )
+            calculator = BatchBoundCalculator(
+                scheme, target_arrays, activation_counts=counts
+            )
             opts = calculator.optimistic_similarity(bits, bound_sims)
         orders: List[Optional[np.ndarray]]
         if sort_by == "optimistic":
@@ -529,6 +574,19 @@ class QueryEngine:
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
         with span("engine.prepare_batch", batch_size=len(target_arrays)):
             prepared = self._prepare_batch(target_arrays, similarity, sort_by)
+        if (
+            self._packed_eligible()
+            and sort_by == "optimistic"
+            and early_termination is None
+            and guarantee_tolerance is None
+        ):
+            return kernels.knn_scan_batch(
+                self._searcher.table,
+                len(self._searcher.db),
+                prepared,
+                k,
+                self._searcher.count_io,
+            )
         results: List[List[Neighbor]] = []
         stats: List[SearchStats] = []
         for items, prep in zip(target_arrays, prepared):
@@ -553,6 +611,14 @@ class QueryEngine:
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
         with span("engine.prepare_batch", batch_size=len(target_arrays)):
             prepared = self._prepare_batch(target_arrays, similarity, None)
+        if self._packed_eligible():
+            return kernels.range_scan_batch(
+                self._searcher.table,
+                len(self._searcher.db),
+                [[prep] for prep in prepared],
+                [threshold],
+                self._searcher.count_io,
+            )
         results: List[List[Neighbor]] = []
         stats: List[SearchStats] = []
         for items, prep in zip(target_arrays, prepared):
@@ -615,12 +681,17 @@ class ShardedQueryEngine:
     """
 
     def __init__(
-        self, index: ShardedSignatureIndex, workers: int = 1
+        self,
+        index: ShardedSignatureIndex,
+        workers: int = 1,
+        kernel: Optional[str] = None,
     ) -> None:
         check_positive(workers, "workers")
         self._index = index
+        self._kernel = kernels.resolve_kernel(kernel)
         self._engines = [
-            QueryEngine(searcher) for searcher in index.searchers
+            QueryEngine(searcher, kernel=self._kernel)
+            for searcher in index.searchers
         ]
         self._workers = int(workers)
 
@@ -633,6 +704,11 @@ class ShardedQueryEngine:
     def workers(self) -> int:
         """The default worker count (parallelism is across shards)."""
         return self._workers
+
+    @property
+    def kernel(self) -> str:
+        """The kernel every per-shard engine runs with."""
+        return self._kernel
 
     def run_batch(
         self,

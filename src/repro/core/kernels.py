@@ -1,0 +1,507 @@
+"""Vectorised bitset kernels for the signature-table hot paths.
+
+Transactions and supercoordinate activations are *sets*; this module packs
+them into ``uint64`` bitset words and evaluates the per-set primitives the
+index needs — intersection sizes via popcount, per-signature activation
+counts, whole-batch match-count matrices — as whole-array NumPy operations
+instead of per-set Python loops.  On top of the packed primitives it
+implements the *vectorised scan*: the branch-and-bound k-NN scan loop of
+:class:`~repro.core.search.SignatureTableSearcher` re-expressed as a
+binary search for the stop rank plus a single top-k selection, valid
+because under the optimistic entry order the prune predicate is monotone
+(bounds descend, the pessimistic bound ascends).
+
+Every kernel is *exact*: popcounts are integer arithmetic, and the scan
+kernels reproduce the reference loop's results, :class:`~repro.core.
+search.SearchStats` and simulated I/O counters element for element (the
+property and differential test tiers pin this down).  The ``packed``
+kernels therefore need no tolerance knobs — they are drop-in replacements
+selected by the ``kernel="packed"|"python"`` engine option.
+
+Kernel selection
+----------------
+:func:`resolve_kernel` turns ``None`` into the environment override
+``REPRO_KERNEL`` (when set) or the default ``"packed"``.  ``"python"``
+keeps every loop on the scalar reference path; the CI matrix runs the
+test suites under both values.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.search import Neighbor, PreparedQuery, SearchStats
+from repro.storage.pages import IOCounters
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+#: Recognised kernel names (the engine knob's domain).
+KERNELS = ("packed", "python")
+
+#: Environment variable consulted when no kernel is passed explicitly.
+KERNEL_ENV_VAR = "REPRO_KERNEL"
+
+#: Per-byte popcount lookup table (the ``np.unpackbits`` 8-bit LUT).
+_POPCOUNT_LUT = np.unpackbits(
+    np.arange(256, dtype=np.uint8)[:, None], axis=1
+).sum(axis=1, dtype=np.int64)
+
+
+def resolve_kernel(kernel: Optional[str]) -> str:
+    """Normalise a kernel knob value.
+
+    ``None`` falls back to the ``REPRO_KERNEL`` environment variable and
+    then to ``"packed"``; anything outside :data:`KERNELS` raises.
+    """
+    if kernel is None:
+        kernel = os.environ.get(KERNEL_ENV_VAR) or "packed"
+    if kernel not in KERNELS:
+        raise ValueError(f"kernel must be one of {KERNELS}, got {kernel!r}")
+    return kernel
+
+
+def num_words(universe_size: int) -> int:
+    """Packed words needed for a universe of the given size."""
+    if universe_size < 0:
+        raise ValueError(f"universe_size must be >= 0, got {universe_size}")
+    return (int(universe_size) + WORD_BITS - 1) // WORD_BITS
+
+
+# ----------------------------------------------------------------------
+# Packing
+# ----------------------------------------------------------------------
+def pack_items(items: np.ndarray, universe_size: int) -> np.ndarray:
+    """Pack one item set into a ``(num_words,)`` uint64 bitset row."""
+    return pack_rows([np.asarray(items, dtype=np.int64)], universe_size)[0]
+
+
+def pack_rows(
+    rows: Sequence[np.ndarray], universe_size: int
+) -> np.ndarray:
+    """Pack item sets into an ``(len(rows), num_words)`` uint64 matrix.
+
+    Bit ``i`` of a row (word ``i // 64``, bit ``i % 64``) is set iff item
+    ``i`` is in the corresponding set.  Items must be in-universe and
+    duplicate-free (as :func:`~repro.data.transaction.as_item_array`
+    produces).
+    """
+    words = num_words(universe_size)
+    packed = np.zeros((len(rows), words), dtype=np.uint64)
+    if not len(rows):
+        return packed
+    sizes = np.fromiter(
+        (row.size for row in rows), dtype=np.int64, count=len(rows)
+    )
+    if int(sizes.sum()) == 0:
+        return packed
+    flat = (
+        np.concatenate([np.asarray(r, dtype=np.int64) for r in rows])
+        if len(rows) > 1
+        else np.asarray(rows[0], dtype=np.int64)
+    )
+    if flat.size and (flat.min() < 0 or flat.max() >= universe_size):
+        raise ValueError("items out of universe range")
+    row_ids = np.repeat(np.arange(len(rows), dtype=np.int64), sizes)
+    np.bitwise_or.at(
+        packed,
+        (row_ids, flat >> 6),
+        np.uint64(1) << (flat & 63).astype(np.uint64),
+    )
+    return packed
+
+
+def pack_csr(
+    items: np.ndarray, indptr: np.ndarray, universe_size: int
+) -> np.ndarray:
+    """Pack a CSR item layout (``items``/``indptr``) into bitset rows."""
+    items = np.asarray(items, dtype=np.int64)
+    indptr = np.asarray(indptr, dtype=np.int64)
+    n = indptr.size - 1
+    packed = np.zeros((n, num_words(universe_size)), dtype=np.uint64)
+    if items.size == 0:
+        return packed
+    if items.min() < 0 or items.max() >= universe_size:
+        raise ValueError("items out of universe range")
+    row_ids = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    np.bitwise_or.at(
+        packed,
+        (row_ids, items >> 6),
+        np.uint64(1) << (items & 63).astype(np.uint64),
+    )
+    return packed
+
+
+def pack_bool_matrix(bits: np.ndarray) -> np.ndarray:
+    """Pack a boolean ``(N, K)`` matrix into ``(N, num_words(K))`` words."""
+    bits = np.asarray(bits, dtype=bool)
+    if bits.ndim != 2:
+        raise ValueError(f"bits must be 2-D, got shape {bits.shape}")
+    packed = np.zeros((bits.shape[0], num_words(bits.shape[1])), dtype=np.uint64)
+    rows, cols = np.nonzero(bits)
+    np.bitwise_or.at(
+        packed,
+        (rows, cols >> 6),
+        np.uint64(1) << (cols & 63).astype(np.uint64),
+    )
+    return packed
+
+
+def signature_masks(scheme) -> np.ndarray:
+    """Per-signature item-membership bitsets, shape ``(K, num_words)``.
+
+    Row ``j`` is the packed form of signature ``S_j`` — AND-ing it with a
+    packed transaction and popcounting yields ``r_j = |S_j ∩ T|``.
+    """
+    mapping = np.asarray(scheme.item_signature, dtype=np.int64)
+    universe = int(mapping.size)
+    masks = np.zeros(
+        (scheme.num_signatures, num_words(universe)), dtype=np.uint64
+    )
+    if universe:
+        items = np.arange(universe, dtype=np.int64)
+        np.bitwise_or.at(
+            masks,
+            (mapping, items >> 6),
+            np.uint64(1) << (items & 63).astype(np.uint64),
+        )
+    return masks
+
+
+# ----------------------------------------------------------------------
+# Popcount primitives
+# ----------------------------------------------------------------------
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Elementwise popcount of a uint64 array (any shape), as int64."""
+    words = np.ascontiguousarray(words, dtype=np.uint64)
+    as_bytes = words.view(np.uint8).reshape(words.shape + (8,))
+    return _POPCOUNT_LUT[as_bytes].sum(axis=-1)
+
+
+def intersection_counts(
+    packed_rows_matrix: np.ndarray, packed_target: np.ndarray
+) -> np.ndarray:
+    """``|row_i ∩ target|`` for every packed row, via AND + popcount."""
+    return popcount(packed_rows_matrix & packed_target[None, :]).sum(axis=-1)
+
+
+def match_counts_packed(
+    packed_db: np.ndarray, packed_targets: np.ndarray
+) -> np.ndarray:
+    """The ``(Q, N)`` match-count matrix from packed representations.
+
+    Row ``q`` equals ``TransactionDatabase.match_counts(targets[q])``
+    exactly (popcounts are integer arithmetic).  Evaluated one query row
+    at a time so the ``(N, words)`` AND intermediate is reused instead of
+    materialising a ``(Q, N, words)`` cube.
+    """
+    out = np.empty(
+        (packed_targets.shape[0], packed_db.shape[0]), dtype=np.int64
+    )
+    for q in range(packed_targets.shape[0]):
+        out[q] = intersection_counts(packed_db, packed_targets[q])
+    return out
+
+
+def activation_counts_packed(
+    packed_targets: np.ndarray, masks: np.ndarray
+) -> np.ndarray:
+    """The ``(Q, K)`` activation-count matrix ``r_{q,j} = |S_j ∩ T_q|``."""
+    joined = packed_targets[:, None, :] & masks[None, :, :]
+    return popcount(joined).sum(axis=-1)
+
+
+def batch_activation_counts(
+    scheme, target_arrays: Sequence[np.ndarray]
+) -> np.ndarray:
+    """Activation counts for a batch of targets via the packed kernels.
+
+    Equals ``np.stack([scheme.activation_counts(t) for t in targets])``
+    element for element; one packed AND/popcount pass replaces the
+    per-target Python loop.
+    """
+    packed = pack_rows(
+        [np.asarray(t, dtype=np.int64) for t in target_arrays],
+        scheme.universe_size,
+    )
+    return activation_counts_packed(packed, signature_masks(scheme))
+
+
+# ----------------------------------------------------------------------
+# Vectorised branch-and-bound scans
+# ----------------------------------------------------------------------
+def _scan_layout(table) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shared per-batch geometry of the clustered storage layout."""
+    offsets = np.asarray(table.entry_offsets, dtype=np.int64)
+    ordered = np.asarray(table.ordered_tids, dtype=np.int64)
+    sizes = np.diff(offsets)
+    page_size = int(table.store.page_size)
+    first_page = offsets[:-1] // page_size
+    last_page = (offsets[1:] - 1) // page_size
+    return offsets, ordered, sizes, first_page, last_page
+
+
+def _concat_segments(
+    starts: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``arange(starts[i], starts[i] + lengths[i])`` ranges."""
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    ends = np.cumsum(lengths)
+    shifts = np.repeat(starts - np.concatenate(([0], ends[:-1])), lengths)
+    return np.arange(total, dtype=np.int64) + shifts
+
+
+def _charge_io_vectorised(
+    entry_ids: np.ndarray,
+    first_page: np.ndarray,
+    last_page: np.ndarray,
+    transactions_read: int,
+) -> IOCounters:
+    """Replicate the per-entry page-cache I/O charges of the scan loop.
+
+    Entries occupy contiguous page ranges (the table clusters storage by
+    supercoordinate); a page is charged the first time any entry touches
+    it, and each entry contributes one seek per maximal run of contiguous
+    *fresh* pages — exactly the arithmetic of ``PagedStore.read`` /
+    ``SignatureTableSearcher._charge_cached_read`` with a per-query page
+    cache.
+    """
+    counts = last_page[entry_ids] - first_page[entry_ids] + 1
+    page_conc = _concat_segments(first_page[entry_ids], counts)
+    if page_conc.size == 0:
+        return IOCounters(transactions_read=transactions_read)
+    segments = np.repeat(np.arange(entry_ids.size, dtype=np.int64), counts)
+    _, first_occurrence = np.unique(page_conc, return_index=True)
+    fresh = np.zeros(page_conc.size, dtype=bool)
+    fresh[first_occurrence] = True
+    fresh_idx = np.nonzero(fresh)[0]
+    if fresh_idx.size == 0:
+        return IOCounters(transactions_read=transactions_read)
+    fresh_segments = segments[fresh_idx]
+    fresh_values = page_conc[fresh_idx]
+    run_starts = np.ones(fresh_idx.size, dtype=bool)
+    run_starts[1:] = (fresh_segments[1:] != fresh_segments[:-1]) | (
+        fresh_values[1:] - fresh_values[:-1] > 1
+    )
+    return IOCounters(
+        transactions_read=transactions_read,
+        pages_read=int(fresh_idx.size),
+        seeks=int(run_starts.sum()),
+    )
+
+
+def _top_k_neighbors(
+    sims: np.ndarray, tids: np.ndarray, k: int
+) -> List[Neighbor]:
+    """Exact top-``k`` under the total order ``(-similarity, tid)``."""
+    m = int(sims.size)
+    if m > k:
+        kth_value = np.partition(sims, m - k)[m - k]
+        candidates = np.nonzero(sims >= kth_value)[0]
+    else:
+        candidates = np.arange(m, dtype=np.int64)
+    chosen = candidates[
+        np.lexsort((tids[candidates], -sims[candidates]))
+    ][:k]
+    return [
+        Neighbor(tid=int(tids[i]), similarity=float(sims[i])) for i in chosen
+    ]
+
+
+def knn_scan_batch(
+    table,
+    db_size: int,
+    prepared: Sequence[PreparedQuery],
+    k: int,
+    count_io: bool,
+) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+    """Vectorised exact k-NN scan for a prepared batch.
+
+    Equivalent, result- and stats-wise, to running
+    :meth:`SignatureTableSearcher.knn` per query under the default
+    configuration (optimistic order, no early termination, precomputed
+    similarities, per-query page cache).  The scan loop's stop condition
+    — first entry whose optimistic bound falls strictly below the
+    pessimistic bound once ``k`` candidates are held — is monotone in the
+    scan rank, so the stop rank is found by binary search over prefix
+    ``k``-th-largest similarities and the whole loop collapses into a
+    handful of array operations per query.
+    """
+    offsets, ordered, sizes, first_page, last_page = _scan_layout(table)
+    num_entries = int(sizes.size)
+    entries_total = table.num_entries_occupied
+    results: List[List[Neighbor]] = []
+    stats_list: List[SearchStats] = []
+    for prep in prepared:
+        started_s = time.perf_counter()
+        order = prep.order
+        assert order is not None and prep.sims_all is not None
+        sims_all = prep.sims_all
+        opts_in_order = prep.opts[order]
+        sizes_in_order = sizes[order]
+        cumulative = np.cumsum(sizes_in_order)
+        total = int(cumulative[-1]) if num_entries else 0
+
+        def build_prefix(limit: int) -> Tuple[np.ndarray, np.ndarray]:
+            """Scan-order (tids, sims) of the first ``limit`` entries."""
+            slots = _concat_segments(
+                offsets[:-1][order[:limit]], sizes_in_order[:limit]
+            )
+            tids = ordered[slots]
+            return tids, sims_all[tids]
+
+        # The prune test arms once the heap holds k candidates, i.e. at
+        # the first rank whose *preceding* entries cover k transactions.
+        armed = int(np.searchsorted(cumulative, k, side="left")) + 1
+        stop = num_entries
+        built = -1
+        if armed < num_entries and total >= k:
+            # Bracket the stop rank before touching any prefix: the
+            # whole-database k-th largest similarity is the largest value
+            # the pessimistic bound can ever reach, so no entry whose
+            # bound meets it is ever pruned.  This keeps every later
+            # partition/gather proportional to the scanned prefix, not
+            # the database.
+            pess_ceiling = np.partition(sims_all, total - k)[total - k]
+            low = max(
+                armed,
+                int(
+                    np.searchsorted(
+                        -opts_in_order, -pess_ceiling, side="right"
+                    )
+                ),
+            )
+            if low < num_entries:
+                prefix_tids, prefix_sims = build_prefix(low)
+                built = low
+                m = int(cumulative[low - 1])
+                pess_at_low = np.partition(prefix_sims[:m], m - k)[m - k]
+                if float(opts_in_order[low]) < float(pess_at_low):
+                    stop = low
+                else:
+                    # First rank the lower bracket's pessimistic value
+                    # already prunes; the true stop can be no later.
+                    high = min(
+                        num_entries,
+                        int(
+                            np.searchsorted(
+                                -opts_in_order, -pess_at_low, side="right"
+                            )
+                        ),
+                    )
+                    if high > low:
+                        prefix_tids, prefix_sims = build_prefix(high)
+                        built = high
+                    lo, hi = low + 1, high
+                    while lo < hi:
+                        mid = (lo + hi) // 2
+                        m = int(cumulative[mid - 1])
+                        kth = np.partition(prefix_sims[:m], m - k)[m - k]
+                        if float(opts_in_order[mid]) < float(kth):
+                            hi = mid
+                        else:
+                            lo = mid + 1
+                    stop = lo
+        if stop >= num_entries:
+            stop = num_entries
+            if built < num_entries:
+                prefix_tids, prefix_sims = build_prefix(num_entries)
+        conc_tids, conc_sims = prefix_tids, prefix_sims
+
+        accessed = int(cumulative[stop - 1]) if stop > 0 else 0
+        stats = SearchStats(
+            total_transactions=int(db_size),
+            entries_total=entries_total,
+            transactions_accessed=accessed,
+            entries_scanned=stop,
+            entries_pruned=num_entries - stop,
+        )
+        if count_io:
+            stats.io = _charge_io_vectorised(
+                np.asarray(order[:stop], dtype=np.int64),
+                first_page,
+                last_page,
+                accessed,
+            )
+        results.append(
+            _top_k_neighbors(conc_sims[:accessed], conc_tids[:accessed], k)
+        )
+        stats.elapsed_seconds = time.perf_counter() - started_s
+        stats_list.append(stats)
+    return results, stats_list
+
+
+def range_scan_batch(
+    table,
+    db_size: int,
+    prepared: Sequence[Sequence[PreparedQuery]],
+    thresholds: Sequence[float],
+    count_io: bool,
+) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
+    """Vectorised conjunctive range scan for a prepared batch.
+
+    ``prepared[q]`` holds one :class:`PreparedQuery` per constraint for
+    query ``q``; ``thresholds`` aligns with the constraints.  Matches
+    :meth:`SignatureTableSearcher.multi_range_query` exactly: entries
+    failing any constraint's optimistic bound are pruned, surviving
+    entries are read in entry order, and results are every transaction
+    meeting all thresholds, sorted by ``(-similarity, tid)``.
+    """
+    offsets, ordered, sizes, first_page, last_page = _scan_layout(table)
+    entries_total = table.num_entries_occupied
+    threshold_values = [float(t) for t in thresholds]
+    results: List[List[Neighbor]] = []
+    stats_list: List[SearchStats] = []
+    for per_constraint in prepared:
+        started_s = time.perf_counter()
+        keep = np.ones(sizes.size, dtype=bool)
+        for prep, threshold in zip(per_constraint, threshold_values):
+            keep &= prep.opts >= threshold
+        kept = np.nonzero(keep)[0]
+        slots = _concat_segments(offsets[:-1][kept], sizes[kept])
+        conc_tids = ordered[slots]
+        satisfied = np.ones(conc_tids.size, dtype=bool)
+        first_sims: Optional[np.ndarray] = None
+        for prep, threshold in zip(per_constraint, threshold_values):
+            assert prep.sims_all is not None
+            values = prep.sims_all[conc_tids]
+            if first_sims is None:
+                first_sims = values
+            satisfied &= values >= threshold
+        accessed = int(conc_tids.size)
+        stats = SearchStats(
+            total_transactions=int(db_size),
+            entries_total=entries_total,
+            transactions_accessed=accessed,
+            entries_scanned=int(kept.size),
+            entries_pruned=int((~keep).sum()),
+        )
+        if count_io:
+            stats.io = _charge_io_vectorised(
+                kept, first_page, last_page, accessed
+            )
+        hits = np.nonzero(satisfied)[0]
+        assert first_sims is not None or hits.size == 0
+        if hits.size:
+            hit_tids = conc_tids[hits]
+            hit_sims = first_sims[hits]
+            chosen = np.lexsort((hit_tids, -hit_sims))
+            results.append(
+                [
+                    Neighbor(
+                        tid=int(hit_tids[i]), similarity=float(hit_sims[i])
+                    )
+                    for i in chosen
+                ]
+            )
+        else:
+            results.append([])
+        stats.elapsed_seconds = time.perf_counter() - started_s
+        stats_list.append(stats)
+    return results, stats_list

@@ -220,6 +220,11 @@ class SignatureTableSearcher:
         return self._precompute
 
     @property
+    def count_io(self) -> bool:
+        """Whether this searcher maintains the simulated I/O counters."""
+        return self._count_io
+
+    @property
     def buffer_pool(self) -> Optional[BufferPool]:
         """The cross-query buffer pool, if one was supplied."""
         return self._buffer_pool

@@ -160,6 +160,25 @@ class SignatureTable:
         view.flags.writeable = False
         return view
 
+    @property
+    def entry_offsets(self) -> np.ndarray:
+        """Storage-slot offsets of the occupied entries (read-only view).
+
+        Entry ``i`` occupies the contiguous storage slots
+        ``[entry_offsets[i], entry_offsets[i + 1])`` — the clustered
+        layout the vectorised scan kernels exploit for page accounting.
+        """
+        view = self._entry_offsets.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def ordered_tids(self) -> np.ndarray:
+        """TIDs in storage (supercoordinate-clustered) order, read-only."""
+        view = self._ordered_tids.view()
+        view.flags.writeable = False
+        return view
+
     # ------------------------------------------------------------------
     def entry_tids(self, entry_index: int) -> np.ndarray:
         """TIDs indexed by the ``entry_index``-th occupied entry.

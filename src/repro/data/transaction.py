@@ -93,6 +93,7 @@ class TransactionDatabase:
         self._universe_size = int(universe_size)
         self._postings_indptr: Optional[np.ndarray] = None
         self._postings_tids: Optional[np.ndarray] = None
+        self._packed_rows: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -121,6 +122,7 @@ class TransactionDatabase:
         db._universe_size = int(universe_size)
         db._postings_indptr = None
         db._postings_tids = None
+        db._packed_rows = None
         return db
 
     # ------------------------------------------------------------------
@@ -251,8 +253,49 @@ class TransactionDatabase:
             counts[self._postings_tids[start:end]] += 1
         return counts
 
+    def packed_rows(self) -> np.ndarray:
+        """The database as ``(n, words)`` uint64 bitset rows (cached).
+
+        Bit ``i`` of row ``t`` is set iff item ``i`` is in transaction
+        ``t`` — the dense representation the popcount kernels of
+        :mod:`repro.core.kernels` operate on.  Built lazily on first use
+        (cost linear in ``total_items``) and cached, like the postings.
+        """
+        if self._packed_rows is None:
+            from repro.core import kernels
+
+            self._packed_rows = kernels.pack_csr(
+                self._items, self._indptr, self._universe_size
+            )
+        view = self._packed_rows.view()
+        view.flags.writeable = False
+        return view
+
+    def _packed_wins(self, target_arrays: Sequence[np.ndarray]) -> bool:
+        """Heuristic: is the dense popcount kernel cheaper than posting
+        walks for this batch?
+
+        Posting work is output-sensitive (summed support of the targets'
+        items); the dense kernel always touches every word of every row
+        per query.  The factor 4 approximates the per-word cost of the
+        AND + byte-LUT popcount relative to one posting increment.
+        """
+        from repro.core import kernels
+
+        words = kernels.num_words(self._universe_size)
+        dense_work = len(target_arrays) * len(self) * words * 4
+        self._ensure_postings()
+        assert self._postings_indptr is not None
+        supports = np.diff(self._postings_indptr)
+        posting_work = int(
+            sum(int(supports[items].sum()) for items in target_arrays)
+        )
+        return dense_work < posting_work
+
     def match_counts_batch(
-        self, targets: Sequence[TransactionLike]
+        self,
+        targets: Sequence[TransactionLike],
+        kernel: str = "python",
     ) -> np.ndarray:
         """Return the ``(len(targets), len(db))`` matrix of match counts.
 
@@ -262,13 +305,35 @@ class TransactionDatabase:
         across the batch, so overlapping targets — the common case for
         query batches drawn from one distribution — amortise the traversal
         the per-query loop would repeat.
+
+        ``kernel`` selects the execution strategy: ``"python"`` (default)
+        walks posting lists, ``"packed"`` forces the dense bitset
+        popcount kernel of :mod:`repro.core.kernels`, and ``"auto"``
+        picks the packed path only when its estimated cost beats the
+        output-sensitive posting walk (dense data, long targets).  All
+        strategies return identical matrices.
         """
+        if kernel not in ("python", "packed", "auto"):
+            raise ValueError(
+                f"kernel must be 'python', 'packed' or 'auto', got {kernel!r}"
+            )
         target_arrays = [
             as_item_array(t, self._universe_size) for t in targets
         ]
         counts = np.zeros((len(target_arrays), len(self)), dtype=np.int64)
         if not target_arrays:
             return counts
+        if kernel == "packed" or (
+            kernel == "auto" and self._packed_wins(target_arrays)
+        ):
+            from repro.core import kernels
+
+            packed_targets = kernels.pack_rows(
+                target_arrays, self._universe_size
+            )
+            return kernels.match_counts_packed(
+                self.packed_rows(), packed_targets
+            )
         self._ensure_postings()
         assert self._postings_indptr is not None and self._postings_tids is not None
         # Invert the batch: item -> queries containing it.

@@ -688,6 +688,76 @@ def run_batch_throughput(
     return table
 
 
+def run_kernel_throughput(
+    similarity: SimilarityFunction,
+    ctx: ExperimentContext,
+    spec: Optional[str] = None,
+    num_signatures: Optional[int] = None,
+    k: int = 10,
+    batch_size: Optional[int] = None,
+    repeats: int = 3,
+) -> ExperimentTable:
+    """Single-core queries/sec of the packed kernel vs the scalar path.
+
+    Both engines run the *same* batch on one worker so the comparison
+    isolates the :mod:`repro.core.kernels` bitset scan from
+    multiprocessing effects.  The packed row only reports a timing after
+    its neighbour lists and :class:`~repro.core.search.SearchStats` are
+    verified byte-identical to the scalar engine's — the speedup is for
+    identical answers, including the replayed IO counters.
+    """
+    from repro.core.engine import QueryEngine
+
+    spec = spec or ctx.profile["large_spec"]
+    num_signatures = num_signatures or ctx.profile["default_k"]
+    searcher = ctx.searcher(spec, num_signatures)
+    queries = ctx.queries(spec)
+    if batch_size is not None:
+        queries = queries[:batch_size]
+    engines = {
+        "python": QueryEngine(searcher, kernel="python"),
+        "packed": QueryEngine(searcher, kernel="packed"),
+    }
+    table = ExperimentTable(
+        title=(
+            f"Kernel throughput — {similarity.name} "
+            f"({spec}, K={num_signatures}, k={k}, batch={len(queries)})"
+        ),
+        columns=["kernel", "queries/sec", "speedup", "identical"],
+        notes=ctx.notes(
+            [f"similarity={similarity.name}", "single worker, best of "
+             f"{max(1, repeats)} repeats"]
+        ),
+    )
+
+    def _timed(engine):
+        best = float("inf")
+        out = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            out = engine.knn_batch(queries, similarity, k=k, workers=1)
+            best = min(best, time.perf_counter() - start)
+        return out, best
+
+    (base_results, base_stats), base_elapsed = _timed(engines["python"])
+    base_qps = len(queries) / base_elapsed
+    table.add_row(
+        kernel="python",
+        **{"queries/sec": base_qps, "speedup": 1.0, "identical": "-"},
+    )
+    (results, stats), elapsed = _timed(engines["packed"])
+    identical = results == base_results and stats == base_stats
+    table.add_row(
+        kernel="packed",
+        **{
+            "queries/sec": len(queries) / elapsed,
+            "speedup": (len(queries) / elapsed) / base_qps,
+            "identical": "yes" if identical else "NO",
+        },
+    )
+    return table
+
+
 # ----------------------------------------------------------------------
 # Closed-loop serving load (the online front door, repro.service)
 # ----------------------------------------------------------------------
@@ -828,6 +898,122 @@ def run_service_load(
                     "identical": "yes" if identical else "NO",
                 },
             )
+    return table
+
+
+def run_wire_comparison(
+    similarity_name: str,
+    ctx: ExperimentContext,
+    spec: Optional[str] = None,
+    num_signatures: Optional[int] = None,
+    k: int = 10,
+    concurrency: int = 8,
+    total_requests: Optional[int] = None,
+    repeats: int = 3,
+) -> ExperimentTable:
+    """NDJSON vs binary-frame wire protocol against one live server.
+
+    One :class:`~repro.service.server.QueryServer` serves both rows;
+    only the client-side ``wire`` differs, so the delta is pure
+    encode/decode + transport cost.  After one unmeasured warmup pass
+    per wire, the repeats interleave the wires (so machine drift hits
+    both equally) and each row keeps its lowest-p99 run (closed-loop
+    latency tails are noisy).  Every request's neighbour list is
+    verified byte-identical
+    to the direct engine answer in-run — per :doc:`docs/wire`, the
+    NDJSON float round-trip and the binary raw-double encoding must
+    decode to the very same IEEE-754 values.
+    """
+    from repro.core.similarity import get_similarity
+    from repro.service.client import run_load
+    from repro.service.metrics import percentile
+    from repro.service.server import serve_in_background
+
+    spec = spec or ctx.profile["large_spec"]
+    num_signatures = num_signatures or ctx.profile["default_k"]
+    similarity = get_similarity(similarity_name)
+    engine = ctx.engine(spec, num_signatures)
+    queries = ctx.queries(spec)
+    requests = (
+        max(2 * len(queries), 64)
+        if total_requests is None
+        else int(total_requests)
+    )
+    expected, _ = engine.knn_batch(queries, similarity, k=k)
+
+    table = ExperimentTable(
+        title=(
+            f"Wire protocol comparison — {similarity_name} "
+            f"({spec}, K={num_signatures}, k={k}, {requests} requests/row, "
+            f"concurrency {concurrency})"
+        ),
+        columns=["wire", "req/sec", "p50 ms", "p99 ms", "identical"],
+        notes=ctx.notes(
+            [
+                f"similarity={similarity_name}",
+                f"interleaved best-of-{max(1, repeats)} by p99, "
+                "one shared server, warmup pass per wire",
+            ]
+        ),
+    )
+    handle = serve_in_background(engine)
+    host, port = handle.address
+    wires = ("ndjson", "binary")
+    best: Dict[str, object] = {}
+    best_p99: Dict[str, float] = {}
+    try:
+        for wire in wires:  # cold-start costs land here, unmeasured
+            run_load(
+                host,
+                port,
+                queries,
+                similarity=similarity_name,
+                k=k,
+                concurrency=concurrency,
+                total_requests=min(requests, 64),
+                wire=wire,
+            )
+        for _ in range(max(1, repeats)):
+            for wire in wires:
+                result = run_load(
+                    host,
+                    port,
+                    queries,
+                    similarity=similarity_name,
+                    k=k,
+                    concurrency=concurrency,
+                    total_requests=requests,
+                    wire=wire,
+                )
+                if result.wire != wire:
+                    raise RuntimeError(
+                        f"negotiated {result.wire!r}, wanted {wire!r}"
+                    )
+                latencies = result.latencies_ms() or [float("nan")]
+                p99 = percentile(latencies, 0.99)
+                p99 = float("nan") if p99 is None else p99
+                if wire not in best or p99 < best_p99[wire]:
+                    best[wire], best_p99[wire] = result, p99
+        for wire in wires:
+            run = best[wire]
+            identical = run.completed == len(run.records) and all(
+                record.neighbors == expected[record.query_index]
+                for record in run.records
+                if record.error_code is None
+            )
+            latencies = run.latencies_ms() or [float("nan")]
+            p50 = percentile(latencies, 0.50)
+            table.add_row(
+                wire=wire,
+                **{
+                    "req/sec": run.qps,
+                    "p50 ms": float("nan") if p50 is None else p50,
+                    "p99 ms": best_p99[wire],
+                    "identical": "yes" if identical else "NO",
+                },
+            )
+    finally:
+        handle.stop()
     return table
 
 

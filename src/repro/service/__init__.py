@@ -5,7 +5,10 @@ The serving subsystem keeps one batched engine
 :class:`~repro.core.engine.ShardedQueryEngine`) resident and exposes it
 to concurrent clients over a newline-delimited-JSON TCP protocol:
 
-* :mod:`repro.service.protocol` — the wire format and error codes;
+* :mod:`repro.service.protocol` — the NDJSON wire format and error
+  codes;
+* :mod:`repro.service.frames` — the length-prefixed binary frame
+  protocol a connection can negotiate instead (see ``docs/wire.md``);
 * :mod:`repro.service.batcher` — dynamic micro-batching with admission
   control and per-request deadlines;
 * :mod:`repro.service.metrics` — live counters behind the ``stats`` op;
@@ -33,12 +36,14 @@ from repro.service.client import (
     run_load,
     wait_ready,
 )
+from repro.service.frames import FrameError
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import ProtocolError, QueryRequest
 from repro.service.server import BackgroundServer, QueryServer, serve_in_background
 
 __all__ = [
     "BackgroundServer",
+    "FrameError",
     "LoadResult",
     "MicroBatcher",
     "ProtocolError",

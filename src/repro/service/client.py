@@ -25,7 +25,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.search import Neighbor
-from repro.service.protocol import decode_neighbors, decode_response, encode_request
+from repro.service import frames
+from repro.service.protocol import (
+    WIRE_PROTOCOLS,
+    decode_neighbors,
+    decode_response,
+    encode_request,
+)
 from repro.service.resilience import RetryPolicy
 
 
@@ -55,6 +61,15 @@ class ServiceClient:
     stamped with an idempotency key ``(client_id, request_id)``, so a
     retry after an ambiguous failure — connection dropped between send
     and ack — can never double-apply.
+
+    ``wire`` picks the wire protocol (see :doc:`docs/wire`):
+    ``"ndjson"`` is the classic newline-delimited JSON; ``"binary"``
+    negotiates the length-prefixed frame protocol of
+    :mod:`repro.service.frames` with a ``hello`` first request and
+    fails if the server refuses; ``"auto"`` (default) tries binary and
+    silently falls back to NDJSON when the server declines (or predates
+    the op).  :attr:`wire` reports what this connection actually
+    negotiated.  Reconnects renegotiate from scratch.
     """
 
     def __init__(
@@ -68,10 +83,23 @@ class ServiceClient:
         deadline: Optional[float] = None,
         retry_seed: Optional[int] = None,
         client_id: Optional[str] = None,
+        wire: str = "auto",
     ) -> None:
+        if wire not in ("auto",) + WIRE_PROTOCOLS:
+            known = ", ".join(("auto",) + WIRE_PROTOCOLS)
+            raise ValueError(f"unknown wire {wire!r}; known: {known}")
         self.host = host
         self.port = int(port)
         self._socket_timeout = socket_timeout
+        #: Requested wire protocol ("auto" negotiates with fallback).
+        self.wire_preference = wire
+        #: The wire protocol the current connection actually speaks.
+        self.wire = "ndjson"
+        # Reused receive buffers for the binary frame path (grown
+        # geometrically, never shrunk — steady-state reads allocate
+        # nothing but the decoded response).
+        self._header_buf = bytearray(frames.HEADER.size)
+        self._payload_buf = bytearray(4096)
         #: Stable identity half of the idempotency key.
         self.client_id = (
             client_id if client_id is not None else uuid.uuid4().hex[:16]
@@ -100,10 +128,96 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def _connect(self) -> None:
+        self._open_socket()
+        self.wire = "ndjson"
+        if self.wire_preference == "ndjson":
+            return
+        try:
+            self._negotiate_binary()
+        except (ConnectionError, OSError):
+            if self.wire_preference == "binary":
+                self._teardown()
+                raise
+            # "auto" is best-effort: transport trouble during the hello
+            # (timeout, garbled ack, server gone mid-exchange) must not
+            # fail a connect that plain NDJSON would survive.  The
+            # stream position is unknown, so reconnect and stay NDJSON.
+            self._teardown()
+            self._open_socket()
+            self.wire = "ndjson"
+
+    def _open_socket(self) -> None:
         self._sock = socket.create_connection(
             (self.host, self.port), timeout=self._socket_timeout
         )
         self._reader = self._sock.makefile("r", encoding="utf-8", newline="\n")
+
+    def _negotiate_binary(self) -> None:
+        """Send the ``hello`` first request and switch wires on an ack.
+
+        Every connection starts in NDJSON, so the hello and its ack are
+        one plain request/response exchange — safe to readline because
+        the protocol is lockstep (the server sends nothing ahead of the
+        ack).  An explicit ``wire="binary"`` preference turns a refusal
+        into :class:`ServiceError`; ``"auto"`` just stays on NDJSON (the
+        server may predate the op or have binary disabled by policy).
+        """
+        hello = {"op": "hello", "wire": "binary", "id": 0}
+        self._sock.sendall(encode_request(hello))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection during hello")
+        try:
+            response = decode_response(line)
+        except ValueError as exc:
+            raise ConnectionError(f"malformed hello response: {exc}") from exc
+        if response.get("ok"):
+            self.wire = "binary"
+            return
+        if self.wire_preference == "binary":
+            error = response.get("error") or {}
+            self._teardown()
+            raise ServiceError(
+                str(error.get("code", "internal")),
+                str(error.get("message", "server refused binary wire")),
+            )
+
+    def _recv_exact(self, view: memoryview) -> None:
+        """Fill ``view`` from the socket; ConnectionError on early EOF."""
+        offset = 0
+        while offset < len(view):
+            read = self._sock.recv_into(view[offset:])
+            if read == 0:
+                raise ConnectionError("server closed the connection")
+            offset += read
+
+    def _read_frame_response(self) -> Dict[str, object]:
+        """Read one binary frame and decode it to the NDJSON response shape.
+
+        Reuses the header/payload buffers across calls.  Any framing
+        violation becomes :class:`ConnectionError` — like a garbled
+        NDJSON line, it means the stream position is unknown and the
+        connection must be torn down.
+        """
+        self._recv_exact(memoryview(self._header_buf))
+        try:
+            frame_type, length = frames.decode_header(bytes(self._header_buf))
+        except frames.FrameError as exc:
+            raise ConnectionError(f"malformed frame header: {exc}") from exc
+        if length > len(self._payload_buf):
+            new_size = len(self._payload_buf)
+            while new_size < length:
+                new_size *= 2
+            self._payload_buf = bytearray(new_size)
+        payload = memoryview(self._payload_buf)[:length]
+        self._recv_exact(payload)
+        try:
+            response = frames.decode_payload(frame_type, bytes(payload))
+        except frames.FrameError as exc:
+            raise ConnectionError(f"malformed frame payload: {exc}") from exc
+        if "ok" not in response:
+            raise ConnectionError("frame payload is not a response object")
+        return response
 
     def _teardown(self) -> None:
         """Drop a (possibly half-read) connection so the next call
@@ -162,18 +276,25 @@ class ServiceClient:
             while True:
                 try:
                     self._ensure_connected()
-                    self._sock.sendall(encode_request(message))
-                    line = self._reader.readline()
-                    if not line:
-                        raise ConnectionError("server closed the connection")
-                    try:
-                        response = decode_response(line)
-                    except ValueError as exc:
-                        # A truncated/garbled line means the stream state
-                        # is unknown — a transport failure, not a reply.
-                        raise ConnectionError(
-                            f"malformed response line: {exc}"
-                        ) from exc
+                    if self.wire == "binary":
+                        self._sock.sendall(frames.encode_request_frame(message))
+                        response = self._read_frame_response()
+                    else:
+                        self._sock.sendall(encode_request(message))
+                        line = self._reader.readline()
+                        if not line:
+                            raise ConnectionError(
+                                "server closed the connection"
+                            )
+                        try:
+                            response = decode_response(line)
+                        except ValueError as exc:
+                            # A truncated/garbled line means the stream
+                            # state is unknown — a transport failure,
+                            # not a reply.
+                            raise ConnectionError(
+                                f"malformed response line: {exc}"
+                            ) from exc
                 except (OSError, ConnectionError) as exc:
                     # Satellite invariant: never leave a half-read
                     # socket behind — tear down, then maybe retry.
@@ -371,6 +492,8 @@ class LoadResult:
     concurrency: int
     elapsed_seconds: float
     records: List[RequestRecord] = field(default_factory=list)
+    #: Wire protocol the load clients actually negotiated.
+    wire: str = "ndjson"
 
     @property
     def completed(self) -> int:
@@ -419,6 +542,7 @@ def run_load(
     timeout_ms: Optional[float] = None,
     socket_timeout: Optional[float] = 120.0,
     retries: int = 0,
+    wire: str = "auto",
 ) -> LoadResult:
     """Closed-loop burst: ``concurrency`` clients, one request in flight each.
 
@@ -428,7 +552,9 @@ def run_load(
     (``overloaded``/``timeout``) are recorded per request, never raised.
     With ``retries > 0`` each client retries retryable outcomes under
     backoff; a request's final outcome is still recorded exactly once,
-    with its attempt count.
+    with its attempt count.  ``wire`` is handed to every
+    :class:`ServiceClient`; the protocol they negotiated is reported in
+    :attr:`LoadResult.wire` so benchmarks can label their rows.
     """
     if not queries:
         raise ValueError("run_load needs at least one query")
@@ -436,11 +562,18 @@ def run_load(
     counter = {"next": 0}
     counter_lock = threading.Lock()
     records: List[Optional[RequestRecord]] = [None] * total
+    negotiated: Dict[str, str] = {}
 
     def worker() -> None:
         with ServiceClient(
-            host, port, socket_timeout=socket_timeout, retries=retries
+            host,
+            port,
+            socket_timeout=socket_timeout,
+            retries=retries,
+            wire=wire,
         ) as client:
+            with counter_lock:
+                negotiated["wire"] = client.wire
             while True:
                 with counter_lock:
                     index = counter["next"]
@@ -492,4 +625,5 @@ def run_load(
         concurrency=max(1, int(concurrency)),
         elapsed_seconds=elapsed,
         records=[r for r in records if r is not None],
+        wire=negotiated.get("wire", "ndjson"),
     )

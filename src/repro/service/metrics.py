@@ -27,6 +27,7 @@ from typing import Callable, Deque, Dict, Optional, Sequence, Tuple
 
 from repro.core.engine import BatchSummary
 from repro.obs.registry import MetricRegistry
+from repro.service.protocol import WIRE_PROTOCOLS
 from repro.storage.pages import IOCounters
 
 #: Rejection reasons tracked as labels on ``repro_requests_rejected_total``.
@@ -111,6 +112,23 @@ class ServiceMetrics:
             "repro_request_latency_seconds",
             "End-to-end request latency (admission to response)",
         )
+        # Per-wire-protocol views of the completion path, so a scrape
+        # can attribute latency/qps to NDJSON vs binary frames.  Both
+        # children are materialised up front: the exposition always
+        # carries both labels, even before the first request.
+        self._completed_by_wire = reg.counter(
+            "repro_requests_completed_by_wire_total",
+            "Query requests answered successfully, by wire protocol",
+            labelnames=("wire",),
+        )
+        self._latency_by_wire = reg.histogram(
+            "repro_request_latency_by_wire_seconds",
+            "End-to-end request latency, by wire protocol",
+            labelnames=("wire",),
+        )
+        for wire in WIRE_PROTOCOLS:
+            self._completed_by_wire.labels(wire=wire)
+            self._latency_by_wire.labels(wire=wire)
         self._engine_queries = reg.counter(
             "repro_engine_queries_total", "Queries executed through the engine"
         )
@@ -174,11 +192,23 @@ class ServiceMetrics:
         reason = code if code in _REJECTION_REASONS else "bad_request"
         self._rejected.labels(reason=reason).inc()
 
-    def record_completion(self, latency_seconds: float) -> None:
-        """One query answered successfully."""
+    def record_completion(
+        self, latency_seconds: float, wire: str = "ndjson"
+    ) -> None:
+        """One query answered successfully (over the given wire protocol)."""
         self._completed.inc()
         self._latency.observe(float(latency_seconds))
         self._latencies.append((self._clock(), float(latency_seconds)))
+        label = wire if wire in WIRE_PROTOCOLS else "ndjson"
+        self._completed_by_wire.labels(wire=label).inc()
+        self._latency_by_wire.labels(wire=label).observe(float(latency_seconds))
+
+    def completed_by_wire(self) -> Dict[str, int]:
+        """Lifetime completions per wire protocol."""
+        return {
+            wire: int(self._completed_by_wire.labels(wire=wire).value)
+            for wire in WIRE_PROTOCOLS
+        }
 
     def record_batch(self, summary: BatchSummary) -> None:
         """One engine batch executed; fold in its merged stats."""
@@ -330,6 +360,7 @@ class ServiceMetrics:
             "requests": {
                 "received": self.received,
                 "completed": self.completed,
+                "completed_by_wire": self.completed_by_wire(),
                 "in_flight": self.queue_depth,
                 "rejected_overload": self.rejected_overload,
                 "rejected_bad_request": self.rejected_bad_request,

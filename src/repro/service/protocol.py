@@ -25,7 +25,9 @@ never batched).  ``{"op": "ping"}`` — liveness probe.  ``{"op":
 "draining": false}``; ``degraded`` means the durable write path failed
 and mutations are being rejected ``unavailable`` while reads keep
 serving.  ``{"op": "shutdown"}`` — ask the server to drain and exit
-gracefully.
+gracefully.  ``{"op": "hello", "wire": "binary"}`` — negotiate the
+connection's wire protocol (must be the first request on the
+connection; see :mod:`repro.service.frames` and :doc:`docs/wire`).
 
 Mutations (live indexes only — see :doc:`docs/durability`)
 ----------------------------------------------------------
@@ -69,8 +71,13 @@ from repro.core.similarity import (
 
 #: Request operations understood by the server.
 QUERY_OPS = ("knn", "range")
-CONTROL_OPS = ("stats", "ping", "shutdown", "metrics", "health")
+CONTROL_OPS = ("stats", "ping", "shutdown", "metrics", "health", "hello")
 MUTATION_OPS = ("insert", "delete", "compact", "checkpoint")
+
+#: Wire protocols a connection can negotiate with the ``hello`` op.
+#: ``ndjson`` is the default and the differential oracle; ``binary`` is
+#: the length-prefixed frame protocol of :mod:`repro.service.frames`.
+WIRE_PROTOCOLS = ("ndjson", "binary")
 
 #: Exposition formats the ``metrics`` control op accepts.
 METRICS_FORMATS = ("json", "prometheus")
@@ -123,21 +130,27 @@ class QueryRequest:
     correlation_id: Optional[str] = None
 
 
-def parse_request(line: str) -> Dict[str, object]:
-    """Decode one request line to a dict, or raise :class:`ProtocolError`."""
-    try:
-        message = json.loads(line)
-    except json.JSONDecodeError as exc:
-        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
+def validate_request(message: object) -> Dict[str, object]:
+    """Check a decoded request (any wire) is an object with a known op."""
     if not isinstance(message, dict):
         raise ProtocolError(
-            "bad_request", f"request must be a JSON object, got {type(message).__name__}"
+            "bad_request",
+            f"request must be a JSON object, got {type(message).__name__}",
         )
     op = message.get("op")
     if op not in QUERY_OPS + CONTROL_OPS + MUTATION_OPS:
         known = ", ".join(QUERY_OPS + CONTROL_OPS + MUTATION_OPS)
         raise ProtocolError("bad_request", f"unknown op {op!r}; known: {known}")
     return message
+
+
+def parse_request(line: str) -> Dict[str, object]:
+    """Decode one request line to a dict, or raise :class:`ProtocolError`."""
+    try:
+        message = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError("bad_request", f"invalid JSON: {exc}") from None
+    return validate_request(message)
 
 
 def parse_query(message: Dict[str, object]) -> QueryRequest:

@@ -38,12 +38,14 @@ from typing import Dict, Optional, Tuple
 
 from repro.obs.log import JsonLogger, with_correlation_id
 from repro.obs.trace import Tracer
+from repro.service import frames
 from repro.service.batcher import MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.resilience import CircuitBreaker, CircuitOpenError
 from repro.service.protocol import (
     METRICS_FORMATS,
     MUTATION_OPS,
+    WIRE_PROTOCOLS,
     ProtocolError,
     encode_search_stats,
     encode_neighbors,
@@ -52,11 +54,43 @@ from repro.service.protocol import (
     parse_mutation,
     parse_query,
     parse_request,
+    validate_request,
 )
 
 
+class _Connection:
+    """Per-connection wire state: negotiated protocol + response encoding.
+
+    A connection starts in NDJSON mode; its first request may be a
+    ``hello`` switching it to binary frames.  The encode methods pick
+    the matching response representation, so the rest of the server
+    never branches on the wire.
+    """
+
+    __slots__ = ("wire", "negotiated", "requests_seen")
+
+    def __init__(self) -> None:
+        self.wire = "ndjson"
+        self.negotiated = False
+        self.requests_seen = False
+
+    def encode_ok(self, request_id, payload=None) -> bytes:
+        if self.wire == "binary":
+            return frames.encode_ok_frame(request_id, payload)
+        return ok_response(request_id, payload)
+
+    def encode_error(self, request_id, code: str, message: str) -> bytes:
+        if self.wire == "binary":
+            return frames.encode_error_frame(request_id, code, message)
+        return error_response(request_id, code, message)
+
+
 class QueryServer:
-    """One resident engine, many concurrent NDJSON-over-TCP clients.
+    """One resident engine, many concurrent TCP clients.
+
+    Connections speak NDJSON (:mod:`repro.service.protocol`) by default
+    and may negotiate the length-prefixed binary frame protocol
+    (:mod:`repro.service.frames`) with a ``hello`` first request.
 
     Parameters
     ----------
@@ -93,6 +127,12 @@ class QueryServer:
         by default).  The batcher logs through a child of it, and every
         query log line carries the request's server-assigned correlation
         id.
+    wire:
+        Wire-protocol policy: ``"auto"`` (default) lets connections
+        negotiate the binary frame protocol with ``hello``; ``"ndjson"``
+        refuses binary hellos with ``bad_request``, which auto-mode
+        clients treat as "fall back to NDJSON" (see :doc:`docs/wire`).
+        Every connection still starts in NDJSON mode either way.
     """
 
     def __init__(
@@ -111,7 +151,13 @@ class QueryServer:
         metrics_registry=None,
         breaker_threshold: int = 3,
         breaker_reset_seconds: float = 30.0,
+        wire: str = "auto",
     ) -> None:
+        if wire not in ("auto", "ndjson"):
+            raise ValueError(
+                f"wire policy must be 'auto' or 'ndjson', got {wire!r}"
+            )
+        self._wire_policy = wire
         self._engine = engine
         self._host = host
         self._port = port
@@ -219,46 +265,129 @@ class QueryServer:
     ) -> None:
         self._writers.add(writer)
         write_lock = asyncio.Lock()
+        conn = _Connection()
         try:
             while True:
+                if conn.wire == "binary":
+                    if not await self._pump_binary(
+                        reader, writer, write_lock, conn
+                    ):
+                        break
+                    continue
                 try:
                     line = await reader.readline()
-                except (ConnectionResetError, asyncio.IncompleteReadError):
+                except (
+                    ConnectionResetError,
+                    asyncio.IncompleteReadError,
+                    ValueError,  # line longer than the stream limit
+                ):
                     break
                 if not line:
                     break
                 text = line.decode("utf-8", errors="replace").strip()
                 if not text:
                     continue
-                await self._handle_line(text, writer, write_lock)
+                await self._handle_line(text, writer, write_lock, conn)
         finally:
             self._writers.discard(writer)
             writer.close()
+
+    async def _pump_binary(
+        self,
+        reader: "asyncio.StreamReader",
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+        conn: _Connection,
+    ) -> bool:
+        """Read and dispatch one binary frame; False ends the connection.
+
+        A malformed *header* is unrecoverable (the stream cannot be
+        resynchronised): the server answers ``bad_request`` once and
+        drops the connection.  A malformed *payload* inside a valid
+        frame only fails that request — framing stays aligned.  The
+        payload length is validated against the frame cap before any
+        read, so a corrupt length prefix never triggers a huge
+        allocation.
+        """
+        try:
+            header = await reader.readexactly(frames.HEADER.size)
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return False
+        try:
+            frame_type, length = frames.decode_header(header)
+            if frame_type not in (frames.FRAME_JSON, frames.FRAME_QUERY):
+                raise frames.FrameError(
+                    f"frame type {frame_type} is not a request frame"
+                )
+        except frames.FrameError as exc:
+            self.metrics.record_rejection("bad_request")
+            await self._send(
+                writer,
+                write_lock,
+                conn.encode_error(None, "bad_request", str(exc)),
+            )
+            return False
+        try:
+            payload = await reader.readexactly(length) if length else b""
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            return False
+        try:
+            message = frames.decode_payload(frame_type, payload)
+            message = validate_request(message)
+        except (frames.FrameError, ProtocolError) as exc:
+            code = exc.code if isinstance(exc, ProtocolError) else "bad_request"
+            self.metrics.record_rejection(code)
+            await self._send(
+                writer,
+                write_lock,
+                conn.encode_error(None, code, str(exc)),
+            )
+            return True
+        await self._dispatch(message, writer, write_lock, conn)
+        return True
 
     async def _handle_line(
         self,
         text: str,
         writer: "asyncio.StreamWriter",
         write_lock: "asyncio.Lock",
+        conn: _Connection,
     ) -> None:
         try:
             message = parse_request(text)
         except ProtocolError as exc:
             self.metrics.record_rejection(exc.code)
             await self._send(
-                writer, write_lock, error_response(None, exc.code, exc.message)
+                writer,
+                write_lock,
+                conn.encode_error(None, exc.code, exc.message),
             )
             return
+        await self._dispatch(message, writer, write_lock, conn)
+
+    async def _dispatch(
+        self,
+        message,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+        conn: _Connection,
+    ) -> None:
         op = message["op"]
         request_id = message.get("id")
+        if op == "hello":
+            await self._handle_hello(message, writer, write_lock, conn)
+            return
+        conn.requests_seen = True
         if op == "ping":
             await self._send(
-                writer, write_lock, ok_response(request_id, {"pong": True})
+                writer, write_lock, conn.encode_ok(request_id, {"pong": True})
             )
             return
         if op == "stats":
             payload = {"stats": self.metrics.snapshot(), "index": self.index_info}
-            await self._send(writer, write_lock, ok_response(request_id, payload))
+            await self._send(
+                writer, write_lock, conn.encode_ok(request_id, payload)
+            )
             return
         if op == "health":
             payload = {
@@ -268,7 +397,9 @@ class QueryServer:
                 "mutable": self.live_index is not None,
                 "breaker": self.compaction_breaker.state,
             }
-            await self._send(writer, write_lock, ok_response(request_id, payload))
+            await self._send(
+                writer, write_lock, conn.encode_ok(request_id, payload)
+            )
             return
         if op == "metrics":
             fmt = message.get("format", "json")
@@ -278,7 +409,7 @@ class QueryServer:
                 await self._send(
                     writer,
                     write_lock,
-                    error_response(
+                    conn.encode_error(
                         request_id,
                         "bad_request",
                         f"unknown metrics format {fmt!r}; known: {known}",
@@ -295,7 +426,9 @@ class QueryServer:
                     "format": "json",
                     "metrics": self.metrics.registry.to_json(),
                 }
-            await self._send(writer, write_lock, ok_response(request_id, payload))
+            await self._send(
+                writer, write_lock, conn.encode_ok(request_id, payload)
+            )
             return
         if op == "shutdown":
             if not self.allow_remote_shutdown:
@@ -303,13 +436,13 @@ class QueryServer:
                 await self._send(
                     writer,
                     write_lock,
-                    error_response(
+                    conn.encode_error(
                         request_id, "bad_request", "remote shutdown is disabled"
                     ),
                 )
                 return
             await self._send(
-                writer, write_lock, ok_response(request_id, {"draining": True})
+                writer, write_lock, conn.encode_ok(request_id, {"draining": True})
             )
             # Keep a strong reference: the loop only weak-refs its tasks.
             self._shutdown_task = asyncio.get_running_loop().create_task(
@@ -334,11 +467,11 @@ class QueryServer:
                 await self._send(
                     writer,
                     write_lock,
-                    error_response(request_id, exc.code, exc.message),
+                    conn.encode_error(request_id, exc.code, exc.message),
                 )
                 return
             task = asyncio.get_running_loop().create_task(
-                self._serve_mutation(mutation, writer, write_lock)
+                self._serve_mutation(mutation, writer, write_lock, conn)
             )
             self._request_tasks.add(task)
             task.add_done_callback(self._request_tasks.discard)
@@ -353,20 +486,60 @@ class QueryServer:
             await self._send(
                 writer,
                 write_lock,
-                error_response(request_id, exc.code, exc.message),
+                conn.encode_error(request_id, exc.code, exc.message),
             )
             return
         task = asyncio.get_running_loop().create_task(
-            self._serve_query(request, writer, write_lock)
+            self._serve_query(request, writer, write_lock, conn)
         )
         self._request_tasks.add(task)
         task.add_done_callback(self._request_tasks.discard)
+
+    async def _handle_hello(
+        self,
+        message,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+        conn: _Connection,
+    ) -> None:
+        """Negotiate the connection's wire protocol.
+
+        ``hello`` must be the very first request on a connection: once
+        any other request (or a previous hello) has been seen, switching
+        the response encoding mid-stream would corrupt concurrently
+        in-flight responses, so a late hello is a ``bad_request``.  The
+        acknowledgement always goes out in the *current* encoding; the
+        switch takes effect for the next request.
+        """
+        request_id = message.get("id")
+        wire = message.get("wire", "ndjson")
+        if wire not in WIRE_PROTOCOLS:
+            known = ", ".join(WIRE_PROTOCOLS)
+            error = f"unknown wire protocol {wire!r}; known: {known}"
+        elif wire == "binary" and self._wire_policy == "ndjson":
+            error = "binary wire is disabled on this server"
+        elif conn.negotiated or conn.requests_seen:
+            error = "hello must be the first request on a connection"
+        else:
+            await self._send(
+                writer, write_lock, conn.encode_ok(request_id, {"wire": wire})
+            )
+            conn.wire = wire
+            conn.negotiated = True
+            return
+        self.metrics.record_rejection("bad_request")
+        await self._send(
+            writer,
+            write_lock,
+            conn.encode_error(request_id, "bad_request", error),
+        )
 
     async def _serve_mutation(
         self,
         mutation,
         writer: "asyncio.StreamWriter",
         write_lock: "asyncio.Lock",
+        conn: _Connection,
     ) -> None:
         """Apply one mutation off the event loop and answer it.
 
@@ -434,11 +607,11 @@ class QueryServer:
                 self._log.warning(
                     "mutation.rejected", code=exc.code, error=exc.message
                 )
-                response = error_response(mutation.id, exc.code, exc.message)
+                response = conn.encode_error(mutation.id, exc.code, exc.message)
             except CircuitOpenError as exc:
                 self.metrics.record_rejection("unavailable")
                 self._log.warning("mutation.breaker_open", error=str(exc))
-                response = error_response(mutation.id, "unavailable", str(exc))
+                response = conn.encode_error(mutation.id, "unavailable", str(exc))
             except OSError as exc:
                 # The WAL/checkpoint write failed after (at most) a
                 # clean rewind: this op was not applied, and the server
@@ -448,21 +621,21 @@ class QueryServer:
                     self.compaction_breaker.record_failure()
                 self.metrics.record_rejection("unavailable")
                 self._log.error("mutation.unavailable", error=str(exc))
-                response = error_response(mutation.id, "unavailable", str(exc))
+                response = conn.encode_error(mutation.id, "unavailable", str(exc))
             except ValueError as exc:
                 self.metrics.record_rejection("bad_request")
                 self._log.warning("mutation.rejected", error=str(exc))
-                response = error_response(mutation.id, "bad_request", str(exc))
+                response = conn.encode_error(mutation.id, "bad_request", str(exc))
             except Exception as exc:  # defensive: never kill the connection
                 if maintenance:
                     self.compaction_breaker.record_failure()
                 self.metrics.record_rejection("internal")
                 self._log.error("mutation.failed", error=str(exc))
-                response = error_response(mutation.id, "internal", str(exc))
+                response = conn.encode_error(mutation.id, "internal", str(exc))
             else:
                 self._log.info("mutation.completed", op=mutation.op)
                 payload["correlation_id"] = cid
-                response = ok_response(mutation.id, payload)
+                response = conn.encode_ok(mutation.id, payload)
         await self._send(writer, write_lock, response)
 
     async def _serve_query(
@@ -470,6 +643,7 @@ class QueryServer:
         request,
         writer: "asyncio.StreamWriter",
         write_lock: "asyncio.Lock",
+        conn: _Connection,
     ) -> None:
         # The server owns correlation ids: every admitted query gets one,
         # stamped on log lines, the span tree and (if traced) the response.
@@ -499,14 +673,14 @@ class QueryServer:
                 self._log.warning(
                     "request.rejected", code=exc.code, message=exc.message
                 )
-                response = error_response(request.id, exc.code, exc.message)
+                response = conn.encode_error(request.id, exc.code, exc.message)
             except Exception as exc:  # defensive: never kill the connection task
                 self.metrics.record_rejection("internal")
                 self._log.error("request.failed", error=str(exc))
-                response = error_response(request.id, "internal", str(exc))
+                response = conn.encode_error(request.id, "internal", str(exc))
             else:
                 latency = time.monotonic() - started
-                self.metrics.record_completion(latency)
+                self.metrics.record_completion(latency, wire=conn.wire)
                 self._log.info(
                     "request.completed",
                     latency_ms=1000.0 * latency,
@@ -519,7 +693,7 @@ class QueryServer:
                 }
                 if tracer is not None:
                     payload["trace"] = tracer.to_dicts()
-                response = ok_response(request.id, payload)
+                response = conn.encode_ok(request.id, payload)
         await self._send(writer, write_lock, response)
 
     @staticmethod

@@ -66,7 +66,9 @@ class TestConnectionFaults:
         )
         with FaultProxy(handle.address, injector) as proxy:
             host, port = proxy.address
-            client = ServiceClient(host, port, socket_timeout=0.1)
+            client = ServiceClient(
+                host, port, socket_timeout=0.1, wire="ndjson"
+            )
             try:
                 with pytest.raises(OSError):
                     client.ping()  # the delayed response times out
@@ -77,6 +79,31 @@ class TestConnectionFaults:
                 assert client.reconnects == 1
             finally:
                 client.close()
+
+    def test_auto_negotiation_survives_a_faulty_hello(
+        self, live_server_factory
+    ):
+        handle, _ = live_server_factory()
+        injector = proxy_plan(
+            FaultSpec(site="proxy.s2c", kind="reset", after=1)
+        )
+        with FaultProxy(handle.address, injector) as proxy:
+            host, port = proxy.address
+            # wire="auto" (the default): the hello ack dies with the
+            # connection, so construction falls back to NDJSON on a
+            # fresh connection instead of raising.
+            with ServiceClient(host, port) as client:
+                assert client.wire == "ndjson"
+                assert client.ping()
+        # An explicit binary demand has no fallback: the same fault
+        # surfaces as a connection error from the constructor.
+        injector = proxy_plan(
+            FaultSpec(site="proxy.s2c", kind="reset", after=1)
+        )
+        with FaultProxy(handle.address, injector) as proxy:
+            host, port = proxy.address
+            with pytest.raises((OSError, ConnectionError)):
+                ServiceClient(host, port, wire="binary")
 
     def test_reset_mid_mutation_retries_exactly_once_applied(
         self, live_server_factory, base_db
@@ -92,7 +119,8 @@ class TestConnectionFaults:
         with FaultProxy(handle.address, injector) as proxy:
             host, port = proxy.address
             with ServiceClient(
-                host, port, retries=3, backoff_base=0.01, retry_seed=7
+                host, port, retries=3, backoff_base=0.01, retry_seed=7,
+                wire="ndjson",
             ) as client:
                 tid = client.insert([1, 2, 3])
                 assert client.retries_attempted == 1
@@ -114,7 +142,8 @@ class TestConnectionFaults:
         with FaultProxy(handle.address, injector) as proxy:
             host, port = proxy.address
             with ServiceClient(
-                host, port, retries=3, backoff_base=0.01, retry_seed=7
+                host, port, retries=3, backoff_base=0.01, retry_seed=7,
+                wire="ndjson",
             ) as client:
                 tid = client.insert([4, 5, 6])
         assert tid == size_before
@@ -133,7 +162,8 @@ class TestConnectionFaults:
         with FaultProxy(handle.address, injector) as proxy:
             host, port = proxy.address
             with ServiceClient(
-                host, port, retries=2, backoff_base=0.01, retry_seed=7
+                host, port, retries=2, backoff_base=0.01, retry_seed=7,
+                wire="ndjson",
             ) as client:
                 with pytest.raises((OSError, ConnectionError)):
                     client.ping()
@@ -301,7 +331,8 @@ class TestLoadAccounting:
         server, (host, port) = scripted_server(reject_first=10**9)
         queries = [[1, 2, 3], [4, 5]]
         result = run_load(
-            host, port, queries, concurrency=2, total_requests=6, retries=0
+            host, port, queries, concurrency=2, total_requests=6, retries=0,
+            wire="ndjson",
         )
         assert len(result.records) == 6
         assert result.rejected == 6 and result.completed == 0
@@ -316,7 +347,8 @@ class TestLoadAccounting:
         server, (host, port) = scripted_server(reject_first=3)
         queries = [[1, 2, 3]]
         result = run_load(
-            host, port, queries, concurrency=2, total_requests=6, retries=3
+            host, port, queries, concurrency=2, total_requests=6, retries=3,
+            wire="ndjson",
         )
         # Every logical request appears exactly once and ended ok.
         assert len(result.records) == 6
@@ -342,6 +374,7 @@ class TestLoadAccounting:
                 concurrency=1,
                 total_requests=8,
                 retries=3,
+                wire="ndjson",
             )
         assert len(result.records) == 8
         assert result.completed == 8

@@ -1,0 +1,217 @@
+"""Property tests for the packed bitset kernels (repro.core.kernels).
+
+The contract under test: every packed kernel is *exact* — popcounted
+intersection sizes, activation counts and whole-entry bound matrices must
+equal the scalar reference implementations element for element, for any
+universe size (including the >64-bit multi-word regime and the word
+boundaries 63/64/65), any transaction (including empty and all-items),
+and any partition.  The packed path is a drop-in replacement; there are
+no tolerance knobs to hide behind.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.bounds import (
+    BatchBoundCalculator,
+    optimistic_distance,
+    optimistic_matches,
+)
+from repro.core.engine import QueryEngine
+from repro.core.partitioning import partition_items
+from repro.core.search import SignatureTableSearcher
+from repro.core.signature import SignatureScheme
+from repro.core.similarity import MatchRatioSimilarity
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase
+
+#: Word-boundary universes plus a >4096 one (65 packed words).
+BOUNDARY_UNIVERSES = [63, 64, 65, 128, 4100]
+
+
+def random_rows(rng, count, universe_size, allow_empty=False):
+    """Random duplicate-free sorted item arrays over a universe."""
+    rows = []
+    low = 0 if allow_empty else 1
+    for _ in range(count):
+        size = int(rng.integers(low, max(low + 1, min(universe_size, 40))))
+        rows.append(
+            np.sort(rng.choice(universe_size, size=size, replace=False))
+        )
+    return rows
+
+
+def random_scheme(rng, universe_size, num_signatures, threshold=1):
+    """A random partition as a SignatureScheme (every signature occupied)."""
+    assignment = rng.integers(0, num_signatures, size=universe_size)
+    assignment[:num_signatures] = np.arange(num_signatures)
+    signatures = [
+        np.flatnonzero(assignment == sig).tolist()
+        for sig in range(num_signatures)
+    ]
+    return SignatureScheme(
+        signatures,
+        universe_size=universe_size,
+        activation_threshold=threshold,
+    )
+
+
+class TestPackingAndPopcount:
+    @given(seed=st.integers(0, 2**32 - 1), universe=st.sampled_from(BOUNDARY_UNIVERSES))
+    @settings(max_examples=40, deadline=None)
+    def test_match_counts_equal_set_intersection(self, seed, universe):
+        rng = np.random.default_rng(seed)
+        rows = random_rows(rng, 12, universe, allow_empty=True)
+        targets = random_rows(rng, 4, universe, allow_empty=True)
+        packed_db = kernels.pack_rows(rows, universe)
+        packed_targets = kernels.pack_rows(targets, universe)
+        got = kernels.match_counts_packed(packed_db, packed_targets)
+        for q, target in enumerate(targets):
+            target_set = set(target.tolist())
+            for i, row in enumerate(rows):
+                assert got[q, i] == len(target_set & set(row.tolist()))
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_multiword_universe_beyond_4096(self, seed):
+        rng = np.random.default_rng(seed)
+        universe = 4100  # 65 words: exercises the multi-word tail word
+        rows = random_rows(rng, 6, universe)
+        packed = kernels.pack_rows(rows, universe)
+        assert packed.shape == (6, kernels.num_words(universe))
+        counts = kernels.popcount(packed).sum(axis=-1)
+        for i, row in enumerate(rows):
+            assert counts[i] == row.size
+
+    @pytest.mark.parametrize("universe", BOUNDARY_UNIVERSES)
+    def test_empty_and_all_items_transactions(self, universe):
+        empty = np.array([], dtype=np.int64)
+        everything = np.arange(universe, dtype=np.int64)
+        packed = kernels.pack_rows([empty, everything], universe)
+        assert kernels.popcount(packed[0]).sum() == 0
+        assert kernels.popcount(packed[1]).sum() == universe
+        counts = kernels.match_counts_packed(packed, packed)
+        assert counts.tolist() == [[0, 0], [0, universe]]
+
+    @pytest.mark.parametrize("universe", BOUNDARY_UNIVERSES)
+    def test_word_boundary_single_bits(self, universe):
+        # Each single-item set must survive a pack/popcount round trip,
+        # including the last bit of a word and the first of the next.
+        for item in (0, 62, universe - 1):
+            packed = kernels.pack_items(
+                np.array([item], dtype=np.int64), universe
+            )
+            assert kernels.popcount(packed).sum() == 1
+
+    def test_out_of_universe_items_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.pack_rows([np.array([70], dtype=np.int64)], 64)
+        with pytest.raises(ValueError):
+            kernels.pack_rows([np.array([-1], dtype=np.int64)], 64)
+
+    @given(seed=st.integers(0, 2**32 - 1), universe=st.sampled_from(BOUNDARY_UNIVERSES))
+    @settings(max_examples=30, deadline=None)
+    def test_database_match_counts_batch_kernels_agree(self, seed, universe):
+        rng = np.random.default_rng(seed)
+        db = TransactionDatabase(
+            random_rows(rng, 15, universe), universe_size=universe
+        )
+        targets = random_rows(rng, 3, universe, allow_empty=True)
+        scalar = db.match_counts_batch(targets, kernel="python")
+        packed = db.match_counts_batch(targets, kernel="packed")
+        auto = db.match_counts_batch(targets, kernel="auto")
+        np.testing.assert_array_equal(scalar, packed)
+        np.testing.assert_array_equal(scalar, auto)
+        for q, target in enumerate(targets):
+            np.testing.assert_array_equal(scalar[q], db.match_counts(target))
+
+
+class TestActivationCountsAndBounds:
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        universe=st.sampled_from(BOUNDARY_UNIVERSES),
+        threshold=st.integers(1, 3),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_batch_activation_counts_match_scheme(
+        self, seed, universe, threshold
+    ):
+        rng = np.random.default_rng(seed)
+        scheme = random_scheme(rng, universe, 8, threshold)
+        targets = random_rows(rng, 5, universe, allow_empty=True)
+        got = kernels.batch_activation_counts(scheme, targets)
+        expected = np.stack(
+            [scheme.activation_counts(t) for t in targets]
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        universe=st.sampled_from([63, 64, 65, 200]),
+        threshold=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bound_matrices_match_scalar_reference(
+        self, seed, universe, threshold
+    ):
+        rng = np.random.default_rng(seed)
+        scheme = random_scheme(rng, universe, 6, threshold)
+        db = TransactionDatabase(
+            random_rows(rng, 25, universe), universe_size=universe
+        )
+        table = SignatureTable.build(db, scheme)
+        targets = random_rows(rng, 4, universe, allow_empty=True)
+        packed_counts = kernels.batch_activation_counts(scheme, targets)
+        calc = BatchBoundCalculator(
+            scheme, targets, activation_counts=packed_counts
+        )
+        m_opt, d_opt = calc.bounds(table.bits_matrix)
+        for q, target in enumerate(targets):
+            counts = scheme.activation_counts(target)
+            for e in range(table.bits_matrix.shape[0]):
+                bits = table.bits_matrix[e]
+                assert m_opt[q, e] == optimistic_matches(
+                    counts, bits, threshold
+                )
+                assert d_opt[q, e] == optimistic_distance(
+                    counts, bits, threshold
+                )
+
+
+class TestEndToEndEngineEquality:
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_packed_engine_equals_python_engine(self, seed):
+        rng = np.random.default_rng(seed)
+        universe = 80
+        db = TransactionDatabase(
+            random_rows(rng, 60, universe), universe_size=universe
+        )
+        scheme = partition_items(db, num_signatures=8, rng=int(seed % 1000))
+        table = SignatureTable.build(db, scheme)
+        searcher = SignatureTableSearcher(table, db)
+        targets = random_rows(rng, 6, universe)
+        similarity = MatchRatioSimilarity()
+        scalar = QueryEngine(searcher, kernel="python")
+        packed = QueryEngine(searcher, kernel="packed")
+        for k in (1, 5):
+            r1, s1 = scalar.knn_batch(targets, similarity, k=k, workers=1)
+            r2, s2 = packed.knn_batch(targets, similarity, k=k, workers=1)
+            assert r1 == r2
+            assert s1 == s2
+        r1, s1 = scalar.range_query_batch(targets, similarity, 0.3, workers=1)
+        r2, s2 = packed.range_query_batch(targets, similarity, 0.3, workers=1)
+        assert r1 == r2
+        assert s1 == s2
+
+    def test_resolve_kernel_env_override(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_ENV_VAR, raising=False)
+        assert kernels.resolve_kernel(None) == "packed"
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "python")
+        assert kernels.resolve_kernel(None) == "python"
+        assert kernels.resolve_kernel("packed") == "packed"
+        with pytest.raises(ValueError):
+            kernels.resolve_kernel("simd")

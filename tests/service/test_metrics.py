@@ -203,6 +203,51 @@ class TestRegistryExposition:
         assert samples[("repro_batch_size_count", ())] == 1.0
         assert samples[("repro_batch_size_sum", ())] == 4.0
 
+    def test_wire_labels_always_present_in_exposition(self):
+        """Both wire labels appear in the Prometheus text even before any
+        traffic — dashboards can rate() them from scrape one."""
+        from repro.obs.registry import parse_prometheus_text
+
+        metrics = ServiceMetrics()
+        samples = parse_prometheus_text(metrics.to_prometheus_text())
+        for wire in ("ndjson", "binary"):
+            label = (("wire", wire),)
+            assert samples[
+                ("repro_requests_completed_by_wire_total", label)
+            ] == 0.0
+            assert samples[
+                ("repro_request_latency_by_wire_seconds_count", label)
+            ] == 0.0
+
+    def test_completions_routed_to_their_wire_label(self):
+        from repro.obs.registry import parse_prometheus_text
+
+        metrics = ServiceMetrics()
+        metrics.record_completion(0.004, wire="binary")
+        metrics.record_completion(0.002, wire="binary")
+        metrics.record_completion(0.003, wire="ndjson")
+        metrics.record_completion(0.001)  # default wire is ndjson
+        metrics.record_completion(0.001, wire="smoke-signal")  # unknown
+        samples = parse_prometheus_text(metrics.to_prometheus_text())
+        binary = (("wire", "binary"),)
+        ndjson = (("wire", "ndjson"),)
+        assert samples[
+            ("repro_requests_completed_by_wire_total", binary)
+        ] == 2.0
+        assert samples[
+            ("repro_requests_completed_by_wire_total", ndjson)
+        ] == 3.0
+        assert samples[
+            ("repro_request_latency_by_wire_seconds_count", binary)
+        ] == 2.0
+        assert abs(
+            samples[("repro_request_latency_by_wire_seconds_sum", binary)]
+            - 0.006
+        ) < 1e-12
+        # The unlabeled totals still see every completion.
+        assert samples[("repro_requests_completed_total", ())] == 5.0
+        assert metrics.completed_by_wire() == {"ndjson": 3, "binary": 2}
+
     def test_unknown_rejection_code_maps_to_bad_request(self):
         metrics = ServiceMetrics()
         metrics.record_rejection("not_a_real_code")
