@@ -25,9 +25,16 @@ The subcommands cover the full life cycle without writing Python:
 * ``repro compact`` — fold a live index's delta and tombstones into a
   fresh base segment (``--repartition`` re-learns the partition first;
   prints the drift advisor's recommendation).
+* ``repro node`` — serve a live-index directory as one cluster shard
+  node (owner or warm replica, with synchronous WAL shipping between
+  them; see :mod:`repro.cluster`).
+* ``repro router`` — front the shard nodes with the consistent-hash
+  router: scatter-gather queries, routed mutations, probe-driven
+  failover, online rebalance.
 * ``repro client`` — talk to a running server: ping, stats, graceful
-  shutdown, a query file, a closed-loop load burst, or the mutation
-  ops (insert/delete/compact/checkpoint) against a live server.
+  shutdown, a query file, a closed-loop load burst, the mutation
+  ops (insert/delete/compact/checkpoint) against a live server, or
+  ``ring`` against a router.
 * ``repro metrics`` — fetch a running server's metric registry in
   Prometheus text or JSON exposition.
 
@@ -64,6 +71,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         seed=args.seed,
         num_items=args.num_items,
         num_patterns=args.num_patterns,
+        item_skew=args.skew,
     )
     started = time.perf_counter()
     db = generate(config)
@@ -433,6 +441,169 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(text: str) -> tuple:
+    host, sep, port = str(text).rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address must be HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _parse_shard_spec(text: str) -> tuple:
+    name, sep, address = str(text).partition("=")
+    if not sep or not name:
+        raise ValueError(f"shard spec must be NAME=HOST:PORT, got {text!r}")
+    return name, _parse_address(address)
+
+
+def _serve_forever(server, banner: str) -> None:
+    """Run an already-configured server until SIGINT/SIGTERM/shutdown."""
+    import asyncio
+    import signal
+
+    async def _serve() -> None:
+        host, port = await server.start()
+        print(banner.format(host=host, port=port), flush=True)
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    signum, lambda: loop.create_task(server.shutdown())
+                )
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.wait_shutdown()
+
+    asyncio.run(_serve())
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from repro.cluster import (
+        ClusterNodeServer,
+        ReplicatedLiveIndex,
+        WalShipper,
+    )
+    from repro.live import LiveIndex, LiveQueryEngine
+    from repro.obs import MetricRegistry
+
+    if args.replica and args.role != "owner":
+        raise ValueError(
+            "--replica names the owner's ship target; replica-role nodes "
+            "receive the stream instead"
+        )
+    registry = MetricRegistry()
+    index = LiveIndex.recover(args.directory, metrics_registry=registry)
+    live = index
+    if args.replica:
+        live = ReplicatedLiveIndex(
+            index, WalShipper(args.shard, _parse_address(args.replica))
+        )
+    index_info = {
+        "directory": args.directory,
+        "shard": args.shard,
+        "role": args.role,
+        **index.describe(),
+    }
+    index_info["universe_size"] = index.scheme.universe_size
+    server = ClusterNodeServer(
+        LiveQueryEngine(index),
+        shard=args.shard,
+        role=args.role,
+        host=args.host,
+        port=args.port,
+        live_index=live,
+        metrics_registry=registry,
+        index_info=index_info,
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        wire=args.wire,
+    )
+    replicated = f" -> replica {args.replica}" if args.replica else ""
+    try:
+        _serve_forever(
+            server,
+            f"cluster node shard={args.shard} role={args.role} serving "
+            f"{args.directory} ({index.num_transactions} transactions) on "
+            "{host}:{port}" + replicated,
+        )
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_router(args: argparse.Namespace) -> int:
+    from repro.cluster import ClusterRouter, RouterServer, ShardSpec
+
+    replicas = {}
+    for item in args.replica or []:
+        name, address = _parse_shard_spec(item)
+        replicas[name] = address
+    specs = []
+    for item in args.shard:
+        name, address = _parse_shard_spec(item)
+        specs.append(
+            ShardSpec(name, address, replica_address=replicas.pop(name, None))
+        )
+    if replicas:
+        raise ValueError(
+            f"--replica for unknown shards: {sorted(replicas)}"
+        )
+    router = ClusterRouter(
+        specs,
+        universe_size=args.universe_size,
+        vnodes=args.vnodes,
+        client_retries=args.retries,
+    )
+    # A fresh router has an empty tid directory, so rows already on a
+    # shard are invisible to it.  Count them as unmapped head-room (the
+    # scatter then stays exact for the rows the router *does* map) and
+    # tell the operator.
+    from repro.service.client import ServiceClient
+
+    for spec in specs:
+        try:
+            with ServiceClient(*spec.address, retries=1) as probe:
+                existing = int(probe.role().get("num_transactions", 0))
+        except Exception:
+            continue
+        if existing:
+            router.directory.record_physical(spec.name, existing - 1)
+            print(
+                f"warning: shard {spec.name} already holds {existing} "
+                "transactions the router cannot map; they stay invisible "
+                "to cluster queries",
+                file=sys.stderr,
+            )
+    if args.probe_interval is not None:
+        router.start_probes(
+            interval=args.probe_interval,
+            failure_threshold=args.probe_failures,
+        )
+    server = RouterServer(
+        router,
+        host=args.host,
+        port=args.port,
+        index_info={
+            "kind": "cluster_router",
+            "shards": [spec.name for spec in specs],
+        },
+        max_batch_size=args.max_batch_size,
+        max_wait_ms=args.max_wait_ms,
+        wire=args.wire,
+    )
+    shard_list = ", ".join(
+        spec.name + ("+replica" if spec.replica_address else "")
+        for spec in specs
+    )
+    try:
+        _serve_forever(
+            server,
+            f"cluster router over [{shard_list}] on " + "{host}:{port}",
+        )
+    finally:
+        router.close()
+    return 0
+
+
 def _cmd_ingest(args: argparse.Namespace) -> int:
     import os
 
@@ -599,6 +770,10 @@ def _run_client_action(args: argparse.Namespace) -> int:
     if args.action == "stats":
         with ServiceClient(args.host, args.port) as client:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "ring":
+        with ServiceClient(args.host, args.port) as client:
+            print(json.dumps(client.ring(), indent=2, sort_keys=True))
         return 0
     if args.action == "shutdown":
         with ServiceClient(args.host, args.port) as client:
@@ -769,6 +944,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--num-items", type=int, default=1000)
     p_gen.add_argument("--num-patterns", type=int, default=2000)
+    p_gen.add_argument(
+        "--skew",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="Zipf exponent skewing item popularity (0 = the paper's "
+        "uniform universe; try 1.0-2.0 for a hot-head catalogue)",
+    )
     p_gen.set_defaults(func=_cmd_generate)
 
     p_stats = subparsers.add_parser("stats", help="print dataset statistics")
@@ -1030,6 +1213,98 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.set_defaults(func=_cmd_serve)
 
+    p_node = subparsers.add_parser(
+        "node",
+        help="serve a live-index directory as one cluster shard node",
+    )
+    p_node.add_argument("directory", help="live-index directory "
+                        "(create with 'repro ingest DIR --init DATABASE')")
+    p_node.add_argument(
+        "--shard", required=True, help="shard name this node carries"
+    )
+    p_node.add_argument(
+        "--role",
+        choices=["owner", "replica"],
+        default="owner",
+        help="owner accepts routed mutations; replica only applies the "
+        "owner's WAL stream until promoted (default owner)",
+    )
+    p_node.add_argument(
+        "--replica",
+        default=None,
+        metavar="HOST:PORT",
+        help="owner-side: ship every WAL record to this replica node "
+        "before acknowledging (synchronous replication)",
+    )
+    p_node.add_argument("--host", default="127.0.0.1")
+    p_node.add_argument("--port", type=int, default=7807)
+    p_node.add_argument("--max-batch-size", type=int, default=32)
+    p_node.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_node.add_argument(
+        "--wire", choices=["auto", "ndjson"], default="auto"
+    )
+    p_node.set_defaults(func=_cmd_node)
+
+    p_router = subparsers.add_parser(
+        "router",
+        help="front a set of shard nodes with the consistent-hash router",
+    )
+    p_router.add_argument(
+        "--shard",
+        action="append",
+        required=True,
+        metavar="NAME=HOST:PORT",
+        help="one shard owner's address (repeat per shard)",
+    )
+    p_router.add_argument(
+        "--replica",
+        action="append",
+        default=None,
+        metavar="NAME=HOST:PORT",
+        help="a shard's warm-replica address, enabling probe-driven "
+        "failover for it (repeat per replicated shard)",
+    )
+    p_router.add_argument("--host", default="127.0.0.1")
+    p_router.add_argument("--port", type=int, default=7807)
+    p_router.add_argument(
+        "--universe-size",
+        type=int,
+        default=None,
+        help="item universe of the clustered dataset (introspection only)",
+    )
+    p_router.add_argument(
+        "--vnodes",
+        type=int,
+        default=64,
+        help="virtual nodes per shard on the hash ring (default 64)",
+    )
+    p_router.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="router->shard retry budget per forwarded request (default 3)",
+    )
+    p_router.add_argument(
+        "--probe-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="health-probe shard owners this often and fail over to their "
+        "replicas (default: probing off)",
+    )
+    p_router.add_argument(
+        "--probe-failures",
+        type=int,
+        default=2,
+        help="consecutive probe failures before promoting (default 2)",
+    )
+    p_router.add_argument("--max-batch-size", type=int, default=32)
+    p_router.add_argument("--max-wait-ms", type=float, default=2.0)
+    p_router.add_argument(
+        "--wire", choices=["auto", "ndjson"], default="auto"
+    )
+    p_router.set_defaults(func=_cmd_router)
+
     p_ingest = subparsers.add_parser(
         "ingest",
         help="create a live index and/or durably insert transactions",
@@ -1112,10 +1387,11 @@ def build_parser() -> argparse.ArgumentParser:
         "action",
         choices=[
             "ping", "health", "stats", "shutdown", "burst", "query",
-            "insert", "delete", "compact", "checkpoint",
+            "insert", "delete", "compact", "checkpoint", "ring",
         ],
         help="ping/health/stats/shutdown, a single 'query', a closed-loop "
-        "'burst' of queries, or a mutation against a live server",
+        "'burst' of queries, a mutation against a live server, or 'ring' "
+        "for a cluster router's topology",
     )
     p_client.add_argument(
         "--items",

@@ -1,0 +1,185 @@
+"""Synchronous WAL shipping from a shard owner to its warm replica.
+
+:class:`ReplicatedLiveIndex` wraps the owner's
+:class:`~repro.live.index.LiveIndex`.  Every mutation appends to the
+owner WAL as usual, then ships the newly appended CRC-framed record
+bytes (read back via :meth:`~repro.live.wal.WriteAheadLog.read_tail`)
+to the replica and waits for the ack **before** the mutation is
+acknowledged.  An acked mutation is therefore durable on both nodes —
+the zero-acked-loss invariant failover promotion relies on.
+
+A failed ship raises :class:`OSError`, which the serving layer already
+maps to degraded mode + ``unavailable`` (the same contract as a local
+WAL write failure): the mutation is *not* acked, and no further
+mutations are admitted until :meth:`ReplicatedLiveIndex.probe`
+succeeds.  The probe re-ships the pending tail first, which heals the
+one-record divergence a lost ack can leave (applied locally, never
+acked), so the replica catches up before the owner accepts new writes.
+
+:class:`ReplicaApplier` is the receiving half, owned by the replica
+node: it applies shipped records through the replica index's *public*
+``insert``/``delete`` with each record's idempotency key — so the
+replica's dedupe table mirrors the owner's, and a router retry after
+failover is answered exactly-once by the promoted replica.  Applies
+are gated by the owner's WAL seqnos: duplicates (re-shipped after a
+lost ack) are skipped, gaps are refused.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Tuple
+
+from repro.live.wal import OP_INSERT, OP_INSERT_KEYED, iter_records
+
+__all__ = ["ReplicatedLiveIndex", "ReplicaApplier"]
+
+
+class ReplicatedLiveIndex:
+    """A live index whose acks imply durability on owner *and* replica.
+
+    Parameters
+    ----------
+    index:
+        The owner's open :class:`~repro.live.index.LiveIndex`.
+    ship:
+        ``ship(wal_bytes) -> None`` delivering raw WAL record bytes to
+        the replica and raising on failure — normally a bound
+        ``lambda data: client.replicate(shard, data)`` over a
+        :class:`~repro.service.client.ServiceClient`.
+    """
+
+    def __init__(self, index, ship: Callable[[bytes], None]) -> None:
+        self._index = index
+        self._ship = ship
+        self._lock = threading.RLock()
+        self._offset = index.wal.tail_offset
+        #: Lifetime count of WAL bytes shipped (metrics hook).
+        self.bytes_shipped = 0
+        self.ship_failures = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def index(self):
+        """The wrapped owner index."""
+        return self._index
+
+    def _ship_tail(self) -> None:
+        """Ship every WAL byte appended since the last successful ship."""
+        try:
+            data, new_offset = self._index.wal.read_tail(self._offset)
+        except ValueError:
+            # The WAL was reset (checkpoint/compact) underneath the
+            # tracked offset; restart from the head.
+            self._offset = 0
+            data, new_offset = self._index.wal.read_tail(0)
+        if data:
+            try:
+                self._ship(data)
+            except OSError:
+                self.ship_failures += 1
+                raise
+            except Exception as exc:
+                self.ship_failures += 1
+                raise OSError(f"replication ship failed: {exc}") from exc
+            self.bytes_shipped += len(data)
+        self._offset = new_offset
+
+    # ------------------------------------------------------------------
+    # Mutations: apply locally, then ship before acking.
+    # ------------------------------------------------------------------
+    def insert(self, items, client_id=None, request_id=None) -> int:
+        with self._lock:
+            tid = self._index.insert(
+                items, client_id=client_id, request_id=request_id
+            )
+            self._ship_tail()
+            return tid
+
+    def delete(self, tid, client_id=None, request_id=None) -> None:
+        with self._lock:
+            self._index.delete(
+                tid, client_id=client_id, request_id=request_id
+            )
+            self._ship_tail()
+
+    def compact(self, repartition: bool = False):
+        # Drain the tail first so the replica holds everything the WAL
+        # is about to forget; the reset then restarts shipping at 0.
+        with self._lock:
+            self._ship_tail()
+            report = self._index.compact(repartition)
+            self._offset = self._index.wal.tail_offset
+            return report
+
+    def checkpoint(self) -> int:
+        with self._lock:
+            self._ship_tail()
+            applied = self._index.checkpoint()
+            self._offset = self._index.wal.tail_offset
+            return applied
+
+    def probe(self) -> bool:
+        """Durability probe: local WAL writable *and* replica reachable.
+
+        Re-ships any pending tail (healing divergence from a lost ack)
+        before declaring the write path healthy again.
+        """
+        with self._lock:
+            try:
+                self._ship_tail()
+            except OSError:
+                return False
+            return bool(self._index.probe())
+
+    # Reads and introspection delegate to the wrapped index.
+    def __getattr__(self, name):
+        return getattr(self._index, name)
+
+
+class ReplicaApplier:
+    """Applies shipped WAL records to a replica's live index, in order.
+
+    The first shipped record establishes the seqno baseline (owners may
+    have bootstrap history); after that, records at or below the last
+    applied seqno are skipped (duplicate ship after a lost ack) and any
+    skip *forward* is refused — a gap means lost records, and applying
+    past it would silently fork the replica.
+    """
+
+    def __init__(self, index) -> None:
+        self.index = index
+        self.source_seqno: Optional[int] = None
+        self._lock = threading.Lock()
+        self.records_applied = 0
+
+    def apply(self, data: bytes) -> Tuple[int, int]:
+        """Apply one shipped batch; returns ``(applied, last_seqno)``."""
+        applied = 0
+        with self._lock:
+            for record, _ in iter_records(bytes(data)):
+                last = self.source_seqno
+                if last is not None:
+                    if record.seqno <= last:
+                        continue  # duplicate of an already-applied record
+                    if record.seqno != last + 1:
+                        raise ValueError(
+                            f"replication gap: expected seqno {last + 1}, "
+                            f"got {record.seqno}"
+                        )
+                if record.op in (OP_INSERT, OP_INSERT_KEYED):
+                    self.index.insert(
+                        record.items,
+                        client_id=record.client_id,
+                        request_id=record.request_id,
+                    )
+                else:
+                    self.index.delete(
+                        record.logical_tid,
+                        client_id=record.client_id,
+                        request_id=record.request_id,
+                    )
+                self.source_seqno = record.seqno
+                applied += 1
+                self.records_applied += 1
+        return applied, int(self.source_seqno or 0)

@@ -1,0 +1,129 @@
+"""Consistent-hash ring assigning insert placements to shard owners.
+
+The router hashes each *newly inserted* transaction's global tid onto a
+ring of virtual nodes (``vnodes`` per shard, positions drawn from
+blake2b so they are stable across processes and Python hash
+randomisation).  The ring decides **placement at insert time only** —
+once a row lives on a shard the :class:`~repro.cluster.directory.\
+TidDirectory` is authoritative, so later tid shifts (deletes) never
+implicitly migrate data.
+
+Rebalance reassigns a deterministic prefix of a shard's vnodes to
+another shard (:meth:`HashRing.reassign`); the spans they cover then
+hash to the new owner, and the router moves the rows currently mapped
+into those spans (see :meth:`~repro.cluster.router.ClusterRouter.\
+rebalance`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["HashRing"]
+
+_SPACE_BITS = 64
+
+
+def _position(token: str) -> int:
+    """Stable 64-bit ring position for a vnode token."""
+    digest = hashlib.blake2b(token.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+def _key_position(key: int) -> int:
+    """Stable 64-bit ring position for a placement key (a global tid)."""
+    digest = hashlib.blake2b(
+        str(int(key)).encode("ascii"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing over named shards with virtual nodes.
+
+    Parameters
+    ----------
+    shards:
+        Initial shard names (order does not affect the mapping — only
+        the blake2b positions of each shard's vnode tokens do).
+    vnodes:
+        Virtual nodes per shard; more vnodes → smoother key spread and
+        finer-grained rebalance steps.
+    """
+
+    def __init__(self, shards: Sequence[str], vnodes: int = 64) -> None:
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = int(vnodes)
+        # position -> owning shard; positions collide with probability
+        # ~ (n_vnodes)^2 / 2^64, negligible, but keep first-writer-wins
+        # deterministic by inserting in sorted shard order.
+        self._owners: Dict[int, str] = {}
+        self._shards: List[str] = []
+        for shard in sorted(set(map(str, shards))):
+            self._add_shard(shard)
+        if not self._shards:
+            raise ValueError("ring needs at least one shard")
+        self._rebuild()
+
+    def _add_shard(self, shard: str) -> None:
+        self._shards.append(shard)
+        for v in range(self.vnodes):
+            pos = _position(f"{shard}:{v}")
+            self._owners.setdefault(pos, shard)
+
+    def _rebuild(self) -> None:
+        self._positions = sorted(self._owners)
+
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> Tuple[str, ...]:
+        """All shard names ever added, sorted."""
+        return tuple(sorted(self._shards))
+
+    def owner_of(self, key: int) -> str:
+        """The shard owning ``key`` (first vnode at/after its position)."""
+        pos = _key_position(key)
+        index = bisect.bisect_left(self._positions, pos)
+        if index == len(self._positions):
+            index = 0  # wrap around the ring
+        return self._owners[self._positions[index]]
+
+    def vnode_count(self, shard: str) -> int:
+        """Vnodes currently owned by ``shard``."""
+        return sum(1 for owner in self._owners.values() if owner == shard)
+
+    def reassign(self, source: str, target: str, fraction: float) -> int:
+        """Move ``fraction`` of ``source``'s vnodes to ``target``.
+
+        The moved vnodes are the lowest-positioned ones — a
+        deterministic choice, so every router computing the same
+        reassignment converges on the same ring.  ``target`` may be a
+        brand-new shard name.  Returns the number of vnodes moved.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        source, target = str(source), str(target)
+        owned = sorted(
+            pos for pos, owner in self._owners.items() if owner == source
+        )
+        if not owned:
+            raise ValueError(f"shard {source!r} owns no vnodes")
+        moved = max(1, int(round(fraction * len(owned))))
+        if target not in self._shards:
+            self._shards.append(target)
+        for pos in owned[:moved]:
+            self._owners[pos] = target
+        self._rebuild()
+        return moved
+
+    def describe(self) -> Dict[str, object]:
+        """Ring summary: vnode counts per shard plus the total."""
+        return {
+            "vnodes_total": len(self._positions),
+            "shards": {
+                shard: self.vnode_count(shard) for shard in self.shards
+            },
+        }

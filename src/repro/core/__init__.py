@@ -52,7 +52,11 @@ from repro.core.search import (
     SearchStats,
     SignatureTableSearcher,
 )
-from repro.core.sharded import ShardedSignatureIndex
+from repro.core.sharded import (
+    ShardedSignatureIndex,
+    merge_neighbor_lists,
+    merge_search_stats,
+)
 from repro.core.signature import SignatureScheme
 from repro.core.similarity import (
     ContainmentSimilarity,
@@ -93,6 +97,8 @@ __all__ = [
     "SignatureTable",
     "SignatureTableSearcher",
     "ShardedSignatureIndex",
+    "merge_neighbor_lists",
+    "merge_search_stats",
     "Neighbor",
     "QueryPlan",
     "PreparedQuery",

@@ -57,7 +57,7 @@ from repro.core.search import (
     SearchStats,
     SignatureTableSearcher,
 )
-from repro.core.sharded import ShardedSignatureIndex
+from repro.core.sharded import ShardedSignatureIndex, merge_neighbor_lists
 from repro.core.similarity import SimilarityFunction
 from repro.core.table import SignatureTable
 from repro.data.transaction import TransactionDatabase, as_item_array
@@ -808,8 +808,7 @@ class ShardedQueryEngine:
                     for nb in shard_results[q]
                 )
                 partials.append(shard_stats[q])
-            merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
-            results.append(merged[:k])
+            results.append(merge_neighbor_lists([merged], k=k))
             stats.append(self._index.merge_stats(partials))
         return results, stats
 
@@ -841,7 +840,6 @@ class ShardedQueryEngine:
                     for nb in shard_results[q]
                 )
                 partials.append(shard_stats[q])
-            merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
-            results.append(merged)
+            results.append(merge_neighbor_lists([merged]))
             stats.append(self._index.merge_stats(partials))
         return results, stats

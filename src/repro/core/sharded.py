@@ -35,6 +35,61 @@ from repro.data.transaction import TransactionDatabase
 from repro.utils.validation import check_positive
 
 
+def merge_neighbor_lists(
+    partials: Iterable[Iterable[Neighbor]],
+    k: Optional[int] = None,
+) -> List[Neighbor]:
+    """Merge per-shard neighbour lists into the global answer.
+
+    The deterministic total order ``(-similarity, tid)`` makes the merge
+    *exact*: as long as every transaction lives in exactly one shard (so
+    tids never collide), the merged list is byte-identical to running the
+    same query over a single index holding the union.  ``k`` truncates
+    to the global top-k (k-NN); ``None`` keeps everything (range).
+
+    This is the one merge rule every scatter-gather path in the codebase
+    shares — the in-process :class:`ShardedSignatureIndex`, the batched
+    :class:`~repro.core.engine.ShardedQueryEngine`, and the multi-node
+    :class:`~repro.cluster.router.ClusterRouter` — so a distributed
+    answer can be differentially tested against a single-node oracle.
+    """
+    merged: List[Neighbor] = []
+    for partial in partials:
+        merged.extend(partial)
+    merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
+    if k is not None:
+        del merged[k:]
+    return merged
+
+
+def merge_search_stats(
+    partials: Iterable[SearchStats], total_transactions: int
+) -> SearchStats:
+    """Combine per-shard :class:`SearchStats` into one global view.
+
+    Counters sum; ``guaranteed_optimal`` holds only when every shard
+    guarantees it; ``terminated_early`` is sticky; the best possible
+    remaining similarity is the max over shards.  ``total_transactions``
+    is supplied by the caller (the size of the union, which no single
+    shard knows).
+    """
+    merged = SearchStats(total_transactions=int(total_transactions))
+    merged.guaranteed_optimal = True
+    best_remaining = -np.inf
+    for stats in partials:
+        merged.transactions_accessed += stats.transactions_accessed
+        merged.entries_total += stats.entries_total
+        merged.entries_scanned += stats.entries_scanned
+        merged.entries_pruned += stats.entries_pruned
+        merged.entries_unexplored += stats.entries_unexplored
+        merged.terminated_early |= stats.terminated_early
+        merged.guaranteed_optimal &= stats.guaranteed_optimal
+        best_remaining = max(best_remaining, stats.best_possible_remaining)
+        merged.io.merge(stats.io)
+    merged.best_possible_remaining = best_remaining
+    return merged
+
+
 class ShardedSignatureIndex:
     """A set of per-shard signature tables behind one query interface.
 
@@ -126,21 +181,7 @@ class ShardedSignatureIndex:
     # ------------------------------------------------------------------
     def merge_stats(self, partials: Iterable[SearchStats]) -> SearchStats:
         """Combine per-shard :class:`SearchStats` into one global view."""
-        merged = SearchStats(total_transactions=len(self))
-        merged.guaranteed_optimal = True
-        best_remaining = -np.inf
-        for stats in partials:
-            merged.transactions_accessed += stats.transactions_accessed
-            merged.entries_total += stats.entries_total
-            merged.entries_scanned += stats.entries_scanned
-            merged.entries_pruned += stats.entries_pruned
-            merged.entries_unexplored += stats.entries_unexplored
-            merged.terminated_early |= stats.terminated_early
-            merged.guaranteed_optimal &= stats.guaranteed_optimal
-            best_remaining = max(best_remaining, stats.best_possible_remaining)
-            merged.io.merge(stats.io)
-        merged.best_possible_remaining = best_remaining
-        return merged
+        return merge_search_stats(partials, len(self))
 
     def knn(
         self,
@@ -168,8 +209,7 @@ class ShardedSignatureIndex:
                 for neighbor in neighbors
             )
             partials.append(stats)
-        merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
-        return merged[:k], self.merge_stats(partials)
+        return merge_neighbor_lists([merged], k=k), self.merge_stats(partials)
 
     def nearest(
         self,
@@ -198,5 +238,4 @@ class ShardedSignatureIndex:
                 for hit in hits
             )
             partials.append(stats)
-        results.sort(key=lambda nb: (-nb.similarity, nb.tid))
-        return results, self.merge_stats(partials)
+        return merge_neighbor_lists([results]), self.merge_stats(partials)

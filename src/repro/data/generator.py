@@ -77,6 +77,16 @@ class GeneratorConfig:
     spill_probability:
         Probability that a pattern that does not fit in the current
         transaction is moved to the next transaction (paper: one half).
+    item_skew:
+        Zipf exponent ``s`` skewing the item universe: item ``i`` (0-based
+        popularity rank) is drawn with probability proportional to
+        ``1 / (i + 1) ** s`` wherever the paper's generator draws an item
+        uniformly (initial patterns, fresh pattern fills, the
+        empty-transaction fallback).  ``0`` (the default) reproduces the
+        paper's uniform universe exactly; positive values concentrate
+        patterns on a hot head of the catalogue, which is what cluster
+        rebalance and skew-aware partitioning benches need (see
+        PAPERS.md: McCauley, Mikkelsen & Pagh).
     seed:
         Seed for the generator; the same config always produces the same
         database.
@@ -98,6 +108,7 @@ class GeneratorConfig:
     noise_mean: float = 0.5
     noise_std: float = math.sqrt(0.1)
     spill_probability: float = 0.5
+    item_skew: float = 0.0
     seed: Optional[int] = field(default=0)
     spec_suffix: Optional[str] = field(default=None, compare=False)
 
@@ -115,6 +126,7 @@ class GeneratorConfig:
         check_probability(self.carry_fraction, "carry_fraction")
         check_probability(self.spill_probability, "spill_probability")
         check_positive(self.noise_std, "noise_std", strict=False)
+        check_positive(self.item_skew, "item_skew", strict=False)
 
     def with_(self, **changes) -> "GeneratorConfig":
         """Return a copy of this config with the given fields replaced."""
@@ -193,6 +205,14 @@ class MarketBasketGenerator:
     def __init__(self, config: GeneratorConfig, rng: RngLike = None) -> None:
         self.config = config
         self._rng = ensure_rng(config.seed if rng is None else rng)
+        if config.item_skew > 0.0:
+            ranks = np.arange(1, config.num_items + 1, dtype=np.float64)
+            weights = ranks ** -config.item_skew
+            self._item_probabilities: Optional[np.ndarray] = (
+                weights / weights.sum()
+            )
+        else:
+            self._item_probabilities = None
         self._patterns = self._build_patterns()
         weights = self._rng.exponential(1.0, size=config.num_patterns)
         self._probabilities = weights / weights.sum()
@@ -217,6 +237,26 @@ class MarketBasketGenerator:
         """Per-pattern corruption levels ``n_I``."""
         return self._noise_levels.copy()
 
+    @property
+    def item_probabilities(self) -> Optional[np.ndarray]:
+        """Zipf pick probability per item rank, or ``None`` when uniform."""
+        if self._item_probabilities is None:
+            return None
+        return self._item_probabilities.copy()
+
+    def _draw_item(self, stream) -> int:
+        """Draw one item id: uniform, or Zipf when ``item_skew > 0``.
+
+        The uniform branch keeps the seed-stream consumption of the
+        original generator bit-for-bit, so ``item_skew=0`` databases are
+        byte-identical to those produced before the knob existed.
+        """
+        if self._item_probabilities is None:
+            return int(stream.integers(0, self.config.num_items))
+        return int(
+            stream.choice(self.config.num_items, p=self._item_probabilities)
+        )
+
     # ------------------------------------------------------------------
     def _build_patterns(self) -> List[np.ndarray]:
         config = self.config
@@ -230,7 +270,17 @@ class MarketBasketGenerator:
         for size in sizes:
             size = int(size)
             if previous is None:
-                chosen = rng.choice(config.num_items, size=size, replace=False)
+                if self._item_probabilities is None:
+                    chosen = rng.choice(
+                        config.num_items, size=size, replace=False
+                    )
+                else:
+                    chosen = rng.choice(
+                        config.num_items,
+                        size=size,
+                        replace=False,
+                        p=self._item_probabilities,
+                    )
             else:
                 num_carried = min(
                     int(round(size * config.carry_fraction)), previous.size
@@ -239,8 +289,7 @@ class MarketBasketGenerator:
                 pattern_set = set(int(i) for i in carried)
                 # Fill the remainder with fresh items not already chosen.
                 while len(pattern_set) < size:
-                    fresh = rng.integers(0, config.num_items)
-                    pattern_set.add(int(fresh))
+                    pattern_set.add(self._draw_item(rng))
                 chosen = np.fromiter(pattern_set, dtype=np.int64)
             pattern = np.unique(chosen.astype(np.int64))
             patterns.append(pattern)
@@ -322,7 +371,7 @@ class MarketBasketGenerator:
                 # Extremely unlikely (requires repeated full corruption);
                 # fall back to a single random item so the database never
                 # contains empty transactions.
-                current = {int(stream.integers(0, config.num_items))}
+                current = {self._draw_item(stream)}
             transactions.append(np.fromiter(current, dtype=np.int64))
 
         return TransactionDatabase(transactions, universe_size=config.num_items)

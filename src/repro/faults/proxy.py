@@ -66,6 +66,7 @@ class FaultProxy:
         self._listener.listen(32)
         self.address: Tuple[str, int] = self._listener.getsockname()[:2]
         self._closing = False
+        self._partitioned = False
         self._lock = threading.Lock()
         self._conns: List[Tuple[socket.socket, socket.socket]] = []
         #: Connections dropped by an injected reset/truncate.
@@ -82,6 +83,11 @@ class FaultProxy:
                 client, _ = self._listener.accept()
             except OSError:
                 return  # listener closed
+            if self._partitioned:
+                # Network partition: refuse the link outright, like a
+                # down network path — the peer sees a connection reset.
+                self._kill(client)
+                continue
             try:
                 server = socket.create_connection(self.upstream, timeout=10.0)
             except OSError:
@@ -120,6 +126,10 @@ class FaultProxy:
                 break
             if not chunk:
                 break
+            if self._partitioned:
+                self.connections_killed += 1
+                self._kill(source, sink)
+                return
             spec = self.injector.check(site) if self.injector else None
             if spec is not None:
                 if spec.kind == "delay":
@@ -147,6 +157,31 @@ class FaultProxy:
             sink.shutdown(socket.SHUT_WR)
         except OSError:
             pass
+
+    # ------------------------------------------------------------------
+    def partition(self) -> None:
+        """Sever the network path through this proxy.
+
+        Existing connections are dropped and new ones are refused until
+        :meth:`heal` — the cluster suite uses this to cut a node off
+        (health probes fail, failover promotes the replica) without
+        touching the node process itself.
+        """
+        self._partitioned = True
+        with self._lock:
+            conns, self._conns = self._conns, []
+        for client, server in conns:
+            self.connections_killed += 1
+            self._kill(client, server)
+
+    def heal(self) -> None:
+        """Restore the network path after :meth:`partition`."""
+        self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        """True while the path is severed."""
+        return self._partitioned
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -519,6 +519,48 @@ class WriteAheadLog:
         except OSError:
             return False
 
+    @property
+    def tail_offset(self) -> int:
+        """Byte offset just past the last fully-appended record.
+
+        Bytes in ``[0, tail_offset)`` are exactly the whole records this
+        log has acknowledged appending; anything past it is a torn tail
+        awaiting rewind.  This is the boundary replication tails read to.
+        """
+        return self._tail_offset
+
+    def read_tail(self, offset: int) -> Tuple[bytes, int]:
+        """Read the raw record bytes in ``[offset, tail_offset)``.
+
+        Returns ``(data, new_offset)`` where ``new_offset`` is the tail
+        offset the caller should resume from.  The returned bytes are a
+        whole number of encoded records as long as ``offset`` was itself
+        a record boundary previously returned by this method (or 0) and
+        no :meth:`reset` happened in between — replication callers hold
+        the index mutation lock across append + read, so both hold.
+
+        Raises ``ValueError`` when ``offset`` is past the current tail,
+        which is how a shipper detects a WAL reset (checkpoint or
+        compaction) and restarts from offset 0.
+        """
+        tail = self._tail_offset
+        if offset > tail:
+            raise ValueError(
+                f"WAL tail offset {offset} is past the current tail {tail}; "
+                "the log was reset (checkpoint/compaction) — restart from 0"
+            )
+        if offset == tail:
+            return b"", tail
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            data = handle.read(tail - offset)
+        if len(data) != tail - offset:
+            raise ValueError(
+                f"WAL {self.path!r} short read: wanted "
+                f"[{offset}, {tail}), got {len(data)} bytes"
+            )
+        return data, tail
+
     def reset(self) -> None:
         """Atomically truncate the log to empty (post-checkpoint).
 

@@ -16,6 +16,7 @@ verify byte-identical results against direct engine calls.
 
 from __future__ import annotations
 
+import base64
 import random
 import socket
 import threading
@@ -449,6 +450,61 @@ class ServiceClient:
     def shutdown(self) -> bool:
         """Ask the server to drain and exit gracefully."""
         return bool(self.request({"op": "shutdown"}).get("draining"))
+
+    # ------------------------------------------------------------------
+    # Cluster operations (see repro.cluster and docs/cluster.md)
+    # ------------------------------------------------------------------
+    def replicate(self, shard: str, wal_bytes: bytes) -> Dict[str, object]:
+        """Ship raw WAL record bytes to a replica node (cluster internal).
+
+        The payload travels as a dense ``FRAME_REPLICATE`` on a binary
+        connection and base64 inside JSON otherwise; either way the
+        replica applies the exact CRC-framed records the owner wrote.
+        Returns the replica's ack (``applied_seqno``, ``applied``).
+        """
+        message: Dict[str, object] = {
+            "op": "replicate",
+            "shard": str(shard),
+            "wal_b64": base64.b64encode(bytes(wal_bytes)).decode("ascii"),
+        }
+        return self.request(message)
+
+    def promote(self) -> Dict[str, object]:
+        """Promote a replica node to shard owner (cluster failover)."""
+        return self.request({"op": "promote"})
+
+    def role(self) -> Dict[str, object]:
+        """A cluster node's role report (``role``, ``shard``, seqnos)."""
+        return self.request({"op": "role"})
+
+    def rows(self, tids: Sequence[int]) -> List[List[int]]:
+        """Fetch raw transaction rows by node-local tid (cluster internal)."""
+        message = {"op": "rows", "tids": [int(t) for t in tids]}
+        return [list(map(int, row)) for row in self.request(message)["rows"]]
+
+    def ring(self) -> Dict[str, object]:
+        """The router's hash-ring and shard-topology description."""
+        response = dict(self.request({"op": "ring"}))
+        response.pop("id", None)
+        response.pop("ok", None)
+        return response
+
+    def rebalance(
+        self, source: str, target: str, fraction: float = 0.5
+    ) -> Dict[str, object]:
+        """Ask the router to move ``fraction`` of a shard's ring span —
+        and the rows hashed into it — from ``source`` to ``target``,
+        online.  Returns the move report (rows moved, ring state)."""
+        message: Dict[str, object] = {
+            "op": "rebalance",
+            "source": str(source),
+            "target": str(target),
+            "fraction": float(fraction),
+        }
+        response = dict(self.request(message))
+        response.pop("id", None)
+        response.pop("ok", None)
+        return response
 
 
 def wait_ready(

@@ -47,6 +47,8 @@ a struct/unicode/key error — the corruption fuzz suite
 
 from __future__ import annotations
 
+import base64
+import binascii
 import json
 import struct
 from typing import Dict, List, Optional, Tuple
@@ -67,9 +69,17 @@ FRAME_JSON = 1
 FRAME_QUERY = 2
 FRAME_RESULT = 3
 FRAME_ERROR = 4
+#: Raw WAL record stream shipped from a shard owner to its replica.
+FRAME_REPLICATE = 5
 
 #: Every frame type either side may legally send.
-FRAME_TYPES = (FRAME_JSON, FRAME_QUERY, FRAME_RESULT, FRAME_ERROR)
+FRAME_TYPES = (
+    FRAME_JSON,
+    FRAME_QUERY,
+    FRAME_RESULT,
+    FRAME_ERROR,
+    FRAME_REPLICATE,
+)
 
 # Query-frame layout pieces.
 _QUERY_FIXED = struct.Struct(">BqB")  # op, request id, flags
@@ -87,6 +97,7 @@ _FLAG_EARLY_TERMINATION = 1
 _FLAG_TIMEOUT = 2
 _FLAG_TRACE = 4
 _FLAG_SORT_SUPERCOORDINATE = 8
+_FLAG_CORRELATION = 16
 
 _OP_CODES = {"knn": 0, "range": 1}
 _OP_NAMES = {code: name for name, code in _OP_CODES.items()}
@@ -207,6 +218,13 @@ def encode_query(message: Dict[str, object]) -> bytes:
     if message.get("timeout_ms") is not None:
         flags |= _FLAG_TIMEOUT
         tail.append(_F64.pack(float(message["timeout_ms"])))
+    if message.get("correlation_id") is not None:
+        correlation = str(message["correlation_id"]).encode("utf-8")
+        if not 0 < len(correlation) <= 255:
+            raise ValueError("correlation_id too long for a binary frame")
+        flags |= _FLAG_CORRELATION
+        tail.append(_U8.pack(len(correlation)))
+        tail.append(correlation)
     if message.get("trace"):
         flags |= _FLAG_TRACE
     if op == "knn" and message.get("sort_by") == "supercoordinate":
@@ -259,6 +277,9 @@ def decode_query(payload: bytes) -> Dict[str, object]:
         (message["early_termination"],) = cursor.unpack(_F64)
     if flags & _FLAG_TIMEOUT:
         (message["timeout_ms"],) = cursor.unpack(_F64)
+    if flags & _FLAG_CORRELATION:
+        (cid_len,) = cursor.unpack(_U8)
+        message["correlation_id"] = _utf8(cursor.take(cid_len), "correlation id")
     if flags & _FLAG_TRACE:
         message["trace"] = True
     (num_items,) = cursor.unpack(_U32)
@@ -270,6 +291,49 @@ def decode_query(payload: bytes) -> Dict[str, object]:
     message["items"] = list(struct.unpack(f">{num_items}I", raw))
     cursor.finish()
     return message
+
+
+# ----------------------------------------------------------------------
+# Replicate frames (cluster WAL shipping)
+# ----------------------------------------------------------------------
+def encode_replicate(
+    request_id: int, shard: str, wal_bytes: bytes
+) -> bytes:
+    """Pack a WAL shipment into a REPLICATE payload.
+
+    The body after the shard name is the raw, already CRC-framed WAL
+    record stream from :meth:`repro.live.wal.WriteAheadLog.read_tail` —
+    reused verbatim so the replica applies exactly what the owner made
+    durable, with no re-encoding step that could diverge.
+    """
+    if not isinstance(request_id, int) or isinstance(request_id, bool):
+        raise ValueError("replicate frames need an integer id")
+    shard_utf8 = str(shard).encode("utf-8")
+    if not 0 < len(shard_utf8) <= 255:
+        raise ValueError("shard name must encode to 1..255 UTF-8 bytes")
+    return b"".join(
+        (
+            _I64.pack(request_id),
+            _U8.pack(len(shard_utf8)),
+            shard_utf8,
+            bytes(wal_bytes),
+        )
+    )
+
+
+def decode_replicate(payload: bytes) -> Dict[str, object]:
+    """Inverse of :func:`encode_replicate`.
+
+    Returns the request-shaped dict ``{"op": "replicate", "id": ...,
+    "shard": ..., "wal": <raw bytes>}``.  The ``wal`` value is *bytes*,
+    never JSON-serialised — this dict only travels server-internally.
+    """
+    cursor = _Cursor(payload)
+    (request_id,) = cursor.unpack(_I64)
+    (shard_len,) = cursor.unpack(_U8)
+    shard = _utf8(cursor.take(shard_len), "shard name")
+    wal = bytes(payload[cursor.offset :])
+    return {"op": "replicate", "id": request_id, "shard": shard, "wal": wal}
 
 
 # ----------------------------------------------------------------------
@@ -424,6 +488,8 @@ def decode_payload(frame_type: int, payload: bytes) -> Dict[str, object]:
         return decode_result(payload)
     if frame_type == FRAME_ERROR:
         return decode_error(payload)
+    if frame_type == FRAME_REPLICATE:
+        return decode_replicate(payload)
     if frame_type == FRAME_JSON:
         try:
             message = json.loads(_utf8(bytes(payload), "JSON frame"))
@@ -449,6 +515,25 @@ def encode_request_frame(message: Dict[str, object]) -> bytes:
             return encode_frame(FRAME_QUERY, encode_query(message))
         except (ValueError, TypeError, KeyError, struct.error):
             pass
+    if message.get("op") == "replicate":
+        wal = message.get("wal")
+        if wal is None and isinstance(message.get("wal_b64"), str):
+            try:
+                wal = base64.b64decode(message["wal_b64"])
+            except (binascii.Error, ValueError):
+                wal = None
+        if isinstance(wal, (bytes, bytearray, memoryview)):
+            try:
+                return encode_frame(
+                    FRAME_REPLICATE,
+                    encode_replicate(
+                        message.get("id"),
+                        str(message.get("shard", "")),
+                        bytes(wal),
+                    ),
+                )
+            except (ValueError, TypeError, struct.error):
+                pass
     return encode_frame(FRAME_JSON, json.dumps(message).encode("utf-8"))
 
 

@@ -74,6 +74,12 @@ QUERY_OPS = ("knn", "range")
 CONTROL_OPS = ("stats", "ping", "shutdown", "metrics", "health", "hello")
 MUTATION_OPS = ("insert", "delete", "compact", "checkpoint")
 
+#: Cluster operations (see :mod:`repro.cluster` and :doc:`docs/cluster`).
+#: A plain single-node server rejects them ``bad_request``; cluster
+#: nodes serve ``replicate``/``promote``/``role``/``rows``, the router
+#: serves ``ring``/``rebalance``.
+CLUSTER_OPS = ("replicate", "promote", "role", "rows", "ring", "rebalance")
+
 #: Wire protocols a connection can negotiate with the ``hello`` op.
 #: ``ndjson`` is the default and the differential oracle; ``binary`` is
 #: the length-prefixed frame protocol of :mod:`repro.service.frames`.
@@ -138,8 +144,8 @@ def validate_request(message: object) -> Dict[str, object]:
             f"request must be a JSON object, got {type(message).__name__}",
         )
     op = message.get("op")
-    if op not in QUERY_OPS + CONTROL_OPS + MUTATION_OPS:
-        known = ", ".join(QUERY_OPS + CONTROL_OPS + MUTATION_OPS)
+    if op not in QUERY_OPS + CONTROL_OPS + MUTATION_OPS + CLUSTER_OPS:
+        known = ", ".join(QUERY_OPS + CONTROL_OPS + MUTATION_OPS + CLUSTER_OPS)
         raise ProtocolError("bad_request", f"unknown op {op!r}; known: {known}")
     return message
 
@@ -180,6 +186,14 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
     trace = message.get("trace", False)
     if not isinstance(trace, bool):
         raise ProtocolError("bad_request", "trace must be a boolean")
+    correlation_id = message.get("correlation_id")
+    if correlation_id is not None and (
+        not isinstance(correlation_id, str)
+        or not 0 < len(correlation_id) <= 64
+    ):
+        raise ProtocolError(
+            "bad_request", "correlation_id must be a string of 1..64 chars"
+        )
     try:
         key = batch_key(
             op,
@@ -198,6 +212,7 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
         items=[int(i) for i in items],
         timeout_ms=None if timeout_ms is None else float(timeout_ms),
         trace=trace,
+        correlation_id=correlation_id,
     )
 
 
@@ -332,6 +347,29 @@ def encode_search_stats(stats: SearchStats) -> Dict[str, object]:
         "seeks": stats.io.seeks,
         "latency_ms": 1000.0 * stats.elapsed_seconds,
     }
+
+
+def decode_search_stats(payload: Dict[str, object]) -> SearchStats:
+    """Inverse of :func:`encode_search_stats` (best-effort).
+
+    Rebuilds a real :class:`~repro.core.search.SearchStats` from the
+    wire dict so scatter-gather callers (the cluster router) can merge
+    per-shard stats with the same code path the in-process engines use.
+    Fields the wire form does not carry (``entries_total``,
+    ``entries_unexplored``, ``best_possible_remaining``) keep their
+    defaults.
+    """
+    stats = SearchStats(total_transactions=int(payload.get("total_transactions", 0)))
+    stats.transactions_accessed = int(payload.get("transactions_accessed", 0))
+    stats.entries_scanned = int(payload.get("entries_scanned", 0))
+    stats.entries_pruned = int(payload.get("entries_pruned", 0))
+    stats.terminated_early = bool(payload.get("terminated_early", False))
+    guaranteed = payload.get("guaranteed_optimal", True)
+    stats.guaranteed_optimal = bool(True if guaranteed is None else guaranteed)
+    stats.io.pages_read = int(payload.get("pages_read", 0))
+    stats.io.seeks = int(payload.get("seeks", 0))
+    stats.elapsed_seconds = float(payload.get("latency_ms", 0.0)) / 1000.0
+    return stats
 
 
 def ok_response(

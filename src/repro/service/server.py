@@ -43,6 +43,7 @@ from repro.service.batcher import MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.resilience import CircuitBreaker, CircuitOpenError
 from repro.service.protocol import (
+    CLUSTER_OPS,
     METRICS_FORMATS,
     MUTATION_OPS,
     WIRE_PROTOCOLS,
@@ -134,6 +135,13 @@ class QueryServer:
         clients treat as "fall back to NDJSON" (see :doc:`docs/wire`).
         Every connection still starts in NDJSON mode either way.
     """
+
+    #: Frame types a client may legally send; cluster subclasses widen
+    #: this (shard owners additionally accept ``FRAME_REPLICATE``).
+    REQUEST_FRAME_TYPES: Tuple[int, ...] = (
+        frames.FRAME_JSON,
+        frames.FRAME_QUERY,
+    )
 
     def __init__(
         self,
@@ -315,7 +323,7 @@ class QueryServer:
             return False
         try:
             frame_type, length = frames.decode_header(header)
-            if frame_type not in (frames.FRAME_JSON, frames.FRAME_QUERY):
+            if frame_type not in self.REQUEST_FRAME_TYPES:
                 raise frames.FrameError(
                     f"frame type {frame_type} is not a request frame"
                 )
@@ -449,6 +457,23 @@ class QueryServer:
                 self.shutdown()
             )
             return
+        if op in CLUSTER_OPS:
+            handled = await self._dispatch_cluster(
+                message, writer, write_lock, conn
+            )
+            if not handled:
+                self.metrics.record_rejection("bad_request")
+                await self._send(
+                    writer,
+                    write_lock,
+                    conn.encode_error(
+                        request_id,
+                        "bad_request",
+                        f"op {op!r} requires a cluster node or router "
+                        "(see repro.cluster)",
+                    ),
+                )
+            return
         if op in MUTATION_OPS:
             try:
                 if self._shutdown_started:
@@ -494,6 +519,22 @@ class QueryServer:
         )
         self._request_tasks.add(task)
         task.add_done_callback(self._request_tasks.discard)
+
+    async def _dispatch_cluster(
+        self,
+        message,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+        conn: _Connection,
+    ) -> bool:
+        """Hook for :data:`CLUSTER_OPS`; True when the op was served.
+
+        The base server implements none of them — subclasses in
+        :mod:`repro.cluster` override this (nodes serve ``replicate`` /
+        ``promote`` / ``role`` / ``rows``, the router serves ``ring`` /
+        ``rebalance``).
+        """
+        return False
 
     async def _handle_hello(
         self,
@@ -646,8 +687,11 @@ class QueryServer:
         conn: _Connection,
     ) -> None:
         # The server owns correlation ids: every admitted query gets one,
-        # stamped on log lines, the span tree and (if traced) the response.
-        cid = uuid.uuid4().hex[:16]
+        # stamped on log lines, the span tree and (if traced) the
+        # response.  A client-supplied id (the cluster router stamping
+        # its own cid on fan-out sub-queries so traces correlate across
+        # nodes) is honoured instead of minting a fresh one.
+        cid = request.correlation_id or uuid.uuid4().hex[:16]
         request = dataclasses.replace(request, correlation_id=cid)
         tracer = Tracer(correlation_id=cid) if request.trace else None
         started = time.monotonic()
@@ -722,9 +766,10 @@ class BackgroundServer:
     the server down remotely).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, server_cls=None) -> None:
         self.address: Optional[Tuple[str, int]] = None
         self.server: Optional[QueryServer] = None
+        self._server_cls = server_cls if server_cls is not None else QueryServer
         self._loop: Optional["asyncio.AbstractEventLoop"] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
@@ -732,7 +777,7 @@ class BackgroundServer:
 
     async def _amain(self, engine, options: Dict[str, object]) -> None:
         try:
-            self.server = QueryServer(engine, **options)
+            self.server = self._server_cls(engine, **options)
             self.address = await self.server.start()
             self._loop = asyncio.get_running_loop()
         except BaseException as exc:
@@ -773,14 +818,15 @@ class BackgroundServer:
         self.stop()
 
 
-def serve_in_background(engine, **options) -> BackgroundServer:
+def serve_in_background(engine, server_cls=None, **options) -> BackgroundServer:
     """Start a :class:`QueryServer` in a daemon thread; returns its handle.
 
     Blocks until the listening socket is bound, so ``handle.address`` is
     immediately usable.  Keyword options are passed through to
-    :class:`QueryServer`.
+    ``server_cls`` (default :class:`QueryServer`; the cluster harness
+    passes its node/router subclasses).
     """
-    handle = BackgroundServer()
+    handle = BackgroundServer(server_cls=server_cls)
     thread = threading.Thread(
         target=handle._run,
         args=(engine, options),

@@ -1,0 +1,39 @@
+"""Shared fixtures for the cluster suites.
+
+Small seeded datasets (tens of rows over a ~40-item universe) keep each
+multi-node harness cheap — every test stands up real background servers
+per shard plus the router, so dataset size dominates nothing but the
+oracle build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import partition_items
+from repro.data.transaction import TransactionDatabase
+
+UNIVERSE = 40
+
+
+def random_transaction(rng, universe=UNIVERSE, low=2, high=7):
+    size = int(rng.integers(low, high))
+    return [int(i) for i in np.sort(rng.choice(universe, size=size, replace=False))]
+
+
+@pytest.fixture(scope="session")
+def cluster_db():
+    rng = np.random.default_rng(77)
+    return TransactionDatabase(
+        [random_transaction(rng) for _ in range(48)], universe_size=UNIVERSE
+    )
+
+
+@pytest.fixture(scope="session")
+def cluster_scheme(cluster_db):
+    return partition_items(cluster_db, num_signatures=4, rng=0)
+
+
+@pytest.fixture(scope="session")
+def cluster_queries():
+    rng = np.random.default_rng(1234)
+    return [random_transaction(rng) for _ in range(12)]

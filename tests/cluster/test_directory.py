@@ -1,0 +1,198 @@
+"""Unit + model tests for the global-tid directory."""
+
+import random
+
+import pytest
+
+from repro.cluster.directory import TidDirectory
+
+pytestmark = pytest.mark.cluster
+
+
+class TestBasics:
+    def test_assign_appends_global_tids(self):
+        d = TidDirectory(["a", "b"])
+        assert d.assign("a", 0) == 0
+        assert d.assign("b", 0) == 1
+        assert d.assign("a", 1) == 2
+        assert len(d) == 3
+        assert d.lookup(1) == ("b", 0)
+        assert d.unmapped == 0
+
+    def test_lookup_out_of_range(self):
+        d = TidDirectory(["a"])
+        with pytest.raises(ValueError):
+            d.lookup(0)
+        d.assign("a", 0)
+        with pytest.raises(ValueError):
+            d.lookup(1)
+        with pytest.raises(ValueError):
+            d.lookup(-1)
+
+    def test_remove_shifts_globals_and_locals(self):
+        d = TidDirectory(["a", "b"])
+        for shard, local in [("a", 0), ("b", 0), ("a", 1), ("a", 2)]:
+            d.assign(shard, local)
+        assert d.remove(0) == ("a", 0)
+        # Global tids shifted down; shard-a locals above 0 shifted too.
+        assert d.lookup(0) == ("b", 0)
+        assert d.lookup(1) == ("a", 0)
+        assert d.lookup(2) == ("a", 1)
+        assert d.physical_count("a") == 2
+
+    def test_ghost_rows_stay_unmapped(self):
+        d = TidDirectory(["a"])
+        d.assign("a", 0)
+        d.record_physical("a", 1)  # applied on the node, ack lost
+        assert d.unmapped == 1
+        assert d.mapped_count("a") == 1
+        # A keyed retry maps the ghost in place at its node-returned tid.
+        g = d.assign("a", 1)
+        assert d.unmapped == 0
+        assert d.lookup(g) == ("a", 1)
+
+    def test_assign_heals_physical_count(self):
+        d = TidDirectory(["a"])
+        d.assign("a", 3)  # node had rows the directory never saw acked
+        assert d.physical_count("a") == 4
+        assert d.unmapped == 3
+
+    def test_preload(self):
+        d = TidDirectory(["a", "b"])
+        d.preload([("a", 0), ("b", 0), ("a", 1)])
+        assert len(d) == 3
+        assert d.lookup(2) == ("a", 1)
+        assert d.per_shard_counts() == {
+            "a": {"mapped": 2, "physical": 2},
+            "b": {"mapped": 1, "physical": 1},
+        }
+        with pytest.raises(ValueError):
+            d.preload([("a", 0)])  # not empty any more
+
+    def test_preload_unknown_shard(self):
+        d = TidDirectory(["a"])
+        with pytest.raises(ValueError):
+            d.preload([("zz", 0)])
+
+
+class TestTwoPhaseMove:
+    def test_copy_flip_delete(self):
+        d = TidDirectory(["a", "b"])
+        g = d.assign("a", 0)
+        d.assign("b", 0)
+        expected = d.begin_copy("b")
+        assert expected == 1
+        assert d.unmapped == 1  # copy counted but invisible
+        old = d.commit_move(g, "b", expected)
+        assert old == ("a", 0)
+        assert d.lookup(g) == ("b", 1)
+        assert d.unmapped == 1  # stale source copy now the unmapped one
+        d.end_move(*old)
+        assert d.unmapped == 0
+        assert d.physical_count("a") == 0
+
+    def test_end_move_shifts_source_locals(self):
+        d = TidDirectory(["a", "b"])
+        g0 = d.assign("a", 0)
+        g1 = d.assign("a", 1)
+        target_local = d.begin_copy("b")
+        d.commit_move(g0, "b", target_local)
+        d.end_move("a", 0)
+        # The remaining shard-a row slid down to local 0.
+        assert d.lookup(g1) == ("a", 0)
+
+    def test_cancel_copy_releases_reservation(self):
+        d = TidDirectory(["a"])
+        d.assign("a", 0)
+        d.begin_copy("a")
+        assert d.unmapped == 1
+        d.cancel_copy("a")
+        assert d.unmapped == 0
+
+
+class TestReverseMaps:
+    def test_reverse_maps_mark_unmapped(self):
+        d = TidDirectory(["a", "b"])
+        d.assign("a", 0)
+        d.assign("b", 0)
+        d.begin_copy("a")
+        maps = d.reverse_maps()
+        assert maps["a"].tolist() == [0, -1]
+        assert maps["b"].tolist() == [1]
+
+    def test_cache_invalidation_on_mutation(self):
+        d = TidDirectory(["a"])
+        d.assign("a", 0)
+        first = d.reverse_maps()
+        assert d.reverse_maps() is first  # version-cached
+        d.assign("a", 1)
+        assert d.reverse_maps() is not first
+        assert d.reverse_maps()["a"].tolist() == [0, 1]
+
+
+class TestModel:
+    """Randomised ops vs a plain-list reference model."""
+
+    @pytest.mark.parametrize("seed", [0, 7, 23])
+    def test_random_assign_remove_matches_model(self, seed):
+        rng = random.Random(seed)
+        shards = ["a", "b", "c"]
+        d = TidDirectory(shards)
+        # model[g] = (shard, payload); per-shard rows are payload lists
+        model = []
+        node_rows = {s: [] for s in shards}
+        payload = 0
+        for _ in range(300):
+            if rng.random() < 0.65 or not model:
+                shard = rng.choice(shards)
+                local = len(node_rows[shard])
+                node_rows[shard].append(payload)
+                g = d.assign(shard, local)
+                assert g == len(model)
+                model.append((shard, payload))
+                payload += 1
+            else:
+                g = rng.randrange(len(model))
+                shard, local = d.lookup(g)
+                assert node_rows[shard][local] == model[g][1]
+                removed = d.remove(g)
+                assert removed == (shard, local)
+                node_rows[shard].pop(local)
+                model.pop(g)
+            assert len(d) == len(model)
+            assert d.unmapped == 0
+        # Terminal check: every mapped global tid resolves to its payload.
+        for g, (shard, value) in enumerate(model):
+            mapped_shard, local = d.lookup(g)
+            assert mapped_shard == shard
+            assert node_rows[mapped_shard][local] == value
+        for shard in shards:
+            assert d.physical_count(shard) == len(node_rows[shard])
+
+    @pytest.mark.parametrize("seed", [3, 19])
+    def test_random_moves_preserve_resolution(self, seed):
+        rng = random.Random(seed)
+        shards = ["a", "b"]
+        d = TidDirectory(shards)
+        model = []
+        node_rows = {s: [] for s in shards}
+        for payload in range(40):
+            shard = rng.choice(shards)
+            node_rows[shard].append(payload)
+            d.assign(shard, len(node_rows[shard]) - 1)
+            model.append(payload)
+        for _ in range(60):
+            g = rng.randrange(len(model))
+            source, source_local = d.lookup(g)
+            target = "b" if source == "a" else "a"
+            target_local = d.begin_copy(target)
+            node_rows[target].append(node_rows[source][source_local])
+            assert target_local == len(node_rows[target]) - 1
+            old = d.commit_move(g, target, target_local)
+            assert old == (source, source_local)
+            node_rows[source].pop(source_local)
+            d.end_move(source, source_local)
+            assert d.unmapped == 0
+        for g, value in enumerate(model):
+            shard, local = d.lookup(g)
+            assert node_rows[shard][local] == value

@@ -1,0 +1,88 @@
+"""Unit tests for the consistent-hash ring."""
+
+import pytest
+
+from repro.cluster.ring import HashRing
+
+pytestmark = pytest.mark.cluster
+
+
+class TestConstruction:
+    def test_deterministic_across_instances(self):
+        a = HashRing(["s0", "s1", "s2"], vnodes=32)
+        b = HashRing(["s2", "s1", "s0"], vnodes=32)  # order must not matter
+        assert [a.owner_of(k) for k in range(500)] == [
+            b.owner_of(k) for k in range(500)
+        ]
+
+    def test_all_shards_reachable(self):
+        ring = HashRing(["s0", "s1", "s2"], vnodes=64)
+        owners = {ring.owner_of(k) for k in range(2000)}
+        assert owners == {"s0", "s1", "s2"}
+
+    def test_vnode_counts_sum_to_total(self):
+        ring = HashRing(["a", "b"], vnodes=16)
+        described = ring.describe()
+        assert described["vnodes_total"] == 32
+        assert sum(described["shards"].values()) == 32
+        assert ring.vnode_count("a") == 16
+
+    def test_rejects_empty_and_bad_vnodes(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["s0"], vnodes=0)
+
+
+class TestReassign:
+    def test_moves_only_source_vnodes(self):
+        ring = HashRing(["s0", "s1"], vnodes=32)
+        before_s1 = ring.vnode_count("s1")
+        moved = ring.reassign("s0", "s1", 0.5)
+        assert moved == 16
+        assert ring.vnode_count("s0") == 16
+        assert ring.vnode_count("s1") == before_s1 + 16
+
+    def test_key_stability_under_reassign(self):
+        """A key only changes owner if it moves source -> target."""
+        ring = HashRing(["s0", "s1", "s2"], vnodes=32)
+        before = {k: ring.owner_of(k) for k in range(1000)}
+        ring.reassign("s0", "s2", 0.5)
+        for k, owner in before.items():
+            after = ring.owner_of(k)
+            if after != owner:
+                assert owner == "s0" and after == "s2"
+
+    def test_reassign_is_deterministic(self):
+        a = HashRing(["s0", "s1"], vnodes=32)
+        b = HashRing(["s1", "s0"], vnodes=32)
+        a.reassign("s0", "s1", 0.25)
+        b.reassign("s0", "s1", 0.25)
+        assert [a.owner_of(k) for k in range(500)] == [
+            b.owner_of(k) for k in range(500)
+        ]
+
+    def test_reassign_to_new_shard(self):
+        ring = HashRing(["s0"], vnodes=16)
+        moved = ring.reassign("s0", "s1", 0.5)
+        assert moved == 8
+        assert "s1" in ring.shards
+        assert {ring.owner_of(k) for k in range(2000)} == {"s0", "s1"}
+
+    def test_full_drain(self):
+        ring = HashRing(["s0", "s1"], vnodes=8)
+        ring.reassign("s0", "s1", 1.0)
+        assert ring.vnode_count("s0") == 0
+        assert {ring.owner_of(k) for k in range(200)} == {"s1"}
+        with pytest.raises(ValueError):
+            ring.reassign("s0", "s1", 0.5)  # nothing left to move
+
+    def test_small_fraction_moves_at_least_one(self):
+        ring = HashRing(["s0", "s1"], vnodes=16)
+        assert ring.reassign("s0", "s1", 0.001) == 1
+
+    def test_bad_fraction_rejected(self):
+        ring = HashRing(["s0", "s1"], vnodes=8)
+        for fraction in (0.0, -0.5, 1.5):
+            with pytest.raises(ValueError):
+                ring.reassign("s0", "s1", fraction)

@@ -195,3 +195,58 @@ class TestGenerateConvenience:
     def test_bad_type_rejected(self):
         with pytest.raises(TypeError):
             generate(123)
+
+
+class TestItemSkew:
+    """The Zipf ``item_skew`` knob (cluster/rebalance benchmark datasets)."""
+
+    def _frequencies(self, skew):
+        db = generate(
+            "T8.I4.D600",
+            seed=13,
+            num_items=100,
+            num_patterns=60,
+            item_skew=skew,
+        )
+        counts = np.zeros(100)
+        for tid in range(len(db)):
+            for item in db[tid]:
+                counts[item] += 1
+        return counts / counts.sum()
+
+    def test_zero_skew_is_byte_identical_to_default(self):
+        plain = generate("T6.I3.D300", seed=4, num_items=80, num_patterns=40)
+        zeroed = generate(
+            "T6.I3.D300", seed=4, num_items=80, num_patterns=40, item_skew=0.0
+        )
+        assert plain == zeroed
+
+    def test_positive_skew_concentrates_head_items(self):
+        uniform = self._frequencies(0.0)
+        skewed = self._frequencies(2.0)
+        head = slice(0, 10)  # lowest ids = highest Zipf rank
+        assert skewed[head].sum() > 2 * uniform[head].sum()
+
+    def test_skew_is_deterministic(self):
+        kwargs = dict(seed=9, num_items=60, num_patterns=30, item_skew=1.5)
+        assert generate("T5.I3.D150", **kwargs) == generate(
+            "T5.I3.D150", **kwargs
+        )
+
+    def test_item_probabilities_property(self):
+        config = GeneratorConfig(
+            num_transactions=10, num_items=5, num_patterns=4, item_skew=1.0
+        )
+        probs = MarketBasketGenerator(config).item_probabilities
+        assert probs is not None
+        assert probs.sum() == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(probs, probs[1:]))
+        uniform = MarketBasketGenerator(config.with_(item_skew=0.0))
+        assert uniform.item_probabilities is None
+
+    def test_negative_skew_rejected(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(
+                num_transactions=10, num_items=5, num_patterns=4,
+                item_skew=-0.5,
+            )
