@@ -11,10 +11,22 @@ Times the same batched k-NN workload three ways:
 * ``enabled`` — a :class:`~repro.obs.trace.Tracer` activated around
   every batch, recording the full span tree.
 
-The acceptance bar is on the *disabled* path: best-of-reps wall time
-within ``5%`` of the stubbed baseline (reported as ``overhead %``).  The
-enabled path is reported for context but carries no bar — paying for
-spans when you ask for them is the deal.
+A second section runs the same queries through a live two-shard
+:class:`~repro.cluster.harness.ClusterHarness` with distributed tracing
+off and on (``cluster-off`` / ``cluster-traced``), so the cost of
+cross-process trace propagation and span stitching is measured against
+the untraced router path it must not distort.
+
+Each timing is reported as a best-of-N point estimate *plus* the
+per-rep interval ``[min, max]`` — a bare number hides how noisy the
+measurement was.  The acceptance bar is on the *disabled* path: best-of
+wall time within ``5%`` of the stubbed baseline.  The enforced
+statistic is clamped at zero: a rep where noise made the instrumented
+run *faster* than the baseline is evidence of nothing, and letting a
+negative overhead stand would let it mask a real regression (or be
+quoted as headroom that does not exist).  The enabled and
+cluster-traced paths are reported for context but carry no bar —
+paying for spans when you ask for them is the deal.
 
 Runs two ways:
 
@@ -22,11 +34,13 @@ Runs two ways:
   (``pytest benchmarks/bench_obs_overhead.py``);
 * as a standalone script — ``python benchmarks/bench_obs_overhead.py``
   (full scale) or ``--quick`` (CI smoke: small dataset, reports but does
-  not enforce the bar, seconds of runtime).
+  not enforce the bar, seconds of runtime).  ``--no-cluster`` skips the
+  cluster section (e.g. on machines where spawning servers is slow).
 """
 
 import argparse
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -43,11 +57,11 @@ from repro.obs.trace import NOOP_SPAN, Tracer
 
 FULL = dict(
     spec="T10.I6.D10K", num_items=500, num_patterns=400,
-    signatures=10, batch=64, k=10, reps=7,
+    signatures=10, batch=64, k=10, reps=7, cluster_queries=48,
 )
 QUICK = dict(
     spec="T5.I3.D2K", num_items=200, num_patterns=120,
-    signatures=8, batch=24, k=8, reps=3,
+    signatures=8, batch=24, k=8, reps=3, cluster_queries=12,
 )
 
 #: Maximum tolerated disabled-path overhead over the stubbed baseline.
@@ -64,7 +78,7 @@ def build_engine(cfg):
     )
     table = repro.SignatureTable.build(db, scheme)
     searcher = repro.SignatureTableSearcher(table, db)
-    return QueryEngine(searcher), db
+    return QueryEngine(searcher), db, scheme
 
 
 def install_stubs():
@@ -99,10 +113,18 @@ def install_stubs():
     return restore
 
 
-def run(quick: bool = False):
-    """Execute the benchmark; returns (table, overhead_percent)."""
+def _interval(per_rep):
+    return f"[{min(per_rep):+.2f}, {max(per_rep):+.2f}]"
+
+
+def run(quick: bool = False, cluster: bool = True):
+    """Execute the benchmark; returns (table, enforced_overhead_percent).
+
+    The enforced overhead is the disabled-vs-stubbed best-of-N delta
+    clamped at zero — the number the bar is applied to.
+    """
     cfg = QUICK if quick else FULL
-    engine, db = build_engine(cfg)
+    engine, db, scheme = build_engine(cfg)
     similarity = MatchRatioSimilarity()
     key = batch_key("knn", similarity, k=cfg["k"], sort_by="optimistic")
     queries = [sorted(db[tid]) for tid in range(cfg["batch"])]
@@ -137,17 +159,32 @@ def run(quick: bool = False):
         mode: 100.0 * (best[mode] - best["stubbed"]) / best["stubbed"]
         for mode in ("disabled", "enabled")
     }
+    # Per-rep overheads against the rep's own interleaved baseline: the
+    # spread is the honest error bar on the point estimate above.
+    per_rep = {
+        mode: [
+            100.0 * (m - s) / s
+            for m, s in zip(times[mode], times["stubbed"])
+        ]
+        for mode in ("disabled", "enabled")
+    }
+    enforced = max(0.0, overhead["disabled"])
 
     table = ExperimentTable(
         title="Observability overhead on the batched k-NN workload",
-        columns=["mode", "best ms", "queries/sec", "overhead %"],
+        columns=[
+            "mode", "best ms", "queries/sec", "overhead %", "interval %",
+        ],
         notes=[
             f"spec={cfg['spec']}, batch={cfg['batch']}, k={cfg['k']}, "
             f"best of {cfg['reps']} reps",
             "stubbed = instrumentation hooks no-op'd (uninstrumented "
             "baseline); disabled = shipped default; enabled = full span "
             "recording",
-            f"bar: disabled overhead < {OVERHEAD_BAR_PERCENT:g}%",
+            "interval % = per-rep overhead spread against the same rep's "
+            "interleaved baseline",
+            f"bar: disabled overhead < {OVERHEAD_BAR_PERCENT:g}% "
+            "(clamped at 0 — negative noise is not headroom)",
         ],
     )
     for mode in ("stubbed", "disabled", "enabled"):
@@ -157,9 +194,77 @@ def run(quick: bool = False):
                 "best ms": 1000.0 * best[mode],
                 "queries/sec": cfg["batch"] / best[mode],
                 "overhead %": overhead.get(mode, 0.0),
+                "interval %": _interval(per_rep[mode]) if mode in per_rep
+                else "",
             }
         )
-    return table, overhead["disabled"]
+    if cluster:
+        _run_cluster(cfg, db, scheme, table)
+    return table, enforced
+
+
+def _run_cluster(cfg, db, scheme, table) -> None:
+    """Append cluster-off / cluster-traced rows to ``table``.
+
+    Stands up a live two-shard cluster from the benchmark's own dataset
+    and times the same k-NN queries through the router with distributed
+    tracing off and on — the traced leg exercises context propagation,
+    per-shard span capture and router-side stitching end to end.
+    """
+    from repro.cluster.harness import ClusterHarness
+
+    n = min(len(db), 4 * cfg["cluster_queries"])
+    rows = [sorted(db[tid]) for tid in range(n)]
+    assignment = ["s0" if i % 2 == 0 else "s1" for i in range(n)]
+    queries = rows[: cfg["cluster_queries"]]
+
+    with tempfile.TemporaryDirectory(prefix="bench-obs-") as base_dir:
+        with ClusterHarness(
+            base_dir, scheme, shards=("s0", "s1"),
+            rows=rows, assignment=assignment,
+        ) as harness:
+            client = harness.client(socket_timeout=60.0)
+            try:
+                def run_mode(traced):
+                    started = time.perf_counter()
+                    for query in queries:
+                        client.knn(query, k=cfg["k"], trace=traced)
+                    return time.perf_counter() - started
+
+                run_mode(False)  # warm connections and shard caches
+                samples = {"cluster-off": [], "cluster-traced": []}
+                for _ in range(cfg["reps"]):
+                    samples["cluster-off"].append(run_mode(False))
+                    samples["cluster-traced"].append(run_mode(True))
+            finally:
+                client.close()
+
+    best = {mode: min(times) for mode, times in samples.items()}
+    per_rep = [
+        100.0 * (t - o) / o
+        for t, o in zip(samples["cluster-traced"], samples["cluster-off"])
+    ]
+    overhead = {
+        "cluster-off": 0.0,
+        "cluster-traced": 100.0
+        * (best["cluster-traced"] - best["cluster-off"])
+        / best["cluster-off"],
+    }
+    table.notes.append(
+        "cluster rows: same queries through a live 2-shard router, "
+        "tracing off vs distributed tracing + stitching on (no bar)"
+    )
+    for mode in ("cluster-off", "cluster-traced"):
+        table.add_row(
+            **{
+                "mode": mode,
+                "best ms": 1000.0 * best[mode],
+                "queries/sec": len(queries) / best[mode],
+                "overhead %": overhead[mode],
+                "interval %": _interval(per_rep)
+                if mode == "cluster-traced" else "",
+            }
+        )
 
 
 def test_disabled_tracing_overhead(emit):
@@ -178,8 +283,13 @@ def main(argv=None) -> int:
         action="store_true",
         help="small smoke run (CI): reports overhead, skips the bar",
     )
+    parser.add_argument(
+        "--no-cluster",
+        action="store_true",
+        help="skip the live 2-shard cluster tracing section",
+    )
     args = parser.parse_args(argv)
-    table, overhead = run(quick=args.quick)
+    table, overhead = run(quick=args.quick, cluster=not args.no_cluster)
     results = Path(__file__).resolve().parent.parent / "results"
     table.save(results, "obs_overhead")
     print(table.to_text())
@@ -190,7 +300,7 @@ def main(argv=None) -> int:
         )
         return 1
     mode = "quick smoke" if args.quick else "full"
-    print(f"PASS ({mode}): disabled overhead {overhead:+.2f}%")
+    print(f"PASS ({mode}): disabled overhead {overhead:+.2f}% (clamped)")
     return 0
 
 

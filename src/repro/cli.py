@@ -36,7 +36,12 @@ The subcommands cover the full life cycle without writing Python:
   ops (insert/delete/compact/checkpoint) against a live server, or
   ``ring`` against a router.
 * ``repro metrics`` — fetch a running server's metric registry in
-  Prometheus text or JSON exposition.
+  Prometheus text or JSON exposition (``--router`` asks a cluster
+  router for the exact merge of every node's registry).
+* ``repro profile`` — sample a running server's thread stacks into
+  flamegraph-compatible folded output (see :mod:`repro.obs.profiler`).
+* ``repro top`` — a live terminal dashboard over a server's (or, with
+  ``--router``, the whole cluster's) aggregated metrics.
 
 Invoke as ``python -m repro <subcommand> --help``.
 """
@@ -47,7 +52,7 @@ import argparse
 import json
 import sys
 import time
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.search import SignatureTableSearcher
 from repro.core.similarity import SIMILARITY_FUNCTIONS, get_similarity
@@ -227,14 +232,129 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_metrics(args: argparse.Namespace) -> int:
     from repro.service.client import ServiceClient
 
+    scope = "cluster" if args.router else args.scope
     with ServiceClient(args.host, args.port) as client:
-        payload = client.metrics(args.format)
+        payload = client.metrics(args.format, scope=scope)
     if args.format == "prometheus":
         # Exposition text already ends with a newline.
         sys.stdout.write(str(payload))
     else:
         print(json.dumps(payload, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    timeout = 30.0 + (args.duration or 0.0)
+    with ServiceClient(args.host, args.port, socket_timeout=timeout) as client:
+        payload = client.profile(
+            duration_s=args.duration,
+            format=args.output,
+            hz=args.hz,
+            reset=args.reset,
+        )
+    if args.output == "json":
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    profile = str(payload.get("profile", ""))
+    if profile:
+        print(profile)
+    print(
+        f"-- {payload.get('samples', 0)} samples over "
+        f"{float(payload.get('elapsed_s', 0.0)):.2f}s "
+        f"({payload.get('mode', '?')} profiler)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _render_top_frame(metrics: Dict[str, object], scope: str) -> str:
+    """One ``repro top`` frame from a metrics-registry JSON dump."""
+
+    def samples(name):
+        family = metrics.get(name) or {}
+        return family.get("samples") or []
+
+    def total(name) -> float:
+        out = 0.0
+        for sample in samples(name):
+            value = sample.get("value")
+            if isinstance(value, dict):
+                out += float(value.get("count", 0.0))
+            else:
+                out += float(value)
+        return out
+
+    completed = total("repro_requests_completed_total")
+    received = total("repro_requests_received_total")
+    lat_sum = 0.0
+    lat_count = 0.0
+    for sample in samples("repro_request_latency_seconds"):
+        value = sample.get("value")
+        if isinstance(value, dict):
+            lat_sum += float(value.get("sum", 0.0))
+            lat_count += float(value.get("count", 0.0))
+    mean_ms = 1000.0 * lat_sum / lat_count if lat_count else 0.0
+    lines = [
+        f"repro top — scope {scope}",
+        f"  requests: {completed:.0f} completed / {received:.0f} received"
+        f", mean latency {mean_ms:.2f} ms",
+    ]
+    rejected: Dict[str, float] = {}
+    for sample in samples("repro_requests_rejected_total"):
+        reason = str(sample.get("labels", {}).get("reason", "?"))
+        rejected[reason] = rejected.get(reason, 0.0) + float(sample["value"])
+    if rejected:
+        shown = ", ".join(
+            f"{reason}={count:.0f}"
+            for reason, count in sorted(rejected.items())
+        )
+        lines.append(f"  rejected: {shown}")
+    depth = total("repro_queue_depth")
+    batches = total("repro_batches_total")
+    lines.append(f"  queue depth: {depth:.0f}, batches executed: {batches:.0f}")
+    fallbacks = total("repro_kernel_fallbacks_total")
+    if fallbacks:
+        lines.append(f"  kernel fallbacks: {fallbacks:.0f}")
+    budget = samples("repro_slo_error_budget_remaining")
+    if budget:
+        parts = []
+        for sample in sorted(
+            budget, key=lambda s: sorted(s.get("labels", {}).items())
+        ):
+            labels = sample.get("labels", {})
+            name = str(labels.get("objective", "?"))
+            source = labels.get("source")
+            tag = f"{name}@{source}" if source else name
+            parts.append(f"{tag} {100.0 * float(sample['value']):.2f}%")
+        lines.append("  slo budget remaining: " + ", ".join(parts))
+    for sample in samples("repro_cluster_router_requests_total"):
+        shard = sample.get("labels", {}).get("shard", "?")
+        lines.append(
+            f"  shard {shard}: {float(sample['value']):.0f} sub-queries"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.client import ServiceClient
+
+    scope = "cluster" if args.router else "self"
+    try:
+        while True:
+            with ServiceClient(args.host, args.port) as client:
+                metrics = client.metrics("json", scope=scope)
+            frame = _render_top_frame(metrics, scope)
+            if args.once:
+                print(frame)
+                return 0
+            # Clear-and-home keeps the dashboard in place like top(1).
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _read_queries(path: str) -> List[List[int]]:
@@ -402,6 +522,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         live_index=live_index,
         metrics_registry=metrics_registry,
         wire=args.wire,
+        profile_hz=args.profile_hz,
     )
 
     async def _serve() -> None:
@@ -516,6 +637,7 @@ def _cmd_node(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         wire=args.wire,
+        profile_hz=args.profile_hz,
     )
     replicated = f" -> replica {args.replica}" if args.replica else ""
     try:
@@ -589,6 +711,7 @@ def _cmd_router(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         max_wait_ms=args.max_wait_ms,
         wire=args.wire,
+        profile_hz=args.profile_hz,
     )
     shard_list = ", ".join(
         spec.name + ("+replica" if spec.replica_address else "")
@@ -1121,7 +1244,79 @@ def build_parser() -> argparse.ArgumentParser:
         default="prometheus",
         help="exposition format (default prometheus)",
     )
+    p_metrics.add_argument(
+        "--scope",
+        choices=["self", "cluster"],
+        default="self",
+        help="'self' is the answering server's registry; 'cluster' asks "
+        "a router for the exact merge of every node's (default self)",
+    )
+    p_metrics.add_argument(
+        "--router",
+        action="store_true",
+        help="shorthand for --scope cluster",
+    )
     p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_profile = subparsers.add_parser(
+        "profile",
+        help="sample a running server's thread stacks (folded output)",
+    )
+    p_profile.add_argument("--host", default="127.0.0.1")
+    p_profile.add_argument("--port", type=int, default=7807)
+    p_profile.add_argument(
+        "--duration",
+        "-d",
+        type=float,
+        default=None,
+        help="one-shot sampling window in seconds (server default 1s; "
+        "ignored by a continuous profiler)",
+    )
+    p_profile.add_argument(
+        "--hz",
+        type=float,
+        default=None,
+        help="sampling rate for a one-shot profile (server default)",
+    )
+    p_profile.add_argument(
+        "--reset",
+        action="store_true",
+        help="clear a continuous profiler's accumulated stacks after "
+        "snapshotting",
+    )
+    p_profile.add_argument(
+        "--output",
+        "-o",
+        choices=["folded", "json"],
+        default="folded",
+        help="'folded' prints flamegraph-compatible stacks; 'json' the "
+        "raw snapshot (default folded)",
+    )
+    p_profile.set_defaults(func=_cmd_profile)
+
+    p_top = subparsers.add_parser(
+        "top",
+        help="live terminal dashboard over a server's aggregated metrics",
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7807)
+    p_top.add_argument(
+        "--router",
+        action="store_true",
+        help="poll the cluster-wide merged metrics of a router",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh interval in seconds (default 2)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (no screen clearing)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_serve = subparsers.add_parser(
         "serve",
@@ -1211,6 +1406,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="candidate-scan kernel for frozen tables: vectorized "
         "bitset 'packed' or scalar 'python' (default packed)",
     )
+    p_serve.add_argument(
+        "--profile-hz",
+        type=float,
+        default=None,
+        metavar="HZ",
+        help="run a continuous sampling profiler at this rate; the "
+        "'profile' op returns its accumulated folded stacks "
+        "(default: off, 'profile' serves one-shot passes)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_node = subparsers.add_parser(
@@ -1242,6 +1446,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_node.add_argument("--max-wait-ms", type=float, default=2.0)
     p_node.add_argument(
         "--wire", choices=["auto", "ndjson"], default="auto"
+    )
+    p_node.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="continuous sampling profiler rate (default: off)",
     )
     p_node.set_defaults(func=_cmd_node)
 
@@ -1302,6 +1510,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_router.add_argument("--max-wait-ms", type=float, default=2.0)
     p_router.add_argument(
         "--wire", choices=["auto", "ndjson"], default="auto"
+    )
+    p_router.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="continuous sampling profiler rate (default: off)",
     )
     p_router.set_defaults(func=_cmd_router)
 

@@ -140,6 +140,7 @@ class ClusterHarness:
         page_size: int = 64,
         node_options: Optional[Dict[str, object]] = None,
         router_options: Optional[Dict[str, object]] = None,
+        router_server_options: Optional[Dict[str, object]] = None,
         client_retries: int = 3,
         vnodes: int = 64,
         probe_interval: Optional[float] = None,
@@ -241,7 +242,9 @@ class ClusterHarness:
                 interval=probe_interval, failure_threshold=probe_failures
             )
         self.router_server = serve_in_background(
-            self.router, server_cls=RouterServer
+            self.router,
+            server_cls=RouterServer,
+            **(router_server_options or {}),
         )
         self.router_address = self.router_server.address
 

@@ -52,8 +52,15 @@ from repro.cluster.ring import HashRing
 from repro.data.transaction import TransactionDatabase
 from repro.live.dedupe import DedupeTable
 from repro.live.index import CompactionReport
-from repro.obs.log import JsonLogger
+from repro.obs.distributed import (
+    TraceContext,
+    graft_remote_trace,
+    new_span_id,
+    new_trace_id,
+)
+from repro.obs.log import JsonLogger, current_correlation_id
 from repro.obs.registry import MetricRegistry
+from repro.obs.trace import current_tracer
 from repro.service.client import ServiceClient, ServiceError
 from repro.service.protocol import (
     ERROR_CODES,
@@ -293,7 +300,18 @@ class ClusterRouter:
         target_lists = [[int(i) for i in t] for t in targets]
         if not target_lists:
             return [], []
-        cid = f"scatter-{uuid.uuid4().hex[:12]}"
+        # The batcher propagates a sole rider's correlation id onto this
+        # thread; fall back to a router-minted scatter id so shard-side
+        # log lines always correlate to *something*.
+        cid = current_correlation_id() or f"scatter-{uuid.uuid4().hex[:12]}"
+        # An active tracer (the batcher's engine tracer) turns the
+        # scatter into one distributed trace: every leg carries a trace
+        # context naming a pre-minted leg span id, and the shard's
+        # returned span tree is grafted back under that leg.
+        tracer = current_tracer()
+        trace_id = None
+        if tracer is not None:
+            trace_id = tracer.trace_id or new_trace_id()
         with self._topology.read():
             reverse = self.directory.reverse_maps()
             total = len(self.directory)
@@ -318,7 +336,13 @@ class ClusterRouter:
                     "threshold": key.threshold,
                     "correlation_id": cid,
                 }
-            per_shard = self._scatter(handles, base, target_lists)
+            contexts = self._leg_contexts(handles, trace_id)
+            per_shard, legs = self._scatter(
+                handles, base, target_lists, contexts
+            )
+            if tracer is not None:
+                self._record_legs(tracer, legs, phase="scatter")
+            merge_start = time.perf_counter() if tracer is not None else 0.0
             results: List[List[Neighbor]] = []
             stats: List[SearchStats] = []
             refine: List[int] = []
@@ -344,6 +368,15 @@ class ClusterRouter:
                     and any(t >= merged[-1].similarity for t in truncated_at)
                 ):
                     refine.append(q)
+            if tracer is not None:
+                tracer.record(
+                    "router.merge",
+                    merge_start,
+                    time.perf_counter(),
+                    queries=len(target_lists),
+                    shards=len(handles),
+                    refined=len(refine),
+                )
             # Tie-complete second pass: a shard truncated exactly at the
             # provisional k-th similarity, so rows tied at the boundary
             # may be hidden behind its local-order cut.  Re-ask as a
@@ -357,7 +390,12 @@ class ClusterRouter:
                     "threshold": threshold,
                     "correlation_id": cid,
                 }
-                tie_pass = self._scatter(handles, base, [target_lists[q]])
+                tie_contexts = self._leg_contexts(handles, trace_id)
+                tie_pass, tie_legs = self._scatter(
+                    handles, base, [target_lists[q]], tie_contexts
+                )
+                if tracer is not None:
+                    self._record_legs(tracer, tie_legs, phase="tie_complete")
                 partials = [
                     self._to_global(
                         reverse[handle.name], tie_pass[handle.name][0][0]
@@ -367,13 +405,72 @@ class ClusterRouter:
                 results[q] = merge_neighbor_lists(partials, k=key.k)
         return results, stats
 
-    def _scatter(self, handles, base, target_lists):
-        """Run the per-target request loop on every shard in parallel."""
+    @staticmethod
+    def _leg_contexts(handles, trace_id: Optional[str]):
+        """One pre-minted scatter-leg trace context per shard, or ``None``."""
+        if trace_id is None:
+            return None
+        return {
+            handle.name: TraceContext(
+                trace_id=trace_id,
+                parent_span_id=new_span_id(),
+                sampled=True,
+            )
+            for handle in handles
+        }
+
+    def _record_legs(self, tracer, legs, phase: str) -> None:
+        """Retroactively record scatter-leg spans and graft shard trees.
+
+        The legs ran on scatter-pool threads where no tracer was active;
+        their timing was captured raw and is turned into spans here, on
+        the thread that owns ``tracer``.  Each shard's returned span
+        trees are re-anchored at the leg's send time — shard-internal
+        durations are exact, the absolute offset is network-bound.
+        """
+        for name in sorted(legs):
+            leg = legs[name]
+            if leg is None:
+                continue
+            leg_span = tracer.record(
+                "router.scatter",
+                leg["start_s"],
+                leg["end_s"],
+                shard=name,
+                span_id=leg["context"].parent_span_id,
+                phase=phase,
+                subqueries=len(leg["traces"]),
+            )
+            for remote_spans in leg["traces"]:
+                graft_remote_trace(
+                    tracer,
+                    remote_spans,
+                    leg["start_s"],
+                    parent=leg_span,
+                    shard=name,
+                )
+
+    def _scatter(self, handles, base, target_lists, contexts=None):
+        """Run the per-target request loop on every shard in parallel.
+
+        ``contexts`` (shard name -> :class:`TraceContext`, or ``None``
+        when untraced) turns each leg into a traced sub-request: the
+        context rides the wire, the shard's span tree comes back inline,
+        and the per-leg timing is captured for retroactive span
+        recording.  Returns ``(per_shard_results, per_shard_legs)``;
+        legs are ``None`` entries when untraced.
+        """
 
         def one_shard(handle: _ShardHandle):
+            ctx = None if contexts is None else contexts[handle.name]
+            start_s = time.perf_counter() if ctx is not None else 0.0
             out = []
+            traces = []
             for items in target_lists:
                 message = dict(base, items=items)
+                if ctx is not None:
+                    message["trace"] = True
+                    message["trace_context"] = ctx.encode()
                 response = self._forward(handle.client, message)
                 self._subqueries.labels(shard=handle.name).inc()
                 out.append(
@@ -382,13 +479,27 @@ class ClusterRouter:
                         decode_search_stats(response["stats"]),
                     )
                 )
-            return out
+                if ctx is not None:
+                    traces.append(response.get("trace") or [])
+            leg = None
+            if ctx is not None:
+                leg = {
+                    "context": ctx,
+                    "start_s": start_s,
+                    "end_s": time.perf_counter(),
+                    "traces": traces,
+                }
+            return out, leg
 
         futures = {
             handle.name: self._pool.submit(one_shard, handle)
             for handle in handles
         }
-        return {name: future.result() for name, future in futures.items()}
+        per_shard = {}
+        legs = {}
+        for name, future in futures.items():
+            per_shard[name], legs[name] = future.result()
+        return per_shard, legs
 
     @staticmethod
     def _to_global(reverse, neighbors: List[Neighbor]) -> List[Neighbor]:
@@ -574,6 +685,36 @@ class ClusterRouter:
             "topology": self.describe()["shards"],
             "unmapped_rows": self.directory.unmapped,
         }
+
+    def gather_metrics(self) -> MetricRegistry:
+        """Scatter ``metrics`` to every node; merge with the router's own.
+
+        Counters and histograms merge exactly (the merged exposition
+        equals one registry that saw every observation — see
+        :meth:`~repro.obs.registry.MetricRegistry.merge`); gauges gain a
+        ``source`` label naming the process they came from (``router``
+        or the shard name).
+        """
+        with self._topology.read():
+            handles = list(self._shards.values())
+
+        def one_shard(handle: _ShardHandle):
+            response = self._forward(
+                handle.client, {"op": "metrics", "format": "json"}
+            )
+            return handle.name, response["metrics"]
+
+        futures = [self._pool.submit(one_shard, h) for h in handles]
+        sources: Dict[str, object] = {"router": self.registry}
+        for future in futures:
+            name, payload = future.result()
+            sources[name] = payload
+        try:
+            return MetricRegistry.merge(sources, gauge_label="source")
+        except ValueError as exc:
+            raise ProtocolError(
+                "internal", f"cluster metrics merge failed: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     # Failover
@@ -763,6 +904,14 @@ class RouterServer(QueryServer):
         options.setdefault("metrics_registry", engine.registry)
         super().__init__(engine, **options)
         self.router: ClusterRouter = engine
+
+    async def _metrics_registry(self, scope: str):
+        """``scope="cluster"`` scatter-gathers every node's registry."""
+        if scope == "cluster":
+            return await asyncio.get_running_loop().run_in_executor(
+                None, self.router.gather_metrics
+            )
+        return self.metrics.registry
 
     async def _dispatch_cluster(self, message, writer, write_lock, conn) -> bool:
         op = message["op"]

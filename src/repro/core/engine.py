@@ -296,6 +296,7 @@ class QueryEngine:
         self._searcher = searcher
         self._workers = int(workers)
         self._kernel = kernels.resolve_kernel(kernel)
+        self._fallback_counter = None
 
     @classmethod
     def for_table(
@@ -343,12 +344,40 @@ class QueryEngine:
         and an active tracer expects the per-query spans the reference
         loop emits — both fall back to the scalar path.
         """
+        return self._kernel == "packed" and self._fallback_reason() is None
+
+    def _fallback_reason(self) -> Optional[str]:
+        """Why a packed-kernel engine would run the scalar loop, or ``None``.
+
+        Only meaningful when ``kernel == "packed"``; choosing the python
+        kernel outright is configuration, not a fallback.
+        """
+        if self._kernel != "packed":
+            return None
         searcher = self._searcher
-        return (
-            self._kernel == "packed"
-            and searcher.precompute
-            and searcher.buffer_pool is None
-            and current_tracer() is None
+        if not searcher.precompute:
+            return "no_precompute"
+        if searcher.buffer_pool is not None:
+            return "buffer_pool"
+        if current_tracer() is not None:
+            return "tracing"
+        return None
+
+    def bind_metrics(self, registry) -> None:
+        """Account kernel fallbacks in ``registry``.
+
+        The packed-to-scalar downgrade is silent by design (results are
+        bit-identical) but operators watching throughput need to see it
+        — most notably that *tracing a request* disables the packed
+        kernels for its whole batch.  The service server binds its
+        registry here at startup; every downgraded ``run_batch`` then
+        increments ``repro_kernel_fallbacks_total{reason}``.
+        """
+        self._fallback_counter = registry.counter(
+            "repro_kernel_fallbacks_total",
+            "Batches that requested the packed kernel but fell back to "
+            "the scalar reference loop, by reason",
+            labelnames=("reason",),
         )
 
     # ------------------------------------------------------------------
@@ -444,6 +473,13 @@ class QueryEngine:
         with span(
             "engine.run_batch", op=key.op, batch_size=len(targets)
         ) as batch_span:
+            fallback = self._fallback_reason()
+            if fallback is not None:
+                # Name the silent downgrade: span attribute for traces,
+                # counter for dashboards (tracing itself is a reason).
+                batch_span.set_attribute("kernel_fallback", fallback)
+                if self._fallback_counter is not None:
+                    self._fallback_counter.labels(reason=fallback).inc()
             if key.op == "knn":
                 out = self.knn_batch(
                     targets,

@@ -21,11 +21,24 @@ every layer report what it did:
 * :mod:`repro.obs.log` — structured JSON logging with per-request
   correlation ids flowing from the TCP server through the micro-batcher
   into the engine.
+* :mod:`repro.obs.distributed` — cross-process trace propagation: a
+  compact trace context carried on scatter legs so router + shard spans
+  stitch into one tree.
+* :mod:`repro.obs.slo` — SLO objectives, multi-window burn rates,
+  error-budget gauges and structured alerts.
+* :mod:`repro.obs.profiler` — wall-clock sampling profiler producing
+  flamegraph-compatible folded stacks (``repro profile``).
 
 See ``docs/observability.md`` for the full model.
 """
 
+from repro.obs.distributed import (
+    TraceContext,
+    graft_remote_trace,
+    render_fanout,
+)
 from repro.obs.log import JsonLogger, current_correlation_id, with_correlation_id
+from repro.obs.profiler import SamplingProfiler, render_folded
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -34,6 +47,7 @@ from repro.obs.registry import (
     parse_prometheus_text,
 )
 from repro.obs.search_trace import SearchTrace, render_explain
+from repro.obs.slo import SloMonitor, SloObjective
 from repro.obs.trace import NOOP_SPAN, Span, Tracer, current_tracer, span
 
 __all__ = [
@@ -43,13 +57,20 @@ __all__ = [
     "JsonLogger",
     "MetricRegistry",
     "NOOP_SPAN",
+    "SamplingProfiler",
     "SearchTrace",
+    "SloMonitor",
+    "SloObjective",
     "Span",
+    "TraceContext",
     "Tracer",
     "current_correlation_id",
     "current_tracer",
+    "graft_remote_trace",
     "parse_prometheus_text",
     "render_explain",
+    "render_fanout",
+    "render_folded",
     "span",
     "with_correlation_id",
 ]

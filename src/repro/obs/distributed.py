@@ -1,0 +1,192 @@
+"""Cross-process trace propagation for the scatter-gather cluster.
+
+A traced request that fans out across shards used to produce N+1
+disconnected span trees: the router recorded its scatter, each node
+recorded its engine work, and nothing joined them.  This module carries
+a compact **trace context** across the wire so the router can stitch
+every shard's spans back into the request's own tree.
+
+The context is three fields packed into one small string::
+
+    <trace_id>-<parent_span_id>-<flags>
+    4f2a09c31b77de05-9c41aa20-01
+
+* ``trace_id`` — 16 lowercase hex chars identifying the whole trace
+  (minted by the first tracer in the chain, stamped on every root span
+  so logs/spans from different processes join on one key);
+* ``parent_span_id`` — 8 hex chars naming the scatter-leg span the
+  receiver's spans will be grafted under (the router pre-mints one id
+  per leg, sends it, and stamps the same id on the leg span it records);
+* ``flags`` — 2 hex chars; bit 0 is the sampling flag.  A sampled
+  context asks the receiver to trace even when the request itself does
+  not say ``trace: true``.
+
+On the wire the context travels as the optional ``trace_context`` field
+of a query request — a plain JSON member on the NDJSON encoding, and on
+the binary wire the request rides a ``FRAME_JSON`` frame (the dense
+``FRAME_QUERY`` layout has no slot for it; see
+:func:`repro.service.frames.encode_query`).  Responses need no
+extension: the shard's span tree returns inline through the existing
+``trace`` response field and :func:`graft_remote_trace` re-bases it
+into the router's clock domain.
+
+Clock note: ``perf_counter`` domains are per-process, so remote span
+times are *relative* truths.  :func:`graft_remote_trace` anchors a
+shard's tree at the moment the router sent the leg request; the shard's
+internal durations are exact, its absolute offset is network-bound.
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "TraceContext",
+    "graft_remote_trace",
+    "new_span_id",
+    "new_trace_id",
+    "render_fanout",
+]
+
+#: ``trace_id`` is 16 hex chars, ``parent_span_id`` 8, flags 2.
+_CONTEXT_RE = re.compile(r"^([0-9a-f]{16})-([0-9a-f]{8})-([0-9a-f]{2})$")
+
+_FLAG_SAMPLED = 0x01
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id."""
+    return uuid.uuid4().hex[:16]
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span id."""
+    return uuid.uuid4().hex[:8]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated identity of one scatter leg of a distributed trace."""
+
+    trace_id: str
+    parent_span_id: str
+    sampled: bool = True
+
+    def encode(self) -> str:
+        """The compact wire form (``trace_id-parent_span_id-flags``)."""
+        flags = _FLAG_SAMPLED if self.sampled else 0
+        return f"{self.trace_id}-{self.parent_span_id}-{flags:02x}"
+
+    @classmethod
+    def decode(cls, text: str) -> "TraceContext":
+        """Parse the wire form; :class:`ValueError` on anything malformed."""
+        if not isinstance(text, str):
+            raise ValueError("trace context must be a string")
+        match = _CONTEXT_RE.match(text)
+        if match is None:
+            raise ValueError(
+                f"malformed trace context {text!r} (want "
+                "16hex-8hex-2hex, lowercase)"
+            )
+        trace_id, parent_span_id, flags_hex = match.groups()
+        flags = int(flags_hex, 16)
+        return cls(
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+            sampled=bool(flags & _FLAG_SAMPLED),
+        )
+
+
+def graft_remote_trace(
+    tracer: Tracer,
+    spans: Sequence[Dict[str, object]],
+    base_s: float,
+    parent: Optional[Span] = None,
+    **attributes: object,
+) -> List[Span]:
+    """Rebuild remote span dicts anchored at ``base_s`` and adopt them.
+
+    ``spans`` is the ``trace`` payload a remote server returned (times in
+    ms relative to its first root).  Each rebuilt root gets
+    ``attributes`` stamped on (callers label the owning shard) and is
+    grafted into ``tracer`` under its currently-open span — or, when
+    ``parent`` is given, directly under that span (the router parents
+    shard trees under retroactively recorded scatter-leg spans, which
+    are never on the tracer's open stack).
+    """
+    grafted: List[Span] = []
+    for payload in spans:
+        root = Span.from_dict(payload, base_s)
+        for key, value in attributes.items():
+            root.set_attribute(key, value)
+        if parent is not None:
+            parent.children.append(root)
+        else:
+            tracer.adopt(root)
+        grafted.append(root)
+    return grafted
+
+
+# ----------------------------------------------------------------------
+# Fan-out rendering (the cluster section of ``repro explain``-style output)
+# ----------------------------------------------------------------------
+def _iter_named(spans: Sequence[Dict[str, object]], name: str):
+    """Depth-first walk yielding every span dict called ``name``."""
+    stack = list(spans)
+    while stack:
+        node = stack.pop(0)
+        if node.get("name") == name:
+            yield node
+        stack[0:0] = list(node.get("children", ()))
+
+
+def render_fanout(
+    spans: Sequence[Dict[str, object]], width: int = 32
+) -> str:
+    """Per-shard fan-out timing of one stitched trace, as aligned bars.
+
+    Finds every ``router.scatter`` span in the tree and renders one line
+    per leg: the shard name, when the leg started relative to the fan-out
+    and how long it ran, plus an ASCII gantt bar so a straggler shard is
+    visible at a glance.  Returns ``""`` when the tree has no scatter
+    spans (a single-node trace).
+    """
+    legs = list(_iter_named(spans, "router.scatter"))
+    if not legs:
+        return ""
+    starts = [float(leg.get("start_ms", 0.0)) for leg in legs]
+    ends = [
+        float(leg.get("start_ms", 0.0)) + float(leg.get("duration_ms", 0.0))
+        for leg in legs
+    ]
+    t0, t1 = min(starts), max(ends)
+    scale = (t1 - t0) or 1.0
+    lines = [f"cluster fan-out ({len(legs)} shard legs):"]
+    order = sorted(
+        range(len(legs)),
+        key=lambda i: str(legs[i].get("attributes", {}).get("shard", "")),
+    )
+    for i in order:
+        leg = legs[i]
+        attrs = leg.get("attributes", {})
+        shard = str(attrs.get("shard", "?"))
+        start = starts[i] - t0
+        duration = float(leg.get("duration_ms", 0.0))
+        left = int(round(width * (starts[i] - t0) / scale))
+        filled = max(1, int(round(width * duration / scale)))
+        filled = min(filled, width - left)
+        bar = " " * left + "#" * filled
+        lines.append(
+            f"  {shard:<10s} +{start:7.2f}ms {duration:8.2f}ms "
+            f"|{bar:<{width}s}|"
+        )
+    merges = list(_iter_named(spans, "router.merge"))
+    if merges:
+        merge_ms = sum(float(m.get("duration_ms", 0.0)) for m in merges)
+        lines.append(f"  merge      {merge_ms:8.2f}ms across {len(merges)} pass(es)")
+    return "\n".join(lines)

@@ -385,6 +385,157 @@ class MetricRegistry:
             }
         return payload
 
+    # ------------------------------------------------------------------
+    # Reconstruction and exact merging (cluster metrics aggregation)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_json(cls, payload: Dict[str, object]) -> "MetricRegistry":
+        """Rebuild a registry from its :meth:`to_json` dump.
+
+        The inverse is exact for everything the dump carries: counter
+        totals, gauge values (callback gauges come back as the plain
+        value they reported), and histogram bucket counts / sum / count
+        (the dump's cumulative buckets are de-cumulated back into the
+        internal per-bucket representation).  Labelled families that had
+        no children are absent from the dump and stay absent here.
+        """
+        registry = cls()
+        _ingest_json(registry, payload, source=None, gauge_label=None)
+        return registry
+
+    @classmethod
+    def merge(
+        cls,
+        sources: Dict[str, object],
+        gauge_label: str = "source",
+    ) -> "MetricRegistry":
+        """Exactly merge per-process registries into one.
+
+        ``sources`` maps a source name (e.g. the shard) to either a
+        :class:`MetricRegistry` or a :meth:`to_json` dump of one.  The
+        merge follows aggregation semantics per metric kind:
+
+        * **counters** — summed sample-wise (same name + labels add up);
+        * **histograms** — bucket counts added bucket-wise, ``sum`` and
+          ``count`` added, so merged quantile estimates are exactly
+          those of one registry that saw every observation (bucket
+          bounds must agree across sources);
+        * **gauges** — *not* summable (a queue depth of 3 on two shards
+          is not a depth of 6), so each sample gains a ``gauge_label``
+          label carrying its source name.
+
+        Raises :class:`ValueError` on cross-source schema conflicts:
+        same name with different kind, label names, or histogram bucket
+        bounds, or a gauge already labelled with ``gauge_label``.
+        """
+        if not _LABEL_RE.match(gauge_label):
+            raise ValueError(f"invalid gauge label {gauge_label!r}")
+        merged = cls()
+        for source_name, payload in sources.items():
+            if isinstance(payload, MetricRegistry):
+                payload = payload.to_json()
+            if not isinstance(payload, dict):
+                raise ValueError(
+                    f"source {source_name!r} is not a registry dump"
+                )
+            _ingest_json(
+                merged,
+                payload,
+                source=str(source_name),
+                gauge_label=gauge_label,
+            )
+        return merged
+
+
+def _histogram_bounds(buckets: Dict[str, object]) -> List[float]:
+    """The finite bucket bounds of one dumped histogram, ascending."""
+    bounds = [float(key) for key in buckets if key != "+Inf"]
+    return sorted(bounds)
+
+
+def _ingest_json(
+    target: MetricRegistry,
+    payload: Dict[str, object],
+    source: Optional[str],
+    gauge_label: Optional[str],
+) -> None:
+    """Add one :meth:`MetricRegistry.to_json` dump into ``target``.
+
+    With ``gauge_label`` set, gauge samples are re-labelled by
+    ``source`` (merge semantics); with ``None`` they are set verbatim
+    (reconstruction semantics).
+    """
+    for name in sorted(payload):
+        entry = payload[name]
+        kind = entry.get("type")
+        help_text = str(entry.get("help", ""))
+        samples = entry.get("samples") or []
+        if not samples:
+            continue
+        first_labels = samples[0].get("labels", {})
+        labelnames = tuple(first_labels)
+        if kind == "counter":
+            family = target.counter(name, help_text, labelnames)
+            for sample in samples:
+                child = family.labels(**sample.get("labels", {}))
+                child.inc(float(sample["value"]))
+        elif kind == "gauge":
+            if gauge_label is None:
+                family = target.gauge(name, help_text, labelnames)
+                for sample in samples:
+                    child = family.labels(**sample.get("labels", {}))
+                    child.set(float(sample["value"]))
+            else:
+                if gauge_label in labelnames:
+                    raise ValueError(
+                        f"gauge {name!r} already carries label "
+                        f"{gauge_label!r}; cannot re-label by source"
+                    )
+                family = target.gauge(
+                    name, help_text, labelnames + (gauge_label,)
+                )
+                for sample in samples:
+                    labels = dict(sample.get("labels", {}))
+                    labels[gauge_label] = source
+                    family.labels(**labels).set(float(sample["value"]))
+        elif kind == "histogram":
+            bounds = _histogram_bounds(samples[0]["value"]["buckets"])
+            family = target.histogram(
+                name, help_text, labelnames, buckets=bounds
+            )
+            if list(family.buckets) != bounds:
+                raise ValueError(
+                    f"histogram {name!r}: bucket bounds differ across "
+                    f"sources ({list(family.buckets)} vs {bounds})"
+                )
+            for sample in samples:
+                value = sample["value"]
+                buckets = value["buckets"]
+                if _histogram_bounds(buckets) != bounds:
+                    raise ValueError(
+                        f"histogram {name!r}: bucket bounds differ "
+                        "between samples"
+                    )
+                cumulative = [
+                    int(buckets[_format_value(bound)]) for bound in bounds
+                ]
+                counts = [
+                    count - (cumulative[index - 1] if index else 0)
+                    for index, count in enumerate(cumulative)
+                ]
+                overflow = int(buckets["+Inf"]) - (
+                    cumulative[-1] if cumulative else 0
+                )
+                counts.append(overflow)
+                child = family.labels(**sample.get("labels", {}))
+                with family.lock:
+                    for index, count in enumerate(counts):
+                        child._bucket_counts[index] += count
+                    child._sum += float(value["sum"])
+                    child._count += int(value["count"])
+        else:
+            raise ValueError(f"metric {name!r} has unknown kind {kind!r}")
+
 
 # ----------------------------------------------------------------------
 # Exposition parser (test / smoke validation)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 #: Termination reasons a scan can record.
 TERMINATIONS = (
@@ -233,8 +233,18 @@ _TERMINATION_TEXT = {
 }
 
 
-def render_explain(trace: SearchTrace, max_events: Optional[int] = None) -> str:
-    """Human-readable explain report for one traced query."""
+def render_explain(
+    trace: SearchTrace,
+    max_events: Optional[int] = None,
+    fanout: Optional[Sequence[Dict[str, object]]] = None,
+) -> str:
+    """Human-readable explain report for one traced query.
+
+    ``fanout`` (optional) is a stitched distributed span tree — the
+    ``trace`` payload of a traced request answered through the cluster
+    router.  When it contains scatter legs, a per-shard fan-out timing
+    section (:func:`repro.obs.distributed.render_fanout`) is appended.
+    """
     lines: List[str] = []
     if trace.query:
         described = ", ".join(
@@ -298,4 +308,11 @@ def render_explain(trace: SearchTrace, max_events: Optional[int] = None) -> str:
             )
     if max_events is not None and len(events) > max_events:
         lines.append(f"  ... {len(events) - max_events} more events")
+    if fanout:
+        from repro.obs.distributed import render_fanout
+
+        section = render_fanout(fanout)
+        if section:
+            lines.append("")
+            lines.append(section)
     return "\n".join(lines)

@@ -1,0 +1,353 @@
+"""SLO objectives, multi-window burn rates, and error-budget gauges.
+
+A :class:`SloMonitor` turns the raw counters and latency histograms a
+server already keeps (:class:`~repro.service.metrics.ServiceMetrics`)
+into answers to the operator's actual question — *are we meeting our
+objectives, and how fast are we burning the error budget?*
+
+The model is the standard SRE one:
+
+* an **objective** is a target fraction of *good* events — either
+  availability (completed vs. server-caused rejections) or latency
+  (requests answered within a threshold, read exactly off the existing
+  latency histogram's cumulative buckets);
+* the **error budget** is the tolerated bad fraction, ``1 - target``,
+  over a budget window;
+* the **burn rate** over a lookback window is the observed bad fraction
+  divided by the budget — burn 1.0 spends the budget exactly at
+  window's end, burn 14.4 spends a 30-day budget in ~2 days.
+
+Burn rates are computed over *multiple* windows (default 5 min and
+1 h), and an alert fires only when **every** window exceeds the
+threshold: the short window gives fast detection, the long window keeps
+one latency spike from paging anybody.  Alerts are structured log
+lines with their own correlation id, and the budget state is exported
+as the ``repro_slo_error_budget_remaining`` gauge (plus per-window
+``repro_slo_burn_rate``) so a scrape sees what the logs saw.
+
+The monitor is passive: a server ticks it periodically (an asyncio task
+in :class:`~repro.service.server.QueryServer`); each tick reads a
+handful of counter values — cost is negligible at any sane interval.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.log import JsonLogger
+from repro.obs.registry import MetricRegistry
+
+__all__ = ["SloMonitor", "SloObjective", "DEFAULT_OBJECTIVES"]
+
+#: Retained burn-rate samples per objective (memory bound).
+_MAX_HISTORY = 4096
+
+#: Rejection reasons that count against availability.  Client mistakes
+#: (``bad_request``) and deliberate drains (``shutting_down``) spend no
+#: error budget.
+SERVER_FAULT_REASONS = ("overloaded", "timeout", "unavailable", "internal")
+
+
+@dataclass(frozen=True)
+class SloObjective:
+    """One service-level objective.
+
+    ``kind`` is ``"availability"`` (good = completed requests, bad =
+    server-fault rejections) or ``"latency"`` (good = requests under
+    ``threshold_s``; exact when the threshold is one of the latency
+    histogram's bucket bounds, else the largest bound below it is
+    used).  ``target`` is the good fraction promised (e.g. ``0.999``).
+    """
+
+    name: str
+    kind: str
+    target: float
+    threshold_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency"):
+            raise ValueError(f"unknown objective kind {self.kind!r}")
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if self.kind == "latency" and (
+            self.threshold_s is None or self.threshold_s <= 0
+        ):
+            raise ValueError("latency objectives need a threshold_s > 0")
+
+    @property
+    def budget(self) -> float:
+        """The tolerated bad fraction (``1 - target``)."""
+        return 1.0 - self.target
+
+
+#: Default objectives: 99% of requests under 250 ms, 99.9% availability.
+DEFAULT_OBJECTIVES: Tuple[SloObjective, ...] = (
+    SloObjective("latency_p99_250ms", "latency", 0.99, threshold_s=0.25),
+    SloObjective("availability", "availability", 0.999),
+)
+
+
+@dataclass
+class _Sample:
+    at_s: float
+    good: float
+    total: float
+
+
+@dataclass
+class _ObjectiveState:
+    objective: SloObjective
+    history: Deque[_Sample] = field(default_factory=deque)
+    alerting: bool = False
+
+
+class SloMonitor:
+    """Periodic burn-rate evaluation over a server's metric registry.
+
+    Parameters
+    ----------
+    registry:
+        The registry holding ``repro_requests_completed_total``,
+        ``repro_requests_rejected_total`` and
+        ``repro_request_latency_seconds`` (a
+        :class:`~repro.service.metrics.ServiceMetrics` registry).  The
+        monitor registers its own gauges alongside.
+    objectives:
+        The :class:`SloObjective` set; defaults to
+        :data:`DEFAULT_OBJECTIVES`.
+    burn_windows_s:
+        Lookback windows for burn-rate computation, seconds.
+    alert_burn_rate:
+        An alert fires when *every* window's burn rate is at or above
+        this (14.4 = a 30-day budget gone in 2 days, the classic
+        page-worthy rate).
+    budget_window_s:
+        The rolling window the error-budget gauge is computed over.
+    logger:
+        Structured logger for alerts (disabled logger by default).
+    clock:
+        Injectable monotonic clock (tests drive time by hand).
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        objectives: Sequence[SloObjective] = DEFAULT_OBJECTIVES,
+        burn_windows_s: Sequence[float] = (300.0, 3600.0),
+        alert_burn_rate: float = 14.4,
+        budget_window_s: float = 30 * 86400.0,
+        logger: Optional[JsonLogger] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not objectives:
+            raise ValueError("SloMonitor needs at least one objective")
+        if not burn_windows_s:
+            raise ValueError("SloMonitor needs at least one burn window")
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names in {names}")
+        self.registry = registry
+        self.burn_windows_s = tuple(float(w) for w in sorted(burn_windows_s))
+        self.alert_burn_rate = float(alert_burn_rate)
+        self.budget_window_s = float(budget_window_s)
+        self._log = logger if logger is not None else JsonLogger("slo")
+        self._clock = clock
+        self._states = [_ObjectiveState(obj) for obj in objectives]
+        self._budget_gauge = registry.gauge(
+            "repro_slo_error_budget_remaining",
+            "Fraction of the SLO error budget left in the rolling window "
+            "(1 = untouched, 0 = spent, negative = overspent)",
+            labelnames=("objective",),
+        )
+        self._burn_gauge = registry.gauge(
+            "repro_slo_burn_rate",
+            "Error-budget burn rate per lookback window (1.0 spends the "
+            "budget exactly over the window)",
+            labelnames=("objective", "window"),
+        )
+        self._alerts_counter = registry.counter(
+            "repro_slo_alerts_total",
+            "Burn-rate alerts fired (every window above threshold)",
+            labelnames=("objective",),
+        )
+        # Seed a baseline sample so the first real tick has a delta.
+        self.tick()
+
+    # ------------------------------------------------------------------
+    # Reading good/total off the registry
+    # ------------------------------------------------------------------
+    def _counter_value(self, name: str) -> float:
+        with self.registry._lock:
+            family = self.registry._families.get(name)
+        if family is None:
+            return 0.0
+        return sum(
+            child.value
+            for child in family.children().values()
+            if child.kind == "counter"
+        )
+
+    def _rejected_value(self) -> float:
+        with self.registry._lock:
+            family = self.registry._families.get(
+                "repro_requests_rejected_total"
+            )
+        if family is None:
+            return 0.0
+        total = 0.0
+        for labelvalues, child in family.children().items():
+            labels = dict(zip(family.labelnames, labelvalues))
+            if labels.get("reason") in SERVER_FAULT_REASONS:
+                total += child.value
+        return total
+
+    def _measure(self, objective: SloObjective) -> Tuple[float, float]:
+        """Current lifetime (good, total) event counts for an objective."""
+        if objective.kind == "availability":
+            good = self._counter_value("repro_requests_completed_total")
+            bad = self._rejected_value()
+            return good, good + bad
+        with self.registry._lock:
+            family = self.registry._families.get(
+                "repro_request_latency_seconds"
+            )
+        if family is None or family.kind != "histogram":
+            return 0.0, 0.0
+        good = 0.0
+        total = 0.0
+        for child in family.children().values():
+            with family.lock:
+                counts = list(child._bucket_counts)
+                bounds = child._bounds
+                count = child._count
+            cumulative = 0
+            within = 0
+            for bound, bucket in zip(bounds, counts):
+                cumulative += bucket
+                if bound <= objective.threshold_s:
+                    within = cumulative
+            good += within
+            total += count
+        return good, total
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _window_rate(
+        history: Deque[_Sample], now_s: float, window_s: float
+    ) -> Optional[float]:
+        """Bad-event fraction over the trailing window, or ``None`` when
+        the window saw no events."""
+        latest = history[-1]
+        baseline = None
+        for sample in reversed(history):
+            if now_s - sample.at_s >= window_s:
+                baseline = sample
+                break
+        if baseline is None:
+            baseline = history[0]
+        total = latest.total - baseline.total
+        if total <= 0:
+            return None
+        good = latest.good - baseline.good
+        return max(0.0, 1.0 - good / total)
+
+    def tick(self, now_s: Optional[float] = None) -> List[Dict[str, object]]:
+        """Sample the registry, update gauges, and fire due alerts.
+
+        Returns one report dict per objective (the shape ``repro top``
+        and the server's SLO stats embed).
+        """
+        now = self._clock() if now_s is None else float(now_s)
+        reports: List[Dict[str, object]] = []
+        for state in self._states:
+            objective = state.objective
+            good, total = self._measure(objective)
+            state.history.append(_Sample(now, good, total))
+            # Keep one sample beyond the longest window so deltas always
+            # have a baseline.
+            horizon = max(self.budget_window_s, self.burn_windows_s[-1])
+            while (
+                len(state.history) > 2
+                and now - state.history[1].at_s > horizon
+            ):
+                state.history.popleft()
+            # Bound memory regardless of tick rate: beyond the cap the
+            # oldest samples go, shrinking the effective budget window
+            # to the retained span (burn windows are much shorter and
+            # keep full resolution).
+            while len(state.history) > _MAX_HISTORY:
+                state.history.popleft()
+
+            burn_rates: Dict[str, float] = {}
+            all_above = True
+            for window_s in self.burn_windows_s:
+                rate = self._window_rate(state.history, now, window_s)
+                burn = 0.0 if rate is None else rate / objective.budget
+                key = _format_window(window_s)
+                burn_rates[key] = burn
+                self._burn_gauge.labels(
+                    objective=objective.name, window=key
+                ).set(burn)
+                if rate is None or burn < self.alert_burn_rate:
+                    all_above = False
+
+            budget_rate = self._window_rate(
+                state.history, now, self.budget_window_s
+            )
+            if budget_rate is None:
+                remaining = 1.0
+            else:
+                remaining = 1.0 - budget_rate / objective.budget
+            self._budget_gauge.labels(objective=objective.name).set(remaining)
+
+            if all_above and not state.alerting:
+                state.alerting = True
+                self._alerts_counter.labels(objective=objective.name).inc()
+                self._log.warning(
+                    "slo.burn_rate_alert",
+                    correlation_id=f"slo-{uuid.uuid4().hex[:12]}",
+                    objective=objective.name,
+                    kind=objective.kind,
+                    target=objective.target,
+                    burn_rates=burn_rates,
+                    budget_remaining=remaining,
+                )
+            elif state.alerting and not all_above:
+                state.alerting = False
+                self._log.info(
+                    "slo.burn_rate_resolved",
+                    objective=objective.name,
+                    burn_rates=burn_rates,
+                    budget_remaining=remaining,
+                )
+
+            reports.append(
+                {
+                    "objective": objective.name,
+                    "kind": objective.kind,
+                    "target": objective.target,
+                    "good": good,
+                    "total": total,
+                    "burn_rates": burn_rates,
+                    "budget_remaining": remaining,
+                    "alerting": state.alerting,
+                }
+            )
+        self._last_reports = reports
+        return reports
+
+    def report(self) -> List[Dict[str, object]]:
+        """The most recent tick's per-objective reports."""
+        return list(getattr(self, "_last_reports", ()))
+
+
+def _format_window(window_s: float) -> str:
+    if window_s % 3600 == 0:
+        return f"{int(window_s // 3600)}h"
+    if window_s % 60 == 0:
+        return f"{int(window_s // 60)}m"
+    return f"{window_s:g}s"

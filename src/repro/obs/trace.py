@@ -96,6 +96,35 @@ class Span:
             ]
         return payload
 
+    @classmethod
+    def from_dict(
+        cls, payload: Dict[str, object], base_s: float
+    ) -> "Span":
+        """Rebuild a span tree from its :meth:`to_dict` form.
+
+        ``base_s`` anchors the (relative) serialized times in this
+        process's ``perf_counter`` domain — callers grafting a remote
+        tree pass the local moment the remote work was initiated.  The
+        inverse is exact up to that anchor: durations, attributes,
+        events and structure round-trip unchanged.
+        """
+        start_s = base_s + float(payload.get("start_ms", 0.0)) / 1000.0
+        rebuilt = cls(str(payload["name"]), start_s)
+        rebuilt.end_s = start_s + float(payload.get("duration_ms", 0.0)) / 1000.0
+        attributes = payload.get("attributes")
+        if isinstance(attributes, dict):
+            rebuilt.attributes = dict(attributes)
+        events = payload.get("events")
+        if isinstance(events, list):
+            for event in events:
+                fields = dict(event)
+                at_ms = fields.pop("at_ms", 0.0)
+                fields["at_s"] = base_s + float(at_ms) / 1000.0
+                rebuilt.events.append(fields)
+        for child in payload.get("children", ()):
+            rebuilt.children.append(cls.from_dict(child, base_s))
+        return rebuilt
+
 
 class _NoopSpan:
     """Absorbs the full Span API at (near) zero cost; a shared singleton."""
@@ -146,10 +175,20 @@ class Tracer:
         Optional id stamped on every root span (the service uses the
         per-request correlation id, so log lines, metrics, and span trees
         join on one key).
+    trace_id:
+        Optional distributed-trace id stamped on every root span.  Set
+        by the service when a request fans out across processes (see
+        :mod:`repro.obs.distributed`) so every process's spans carry the
+        same key; ``None`` (the default) adds nothing.
     """
 
-    def __init__(self, correlation_id: Optional[str] = None):
+    def __init__(
+        self,
+        correlation_id: Optional[str] = None,
+        trace_id: Optional[str] = None,
+    ):
         self.correlation_id = correlation_id
+        self.trace_id = trace_id
         self.roots: List[Span] = []
         self._stack: List[Span] = []
 
@@ -191,6 +230,8 @@ class Tracer:
                 span.attributes.setdefault(
                     "correlation_id", self.correlation_id
                 )
+            if self.trace_id is not None:
+                span.attributes.setdefault("trace_id", self.trace_id)
             self.roots.append(span)
 
     def _close(self, span: Span) -> None:

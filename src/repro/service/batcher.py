@@ -35,6 +35,7 @@ buffer pool single-threaded.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -44,7 +45,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.engine import BatchKey, summarise_stats
 from repro.core.search import Neighbor, SearchStats
 from repro.core.similarity import SimilarityFunction
-from repro.obs.log import JsonLogger
+from repro.obs.log import JsonLogger, with_correlation_id
 from repro.obs.trace import Tracer
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import ProtocolError, QueryRequest
@@ -281,14 +282,41 @@ class MicroBatcher:
         # context (and thus any per-request tracer) does not propagate.
         # When any rider asked for a trace, activate one dedicated tracer
         # around the whole engine call and graft its span tree into every
-        # traced request afterwards.
-        engine_tracer = Tracer() if traced else None
+        # traced request afterwards.  A sole traced rider hands its
+        # distributed trace id down so engine-side spans (and the cluster
+        # router's scatter legs) stay in the same trace.
+        engine_tracer = None
+        if traced:
+            trace_ids = {
+                p.tracer.trace_id
+                for p in traced
+                if p.tracer.trace_id is not None
+            }
+            engine_tracer = Tracer(
+                trace_id=trace_ids.pop() if len(trace_ids) == 1 else None
+            )
+        # When every rider shares one correlation id (the common case: a
+        # batch of one), propagate it onto the executor thread so engine
+        # and router log lines — and the router's scatter sub-requests —
+        # carry the same id end to end.
+        batch_cids = {
+            p.request.correlation_id
+            for p in take
+            if p.request.correlation_id is not None
+        }
+        engine_cid = batch_cids.pop() if len(batch_cids) == 1 else None
 
         def _run_engine():
-            if engine_tracer is None:
-                return self._engine.run_batch(key, similarity, targets)
-            with engine_tracer.activate():
-                return self._engine.run_batch(key, similarity, targets)
+            cid_ctx = (
+                with_correlation_id(engine_cid)
+                if engine_cid is not None
+                else contextlib.nullcontext()
+            )
+            with cid_ctx:
+                if engine_tracer is None:
+                    return self._engine.run_batch(key, similarity, targets)
+                with engine_tracer.activate():
+                    return self._engine.run_batch(key, similarity, targets)
 
         try:
             results, stats = await loop.run_in_executor(

@@ -332,12 +332,17 @@ class ServiceClient:
         sort_by: str = "optimistic",
         timeout_ms: Optional[float] = None,
         trace: bool = False,
+        correlation_id: Optional[str] = None,
     ) -> Tuple[List[Neighbor], Dict[str, object]]:
         """k-NN over the wire; returns (neighbours, per-query stats dict).
 
         ``trace=True`` asks the server for the request's span tree; read
         it from ``last_response["trace"]`` (with
         ``last_response["correlation_id"]``) after the call.
+        ``correlation_id`` stamps the caller's own id on the request —
+        the server honours it instead of minting one, and a cluster
+        router forwards it to every shard, so one id joins the log lines
+        of every process the request touched.
         """
         message: Dict[str, object] = {
             "op": "knn",
@@ -352,6 +357,8 @@ class ServiceClient:
             message["timeout_ms"] = float(timeout_ms)
         if trace:
             message["trace"] = True
+        if correlation_id is not None:
+            message["correlation_id"] = str(correlation_id)
         response = self.request(message)
         return decode_neighbors(response["results"]), response["stats"]
 
@@ -362,6 +369,7 @@ class ServiceClient:
         threshold: float,
         timeout_ms: Optional[float] = None,
         trace: bool = False,
+        correlation_id: Optional[str] = None,
     ) -> Tuple[List[Neighbor], Dict[str, object]]:
         """Range query (similarity >= threshold) over the wire."""
         message: Dict[str, object] = {
@@ -374,6 +382,8 @@ class ServiceClient:
             message["timeout_ms"] = float(timeout_ms)
         if trace:
             message["trace"] = True
+        if correlation_id is not None:
+            message["correlation_id"] = str(correlation_id)
         response = self.request(message)
         return decode_neighbors(response["results"]), response["stats"]
 
@@ -423,16 +433,56 @@ class ServiceClient:
         """Snapshot state and truncate the WAL; returns the applied seqno."""
         return int(self.request({"op": "checkpoint"})["applied_seqno"])
 
-    def metrics(self, format: str = "json") -> object:
-        """The server's metric registry, as ``json`` (dict) or
-        ``prometheus`` (exposition text)."""
-        response = self.request({"op": "metrics", "format": format})
+    def metrics(self, format: str = "json", scope: str = "self") -> object:
+        """A metric registry exposition, as ``json`` (dict) or
+        ``prometheus`` (exposition text).
+
+        ``scope="self"`` is the answering server's own registry;
+        ``scope="cluster"`` (routers only) is the exact merge of every
+        node's registry plus the router's — counters and histograms
+        summed, gauges labelled by source process.
+        """
+        message: Dict[str, object] = {"op": "metrics", "format": format}
+        if scope != "self":
+            message["scope"] = scope
+        response = self.request(message)
         return response["metrics"]
+
+    def profile(
+        self,
+        duration_s: Optional[float] = None,
+        format: str = "folded",
+        hz: Optional[float] = None,
+        reset: bool = False,
+    ) -> Dict[str, object]:
+        """Sample the server's thread stacks; returns the profile payload.
+
+        Against a server without a continuous profiler this runs a
+        one-shot sampling pass of ``duration_s`` seconds (server default
+        1 s); against a continuous profiler it returns the accumulated
+        snapshot immediately (``reset=True`` clears it).  ``format`` is
+        ``"folded"`` (flamegraph-compatible text in ``profile``) or
+        ``"json"`` (the raw snapshot dict).
+        """
+        message: Dict[str, object] = {"op": "profile", "format": format}
+        if duration_s is not None:
+            message["duration_s"] = float(duration_s)
+        if hz is not None:
+            message["hz"] = float(hz)
+        if reset:
+            message["reset"] = True
+        response = dict(self.request(message))
+        response.pop("id", None)
+        response.pop("ok", None)
+        return response
 
     def stats(self) -> Dict[str, object]:
         """The server's live metrics snapshot plus index description."""
         response = self.request({"op": "stats"})
-        return {"stats": response["stats"], "index": response.get("index", {})}
+        out = {"stats": response["stats"], "index": response.get("index", {})}
+        if "slo" in response:
+            out["slo"] = response["slo"]
+        return out
 
     def ping(self) -> bool:
         """Liveness probe; True when the server answers."""

@@ -198,6 +198,12 @@ def encode_query(message: Dict[str, object]) -> bytes:
     op = message.get("op")
     if op not in _OP_CODES:
         raise ValueError(f"op {op!r} has no binary query form")
+    if message.get("trace_context") is not None:
+        # Distributed-trace contexts have no slot in the dense layout;
+        # such requests ride a JSON frame on the binary wire (this is
+        # the trace-context extension of the frame protocol — the
+        # caller's FRAME_JSON fallback carries the field verbatim).
+        raise ValueError("trace_context queries ride JSON frames")
     request_id = message.get("id")
     if not isinstance(request_id, int) or isinstance(request_id, bool):
         raise ValueError("binary query frames need an integer id")

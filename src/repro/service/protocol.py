@@ -14,7 +14,10 @@ Requests
 "k": 5}`` — k-nearest-neighbour query.  Optional fields:
 ``early_termination`` (fraction of the database), ``sort_by``
 (``optimistic``/``supercoordinate``), ``timeout_ms`` (per-request
-deadline).
+deadline), ``trace`` (return the span tree inline), ``correlation_id``
+(client-chosen id for cross-process log grep), ``trace_context``
+(distributed-trace context a router stamps on scatter legs; see
+:mod:`repro.obs.distributed`).
 
 ``{"id": 2, "op": "range", "items": [...], "similarity": "jaccard",
 "threshold": 0.4}`` — range query (similarity >= threshold).
@@ -71,7 +74,9 @@ from repro.core.similarity import (
 
 #: Request operations understood by the server.
 QUERY_OPS = ("knn", "range")
-CONTROL_OPS = ("stats", "ping", "shutdown", "metrics", "health", "hello")
+CONTROL_OPS = (
+    "stats", "ping", "shutdown", "metrics", "health", "hello", "profile",
+)
 MUTATION_OPS = ("insert", "delete", "compact", "checkpoint")
 
 #: Cluster operations (see :mod:`repro.cluster` and :doc:`docs/cluster`).
@@ -87,6 +92,16 @@ WIRE_PROTOCOLS = ("ndjson", "binary")
 
 #: Exposition formats the ``metrics`` control op accepts.
 METRICS_FORMATS = ("json", "prometheus")
+
+#: Scopes the ``metrics`` control op accepts: ``self`` (default) is the
+#: serving process's own registry; ``cluster`` asks a router to
+#: scatter-gather every node's registry and merge it exactly (see
+#: :meth:`repro.obs.registry.MetricRegistry.merge`).
+METRICS_SCOPES = ("self", "cluster")
+
+#: Output formats the ``profile`` control op accepts (see
+#: :mod:`repro.obs.profiler`).
+PROFILE_FORMATS = ("folded", "json")
 
 #: Upper bound on an idempotency-key client id, mirrored by the WAL.
 MAX_CLIENT_ID_BYTES = 64
@@ -123,8 +138,13 @@ class QueryRequest:
 
     ``trace`` asks the server to return the request's span tree inline
     (observability; never changes results).  ``correlation_id`` is
-    assigned by the *server* when it admits the request — it stamps the
-    span tree, every structured log line, and the response.
+    assigned by the *server* when it admits the request — unless the
+    client (or an upstream router) supplied one, in which case that id
+    is kept, so one id greps across every process a request touched.
+    ``trace_context`` is the optional distributed-trace context an
+    upstream router stamps on scatter legs
+    (:class:`repro.obs.distributed.TraceContext` wire form); a sampled
+    context implies tracing even without ``trace: true``.
     """
 
     id: object
@@ -134,6 +154,7 @@ class QueryRequest:
     timeout_ms: Optional[float] = None
     trace: bool = False
     correlation_id: Optional[str] = None
+    trace_context: Optional[str] = None
 
 
 def validate_request(message: object) -> Dict[str, object]:
@@ -194,6 +215,14 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
         raise ProtocolError(
             "bad_request", "correlation_id must be a string of 1..64 chars"
         )
+    trace_context = message.get("trace_context")
+    if trace_context is not None:
+        from repro.obs.distributed import TraceContext
+
+        try:
+            TraceContext.decode(trace_context)
+        except ValueError as exc:
+            raise ProtocolError("bad_request", str(exc)) from None
     try:
         key = batch_key(
             op,
@@ -213,6 +242,7 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
         timeout_ms=None if timeout_ms is None else float(timeout_ms),
         trace=trace,
         correlation_id=correlation_id,
+        trace_context=trace_context,
     )
 
 

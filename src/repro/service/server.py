@@ -36,7 +36,10 @@ import time
 import uuid
 from typing import Dict, Optional, Tuple
 
+from repro.obs.distributed import TraceContext, new_trace_id
 from repro.obs.log import JsonLogger, with_correlation_id
+from repro.obs.profiler import SamplingProfiler, render_folded
+from repro.obs.slo import SloMonitor
 from repro.obs.trace import Tracer
 from repro.service import frames
 from repro.service.batcher import MicroBatcher
@@ -45,7 +48,9 @@ from repro.service.resilience import CircuitBreaker, CircuitOpenError
 from repro.service.protocol import (
     CLUSTER_OPS,
     METRICS_FORMATS,
+    METRICS_SCOPES,
     MUTATION_OPS,
+    PROFILE_FORMATS,
     WIRE_PROTOCOLS,
     ProtocolError,
     encode_search_stats,
@@ -57,6 +62,9 @@ from repro.service.protocol import (
     parse_request,
     validate_request,
 )
+
+#: One-shot ``profile`` requests may sample at most this long.
+MAX_PROFILE_SECONDS = 30.0
 
 
 class _Connection:
@@ -134,6 +142,20 @@ class QueryServer:
         refuses binary hellos with ``bad_request``, which auto-mode
         clients treat as "fall back to NDJSON" (see :doc:`docs/wire`).
         Every connection still starts in NDJSON mode either way.
+    slo_objectives:
+        Optional :class:`~repro.obs.slo.SloObjective` sequence; defaults
+        to :data:`~repro.obs.slo.DEFAULT_OBJECTIVES`.  An
+        :class:`~repro.obs.slo.SloMonitor` over the server's registry is
+        ticked every ``slo_interval_s`` seconds by a background task
+        (burn-rate gauges, error-budget gauge, structured alerts).
+        ``slo_interval_s=0`` disables the periodic tick (the monitor
+        still exists and can be ticked by hand).
+    profile_hz:
+        When set, a continuous :class:`~repro.obs.profiler.SamplingProfiler`
+        runs at this rate for the server's lifetime and the ``profile``
+        control op returns its accumulated stacks.  When ``None`` (the
+        default) the op serves one-shot profiles on demand and the
+        steady-state cost is zero.
     """
 
     #: Frame types a client may legally send; cluster subclasses widen
@@ -160,6 +182,9 @@ class QueryServer:
         breaker_threshold: int = 3,
         breaker_reset_seconds: float = 30.0,
         wire: str = "auto",
+        slo_objectives=None,
+        slo_interval_s: float = 5.0,
+        profile_hz: Optional[float] = None,
     ) -> None:
         if wire not in ("auto", "ndjson"):
             raise ValueError(
@@ -197,6 +222,13 @@ class QueryServer:
         )
         self.allow_remote_shutdown = bool(allow_remote_shutdown)
         self.index_info = dict(index_info or {})
+        self._slo_objectives = slo_objectives
+        self._slo_interval_s = float(slo_interval_s)
+        self.slo: Optional[SloMonitor] = None
+        self._slo_task: Optional["asyncio.Task"] = None
+        self.profiler: Optional[SamplingProfiler] = (
+            SamplingProfiler(hz=profile_hz) if profile_hz is not None else None
+        )
         self.batcher: Optional[MicroBatcher] = None
         self._server: Optional["asyncio.base_events.Server"] = None
         self._request_tasks: set = set()
@@ -224,11 +256,35 @@ class QueryServer:
             logger=self._log.child("batcher"),
             **self._batcher_options,
         )
+        # Engines that can account kernel fallbacks get the registry
+        # (duck-typed so sharded/live/router engines need not care).
+        bind = getattr(self._engine, "bind_metrics", None)
+        if bind is not None:
+            bind(self.metrics.registry)
+        slo_kwargs = {"logger": self._log.child("slo")}
+        if self._slo_objectives is not None:
+            slo_kwargs["objectives"] = self._slo_objectives
+        self.slo = SloMonitor(self.metrics.registry, **slo_kwargs)
+        if self._slo_interval_s > 0:
+            self._slo_task = asyncio.get_running_loop().create_task(
+                self._slo_loop()
+            )
+        if self.profiler is not None:
+            self.profiler.start()
         self._shutdown_done = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection, host=self._host, port=self._port
         )
         return self.address
+
+    async def _slo_loop(self) -> None:
+        """Tick the SLO monitor until shutdown (cost: a few counter reads)."""
+        while True:
+            await asyncio.sleep(self._slo_interval_s)
+            try:
+                self.slo.tick()
+            except Exception as exc:  # never let monitoring kill serving
+                self._log.error("slo.tick_failed", error=str(exc))
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until :meth:`shutdown` completes."""
@@ -252,6 +308,17 @@ class QueryServer:
             await self._shutdown_done.wait()
             return
         self._shutdown_started = True
+        # 0. Stop background observability first: the SLO task and the
+        #    continuous profiler must not observe the drain as an outage.
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            try:
+                await self._slo_task
+            except asyncio.CancelledError:
+                pass
+            self._slo_task = None
+        if self.profiler is not None:
+            self.profiler.stop()
         # 1. Stop accepting connections; in-flight sockets stay open.
         self._server.close()
         # 2. Drain the batcher: new submissions now get `shutting_down`,
@@ -393,6 +460,8 @@ class QueryServer:
             return
         if op == "stats":
             payload = {"stats": self.metrics.snapshot(), "index": self.index_info}
+            if self.slo is not None:
+                payload["slo"] = self.slo.report()
             await self._send(
                 writer, write_lock, conn.encode_ok(request_id, payload)
             )
@@ -410,33 +479,14 @@ class QueryServer:
             )
             return
         if op == "metrics":
-            fmt = message.get("format", "json")
-            if fmt not in METRICS_FORMATS:
-                known = ", ".join(METRICS_FORMATS)
-                self.metrics.record_rejection("bad_request")
-                await self._send(
-                    writer,
-                    write_lock,
-                    conn.encode_error(
-                        request_id,
-                        "bad_request",
-                        f"unknown metrics format {fmt!r}; known: {known}",
-                    ),
-                )
-                return
-            if fmt == "prometheus":
-                payload = {
-                    "format": "prometheus",
-                    "metrics": self.metrics.registry.to_prometheus_text(),
-                }
-            else:
-                payload = {
-                    "format": "json",
-                    "metrics": self.metrics.registry.to_json(),
-                }
-            await self._send(
-                writer, write_lock, conn.encode_ok(request_id, payload)
+            await self._serve_metrics(message, writer, write_lock, conn)
+            return
+        if op == "profile":
+            task = asyncio.get_running_loop().create_task(
+                self._serve_profile(message, writer, write_lock, conn)
             )
+            self._request_tasks.add(task)
+            task.add_done_callback(self._request_tasks.discard)
             return
         if op == "shutdown":
             if not self.allow_remote_shutdown:
@@ -535,6 +585,153 @@ class QueryServer:
         ``rebalance``).
         """
         return False
+
+    async def _serve_metrics(
+        self,
+        message,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+        conn: _Connection,
+    ) -> None:
+        """Serve the ``metrics`` op in the requested format and scope.
+
+        ``scope="self"`` (default) exposes this process's registry;
+        ``scope="cluster"`` asks for the merged cluster-wide view, which
+        only the router can answer (:meth:`_metrics_registry` is the
+        override point).
+        """
+        request_id = message.get("id")
+        fmt = message.get("format", "json")
+        scope = message.get("scope", "self")
+        try:
+            if fmt not in METRICS_FORMATS:
+                known = ", ".join(METRICS_FORMATS)
+                raise ProtocolError(
+                    "bad_request",
+                    f"unknown metrics format {fmt!r}; known: {known}",
+                )
+            if scope not in METRICS_SCOPES:
+                known = ", ".join(METRICS_SCOPES)
+                raise ProtocolError(
+                    "bad_request",
+                    f"unknown metrics scope {scope!r}; known: {known}",
+                )
+            registry = await self._metrics_registry(scope)
+        except ProtocolError as exc:
+            self.metrics.record_rejection(exc.code)
+            await self._send(
+                writer,
+                write_lock,
+                conn.encode_error(request_id, exc.code, exc.message),
+            )
+            return
+        if fmt == "prometheus":
+            payload = {
+                "format": "prometheus",
+                "scope": scope,
+                "metrics": registry.to_prometheus_text(),
+            }
+        else:
+            payload = {
+                "format": "json",
+                "scope": scope,
+                "metrics": registry.to_json(),
+            }
+        await self._send(
+            writer, write_lock, conn.encode_ok(request_id, payload)
+        )
+
+    async def _metrics_registry(self, scope: str):
+        """The registry backing a ``metrics`` request at ``scope``.
+
+        The base server only knows about itself;
+        :class:`~repro.cluster.router.RouterServer` overrides this to
+        scatter-gather every node's registry and merge them.
+        """
+        if scope == "cluster":
+            raise ProtocolError(
+                "bad_request",
+                "metrics scope 'cluster' requires a cluster router",
+            )
+        return self.metrics.registry
+
+    async def _serve_profile(
+        self,
+        message,
+        writer: "asyncio.StreamWriter",
+        write_lock: "asyncio.Lock",
+        conn: _Connection,
+    ) -> None:
+        """Serve the ``profile`` op: folded stacks from the sampler.
+
+        With a continuous profiler (``profile_hz``) the accumulated
+        snapshot is returned immediately (``reset: true`` clears it).
+        Otherwise a one-shot :class:`SamplingProfiler` runs for
+        ``duration_s`` seconds (capped at :data:`MAX_PROFILE_SECONDS`)
+        and returns what it saw — concurrent requests keep being served
+        while it samples.
+        """
+        request_id = message.get("id")
+        fmt = message.get("format", "folded")
+        try:
+            if fmt not in PROFILE_FORMATS:
+                known = ", ".join(PROFILE_FORMATS)
+                raise ProtocolError(
+                    "bad_request",
+                    f"unknown profile format {fmt!r}; known: {known}",
+                )
+            if self.profiler is not None:
+                snapshot = self.profiler.snapshot(
+                    reset=bool(message.get("reset", False))
+                )
+                mode = "continuous"
+            else:
+                try:
+                    duration_s = float(message.get("duration_s", 1.0))
+                except (TypeError, ValueError):
+                    raise ProtocolError(
+                        "bad_request", "duration_s must be a number"
+                    )
+                if not 0 < duration_s <= MAX_PROFILE_SECONDS:
+                    raise ProtocolError(
+                        "bad_request",
+                        "duration_s must be in (0, "
+                        f"{MAX_PROFILE_SECONDS:g}], got {duration_s:g}",
+                    )
+                try:
+                    hz = float(message.get("hz", 0) or 0) or None
+                    profiler = (
+                        SamplingProfiler(hz=hz)
+                        if hz is not None
+                        else SamplingProfiler()
+                    )
+                except ValueError as exc:
+                    raise ProtocolError("bad_request", str(exc))
+                profiler.start()
+                try:
+                    await asyncio.sleep(duration_s)
+                finally:
+                    profiler.stop()
+                snapshot = profiler.snapshot()
+                mode = "one_shot"
+        except ProtocolError as exc:
+            self.metrics.record_rejection(exc.code)
+            await self._send(
+                writer,
+                write_lock,
+                conn.encode_error(request_id, exc.code, exc.message),
+            )
+            return
+        payload: Dict[str, object] = {"format": fmt, "mode": mode}
+        if fmt == "folded":
+            payload["profile"] = render_folded(snapshot)
+            payload["samples"] = snapshot["samples"]
+            payload["elapsed_s"] = snapshot["elapsed_s"]
+        else:
+            payload["profile"] = snapshot
+        await self._send(
+            writer, write_lock, conn.encode_ok(request_id, payload)
+        )
 
     async def _handle_hello(
         self,
@@ -693,19 +890,37 @@ class QueryServer:
         # nodes) is honoured instead of minting a fresh one.
         cid = request.correlation_id or uuid.uuid4().hex[:16]
         request = dataclasses.replace(request, correlation_id=cid)
-        tracer = Tracer(correlation_id=cid) if request.trace else None
+        # An incoming trace context (the router's scatter legs carry one)
+        # makes this request part of a distributed trace: a sampled
+        # context forces tracing even without `trace: true`, and the
+        # propagated trace id replaces a locally minted one so router and
+        # shard spans share it.
+        ctx = (
+            TraceContext.decode(request.trace_context)
+            if request.trace_context is not None
+            else None
+        )
+        wants_trace = request.trace or (ctx is not None and ctx.sampled)
+        if wants_trace:
+            trace_id = ctx.trace_id if ctx is not None else new_trace_id()
+            tracer = Tracer(correlation_id=cid, trace_id=trace_id)
+        else:
+            tracer = None
         started = time.monotonic()
         with with_correlation_id(cid):
             self._log.info(
                 "request.received",
                 op=request.key.op,
                 num_items=len(request.items),
-                traced=request.trace,
+                traced=wants_trace,
             )
             try:
                 if tracer is not None:
+                    span_attrs = {"op": request.key.op}
+                    if ctx is not None:
+                        span_attrs["parent_span_id"] = ctx.parent_span_id
                     with tracer.activate(), tracer.span(
-                        "service.request", op=request.key.op
+                        "service.request", **span_attrs
                     ):
                         results, stats = await self.batcher.submit(
                             request, tracer=tracer

@@ -1,0 +1,347 @@
+"""Cluster-wide observability: stitched traces, merged metrics, SLOs.
+
+The contracts under test:
+
+* a traced request through the router returns ONE stitched span tree —
+  router scatter legs with each shard's remote spans grafted under
+  them, all sharing one ``trace_id`` — on both wire protocols;
+* tracing is *observation*, never *perturbation*: traced answers are
+  identical to untraced ones through the router on both wires;
+* a client-supplied correlation id survives the whole fan-out — the
+  same id appears in the router's and every touched node's JSON logs;
+* ``metrics`` at ``scope="cluster"`` returns exactly the
+  :meth:`MetricRegistry.merge` of the live per-node registries;
+* the ``profile`` op and the stats-embedded SLO report work through
+  live servers.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cluster import ClusterHarness
+from repro.obs.distributed import render_fanout
+from repro.obs.log import JsonLogger
+from repro.obs.registry import MetricRegistry, parse_prometheus_text
+from repro.service.client import ServiceError
+
+pytestmark = pytest.mark.cluster
+
+WIRES = ("ndjson", "binary")
+
+#: Wall-clock callback gauges legitimately differ between two renders.
+TIME_VARYING = ("repro_uptime_seconds",)
+
+
+def preloaded_harness(tmp_path, db, scheme, **options):
+    rows = [sorted(db[g]) for g in range(len(db))]
+    assignment = [("s0", "s1")[g % 2] for g in range(len(rows))]
+    return ClusterHarness(
+        str(tmp_path),
+        scheme,
+        shards=("s0", "s1"),
+        rows=rows,
+        assignment=assignment,
+        **options,
+    )
+
+
+def iter_spans(payloads):
+    stack = list(payloads)
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.get("children", ()))
+
+
+class TestStitchedTrace:
+    @pytest.mark.parametrize("wire", WIRES)
+    def test_single_tree_with_grafted_shard_spans(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries, wire
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client(wire=wire) as client:
+            client.knn(cluster_queries[0], k=3, trace=True)
+            trace = client.last_response["trace"]
+
+        assert len(trace) == 1, "expected one stitched tree, not a forest"
+        root = trace[0]
+        assert root["name"] == "service.request"
+        trace_id = root["attributes"]["trace_id"]
+        assert len(trace_id) == 16
+
+        legs = [
+            s
+            for s in iter_spans(trace)
+            if s["name"] == "router.scatter"
+            and s["attributes"].get("phase") == "scatter"
+        ]
+        assert {leg["attributes"]["shard"] for leg in legs} == {"s0", "s1"}
+        for leg in legs:
+            remotes = [
+                c
+                for c in leg.get("children", ())
+                if c["name"] == "service.request"
+            ]
+            assert remotes, f"leg {leg['attributes']['shard']} has no " \
+                "grafted shard spans"
+            for remote in remotes:
+                attrs = remote["attributes"]
+                # The shard traced under the propagated identity: same
+                # trace id, parented at the leg span the router minted.
+                assert attrs["trace_id"] == trace_id
+                assert attrs["parent_span_id"] == leg["attributes"]["span_id"]
+                # The shard's own engine work is inside the grafted tree
+                # (live nodes record search.* spans).
+                assert any(
+                    s["name"].startswith(("search.", "engine."))
+                    for s in iter_spans([remote])
+                )
+
+        merges = [s for s in iter_spans(trace) if s["name"] == "router.merge"]
+        assert merges
+
+        fanout = render_fanout(trace)
+        assert "2 shard legs" in fanout
+        assert "s0" in fanout and "s1" in fanout
+
+    def test_untraced_requests_return_no_trace(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client() as client:
+            client.knn(cluster_queries[0], k=3)
+            assert "trace" not in client.last_response
+
+
+class TestTracingDifferential:
+    """Tracing on == tracing off, byte-for-byte, through the router."""
+
+    @pytest.mark.parametrize("wire", WIRES)
+    def test_knn_and_range_identical(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries, wire
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client(wire=wire) as client:
+            for items in cluster_queries[:6]:
+                for k in (1, 3, 7):
+                    plain, plain_stats = client.knn(items, k=k)
+                    traced, traced_stats = client.knn(items, k=k, trace=True)
+                    assert [(n.tid, n.similarity) for n in traced] == [
+                        (n.tid, n.similarity) for n in plain
+                    ], f"knn k={k} diverged under tracing"
+                    assert traced_stats == plain_stats
+                for threshold in (0.25, 0.5):
+                    plain, _ = client.range_query(
+                        items, "jaccard", threshold
+                    )
+                    traced, _ = client.range_query(
+                        items, "jaccard", threshold, trace=True
+                    )
+                    assert [(n.tid, n.similarity) for n in traced] == [
+                        (n.tid, n.similarity) for n in plain
+                    ], f"range t={threshold} diverged under tracing"
+
+
+class TestCorrelationId:
+    def test_client_cid_in_router_and_node_logs(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries
+    ):
+        node_stream = io.StringIO()
+        router_stream = io.StringIO()
+        with preloaded_harness(
+            tmp_path,
+            cluster_db,
+            cluster_scheme,
+            node_options={
+                "logger": JsonLogger("node", stream=node_stream, enabled=True)
+            },
+            router_server_options={
+                "logger": JsonLogger(
+                    "router", stream=router_stream, enabled=True
+                )
+            },
+        ) as h, h.client() as client:
+            cid = "cid-e2e-000042"
+            client.knn(cluster_queries[0], k=3, correlation_id=cid)
+            assert client.last_response["correlation_id"] == cid
+
+        router_lines = [
+            json.loads(line) for line in router_stream.getvalue().splitlines()
+        ]
+        node_lines = [
+            json.loads(line) for line in node_stream.getvalue().splitlines()
+        ]
+        router_cids = {l.get("correlation_id") for l in router_lines}
+        node_cids = {l.get("correlation_id") for l in node_lines}
+        assert cid in router_cids, "client cid missing from router logs"
+        assert cid in node_cids, "client cid not forwarded to shard logs"
+        # The same id names request lifecycle events on both tiers.
+        for lines in (router_lines, node_lines):
+            events = {
+                l["event"] for l in lines if l.get("correlation_id") == cid
+            }
+            assert "request.completed" in events
+
+    def test_server_minted_cids_differ_per_request(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client() as client:
+            client.knn(cluster_queries[0], k=1)
+            first = client.last_response["correlation_id"]
+            client.knn(cluster_queries[1], k=1)
+            second = client.last_response["correlation_id"]
+        assert first and second and first != second
+
+
+def strip_time_varying(samples):
+    return {
+        key: value
+        for key, value in samples.items()
+        if key[0] not in TIME_VARYING
+    }
+
+
+class TestClusterMetrics:
+    def test_merged_exposition_equals_live_sources(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries
+    ):
+        frozen = {"slo_interval_s": 0.0}  # no SLO ticks mid-comparison
+        with preloaded_harness(
+            tmp_path,
+            cluster_db,
+            cluster_scheme,
+            node_options=dict(frozen),
+            router_server_options=dict(frozen),
+        ) as h, h.client() as client:
+            for items in cluster_queries[:4]:
+                client.knn(items, k=3)
+                client.range_query(items, "jaccard", 0.3)
+
+            # Quiesced: snapshot the live in-process registries, then ask
+            # the router for the merged cluster view.  The metrics op
+            # itself must not perturb any counter, so up to wall-clock
+            # gauges the two must agree exactly.
+            sources = {
+                "router": h.router.registry.to_json(),
+                "s0": h.servers["s0"].server.metrics.registry.to_json(),
+                "s1": h.servers["s1"].server.metrics.registry.to_json(),
+            }
+            expected = MetricRegistry.merge(sources, gauge_label="source")
+            got = client.metrics(format="prometheus", scope="cluster")
+
+        got_samples = strip_time_varying(parse_prometheus_text(got))
+        want_samples = strip_time_varying(
+            parse_prometheus_text(expected.to_prometheus_text())
+        )
+        assert got_samples == want_samples
+
+        # Spot-check the merge did real cross-node summation: the nodes'
+        # completed counters add up in the merged view.
+        def completed(dump):
+            family = dump.get("repro_requests_completed_total")
+            return sum(s["value"] for s in family["samples"]) if family else 0
+
+        node_total = completed(sources["s0"]) + completed(sources["s1"])
+        assert node_total > 0
+        merged_total = sum(
+            value
+            for (name, _labels), value in got_samples.items()
+            if name == "repro_requests_completed_total"
+        )
+        assert merged_total == completed(sources["router"]) + node_total
+
+    def test_gauges_are_source_labelled_not_summed(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client() as client:
+            client.knn(cluster_queries[0], k=1)
+            merged = client.metrics(format="json", scope="cluster")
+        uptime = merged["repro_uptime_seconds"]
+        labels = {
+            sample["labels"].get("source") for sample in uptime["samples"]
+        }
+        assert {"router", "s0", "s1"} <= labels
+
+    def test_cluster_scope_rejected_on_plain_node(
+        self, tmp_path, cluster_db, cluster_scheme
+    ):
+        from repro.service.client import ServiceClient
+
+        with preloaded_harness(tmp_path, cluster_db, cluster_scheme) as h:
+            host, port = h.servers["s0"].address
+            with ServiceClient(host, port) as node_client:
+                with pytest.raises(ServiceError) as err:
+                    node_client.metrics(scope="cluster")
+                assert err.value.code == "bad_request"
+                # scope="self" still works on a node.
+                own = node_client.metrics(format="json")
+                assert "repro_requests_completed_total" in own
+
+
+class TestProfileAndSlo:
+    def test_one_shot_profile_through_router(
+        self, tmp_path, cluster_db, cluster_scheme
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client() as client:
+            out = client.profile(duration_s=0.3, hz=250)
+            assert out["mode"] == "one_shot"
+            assert out["samples"] > 0
+            assert out["elapsed_s"] == pytest.approx(0.3, abs=0.2)
+            assert isinstance(out["profile"], str)
+
+    def test_continuous_profiler_accumulates_and_resets(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries
+    ):
+        with preloaded_harness(
+            tmp_path,
+            cluster_db,
+            cluster_scheme,
+            router_server_options={"profile_hz": 250.0},
+        ) as h, h.client() as client:
+            for items in cluster_queries[:6]:
+                client.knn(items, k=3)
+            first = client.profile(reset=True)
+            assert first["mode"] == "continuous"
+            assert first["samples"] > 0
+            drained = client.profile(format="json")
+            assert drained["mode"] == "continuous"
+            assert drained["profile"]["samples"] < first["samples"]
+
+    def test_bad_profile_duration_rejected(
+        self, tmp_path, cluster_db, cluster_scheme
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client() as client:
+            for bad in (0.0, -1.0, 9999.0):
+                with pytest.raises(ServiceError) as err:
+                    client.profile(duration_s=bad)
+                assert err.value.code == "bad_request"
+
+    def test_stats_embed_slo_report(
+        self, tmp_path, cluster_db, cluster_scheme, cluster_queries
+    ):
+        with preloaded_harness(
+            tmp_path, cluster_db, cluster_scheme
+        ) as h, h.client() as client:
+            client.knn(cluster_queries[0], k=3)
+            stats = client.stats()
+        slo = stats["slo"]
+        objectives = {entry["objective"] for entry in slo}
+        assert objectives == {"latency_p99_250ms", "availability"}
+        for entry in slo:
+            assert 0.0 < entry["target"] < 1.0
+            assert "burn_rates" in entry
+            assert "budget_remaining" in entry
+            assert entry["alerting"] is False

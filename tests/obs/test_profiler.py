@@ -1,0 +1,134 @@
+"""Sampling profiler: capture, folded format, filters, snapshot reset."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs.profiler import (
+    DEFAULT_HZ,
+    MAX_STACK_DEPTH,
+    SamplingProfiler,
+    render_folded,
+)
+
+
+def spin_target(stop):
+    while not stop.is_set():
+        busy_inner()
+
+
+def busy_inner():
+    total = 0
+    for i in range(2000):
+        total += i * i
+    return total
+
+
+def run_with_busy_thread(profiler, seconds=0.5, name="busy-worker"):
+    stop = threading.Event()
+    worker = threading.Thread(target=spin_target, args=(stop,), name=name)
+    worker.start()
+    try:
+        with profiler:
+            time.sleep(seconds)
+    finally:
+        stop.set()
+        worker.join()
+
+
+class TestSampling:
+    def test_captures_busy_thread_stack(self):
+        profiler = SamplingProfiler(hz=200)
+        run_with_busy_thread(profiler)
+        snapshot = profiler.snapshot()
+        assert snapshot["samples"] > 0
+        assert snapshot["elapsed_s"] > 0.0
+        joined = "\n".join(snapshot["stacks"])
+        assert "spin_target" in joined
+        # Frames are outermost-first, separated by semicolons.
+        hot = max(snapshot["stacks"], key=snapshot["stacks"].get)
+        frames = hot.split(";")
+        assert all(":" in frame for frame in frames)
+        assert len(frames) <= MAX_STACK_DEPTH
+
+    def test_sampler_skips_its_own_thread(self):
+        profiler = SamplingProfiler(hz=200)
+        run_with_busy_thread(profiler, seconds=0.3)
+        for stack in profiler.snapshot()["stacks"]:
+            assert "profiler:_run" not in stack
+
+    def test_include_filter_restricts_threads(self):
+        profiler = SamplingProfiler(hz=200, include="busy-worker")
+        run_with_busy_thread(profiler, seconds=0.4)
+        stacks = profiler.snapshot()["stacks"]
+        assert stacks, "filtered sampler saw nothing"
+        for stack in stacks:
+            assert "spin_target" in stack
+
+    def test_stop_is_idempotent_and_start_restarts(self):
+        profiler = SamplingProfiler(hz=100)
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+
+    def test_hz_bounds(self):
+        for bad in (0.0, 0.05, 1001.0):
+            with pytest.raises(ValueError):
+                SamplingProfiler(hz=bad)
+        assert SamplingProfiler().hz == DEFAULT_HZ
+
+
+class TestSnapshotAndFolded:
+    def test_snapshot_reset_drops_accumulated_state(self):
+        profiler = SamplingProfiler(hz=200)
+        run_with_busy_thread(profiler, seconds=0.3)
+        first = profiler.snapshot(reset=True)
+        assert first["samples"] > 0
+        after = profiler.snapshot()
+        assert after["samples"] == 0
+        assert after["stacks"] == {}
+        assert after["elapsed_s"] == 0.0
+
+    def test_reset_while_running_keeps_sampling(self):
+        profiler = SamplingProfiler(hz=200)
+        stop = threading.Event()
+        worker = threading.Thread(target=spin_target, args=(stop,))
+        worker.start()
+        try:
+            with profiler:
+                time.sleep(0.2)
+                profiler.reset()
+                time.sleep(0.2)
+        finally:
+            stop.set()
+            worker.join()
+        snapshot = profiler.snapshot()
+        assert snapshot["samples"] > 0
+        assert snapshot["elapsed_s"] < 0.35  # only the post-reset window
+
+    def test_folded_output_is_sorted_and_parseable(self):
+        profiler = SamplingProfiler(hz=200)
+        run_with_busy_thread(profiler)
+        text = profiler.folded()
+        assert text
+        counts = []
+        for line in text.splitlines():
+            stack, _, count = line.rpartition(" ")
+            assert stack
+            counts.append(int(count))
+        assert counts == sorted(counts, reverse=True)
+
+    def test_render_folded_matches_folded(self):
+        profiler = SamplingProfiler(hz=200)
+        run_with_busy_thread(profiler, seconds=0.3)
+        assert render_folded(profiler.snapshot()) == profiler.folded()
+
+    def test_render_folded_empty_snapshot(self):
+        assert render_folded({"stacks": {}}) == ""
+        assert render_folded({}) == ""

@@ -1,0 +1,245 @@
+"""SLO monitor: burn-rate math, multi-window alerting, budget gauge."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.log import JsonLogger
+from repro.obs.registry import MetricRegistry
+from repro.obs.slo import DEFAULT_OBJECTIVES, SloMonitor, SloObjective
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def service_counters(registry):
+    completed = registry.counter("repro_requests_completed_total")
+    rejected = registry.counter(
+        "repro_requests_rejected_total", labelnames=("reason",)
+    )
+    latency = registry.histogram(
+        "repro_request_latency_seconds", buckets=(0.05, 0.25, 1.0)
+    )
+    return completed, rejected, latency
+
+
+def availability_monitor(registry, clock, **kwargs):
+    kwargs.setdefault(
+        "objectives", (SloObjective("availability", "availability", 0.999),)
+    )
+    return SloMonitor(registry, clock=clock, **kwargs)
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            SloObjective("x", "throughput", 0.99)
+
+    def test_target_bounds(self):
+        for bad in (0.0, 1.0, 1.5, -0.1):
+            with pytest.raises(ValueError):
+                SloObjective("x", "availability", bad)
+
+    def test_latency_needs_threshold(self):
+        with pytest.raises(ValueError):
+            SloObjective("x", "latency", 0.99)
+        with pytest.raises(ValueError):
+            SloObjective("x", "latency", 0.99, threshold_s=0.0)
+
+    def test_monitor_rejects_degenerate_config(self):
+        registry = MetricRegistry()
+        with pytest.raises(ValueError):
+            SloMonitor(registry, objectives=())
+        with pytest.raises(ValueError):
+            SloMonitor(registry, burn_windows_s=())
+        with pytest.raises(ValueError):
+            SloMonitor(
+                registry,
+                objectives=(
+                    SloObjective("same", "availability", 0.99),
+                    SloObjective("same", "availability", 0.999),
+                ),
+            )
+
+
+class TestBurnRateMath:
+    def test_burn_rate_is_bad_fraction_over_budget(self):
+        """99.9% availability + 1% observed failures = burn rate 10."""
+        registry = MetricRegistry()
+        completed, rejected, _ = service_counters(registry)
+        clock = FakeClock()
+        monitor = availability_monitor(
+            registry, clock, burn_windows_s=(300.0,)
+        )
+        completed.inc(990)
+        rejected.labels(reason="overloaded").inc(10)
+        clock.advance(300.0)
+        (report,) = monitor.tick()
+        assert report["good"] == 990
+        assert report["total"] == 1000
+        assert report["burn_rates"]["5m"] == pytest.approx(10.0)
+
+    def test_client_errors_spend_no_budget(self):
+        registry = MetricRegistry()
+        completed, rejected, _ = service_counters(registry)
+        clock = FakeClock()
+        monitor = availability_monitor(
+            registry, clock, burn_windows_s=(300.0,)
+        )
+        completed.inc(100)
+        rejected.labels(reason="bad_request").inc(50)
+        rejected.labels(reason="shutting_down").inc(5)
+        clock.advance(300.0)
+        (report,) = monitor.tick()
+        assert report["total"] == 100
+        assert report["burn_rates"]["5m"] == 0.0
+
+    def test_latency_objective_reads_histogram_buckets(self):
+        registry = MetricRegistry()
+        _, _, latency = service_counters(registry)
+        clock = FakeClock()
+        monitor = SloMonitor(
+            registry,
+            objectives=(
+                SloObjective("lat", "latency", 0.9, threshold_s=0.25),
+            ),
+            burn_windows_s=(300.0,),
+            clock=clock,
+        )
+        for _ in range(80):
+            latency.observe(0.01)   # within threshold
+        for _ in range(20):
+            latency.observe(0.5)    # over threshold
+        clock.advance(300.0)
+        (report,) = monitor.tick()
+        assert report["good"] == 80
+        assert report["total"] == 100
+        # Bad fraction 0.2 over a 0.1 budget = burn 2.
+        assert report["burn_rates"]["5m"] == pytest.approx(2.0)
+
+    def test_no_traffic_means_no_burn(self):
+        registry = MetricRegistry()
+        service_counters(registry)
+        clock = FakeClock()
+        monitor = availability_monitor(registry, clock)
+        clock.advance(600.0)
+        (report,) = monitor.tick()
+        assert report["burn_rates"] == {"5m": 0.0, "1h": 0.0}
+        assert report["budget_remaining"] == 1.0
+        assert report["alerting"] is False
+
+    def test_window_uses_only_recent_deltas(self):
+        """Old failures age out of the short window."""
+        registry = MetricRegistry()
+        completed, rejected, _ = service_counters(registry)
+        clock = FakeClock()
+        monitor = availability_monitor(
+            registry, clock, burn_windows_s=(300.0,)
+        )
+        rejected.labels(reason="timeout").inc(10)
+        completed.inc(90)
+        clock.advance(300.0)
+        (report,) = monitor.tick()
+        assert report["burn_rates"]["5m"] > 0.0
+        # A clean 5 minutes later the short window is healthy again.
+        completed.inc(500)
+        clock.advance(300.0)
+        (report,) = monitor.tick()
+        assert report["burn_rates"]["5m"] == 0.0
+
+
+class TestAlerting:
+    def _setup(self, stream=None):
+        registry = MetricRegistry()
+        completed, rejected, _ = service_counters(registry)
+        clock = FakeClock()
+        logger = JsonLogger("slo", stream=stream, enabled=stream is not None)
+        monitor = availability_monitor(
+            registry,
+            clock,
+            burn_windows_s=(60.0, 600.0),
+            alert_burn_rate=10.0,
+            logger=logger,
+        )
+        return registry, completed, rejected, clock, monitor
+
+    def test_alert_requires_every_window_above(self):
+        _, completed, rejected, clock, monitor = self._setup()
+        # Short window hot, long window (mostly) clean: no page.
+        completed.inc(10000)
+        clock.advance(540.0)
+        monitor.tick()
+        rejected.labels(reason="internal").inc(60)
+        completed.inc(40)
+        clock.advance(60.0)
+        (report,) = monitor.tick()
+        assert report["burn_rates"]["1m"] >= 10.0
+        assert report["burn_rates"]["10m"] < 10.0
+        assert report["alerting"] is False
+
+    def test_alert_fires_and_resolves(self):
+        stream = io.StringIO()
+        registry, completed, rejected, clock, monitor = self._setup(stream)
+        # Sustained failures push both windows over the threshold.
+        for _ in range(10):
+            rejected.labels(reason="unavailable").inc(10)
+            completed.inc(10)
+            clock.advance(60.0)
+            monitor.tick()
+        report = monitor.report()[0]
+        assert report["alerting"] is True
+        alerts = [
+            json.loads(line)
+            for line in stream.getvalue().splitlines()
+            if json.loads(line)["event"] == "slo.burn_rate_alert"
+        ]
+        assert len(alerts) == 1  # latched: no re-page every tick
+        assert alerts[0]["objective"] == "availability"
+        assert alerts[0]["correlation_id"].startswith("slo-")
+        assert alerts[0]["level"] == "warning"
+        counter = registry._families["repro_slo_alerts_total"]
+        assert counter.labels(objective="availability").value == 1.0
+        # Recovery: clean traffic ages the failures out of both windows.
+        for _ in range(15):
+            completed.inc(1000)
+            clock.advance(60.0)
+            monitor.tick()
+        assert monitor.report()[0]["alerting"] is False
+        events = [json.loads(l)["event"] for l in stream.getvalue().splitlines()]
+        assert "slo.burn_rate_resolved" in events
+
+    def test_budget_gauge_exported(self):
+        registry, completed, rejected, clock, monitor = self._setup()
+        completed.inc(999)
+        rejected.labels(reason="timeout").inc(1)
+        clock.advance(600.0)
+        monitor.tick()
+        gauge = registry._families["repro_slo_error_budget_remaining"]
+        remaining = gauge.labels(objective="availability").value
+        # Bad fraction 0.001 equals the whole 0.001 budget: fully spent.
+        assert remaining == pytest.approx(0.0, abs=1e-9)
+        burn = registry._families["repro_slo_burn_rate"]
+        assert burn.labels(objective="availability", window="1m").value >= 0.0
+
+
+class TestDefaults:
+    def test_default_objectives_cover_latency_and_availability(self):
+        kinds = {o.kind for o in DEFAULT_OBJECTIVES}
+        assert kinds == {"latency", "availability"}
+
+    def test_report_before_and_after_tick(self):
+        registry = MetricRegistry()
+        service_counters(registry)
+        monitor = SloMonitor(registry, clock=FakeClock())
+        # __init__ seeds a baseline tick, so a report already exists.
+        names = {r["objective"] for r in monitor.report()}
+        assert names == {o.name for o in DEFAULT_OBJECTIVES}

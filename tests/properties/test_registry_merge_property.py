@@ -1,0 +1,148 @@
+"""Property test: cluster metric merging is exact.
+
+The cluster aggregation contract (`MetricRegistry.merge`) is that the
+merged registry is indistinguishable — through the Prometheus text
+exposition — from ONE registry that recorded every source's
+observations itself: counters sum, histogram buckets/sum/count add
+bucket-wise, and gauges (not summable) are re-labelled by source.  The
+property drives random per-source observation sets against both paths
+and compares the parsed expositions sample-by-sample.
+
+Observation values are dyadic rationals (exactly representable), so
+"exact" means float-equal, not approximately equal.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.obs.registry import MetricRegistry, parse_prometheus_text
+
+#: Shared histogram bucket bounds (must agree across sources by contract).
+BUCKETS = (0.5, 2.0)
+
+#: Dyadic observation values: float addition on these is exact at this
+#: scale, so merged sums must match the reference bit-for-bit.
+LATENCIES = (0.125, 0.25, 0.5, 1.0, 3.0)
+
+REASONS = ("timeout", "overloaded", "bad_request")
+
+GAUGE = "queue_depth"
+
+
+@st.composite
+def source_observations(draw):
+    """One node's worth of observations against the shared schema."""
+    return {
+        "requests": draw(st.lists(st.integers(1, 5), max_size=5)),
+        "rejections": draw(
+            st.lists(
+                st.tuples(st.sampled_from(REASONS), st.integers(1, 4)),
+                max_size=6,
+            )
+        ),
+        "latencies": draw(st.lists(st.sampled_from(LATENCIES), max_size=8)),
+        "queue_depth": draw(st.one_of(st.none(), st.integers(0, 12))),
+    }
+
+
+def record(registry, obs):
+    """Apply one observation set to a registry (same schema everywhere)."""
+    requests = registry.counter("requests_total", "Requests")
+    rejections = registry.counter(
+        "rejections_total", "Rejections", labelnames=("reason",)
+    )
+    latency = registry.histogram(
+        "latency_seconds", "Latency", buckets=BUCKETS
+    )
+    for amount in obs["requests"]:
+        requests.inc(amount)
+    for reason, amount in obs["rejections"]:
+        rejections.labels(reason=reason).inc(amount)
+    for value in obs["latencies"]:
+        latency.observe(value)
+    if obs["queue_depth"] is not None:
+        registry.gauge(GAUGE, "Depth").set(obs["queue_depth"])
+
+
+@given(st.lists(source_observations(), min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_merge_equals_single_registry_through_exposition(all_obs):
+    sources = {}
+    for index, obs in enumerate(all_obs):
+        registry = MetricRegistry()
+        record(registry, obs)
+        sources[f"node{index}"] = registry
+
+    reference = MetricRegistry()
+    for obs in all_obs:
+        record(reference, obs)
+
+    merged = MetricRegistry.merge(sources, gauge_label="source")
+
+    merged_samples = parse_prometheus_text(merged.to_prometheus_text())
+    reference_samples = parse_prometheus_text(reference.to_prometheus_text())
+
+    # Counters and histograms: exactly the single-registry numbers.
+    merged_summable = {
+        key: value
+        for key, value in merged_samples.items()
+        if not key[0].startswith(GAUGE)
+    }
+    reference_summable = {
+        key: value
+        for key, value in reference_samples.items()
+        if not key[0].startswith(GAUGE)
+    }
+    assert merged_summable == reference_summable
+
+    # Gauges: one sample per contributing source, re-labelled, verbatim.
+    expected_gauges = {
+        (GAUGE, (("source", name),)): float(obs["queue_depth"])
+        for name, obs in zip(sources, all_obs)
+        if obs["queue_depth"] is not None
+    }
+    merged_gauges = {
+        key: value
+        for key, value in merged_samples.items()
+        if key[0].startswith(GAUGE)
+    }
+    assert merged_gauges == expected_gauges
+
+
+@given(st.lists(source_observations(), min_size=1, max_size=3))
+@settings(max_examples=30, deadline=None)
+def test_merge_accepts_json_dumps_identically(all_obs):
+    """Merging to_json dumps (the wire form) == merging live registries."""
+    live = {}
+    dumps = {}
+    for index, obs in enumerate(all_obs):
+        registry = MetricRegistry()
+        record(registry, obs)
+        live[f"node{index}"] = registry
+        dumps[f"node{index}"] = registry.to_json()
+    from_live = MetricRegistry.merge(live)
+    from_dumps = MetricRegistry.merge(dumps)
+    assert from_live.to_prometheus_text() == from_dumps.to_prometheus_text()
+
+
+class TestMergeConflicts:
+    def test_bucket_bound_mismatch_rejected(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.histogram("lat", buckets=(0.5, 2.0)).observe(0.1)
+        b.histogram("lat", buckets=(1.0, 4.0)).observe(0.1)
+        with pytest.raises(ValueError, match="bucket bounds"):
+            MetricRegistry.merge({"a": a, "b": b})
+
+    def test_kind_mismatch_rejected(self):
+        a, b = MetricRegistry(), MetricRegistry()
+        a.counter("thing").inc()
+        b.gauge("thing").set(1)
+        with pytest.raises(ValueError):
+            MetricRegistry.merge({"a": a, "b": b})
+
+    def test_gauge_already_labelled_by_source_rejected(self):
+        a = MetricRegistry()
+        a.gauge("depth", labelnames=("source",)).labels(source="x").set(1)
+        with pytest.raises(ValueError, match="already carries"):
+            MetricRegistry.merge({"a": a})
