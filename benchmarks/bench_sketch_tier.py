@@ -1,0 +1,254 @@
+"""Sketch tier sweep: recall targets vs access fraction and throughput.
+
+Sweeps ``target_recall`` over {0.8, 0.9, 0.95, 0.99} on a *skewed*
+T10.I6.D25K workload (Zipf item popularity — the regime the skew-aware
+design-similarity calibration exists for) and records, per target:
+
+* the achieved access fraction (transactions touched / database size)
+  against the exact branch-and-bound scan;
+* queries/sec against the exact tier;
+* measured recall against the exact oracle (fraction of queries whose
+  lsh top answer ties the exact optimum);
+* the mean estimated recall the stats report (sanity: the estimate must
+  not promise more than roughly what was measured).
+
+The same run re-checks that ``candidate_tier="exact"`` on the
+sketch-carrying table stays byte-identical (results and wire-encoded
+stats) to a sketch-less table — attaching a sketch must cost exact
+queries nothing.
+
+Acceptance (full mode): at ``target_recall=0.95`` the measured recall is
+>= 0.95 with at most half the exact tier's access fraction.
+
+Runs two ways:
+
+* under pytest with the shared benchmark fixtures
+  (``pytest benchmarks/bench_sketch_tier.py``);
+* as a standalone script — ``python benchmarks/bench_sketch_tier.py``
+  (full scale) or ``--quick`` (CI smoke: small dataset, no recall bar).
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401  (probe: is the package importable?)
+except ImportError:  # running as a script without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.engine import QueryEngine
+from repro.core.partitioning import partition_items
+from repro.core.similarity import JaccardSimilarity
+from repro.core.table import SignatureTable
+from repro.data.generator import MarketBasketGenerator, parse_spec
+from repro.data.transaction import TransactionDatabase
+from repro.eval.reporting import ExperimentTable
+from repro.service.protocol import encode_search_stats
+from repro.sketch import SketchIndex
+
+FULL_SPEC = "T10.I6.D25K"
+QUICK_SPEC = "T8.I4.D3K"
+ITEM_SKEW = 0.8
+RECALL_TARGETS = (0.8, 0.9, 0.95, 0.99)
+NUM_QUERIES = 60
+K = 10
+ACCEPT_TARGET = 0.95
+ACCEPT_ACCESS_RATIO = 0.5
+#: Held-out queries sit farther from their nearest neighbour than the
+#: in-database near-duplicates the auto-calibration samples, so the
+#: sweep pins a conservative design point (the calibrated value lands
+#: near 0.57 on this workload and under-probes for held-out targets).
+DESIGN_SIMILARITY = 0.35
+
+
+def build_workload(spec, seed=1999):
+    """Generate the skewed corpus plus a held-out query set."""
+    config = parse_spec(spec, seed=seed, item_skew=ITEM_SKEW)
+    db = MarketBasketGenerator(config).generate()
+    rows = [db[t] for t in range(len(db))]
+    indexed = TransactionDatabase(
+        rows[:-NUM_QUERIES], universe_size=db.universe_size
+    )
+    queries = [sorted(int(i) for i in row) for row in rows[-NUM_QUERIES:]]
+    return indexed, queries
+
+
+def stats_blob(stats):
+    payload = encode_search_stats(stats)
+    payload.pop("latency_ms", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+def exact_identity_check(db, scheme, sketched_table, queries, similarity):
+    """Exact tier on the sketched table == sketch-less table, bytes and all."""
+    plain = QueryEngine.for_table(SignatureTable.build(db, scheme), db)
+    sketched = QueryEngine.for_table(sketched_table, db)
+    outputs = []
+    for engine in (plain, sketched):
+        results, stats = engine.knn_batch(queries, similarity, k=K)
+        outputs.append(
+            (
+                [[(n.tid, n.similarity) for n in hits] for hits in results],
+                [stats_blob(s) for s in stats],
+            )
+        )
+    return outputs[0] == outputs[1]
+
+
+def run(quick: bool = False):
+    """Execute the sweep; returns ``(table, summary_dict)``."""
+    spec = QUICK_SPEC if quick else FULL_SPEC
+    db, queries = build_workload(spec)
+    scheme = partition_items(db, num_signatures=10, rng=0)
+    sketched_table = SignatureTable.build(db, scheme)
+    sign_start = time.perf_counter()
+    sketch = SketchIndex.build(
+        db, seed=7, design_similarity=DESIGN_SIMILARITY
+    )
+    sign_seconds = time.perf_counter() - sign_start
+    sketched_table.attach_sketch(sketch)
+    engine = QueryEngine.for_table(sketched_table, db)
+    similarity = JaccardSimilarity()
+
+    identical = exact_identity_check(
+        db, scheme, sketched_table, queries, similarity
+    )
+
+    start = time.perf_counter()
+    exact_results, exact_stats = engine.knn_batch(queries, similarity, k=K)
+    exact_seconds = time.perf_counter() - start
+    exact_qps = len(queries) / exact_seconds
+    exact_access = float(
+        np.mean([s.access_fraction for s in exact_stats])
+    )
+    exact_best = [
+        hits[0].similarity if hits else float("-inf")
+        for hits in exact_results
+    ]
+
+    table = ExperimentTable(
+        title=f"Sketch tier sweep — jaccard k={K} ({spec}, skew={ITEM_SKEW})",
+        columns=[
+            "tier", "target", "measured recall", "est recall",
+            "access%", "vs exact", "qps", "speedup",
+        ],
+        notes=[
+            f"design_similarity={sketch.design_similarity:.3f} "
+            f"(pinned for held-out queries)",
+            f"signing {len(db)} rows took {sign_seconds:.2f}s",
+            f"exact-tier byte-identity with sketch attached: "
+            f"{'yes' if identical else 'NO'}",
+        ],
+    )
+    table.add_row(
+        tier="exact", target="-", **{
+            "measured recall": 1.0,
+            "est recall": "-",
+            "access%": 100.0 * exact_access,
+            "vs exact": "1.00x",
+            "qps": exact_qps,
+            "speedup": "1.00x",
+        },
+    )
+
+    summary = {
+        "identical": identical,
+        "exact_access": exact_access,
+        "by_target": {},
+    }
+    for target in RECALL_TARGETS:
+        start = time.perf_counter()
+        results, stats = engine.knn_batch(
+            queries, similarity, k=K,
+            candidate_tier="lsh", target_recall=target,
+        )
+        seconds = time.perf_counter() - start
+        qps = len(queries) / seconds
+        access = float(np.mean([s.access_fraction for s in stats]))
+        measured = float(
+            np.mean([
+                1.0
+                if hits and hits[0].similarity >= best - 1e-12
+                else 0.0
+                for hits, best in zip(results, exact_best)
+            ])
+        )
+        estimated = float(np.mean([s.estimated_recall for s in stats]))
+        table.add_row(
+            tier="lsh", target=f"{target:.2f}", **{
+                "measured recall": measured,
+                "est recall": estimated,
+                "access%": 100.0 * access,
+                "vs exact": f"{access / exact_access:.2f}x",
+                "qps": qps,
+                "speedup": f"{qps / exact_qps:.2f}x",
+            },
+        )
+        summary["by_target"][target] = {
+            "measured": measured,
+            "access": access,
+            "access_ratio": access / exact_access,
+            "qps": qps,
+        }
+    return table, summary
+
+
+def test_sketch_tier_sweep(emit):
+    table, summary = run(quick=False)
+    emit(table, "sketch_tier")
+    assert summary["identical"], (
+        "attaching a sketch changed exact-tier results or stats"
+    )
+    point = summary["by_target"][ACCEPT_TARGET]
+    assert point["measured"] >= ACCEPT_TARGET, (
+        f"measured recall {point['measured']:.3f} below the "
+        f"{ACCEPT_TARGET} target"
+    )
+    assert point["access_ratio"] <= ACCEPT_ACCESS_RATIO, (
+        f"lsh tier accessed {point['access_ratio']:.2f}x of the exact "
+        f"scan (need <= {ACCEPT_ACCESS_RATIO}x)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke run (CI): prints the sweep, skips the recall bar",
+    )
+    args = parser.parse_args(argv)
+    table, summary = run(quick=args.quick)
+    print(table.to_text())
+    if not summary["identical"]:
+        print("FAIL: exact-tier byte-identity broken", file=sys.stderr)
+        return 1
+    if not args.quick:
+        point = summary["by_target"][ACCEPT_TARGET]
+        if point["measured"] < ACCEPT_TARGET:
+            print(
+                f"FAIL: measured recall {point['measured']:.3f} < "
+                f"{ACCEPT_TARGET}",
+                file=sys.stderr,
+            )
+            return 1
+        if point["access_ratio"] > ACCEPT_ACCESS_RATIO:
+            print(
+                f"FAIL: access ratio {point['access_ratio']:.2f}x > "
+                f"{ACCEPT_ACCESS_RATIO}x",
+                file=sys.stderr,
+            )
+            return 1
+        results_dir = Path(__file__).resolve().parent.parent / "results"
+        results_dir.mkdir(parents=True, exist_ok=True)
+        table.save(results_dir, "sketch_tier")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

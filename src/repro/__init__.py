@@ -92,6 +92,12 @@ from repro.mining import (
     association_rules,
     count_pair_supports,
 )
+from repro.sketch import (
+    BandIndex,
+    SketchIndex,
+    SketchProbe,
+    SuperMinHasher,
+)
 from repro.service import (
     MicroBatcher,
     QueryServer,
@@ -178,6 +184,11 @@ __all__ = [
     "IOCounters",
     "BufferPool",
     "BufferStats",
+    # sketch tier
+    "SuperMinHasher",
+    "BandIndex",
+    "SketchIndex",
+    "SketchProbe",
     # serving
     "QueryServer",
     "MicroBatcher",

@@ -101,6 +101,18 @@ class InvertedIndex:
 
         stats = SearchStats(total_transactions=len(self.db))
         stats.guaranteed_optimal = self.is_exact_for(similarity)
+        if not stats.guaranteed_optimal:
+            # Best-candidate approximation: report the same lossy-tier
+            # stats fields the engine's sketch tier uses, so monitoring
+            # treats every approximate answer uniformly.  Candidate
+            # coverage (fraction of the database that shares an item
+            # with the target) is the recall heuristic: misses can only
+            # come from the uncovered, zero-overlap remainder.
+            stats.candidate_tier = "inverted"
+            stats.sketch_candidates = int(candidate_tids.size)
+            stats.estimated_recall = (
+                candidate_tids.size / len(self.db) if len(self.db) else 1.0
+            )
         stats.transactions_accessed = int(candidate_tids.size)
         if candidate_tids.size:
             self.store.read(candidate_tids, stats.io)

@@ -28,33 +28,38 @@ import numpy as np
 from repro.core.search import Neighbor, SearchStats
 from repro.core.similarity import SimilarityFunction
 from repro.data.transaction import TransactionDatabase, as_item_array
+from repro.sketch.signer import SIGNATURE_SENTINEL, SuperMinHasher
 from repro.storage.pages import PagedStore
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import check_positive
 
-# The Mersenne prime 2^31 - 1 for the universal hash family
-# h(x) = (a*x + b) mod p.  With a, b, x < p every product fits in int64,
-# so the hashing stays in fast native arithmetic.
-_PRIME = (1 << 31) - 1
+#: Signature value of an empty transaction (re-exported from
+#: :mod:`repro.sketch.signer`, which does the actual hashing).
+SENTINEL = int(SIGNATURE_SENTINEL)
 
 
 class MinHasher:
-    """A family of ``num_hashes`` MinHash functions over an item universe."""
+    """A family of ``num_hashes`` MinHash functions over an item universe.
+
+    Since the sketch tier landed this is a thin wrapper over
+    :class:`repro.sketch.signer.SuperMinHasher` — one hashing
+    implementation serves both the extension baseline and the engine's
+    candidate tier, so their Jaccard estimates can never drift apart.
+    ``rng`` keeps the baseline's seed-style flexibility: an int seeds the
+    signer directly, anything else (a :class:`numpy.random.Generator`)
+    draws the seed.
+    """
 
     def __init__(
         self, num_hashes: int, universe_size: int, rng: RngLike = 0
     ) -> None:
-        check_positive(num_hashes, "num_hashes")
-        check_positive(universe_size, "universe_size")
-        if universe_size >= _PRIME:
-            raise ValueError(
-                f"universe_size must be < {_PRIME} for the hash family"
-            )
-        generator = ensure_rng(rng)
-        self.num_hashes = int(num_hashes)
-        self.universe_size = int(universe_size)
-        self._a = generator.integers(1, _PRIME, size=num_hashes, dtype=np.int64)
-        self._b = generator.integers(0, _PRIME, size=num_hashes, dtype=np.int64)
+        if isinstance(rng, (int, np.integer)):
+            seed = int(rng)
+        else:
+            seed = int(ensure_rng(rng).integers(0, 2**31))
+        self._signer = SuperMinHasher(num_hashes, universe_size, seed=seed)
+        self.num_hashes = self._signer.num_hashes
+        self.universe_size = self._signer.universe_size
 
     def signature(self, transaction: Iterable[int]) -> np.ndarray:
         """MinHash signature of one transaction (length ``num_hashes``).
@@ -62,38 +67,20 @@ class MinHasher:
         An empty transaction gets the all-sentinel signature (never
         collides with a non-empty one).
         """
-        items = as_item_array(transaction, self.universe_size)
-        if items.size == 0:
-            return np.full(self.num_hashes, _PRIME, dtype=np.int64)
-        hashed = (self._a[:, None] * items[None, :] + self._b[:, None]) % _PRIME
-        return hashed.min(axis=1)
+        return self._signer.sign(transaction)
 
     def signatures_batch(self, db: TransactionDatabase) -> np.ndarray:
         """Signatures of a whole database, shape ``(len(db), num_hashes)``.
 
-        Vectorised with :func:`numpy.minimum.reduceat` over the CSR layout;
-        empty transactions keep the sentinel signature.
+        Vectorised over the CSR layout by the underlying signer; empty
+        transactions keep the sentinel signature.
         """
-        items, indptr = db.csr()
-        n = len(db)
-        result = np.full((n, self.num_hashes), _PRIME, dtype=np.int64)
-        if items.size == 0 or n == 0:
-            return result
-        sizes = np.diff(indptr)
-        non_empty = sizes > 0
-        # reduceat needs segment starts for non-empty segments only.
-        starts = indptr[:-1][non_empty]
-        for h in range(self.num_hashes):
-            hashed = (self._a[h] * items + self._b[h]) % _PRIME
-            result[non_empty, h] = np.minimum.reduceat(hashed, starts)
-        return result
+        return self._signer.sign_batch(db)
 
     @staticmethod
     def estimate_jaccard(sig_a: np.ndarray, sig_b: np.ndarray) -> float:
         """Unbiased Jaccard estimate: fraction of agreeing hash slots."""
-        if sig_a.shape != sig_b.shape:
-            raise ValueError("signatures must have the same length")
-        return float(np.mean(sig_a == sig_b))
+        return SuperMinHasher.estimate_jaccard(sig_a, sig_b)
 
 
 class MinHashLSHIndex:
@@ -169,10 +156,13 @@ class MinHashLSHIndex:
         candidate_tids = self.candidates(target_items)
         stats = SearchStats(total_transactions=len(self.db))
         stats.guaranteed_optimal = False
+        stats.candidate_tier = "lsh"
+        stats.sketch_candidates = int(candidate_tids.size)
         stats.transactions_accessed = int(candidate_tids.size)
         if candidate_tids.size:
             self.store.read(candidate_tids, stats.io)
         if candidate_tids.size == 0:
+            stats.estimated_recall = 0.0
             return [], stats
         x = self.db.match_counts(target_items)[candidate_tids]
         y = self.db.sizes[candidate_tids] + target_items.size - 2 * x
@@ -182,4 +172,10 @@ class MinHashLSHIndex:
             k, ((-float(s), int(t)) for s, t in zip(sims, candidate_tids))
         )
         neighbors = [Neighbor(tid=tid, similarity=-value) for value, tid in best]
+        # Estimated recall: the S-curve at the weakest returned
+        # similarity (clamped — non-Jaccard objectives can exceed [0, 1])
+        # is the chance a true neighbour at least that strong was banded
+        # into the candidate set.
+        kth = min(max(neighbors[-1].similarity, 0.0), 1.0)
+        stats.estimated_recall = self.candidate_probability(kth)
         return neighbors, stats

@@ -383,10 +383,16 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
     similarity = get_similarity(args.similarity)
     queries = _read_queries(args.queries)
 
+    tier = getattr(args, "candidate_tier", "exact")
+    recall = getattr(args, "target_recall", None)
     started = time.perf_counter()
     if args.threshold is not None:
         results, stats = engine.range_query_batch(
-            queries, similarity, args.threshold
+            queries,
+            similarity,
+            args.threshold,
+            candidate_tier=tier,
+            target_recall=recall,
         )
     else:
         results, stats = engine.knn_batch(
@@ -394,6 +400,8 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
             similarity,
             k=args.k,
             early_termination=args.early_termination,
+            candidate_tier=tier,
+            target_recall=recall,
         )
     elapsed = time.perf_counter() - started
 
@@ -447,6 +455,82 @@ def _cmd_query_batch(args: argparse.Namespace) -> int:
             f"(all provably optimal: {optimal})",
             file=report,
         )
+    if tier != "exact":
+        recalls = [s.estimated_recall for s in stats if s.estimated_recall]
+        mean_recall = sum(recalls) / len(recalls) if recalls else 0.0
+        print(
+            f"-- {tier} tier: mean estimated recall {mean_recall:.3f}, "
+            f"results are approximate",
+            file=report,
+        )
+    return 0
+
+
+def _cmd_sketch_build(args: argparse.Namespace) -> int:
+    from repro.sketch import SketchIndex
+
+    db = _load_database(args.database)
+    table = SignatureTable.load(args.table)
+    started = time.perf_counter()
+    sketch = SketchIndex.build(
+        db,
+        num_hashes=args.num_hashes,
+        num_bands=args.bands,
+        rows_per_band=args.rows,
+        seed=args.seed,
+        design_similarity=args.design_similarity,
+    )
+    elapsed = time.perf_counter() - started
+    table.attach_sketch(sketch)
+    output = args.out if args.out is not None else args.table
+    table.save(output)
+    print(
+        f"signed {sketch.num_transactions} transactions with "
+        f"{sketch.hasher.num_hashes} hashes "
+        f"({sketch.bands.num_bands} bands x {sketch.bands.rows_per_band} rows, "
+        f"design similarity {sketch.design_similarity:.3f}) "
+        f"in {elapsed:.1f}s -> {output}"
+    )
+    return 0
+
+
+def _cmd_sketch_stats(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.sketch import bands_for_recall, collision_probability
+
+    table = SignatureTable.load(args.table)
+    sketch = table.sketch
+    if sketch is None:
+        print(
+            "error: table has no sketch column; "
+            "run `repro sketch build` first",
+            file=sys.stderr,
+        )
+        return 1
+    sizes = sketch.bands.bucket_sizes()
+    print(f"{'transactions':>24s}: {sketch.num_transactions}")
+    print(f"{'num_hashes':>24s}: {sketch.hasher.num_hashes}")
+    print(f"{'num_bands':>24s}: {sketch.bands.num_bands}")
+    print(f"{'rows_per_band':>24s}: {sketch.bands.rows_per_band}")
+    print(f"{'seed':>24s}: {sketch.hasher.seed}")
+    print(f"{'design_similarity':>24s}: {sketch.design_similarity:.4f}")
+    print(f"{'mean_bucket_size':>24s}: {float(np.mean(sizes)):.1f}")
+    print(f"{'max_bucket_size':>24s}: {int(np.max(sizes))}")
+    print(f"{'signature_bytes':>24s}: {sketch.signatures.nbytes}")
+    print()
+    print("target_recall -> bands probed (expected recall at design sim):")
+    for target in (0.8, 0.9, 0.95, 0.99):
+        bands = bands_for_recall(
+            target,
+            sketch.design_similarity,
+            sketch.bands.num_bands,
+            sketch.bands.rows_per_band,
+        )
+        expected = collision_probability(
+            sketch.design_similarity, bands, sketch.bands.rows_per_band
+        )
+        print(f"{target:>24.2f}: {bands} ({expected:.3f})")
     return 0
 
 
@@ -934,19 +1018,29 @@ def _run_client_action(args: argparse.Namespace) -> int:
             print("error: query needs --items", file=sys.stderr)
             return 2
         items = [int(i) for i in args.items]
+        tier = getattr(args, "candidate_tier", None)
+        recall = getattr(args, "target_recall", None)
         with ServiceClient(args.host, args.port) as client:
             if args.threshold is not None:
-                neighbors, _ = client.range_query(
+                neighbors, stats = client.range_query(
                     items, args.similarity, args.threshold,
                     timeout_ms=args.timeout_ms,
+                    candidate_tier=tier, target_recall=recall,
                 )
             else:
-                neighbors, _ = client.knn(
+                neighbors, stats = client.knn(
                     items, args.similarity, k=args.k,
                     timeout_ms=args.timeout_ms,
+                    candidate_tier=tier, target_recall=recall,
                 )
         for neighbor in neighbors:
             print(f"tid {neighbor.tid}  similarity {neighbor.similarity:.6f}")
+        if stats.get("candidate_tier", "exact") != "exact":
+            print(
+                f"-- {stats['candidate_tier']} tier: "
+                f"{stats.get('sketch_candidates', '?')} sketch candidates, "
+                f"estimated recall {stats.get('estimated_recall', 0.0):.3f}"
+            )
         return 0
 
     # action == "burst": a closed-loop concurrent load burst.
@@ -1180,7 +1274,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="result format: human (default) or json (one object per "
         "line on stdout, summary on stderr)",
     )
+    p_batch.add_argument(
+        "--candidate-tier",
+        choices=["exact", "lsh"],
+        default="exact",
+        help="candidate tier: exact (default) or lsh (sketch prefilter; "
+        "table needs `repro sketch build` first)",
+    )
+    p_batch.add_argument(
+        "--target-recall",
+        type=float,
+        default=None,
+        help="recall target for --candidate-tier lsh (default 0.9)",
+    )
     p_batch.set_defaults(func=_cmd_query_batch)
+
+    p_sketch = subparsers.add_parser(
+        "sketch",
+        help="build or inspect the sketch candidate tier of a table",
+    )
+    sketch_sub = p_sketch.add_subparsers(dest="sketch_action", required=True)
+    p_sk_build = sketch_sub.add_parser(
+        "build",
+        help="sign the database and attach the sketch column to a table",
+    )
+    p_sk_build.add_argument("database", help="dataset path (.npz or .txt)")
+    p_sk_build.add_argument("table", help="signature-table path (.npz)")
+    p_sk_build.add_argument(
+        "--out",
+        default=None,
+        help="output table path (default: overwrite the input table)",
+    )
+    p_sk_build.add_argument("--num-hashes", type=int, default=128)
+    p_sk_build.add_argument("--bands", type=int, default=32)
+    p_sk_build.add_argument("--rows", type=int, default=2)
+    p_sk_build.add_argument("--seed", type=int, default=0)
+    p_sk_build.add_argument(
+        "--design-similarity",
+        type=float,
+        default=None,
+        help="similarity the band budget is calibrated against "
+        "(default: calibrated from the data, skew-aware)",
+    )
+    p_sk_build.set_defaults(func=_cmd_sketch_build)
+    p_sk_stats = sketch_sub.add_parser(
+        "stats", help="print a table's sketch parameters and band budgets"
+    )
+    p_sk_stats.add_argument("table", help="signature-table path (.npz)")
+    p_sk_stats.set_defaults(func=_cmd_sketch_stats)
 
     p_explain = subparsers.add_parser(
         "explain",
@@ -1668,6 +1809,19 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         help="per-request deadline forwarded to the server",
+    )
+    p_client.add_argument(
+        "--candidate-tier",
+        choices=["exact", "lsh"],
+        default=None,
+        help="candidate tier for the query action (lsh needs a "
+        "sketch-enabled server)",
+    )
+    p_client.add_argument(
+        "--target-recall",
+        type=float,
+        default=None,
+        help="recall target for --candidate-tier lsh (default 0.9)",
     )
     p_client.add_argument(
         "--seed", type=int, default=0, help="seed for generated burst queries"

@@ -126,6 +126,12 @@ class ClusterHarness:
         Optional preload: ``rows[g]`` is global tid ``g``'s
         transaction, ``assignment[g]`` the shard it lives on.  Replica
         states are cloned from their owner's rows.
+    sketch:
+        Forwarded to :meth:`LiveIndex.create
+        <repro.live.index.LiveIndex.create>` on every node — ``True``
+        (or a dict of build options) makes the whole cluster
+        sketch-enabled so routed queries may use
+        ``candidate_tier="lsh"``.
     """
 
     def __init__(
@@ -145,6 +151,7 @@ class ClusterHarness:
         vnodes: int = 64,
         probe_interval: Optional[float] = None,
         probe_failures: int = 2,
+        sketch: object = None,
     ) -> None:
         from repro.faults.proxy import FaultProxy  # avoid cycle at import
 
@@ -184,6 +191,7 @@ class ClusterHarness:
                     scheme,
                     rows=shard_rows,
                     page_size=page_size,
+                    sketch=sketch,
                 )
                 replica_server = serve_in_background(
                     LiveQueryEngine(replica_index),
@@ -202,6 +210,7 @@ class ClusterHarness:
                 scheme,
                 rows=shard_rows,
                 page_size=page_size,
+                sketch=sketch,
             )
             live = owner_index
             if replica_address is not None:

@@ -254,6 +254,16 @@ class ClusterRouter:
             )
 
     # ------------------------------------------------------------------
+    @property
+    def supports_lsh_tier(self) -> bool:
+        """The router forwards the sketch tier on scatter legs.
+
+        Whether a given query succeeds is decided shard-side (a shard
+        without a sketch column rejects it ``bad_request``), so the
+        router-fronting server admits lsh batches unconditionally.
+        """
+        return True
+
     def _make_client(self, address) -> ServiceClient:
         host, port = address
         return ServiceClient(host, int(port), **self._client_options)
@@ -336,6 +346,13 @@ class ClusterRouter:
                     "threshold": key.threshold,
                     "correlation_id": cid,
                 }
+            if key.candidate_tier != "exact":
+                # Forward the sketch tier to every scatter leg; each
+                # shard prefilters its own slice and the merged stats
+                # carry the conservative (min) estimated recall.
+                base["candidate_tier"] = key.candidate_tier
+                if key.target_recall is not None:
+                    base["target_recall"] = key.target_recall
             contexts = self._leg_contexts(handles, trace_id)
             per_shard, legs = self._scatter(
                 handles, base, target_lists, contexts
@@ -390,6 +407,10 @@ class ClusterRouter:
                     "threshold": threshold,
                     "correlation_id": cid,
                 }
+                if key.candidate_tier != "exact":
+                    base["candidate_tier"] = key.candidate_tier
+                    if key.target_recall is not None:
+                        base["target_recall"] = key.target_recall
                 tie_contexts = self._leg_contexts(handles, trace_id)
                 tie_pass, tie_legs = self._scatter(
                     handles, base, [target_lists[q]], tie_contexts

@@ -188,10 +188,49 @@ class BatchKey:
     early_termination: Optional[float] = None
     guarantee_tolerance: Optional[float] = None
     sort_by: Optional[str] = None
+    # Candidate tier (repro.sketch).  Tier is part of the key, so the
+    # micro-batcher can never coalesce an lsh request into an exact batch
+    # (or requests with different recall targets into one another).
+    candidate_tier: str = "exact"
+    target_recall: Optional[float] = None
 
 
 #: Operations a :class:`BatchKey` can describe.
 BATCH_OPS = ("knn", "range")
+
+#: Candidate tiers a :class:`BatchKey` can select.
+CANDIDATE_TIERS = ("exact", "lsh")
+
+
+def _canonical_tier(
+    candidate_tier: str, target_recall: Optional[float]
+) -> Tuple[str, Optional[float]]:
+    """Validate and canonicalise the (tier, recall) pair of a key.
+
+    ``target_recall`` only applies to the lsh tier; an unset recall under
+    lsh is pinned to :data:`repro.sketch.DEFAULT_TARGET_RECALL` so that
+    requests relying on the default coalesce with requests spelling it
+    out.
+    """
+    if candidate_tier not in CANDIDATE_TIERS:
+        raise ValueError(
+            f"candidate_tier must be one of {CANDIDATE_TIERS}, "
+            f"got {candidate_tier!r}"
+        )
+    if candidate_tier == "exact":
+        if target_recall is not None:
+            raise ValueError(
+                "target_recall only applies to candidate_tier='lsh'"
+            )
+        return "exact", None
+    from repro.sketch import DEFAULT_TARGET_RECALL
+
+    recall = (
+        DEFAULT_TARGET_RECALL if target_recall is None else float(target_recall)
+    )
+    if not 0.0 < recall <= 1.0:
+        raise ValueError(f"target_recall must be in (0, 1], got {recall}")
+    return "lsh", recall
 
 
 def similarity_key(similarity: SimilarityFunction) -> str:
@@ -211,6 +250,8 @@ def batch_key(
     early_termination: Optional[float] = None,
     guarantee_tolerance: Optional[float] = None,
     sort_by: Optional[str] = "optimistic",
+    candidate_tier: str = "exact",
+    target_recall: Optional[float] = None,
 ) -> BatchKey:
     """Build the normalised :class:`BatchKey` for one request.
 
@@ -221,6 +262,7 @@ def batch_key(
     """
     if op not in BATCH_OPS:
         raise ValueError(f"op must be one of {BATCH_OPS}, got {op!r}")
+    candidate_tier, target_recall = _canonical_tier(candidate_tier, target_recall)
     if op == "knn":
         if threshold is not None:
             raise ValueError("threshold only applies to op='range'")
@@ -243,6 +285,8 @@ def batch_key(
                 else float(guarantee_tolerance)
             ),
             sort_by=sort_by,
+            candidate_tier=candidate_tier,
+            target_recall=target_recall,
         )
     if threshold is None:
         raise ValueError("op='range' requires a threshold")
@@ -256,6 +300,7 @@ def batch_key(
     return BatchKey(
         op="range", similarity=similarity_key(similarity),
         threshold=float(threshold), sort_by=None,
+        candidate_tier=candidate_tier, target_recall=target_recall,
     )
 
 
@@ -297,6 +342,8 @@ class QueryEngine:
         self._workers = int(workers)
         self._kernel = kernels.resolve_kernel(kernel)
         self._fallback_counter = None
+        self._sketch_candidates_counter = None
+        self._sketch_access_histogram = None
 
     @classmethod
     def for_table(
@@ -334,6 +381,17 @@ class QueryEngine:
     def kernel(self) -> str:
         """The active kernel (``"packed"`` or ``"python"``)."""
         return self._kernel
+
+    @property
+    def sketch(self):
+        """The :class:`~repro.sketch.SketchIndex` attached to the table,
+        or ``None`` when the table carries no sketch column."""
+        return getattr(self._searcher.table, "sketch", None)
+
+    @property
+    def supports_lsh_tier(self) -> bool:
+        """Whether ``candidate_tier="lsh"`` requests can be served."""
+        return self.sketch is not None
 
     def _packed_eligible(self) -> bool:
         """Whether the vectorised scan kernels may serve this engine.
@@ -379,6 +437,16 @@ class QueryEngine:
             "the scalar reference loop, by reason",
             labelnames=("reason",),
         )
+        self._sketch_candidates_counter = registry.counter(
+            "repro_sketch_candidates_total",
+            "Candidate tids returned by sketch-tier LSH probes, by op",
+            labelnames=("op",),
+        )
+        self._sketch_access_histogram = registry.histogram(
+            "repro_sketch_access_fraction",
+            "Achieved per-query access fraction under the sketch tier",
+            buckets=(0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0),
+        )
 
     # ------------------------------------------------------------------
     # Public batch queries
@@ -392,14 +460,25 @@ class QueryEngine:
         guarantee_tolerance: Optional[float] = None,
         sort_by: str = "optimistic",
         workers: Optional[int] = None,
+        candidate_tier: str = "exact",
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
         """k-NN for every target in the batch.
 
         Semantics per query are exactly those of
         :meth:`SignatureTableSearcher.knn` (including early termination and
         the a-posteriori guarantee); only the preparation is amortised.
+        ``candidate_tier="lsh"`` prefixes each query with an LSH probe of
+        the table's sketch index and restricts the branch-and-bound scan
+        to the returned candidates — approximate, with the estimated
+        recall reported on each query's stats.
         """
         check_positive(k, "k")
+        candidate_tier, target_recall = _canonical_tier(
+            candidate_tier, target_recall
+        )
+        if candidate_tier == "lsh":
+            self._require_sketch()
         target_arrays = self._normalise(targets)
         kwargs = dict(
             similarity=similarity,
@@ -407,6 +486,8 @@ class QueryEngine:
             early_termination=early_termination,
             guarantee_tolerance=guarantee_tolerance,
             sort_by=sort_by,
+            candidate_tier=candidate_tier,
+            target_recall=target_recall,
         )
         return self._dispatch("_knn_chunk", target_arrays, kwargs, workers)
 
@@ -437,10 +518,26 @@ class QueryEngine:
         similarity: SimilarityFunction,
         threshold: float,
         workers: Optional[int] = None,
+        candidate_tier: str = "exact",
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
-        """Range query (similarity >= threshold) for every target."""
+        """Range query (similarity >= threshold) for every target.
+
+        ``candidate_tier="lsh"`` restricts each scan to the sketch tier's
+        LSH candidates (see :meth:`knn_batch`).
+        """
+        candidate_tier, target_recall = _canonical_tier(
+            candidate_tier, target_recall
+        )
+        if candidate_tier == "lsh":
+            self._require_sketch()
         target_arrays = self._normalise(targets)
-        kwargs = dict(similarity=similarity, threshold=float(threshold))
+        kwargs = dict(
+            similarity=similarity,
+            threshold=float(threshold),
+            candidate_tier=candidate_tier,
+            target_recall=target_recall,
+        )
         return self._dispatch("_range_chunk", target_arrays, kwargs, workers)
 
     def run_batch(
@@ -489,10 +586,17 @@ class QueryEngine:
                     guarantee_tolerance=key.guarantee_tolerance,
                     sort_by=key.sort_by,
                     workers=workers,
+                    candidate_tier=key.candidate_tier,
+                    target_recall=key.target_recall,
                 )
             else:
                 out = self.range_query_batch(
-                    targets, similarity, key.threshold, workers=workers
+                    targets,
+                    similarity,
+                    key.threshold,
+                    workers=workers,
+                    candidate_tier=key.candidate_tier,
+                    target_recall=key.target_recall,
                 )
             if pool_before is not None:
                 batch_span.set_attribute(
@@ -597,6 +701,46 @@ class QueryEngine:
         ]
 
     # ------------------------------------------------------------------
+    # Sketch tier helpers
+    # ------------------------------------------------------------------
+    def _require_sketch(self):
+        sketch = self.sketch
+        if sketch is None:
+            raise ValueError(
+                "candidate_tier='lsh' requires a sketch index attached to "
+                "the signature table (build one with `repro sketch build` "
+                "or SketchIndex.build + table.attach_sketch)"
+            )
+        return sketch
+
+    def _probe_batch(
+        self, target_arrays: Sequence[np.ndarray], target_recall: Optional[float],
+        op: str,
+    ) -> Tuple[list, List[np.ndarray]]:
+        """One LSH probe (and candidate mask) per query of the batch."""
+        sketch = self._require_sketch()
+        total = len(self._searcher.db)
+        probes = [sketch.probe(items, target_recall) for items in target_arrays]
+        masks = [probe.mask(total) for probe in probes]
+        if self._sketch_candidates_counter is not None:
+            candidates = sum(int(p.candidates.size) for p in probes)
+            self._sketch_candidates_counter.labels(op=op).inc(candidates)
+        return probes, masks
+
+    def _finish_sketch_stats(
+        self, stats: SearchStats, probe, kth_tid: Optional[int]
+    ) -> None:
+        """Stamp the lossy-tier quality report onto one query's stats."""
+        stats.candidate_tier = "lsh"
+        stats.guaranteed_optimal = False
+        stats.sketch_candidates = int(probe.candidates.size)
+        stats.estimated_recall = self.sketch.estimate_result_recall(
+            probe, kth_tid
+        )
+        if self._sketch_access_histogram is not None:
+            self._sketch_access_histogram.observe(stats.access_fraction)
+
+    # ------------------------------------------------------------------
     # Chunk execution (runs in-process or inside a forked worker)
     # ------------------------------------------------------------------
     def _knn_chunk(
@@ -607,10 +751,18 @@ class QueryEngine:
         early_termination: Optional[float],
         guarantee_tolerance: Optional[float],
         sort_by: str,
+        candidate_tier: str = "exact",
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
         with span("engine.prepare_batch", batch_size=len(target_arrays)):
             prepared = self._prepare_batch(target_arrays, similarity, sort_by)
-        if (
+        if candidate_tier == "lsh":
+            # The masked scan always runs the scalar reference loop — the
+            # packed kernels replicate the unmasked algorithm only.
+            probes, masks = self._probe_batch(
+                target_arrays, target_recall, op="knn"
+            )
+        elif (
             self._packed_eligible()
             and sort_by == "optimistic"
             and early_termination is None
@@ -623,9 +775,11 @@ class QueryEngine:
                 k,
                 self._searcher.count_io,
             )
+        else:
+            probes, masks = None, None
         results: List[List[Neighbor]] = []
         stats: List[SearchStats] = []
-        for items, prep in zip(target_arrays, prepared):
+        for index, (items, prep) in enumerate(zip(target_arrays, prepared)):
             neighbors, query_stats = self._searcher.knn(
                 items,
                 similarity,
@@ -634,7 +788,14 @@ class QueryEngine:
                 guarantee_tolerance=guarantee_tolerance,
                 sort_by=sort_by,
                 prepared=prep,
+                tid_mask=None if masks is None else masks[index],
             )
+            if probes is not None:
+                self._finish_sketch_stats(
+                    query_stats,
+                    probes[index],
+                    neighbors[-1].tid if neighbors else None,
+                )
             results.append(neighbors)
             stats.append(query_stats)
         return results, stats
@@ -644,10 +805,16 @@ class QueryEngine:
         target_arrays: Sequence[np.ndarray],
         similarity: SimilarityFunction,
         threshold: float,
+        candidate_tier: str = "exact",
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[List[Neighbor]], List[SearchStats]]:
         with span("engine.prepare_batch", batch_size=len(target_arrays)):
             prepared = self._prepare_batch(target_arrays, similarity, None)
-        if self._packed_eligible():
+        if candidate_tier == "lsh":
+            probes, masks = self._probe_batch(
+                target_arrays, target_recall, op="range"
+            )
+        elif self._packed_eligible():
             return kernels.range_scan_batch(
                 self._searcher.table,
                 len(self._searcher.db),
@@ -655,12 +822,19 @@ class QueryEngine:
                 [threshold],
                 self._searcher.count_io,
             )
+        else:
+            probes, masks = None, None
         results: List[List[Neighbor]] = []
         stats: List[SearchStats] = []
-        for items, prep in zip(target_arrays, prepared):
+        for index, (items, prep) in enumerate(zip(target_arrays, prepared)):
             hits, query_stats = self._searcher.multi_range_query(
-                items, [(similarity, threshold)], prepared=[prep]
+                items,
+                [(similarity, threshold)],
+                prepared=[prep],
+                tid_mask=None if masks is None else masks[index],
             )
+            if probes is not None:
+                self._finish_sketch_stats(query_stats, probes[index], None)
             results.append(hits)
             stats.append(query_stats)
         return results, stats
@@ -763,6 +937,12 @@ class ShardedQueryEngine:
             raise ValueError(
                 f"similarity {similarity_key(similarity)!r} does not match "
                 f"batch key {key.similarity!r}"
+            )
+        if key.candidate_tier != "exact":
+            raise ValueError(
+                "candidate_tier='lsh' is not supported by the sharded "
+                "engine (shard-local sketches cannot honour a global "
+                "recall target); use the cluster router instead"
             )
         if key.op == "knn":
             if key.guarantee_tolerance is not None:

@@ -88,6 +88,13 @@ class SearchStats:
     terminated_early: bool = False
     guaranteed_optimal: bool = True
     best_possible_remaining: float = -math.inf
+    # Candidate-tier reporting (repro.sketch).  Exact queries keep the
+    # defaults, so equality comparisons across execution paths are
+    # unaffected; the lsh tier sets all three and clears
+    # ``guaranteed_optimal``.
+    candidate_tier: str = "exact"
+    estimated_recall: Optional[float] = None
+    sketch_candidates: Optional[int] = None
     io: IOCounters = field(default_factory=IOCounters)
     # Wall-clock scan time.  Excluded from equality so the differential
     # tests can keep asserting full-stats identity across execution paths.
@@ -314,6 +321,7 @@ class SignatureTableSearcher:
         sort_by: str = "optimistic",
         prepared: Optional[PreparedQuery] = None,
         search_trace: Optional[SearchTrace] = None,
+        tid_mask: Optional[np.ndarray] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """k-nearest-neighbour search (Section 4.3 generalisation).
 
@@ -344,6 +352,13 @@ class SignatureTableSearcher:
             signature-table entry (the query-explain facility).  Tracing
             never changes results or stats — the differential tests pin
             byte-identical output with and without it.
+        tid_mask:
+            Optional boolean candidate mask over all tids (the sketch
+            tier's LSH prefilter).  Only tids with a ``True`` mask value
+            are evaluated or charged to I/O; entries whose surviving
+            candidate set is empty are skipped without a read.  ``None``
+            (the default) leaves the scan byte-identical to the unmasked
+            algorithm.
         """
         check_positive(k, "k")
         started_s = time.perf_counter()
@@ -446,6 +461,23 @@ class SignatureTableSearcher:
                 break
 
             tids, entry_pages = self._entry_read(entry, reads)
+            if tid_mask is not None:
+                tids = tids[tid_mask[tids]]
+                # The entry's cached page set covers the *full* entry; the
+                # masked subset must be charged through the store instead.
+                entry_pages = None
+                if tids.size == 0:
+                    stats.entries_pruned += 1
+                    if trace is not None:
+                        trace.record_prune(
+                            rank,
+                            entry,
+                            int(self.table.entry_codes[entry]),
+                            opt_entry,
+                            pessimistic,
+                        )
+                    rank += 1
+                    continue
             if budget is not None:
                 remaining = budget - stats.transactions_accessed
                 truncated = tids.size > remaining
@@ -519,13 +551,18 @@ class SignatureTableSearcher:
         target: Iterable[int],
         similarity: SimilarityFunction,
         threshold: float,
+        tid_mask: Optional[np.ndarray] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """All transactions with similarity >= ``threshold`` (Section 4.3).
 
         Entries whose optimistic bound falls below the threshold are pruned
         outright; no sorting or pessimistic bound is involved.
+        ``tid_mask`` optionally restricts evaluation to the sketch tier's
+        LSH candidates (see :meth:`knn`).
         """
-        return self.multi_range_query(target, [(similarity, threshold)])
+        return self.multi_range_query(
+            target, [(similarity, threshold)], tid_mask=tid_mask
+        )
 
     def multi_range_query(
         self,
@@ -533,6 +570,7 @@ class SignatureTableSearcher:
         constraints: Sequence[Tuple[SimilarityFunction, float]],
         prepared: Optional[Sequence[PreparedQuery]] = None,
         search_trace: Optional[SearchTrace] = None,
+        tid_mask: Optional[np.ndarray] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """Conjunctive range query over several similarity functions.
 
@@ -546,6 +584,8 @@ class SignatureTableSearcher:
         constraint (bounds + precomputed similarities), as produced by the
         batched :class:`~repro.core.engine.QueryEngine`.  ``search_trace``
         optionally records why each entry was scanned or pruned.
+        ``tid_mask`` optionally restricts evaluation to the sketch tier's
+        LSH candidates (see :meth:`knn`).
         """
         if not constraints:
             raise ValueError("constraints must be non-empty")
@@ -625,6 +665,12 @@ class SignatureTableSearcher:
         results: List[Neighbor] = []
         for scan_rank, entry in enumerate(np.nonzero(keep)[0]):
             tids, entry_pages = self._entry_read(int(entry), reads)
+            if tid_mask is not None:
+                tids = tids[tid_mask[tids]]
+                entry_pages = None
+                if tids.size == 0:
+                    stats.entries_pruned += 1
+                    continue
             if self._count_io:
                 if entry_pages is not None:
                     self._charge_cached_read(

@@ -86,6 +86,22 @@ def merge_search_stats(
         merged.guaranteed_optimal &= stats.guaranteed_optimal
         best_remaining = max(best_remaining, stats.best_possible_remaining)
         merged.io.merge(stats.io)
+        # Sketch-tier quality propagates conservatively: the merged query
+        # ran on the lsh tier if any leg did, its candidate count is the
+        # sum over legs, and the recall estimate is the worst (lowest)
+        # leg estimate — a lower bound on the product-form truth.
+        if stats.candidate_tier != "exact":
+            merged.candidate_tier = stats.candidate_tier
+        if stats.sketch_candidates is not None:
+            merged.sketch_candidates = (
+                merged.sketch_candidates or 0
+            ) + stats.sketch_candidates
+        if stats.estimated_recall is not None:
+            merged.estimated_recall = (
+                stats.estimated_recall
+                if merged.estimated_recall is None
+                else min(merged.estimated_recall, stats.estimated_recall)
+            )
     merged.best_possible_remaining = best_remaining
     return merged
 

@@ -32,7 +32,10 @@ from repro.utils.validation import check_positive
 #: On-disk ``.npz`` format version written by :meth:`SignatureTable.save`.
 #: Bump when the key set or the meaning of a key changes; :meth:`load`
 #: rejects files from a future version instead of mis-reading them.
-TABLE_FORMAT_VERSION = 1
+#: Version history: 0 = unversioned seed files, 1 = versioned core table,
+#: 2 = optional sketch signature column (``sketch_*`` keys; files without
+#: them still load — the sketch column is optional within version 2).
+TABLE_FORMAT_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -89,6 +92,7 @@ class SignatureTable:
         self.store = PagedStore(
             num_transactions, page_size=page_size, order=ordered_tids
         )
+        self._sketch = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -178,6 +182,32 @@ class SignatureTable:
         view = self._ordered_tids.view()
         view.flags.writeable = False
         return view
+
+    # ------------------------------------------------------------------
+    # Sketch column (repro.sketch)
+    # ------------------------------------------------------------------
+    @property
+    def sketch(self):
+        """The attached :class:`~repro.sketch.SketchIndex`, or ``None``.
+
+        The sketch is an optional per-transaction signature column that
+        the query engine's ``candidate_tier="lsh"`` probes; it persists
+        with the table (:meth:`save` / :meth:`load`).
+        """
+        return self._sketch
+
+    def attach_sketch(self, sketch) -> None:
+        """Attach a sketch index whose rows are this table's tids.
+
+        Pass ``None`` to detach.  The sketch must sign exactly the
+        transactions this table indexes (row ``t`` = tid ``t``).
+        """
+        if sketch is not None and sketch.num_transactions != self._num_transactions:
+            raise ValueError(
+                f"sketch signs {sketch.num_transactions} transactions but "
+                f"the table indexes {self._num_transactions}"
+            )
+        self._sketch = sketch
 
     # ------------------------------------------------------------------
     def entry_tids(self, entry_index: int) -> np.ndarray:
@@ -290,7 +320,19 @@ class SignatureTable:
     # Persistence
     # ------------------------------------------------------------------
     def save(self, path) -> None:
-        """Serialise the table (including its scheme) to ``.npz``."""
+        """Serialise the table (including its scheme, and the sketch
+        column when one is attached) to ``.npz``."""
+        extra = {}
+        if self._sketch is not None:
+            sketch = self._sketch
+            extra = dict(
+                sketch_signatures=sketch.signatures,
+                sketch_num_bands=np.int64(sketch.bands.num_bands),
+                sketch_rows_per_band=np.int64(sketch.bands.rows_per_band),
+                sketch_seed=np.uint64(sketch.hasher.seed),
+                sketch_universe_size=np.int64(sketch.hasher.universe_size),
+                sketch_design_similarity=np.float64(sketch.design_similarity),
+            )
         np.savez_compressed(
             path,
             format_version=np.int64(TABLE_FORMAT_VERSION),
@@ -303,6 +345,7 @@ class SignatureTable:
             universe_size=np.int64(self._scheme.universe_size),
             activation_threshold=np.int64(self._scheme.activation_threshold),
             num_signatures=np.int64(self._scheme.num_signatures),
+            **extra,
         )
 
     @classmethod
@@ -333,7 +376,7 @@ class SignatureTable:
                 universe_size=int(data["universe_size"]),
                 activation_threshold=int(data["activation_threshold"]),
             )
-            return cls(
+            table = cls(
                 scheme=scheme,
                 entry_codes=data["entry_codes"],
                 entry_offsets=data["entry_offsets"],
@@ -341,3 +384,22 @@ class SignatureTable:
                 num_transactions=int(data["num_transactions"]),
                 page_size=int(data["page_size"]),
             )
+            if "sketch_signatures" in data:
+                # The band buckets are derived state — rebuilt here, never
+                # serialised.  Local import: repro.sketch depends on obs,
+                # not on core, so there is no cycle, but the table module
+                # itself must stay importable without the sketch package
+                # loaded (kernels import the table at startup).
+                from repro.sketch import SketchIndex
+
+                table.attach_sketch(
+                    SketchIndex.from_arrays(
+                        signatures=data["sketch_signatures"],
+                        universe_size=int(data["sketch_universe_size"]),
+                        num_bands=int(data["sketch_num_bands"]),
+                        rows_per_band=int(data["sketch_rows_per_band"]),
+                        seed=int(data["sketch_seed"]),
+                        design_similarity=float(data["sketch_design_similarity"]),
+                    )
+                )
+            return table

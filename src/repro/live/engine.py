@@ -30,6 +30,11 @@ class LiveQueryEngine:
         """JSON-safe description for the service ``stats`` endpoint."""
         return self.index.describe()
 
+    @property
+    def supports_lsh_tier(self) -> bool:
+        """Whether ``candidate_tier="lsh"`` batches can run here."""
+        return self.index.sketch_enabled
+
     def run_batch(
         self,
         key: BatchKey,
@@ -62,13 +67,19 @@ class LiveQueryEngine:
                     early_termination=key.early_termination,
                     guarantee_tolerance=key.guarantee_tolerance,
                     sort_by=key.sort_by,
+                    candidate_tier=key.candidate_tier,
+                    target_recall=key.target_recall,
                 )
                 results.append(neighbors)
                 stats.append(one)
         elif key.op == "range":
             for target in targets:
                 neighbors, one = self.index.range_query(
-                    target, similarity, key.threshold
+                    target,
+                    similarity,
+                    key.threshold,
+                    candidate_tier=key.candidate_tier,
+                    target_recall=key.target_recall,
                 )
                 results.append(neighbors)
                 stats.append(one)

@@ -177,6 +177,15 @@ class LiveIndex:
         self._base_live = np.ones(len(db), dtype=bool)
         self._base_files = base_files
         self._delta = DeltaIndex(table.scheme)
+        # Sketch tier (repro.sketch): when the base table carries a sketch
+        # column, delta rows are signed on insert with the same hasher.
+        # ``_delta_sigs`` is indexed by delta *position* (stable across
+        # removes — DeltaIndex never renumbers), so signatures stay
+        # aligned with their rows for the whole delta lifetime.
+        self._sketch_hasher = (
+            table.sketch.hasher if table.sketch is not None else None
+        )
+        self._delta_sigs: List[np.ndarray] = []
         self._injector = injector
         #: Idempotency-key table: a keyed mutation seen twice answers
         #: from here instead of re-applying (see :mod:`repro.live.dedupe`).
@@ -216,11 +225,23 @@ class LiveIndex:
         (a prebuilt base) must be given.  Writes the initial checkpoint
         (base snapshot + manifest) and an empty WAL, then returns the
         open index.
+
+        ``sketch=True`` (or a dict of :meth:`SketchIndex.build
+        <repro.sketch.SketchIndex.build>` keyword arguments) attaches a
+        sketch column to the base table before the initial snapshot,
+        enabling ``candidate_tier="lsh"`` queries; the sketch persists
+        with the base table and survives recovery.
         """
         if (scheme is None) == (table is None):
             raise ValueError("provide exactly one of scheme or table")
+        sketch_option = options.pop("sketch", None)
         if table is None:
             table = SignatureTable.build(db, scheme, page_size=page_size)
+        if sketch_option and table.sketch is None:
+            from repro.sketch import SketchIndex
+
+            params = {} if sketch_option is True else dict(sketch_option)
+            table.attach_sketch(SketchIndex.build(db, **params))
         path = os.fspath(path)
         os.makedirs(path, exist_ok=True)
         if os.path.exists(os.path.join(path, _MANIFEST)):
@@ -290,7 +311,7 @@ class LiveIndex:
                 os.path.join(path, manifest["delta_db"])
             )
             for tid in range(len(delta_db)):
-                index._delta.insert(delta_db.items_of(tid))
+                index._delta_insert(delta_db.items_of(tid))
         if manifest.get("dedupe"):
             # Checkpointed idempotency keys sit under any keyed WAL
             # records replayed below, so a retransmitted mutation from
@@ -360,6 +381,30 @@ class LiveIndex:
         return int(self._base_live.size - self._base_live.sum())
 
     @property
+    def sketch_enabled(self) -> bool:
+        """Whether the base table carries a sketch column (lsh tier usable)."""
+        return self._base_table.sketch is not None
+
+    def logical_sketch_signatures(self) -> Optional[np.ndarray]:
+        """Sketch signatures of the logical database, row-aligned with
+        :meth:`logical_db` (``None`` when no sketch is attached).
+
+        The differential harness in ``tests/sketch`` compares this
+        against a fresh ``sign_batch`` over :meth:`logical_db` to pin
+        signature consistency across insert/delete/compact/recover.
+        """
+        with self._swap_lock:
+            sketch = self._base_table.sketch
+            if sketch is None:
+                return None
+            base_sigs = sketch.signatures[self._base_live]
+            positions = self._delta.live_positions()
+            delta_sigs = [self._delta_sigs[p] for p in positions]
+        if not delta_sigs:
+            return base_sigs
+        return np.vstack([base_sigs, np.stack(delta_sigs)])
+
+    @property
     def applied_seqno(self) -> int:
         """Highest sequence number folded into the checkpoint on disk."""
         return self._applied_seqno
@@ -385,6 +430,7 @@ class LiveIndex:
             "compactions": self.compactions,
             "dedupe_entries": len(self.dedupe),
             "num_signatures": self._scheme.num_signatures,
+            "sketch_enabled": self.sketch_enabled,
         }
 
     # ------------------------------------------------------------------
@@ -426,7 +472,7 @@ class LiveIndex:
                 )
                 self._next_seqno = seqno + 1
                 with self._swap_lock:
-                    self._delta.insert(array)
+                    self._delta_insert(array)
                     logical = (
                         int(self._base_live.sum()) + len(self._delta) - 1
                     )
@@ -493,7 +539,7 @@ class LiveIndex:
         """
         if record.is_insert:
             with self._swap_lock:
-                self._delta.insert(record.items)
+                self._delta_insert(record.items)
                 logical = int(self._base_live.sum()) + len(self._delta) - 1
             if record.key is not None:
                 self.dedupe.record(
@@ -510,6 +556,18 @@ class LiveIndex:
                 )
         else:  # pragma: no cover - encode_record rejects unknown ops
             raise ValueError(f"unknown WAL op {record.op}")
+
+    def _delta_insert(self, array: np.ndarray) -> None:
+        """Insert one delta row, keeping the sketch column aligned.
+
+        The single funnel for delta inserts — live writes, WAL replay,
+        and checkpointed-delta rehydration all pass through here, so the
+        signature list stays position-aligned by construction no matter
+        how the row arrived.
+        """
+        self._delta.insert(array)
+        if self._sketch_hasher is not None:
+            self._delta_sigs.append(self._sketch_hasher.sign(array))
 
     def _apply_delete(self, logical_tid: int) -> None:
         """Resolve and apply a delete against the current state.
@@ -562,6 +620,31 @@ class LiveIndex:
         merged.sort(key=lambda nb: (-nb.similarity, nb.tid))
         return merged
 
+    def _sketch_probe(self, state: _ReadState, target, target_recall):
+        """Probe the base sketch for the lsh tier; returns (probe, mask).
+
+        The mask covers *base* tids only — the delta is memory-resident
+        and always scanned fully, so approximation never touches it.
+        """
+        sketch = state.searcher.table.sketch
+        if sketch is None:
+            raise ValueError(
+                "candidate_tier='lsh' requires a sketch column; create the "
+                "live index with sketch=True (or attach one before the "
+                "initial snapshot)"
+            )
+        probe = sketch.probe(target, target_recall)
+        return probe, probe.mask(state.base_live.size)
+
+    @staticmethod
+    def _finish_sketch_stats(stats: SearchStats, state: _ReadState, probe) -> None:
+        """Stamp lsh-tier fields onto merged live-query stats."""
+        sketch = state.searcher.table.sketch
+        stats.candidate_tier = "lsh"
+        stats.guaranteed_optimal = False
+        stats.sketch_candidates = int(probe.candidates.size) + len(state.delta)
+        stats.estimated_recall = sketch.estimate_result_recall(probe)
+
     def knn(
         self,
         target: Iterable[int],
@@ -570,6 +653,8 @@ class LiveIndex:
         early_termination: Optional[float] = None,
         guarantee_tolerance: Optional[float] = None,
         sort_by: str = "optimistic",
+        candidate_tier: str = "exact",
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
         """k-NN over the logical database; tids in results are logical.
 
@@ -580,9 +665,19 @@ class LiveIndex:
         snapshot contributes its own top ``k``.  With early termination
         the base scan is approximate exactly as in the frozen searcher
         (the delta, being memory-resident, is always scanned fully).
+
+        ``candidate_tier="lsh"`` prefilters the *base* scan through the
+        sketch band index at ``target_recall`` (delta rows are always
+        scanned fully); results become approximate and the stats carry
+        ``estimated_recall`` with ``guaranteed_optimal=False``.
         """
         check_positive(k, "k")
         state = self._read_state()
+        probe = tid_mask = None
+        if candidate_tier == "lsh":
+            probe, tid_mask = self._sketch_probe(state, target, target_recall)
+        elif candidate_tier != "exact":
+            raise ValueError(f"unknown candidate_tier {candidate_tier!r}")
         base_neighbors, stats = state.searcher.knn(
             target,
             similarity,
@@ -590,6 +685,7 @@ class LiveIndex:
             early_termination=early_termination,
             guarantee_tolerance=guarantee_tolerance,
             sort_by=sort_by,
+            tid_mask=tid_mask,
         )
         delta_pairs = state.delta.knn_candidates(target, similarity, k)
         merged = self._merge(
@@ -598,6 +694,8 @@ class LiveIndex:
         del merged[k:]
         stats.total_transactions = state.num_base_live + len(state.delta)
         stats.transactions_accessed += len(state.delta)
+        if probe is not None:
+            self._finish_sketch_stats(stats, state, probe)
         return merged, stats
 
     def range_query(
@@ -605,11 +703,23 @@ class LiveIndex:
         target: Iterable[int],
         similarity: SimilarityFunction,
         threshold: float,
+        candidate_tier: str = "exact",
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[Neighbor], SearchStats]:
-        """All logical transactions with similarity >= ``threshold``."""
+        """All logical transactions with similarity >= ``threshold``.
+
+        ``candidate_tier="lsh"`` behaves as in :meth:`knn`: the base scan
+        is restricted to sketch candidates, the delta is scanned fully,
+        and the stats report the estimated recall.
+        """
         state = self._read_state()
+        probe = tid_mask = None
+        if candidate_tier == "lsh":
+            probe, tid_mask = self._sketch_probe(state, target, target_recall)
+        elif candidate_tier != "exact":
+            raise ValueError(f"unknown candidate_tier {candidate_tier!r}")
         base_neighbors, stats = state.searcher.range_query(
-            target, similarity, threshold
+            target, similarity, threshold, tid_mask=tid_mask
         )
         delta_pairs = state.delta.range_candidates(target, similarity, threshold)
         merged = self._merge(
@@ -617,6 +727,8 @@ class LiveIndex:
         )
         stats.total_transactions = state.num_base_live + len(state.delta)
         stats.transactions_accessed += len(state.delta)
+        if probe is not None:
+            self._finish_sketch_stats(stats, state, probe)
         return merged, stats
 
     def logical_db(self) -> TransactionDatabase:
@@ -733,6 +845,29 @@ class LiveIndex:
                 new_table = SignatureTable.build(
                     new_db, scheme, page_size=self._page_size
                 )
+                old_sketch = self._base_table.sketch
+                if old_sketch is not None:
+                    # Signatures are a pure function of the items, so the
+                    # compacted sketch is a re-ordering of rows we already
+                    # have: live base rows in tid order, then live delta
+                    # rows in insertion order — the logical_db() order.
+                    from repro.sketch import SketchIndex
+
+                    parts = [old_sketch.signatures[self._base_live]]
+                    positions = self._delta.live_positions()
+                    if positions:
+                        parts.append(
+                            np.stack([self._delta_sigs[p] for p in positions])
+                        )
+                    new_table.attach_sketch(
+                        SketchIndex(
+                            old_sketch.hasher,
+                            np.vstack(parts),
+                            num_bands=old_sketch.bands.num_bands,
+                            rows_per_band=old_sketch.bands.rows_per_band,
+                            design_similarity=old_sketch.design_similarity,
+                        )
+                    )
                 applied = self._next_seqno - 1
                 self._fault_gate("checkpoint.write")
                 base_files = self._write_base_snapshot(
@@ -756,6 +891,7 @@ class LiveIndex:
                     self._base_live = np.ones(len(new_db), dtype=bool)
                     self._base_files = base_files
                     self._delta.clear()
+                    self._delta_sigs = []
                     self._scheme = scheme
                     self._delta.scheme = scheme
                     self._applied_seqno = applied

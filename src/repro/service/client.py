@@ -333,6 +333,8 @@ class ServiceClient:
         timeout_ms: Optional[float] = None,
         trace: bool = False,
         correlation_id: Optional[str] = None,
+        candidate_tier: Optional[str] = None,
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[Neighbor], Dict[str, object]]:
         """k-NN over the wire; returns (neighbours, per-query stats dict).
 
@@ -343,6 +345,9 @@ class ServiceClient:
         the server honours it instead of minting one, and a cluster
         router forwards it to every shard, so one id joins the log lines
         of every process the request touched.
+        ``candidate_tier="lsh"`` (optionally with ``target_recall``)
+        asks a sketch-enabled server for the approximate sketch tier;
+        the returned stats then carry ``estimated_recall``.
         """
         message: Dict[str, object] = {
             "op": "knn",
@@ -359,6 +364,10 @@ class ServiceClient:
             message["trace"] = True
         if correlation_id is not None:
             message["correlation_id"] = str(correlation_id)
+        if candidate_tier is not None:
+            message["candidate_tier"] = str(candidate_tier)
+        if target_recall is not None:
+            message["target_recall"] = float(target_recall)
         response = self.request(message)
         return decode_neighbors(response["results"]), response["stats"]
 
@@ -370,6 +379,8 @@ class ServiceClient:
         timeout_ms: Optional[float] = None,
         trace: bool = False,
         correlation_id: Optional[str] = None,
+        candidate_tier: Optional[str] = None,
+        target_recall: Optional[float] = None,
     ) -> Tuple[List[Neighbor], Dict[str, object]]:
         """Range query (similarity >= threshold) over the wire."""
         message: Dict[str, object] = {
@@ -384,6 +395,10 @@ class ServiceClient:
             message["trace"] = True
         if correlation_id is not None:
             message["correlation_id"] = str(correlation_id)
+        if candidate_tier is not None:
+            message["candidate_tier"] = str(candidate_tier)
+        if target_recall is not None:
+            message["target_recall"] = float(target_recall)
         response = self.request(message)
         return decode_neighbors(response["results"]), response["stats"]
 

@@ -204,6 +204,14 @@ def encode_query(message: Dict[str, object]) -> bytes:
         # the trace-context extension of the frame protocol — the
         # caller's FRAME_JSON fallback carries the field verbatim).
         raise ValueError("trace_context queries ride JSON frames")
+    if (
+        message.get("candidate_tier", "exact") != "exact"
+        or message.get("target_recall") is not None
+    ):
+        # Sketch-tier knobs have no slot in the dense layout either;
+        # lsh-tier requests ride JSON frames on the binary wire (same
+        # extension mechanism as trace_context above).
+        raise ValueError("sketch-tier queries ride JSON frames")
     request_id = message.get("id")
     if not isinstance(request_id, int) or isinstance(request_id, bool):
         raise ValueError("binary query frames need an integer id")
@@ -360,6 +368,11 @@ def encode_result(request_id: object, payload: Dict[str, object]) -> bytes:
         raise ValueError("payload has fields with no binary form")
     results = payload["results"]
     stats = payload["stats"]
+    if "candidate_tier" in stats:
+        # Sketch-tier stats (estimated_recall, sketch_candidates) have
+        # no slot in the fixed stats block; lossy responses fall back
+        # to a JSON frame so nothing is silently dropped.
+        raise ValueError("sketch-tier stats ride JSON frames")
     cid = str(payload.get("correlation_id", "")).encode("utf-8")
     if len(cid) > 255:
         raise ValueError("correlation id too long for a binary result frame")

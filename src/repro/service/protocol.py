@@ -13,8 +13,11 @@ Requests
 ``{"id": 1, "op": "knn", "items": [3, 17], "similarity": "match_ratio",
 "k": 5}`` — k-nearest-neighbour query.  Optional fields:
 ``early_termination`` (fraction of the database), ``sort_by``
-(``optimistic``/``supercoordinate``), ``timeout_ms`` (per-request
-deadline), ``trace`` (return the span tree inline), ``correlation_id``
+(``optimistic``/``supercoordinate``), ``candidate_tier``
+(``exact``/``lsh`` — the sketch prefilter of :mod:`repro.sketch`),
+``target_recall`` (recall target for the lsh tier), ``timeout_ms``
+(per-request deadline), ``trace`` (return the span tree inline),
+``correlation_id``
 (client-chosen id for cross-process log grep), ``trace_context``
 (distributed-trace context a router stamps on scatter legs; see
 :mod:`repro.obs.distributed`).
@@ -223,6 +226,15 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
             TraceContext.decode(trace_context)
         except ValueError as exc:
             raise ProtocolError("bad_request", str(exc)) from None
+    candidate_tier = message.get("candidate_tier", "exact")
+    if not isinstance(candidate_tier, str):
+        raise ProtocolError("bad_request", "candidate_tier must be a string")
+    target_recall = message.get("target_recall")
+    if target_recall is not None and (
+        not isinstance(target_recall, (int, float))
+        or isinstance(target_recall, bool)
+    ):
+        raise ProtocolError("bad_request", "target_recall must be a number")
     try:
         key = batch_key(
             op,
@@ -231,6 +243,10 @@ def parse_query(message: Dict[str, object]) -> QueryRequest:
             threshold=message.get("threshold"),
             early_termination=message.get("early_termination"),
             sort_by=message.get("sort_by", "optimistic") if op == "knn" else None,
+            candidate_tier=candidate_tier,
+            target_recall=(
+                None if target_recall is None else float(target_recall)
+            ),
         )
     except (TypeError, ValueError) as exc:
         raise ProtocolError("bad_request", str(exc)) from None
@@ -365,8 +381,13 @@ def decode_neighbors(payload: Sequence[Dict[str, object]]) -> List[Neighbor]:
 
 
 def encode_search_stats(stats: SearchStats) -> Dict[str, object]:
-    """The per-query counters a monitoring client cares about."""
-    return {
+    """The per-query counters a monitoring client cares about.
+
+    Sketch-tier fields ride the wire only when a query actually ran
+    lossy (``candidate_tier != "exact"``): exact responses stay
+    byte-identical to the pre-sketch wire format.
+    """
+    payload = {
         "total_transactions": stats.total_transactions,
         "transactions_accessed": stats.transactions_accessed,
         "entries_scanned": stats.entries_scanned,
@@ -377,6 +398,13 @@ def encode_search_stats(stats: SearchStats) -> Dict[str, object]:
         "seeks": stats.io.seeks,
         "latency_ms": 1000.0 * stats.elapsed_seconds,
     }
+    if stats.candidate_tier != "exact":
+        payload["candidate_tier"] = stats.candidate_tier
+        if stats.estimated_recall is not None:
+            payload["estimated_recall"] = float(stats.estimated_recall)
+        if stats.sketch_candidates is not None:
+            payload["sketch_candidates"] = int(stats.sketch_candidates)
+    return payload
 
 
 def decode_search_stats(payload: Dict[str, object]) -> SearchStats:
@@ -399,6 +427,11 @@ def decode_search_stats(payload: Dict[str, object]) -> SearchStats:
     stats.io.pages_read = int(payload.get("pages_read", 0))
     stats.io.seeks = int(payload.get("seeks", 0))
     stats.elapsed_seconds = float(payload.get("latency_ms", 0.0)) / 1000.0
+    stats.candidate_tier = str(payload.get("candidate_tier", "exact"))
+    if "estimated_recall" in payload:
+        stats.estimated_recall = float(payload["estimated_recall"])
+    if "sketch_candidates" in payload:
+        stats.sketch_candidates = int(payload["sketch_candidates"])
     return stats
 
 

@@ -915,6 +915,14 @@ class QueryServer:
                 traced=wants_trace,
             )
             try:
+                if request.key.candidate_tier != "exact" and not getattr(
+                    self._engine, "supports_lsh_tier", False
+                ):
+                    raise ProtocolError(
+                        "bad_request",
+                        "candidate_tier='lsh' needs a sketch-enabled index "
+                        "(build one with `repro sketch build`)",
+                    )
                 if tracer is not None:
                     span_attrs = {"op": request.key.op}
                     if ctx is not None:

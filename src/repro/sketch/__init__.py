@@ -1,0 +1,29 @@
+"""``repro.sketch`` — the sketch-accelerated candidate tier.
+
+SuperMinHash-style transaction signatures (:class:`SuperMinHasher`), LSH
+banding over them (:class:`BandIndex`), and the combined
+:class:`SketchIndex` the query engine probes when a request selects
+``candidate_tier="lsh"``.  See ``docs/sketch.md`` for the tier design
+and the recall / access-fraction tradeoff.
+"""
+
+from repro.sketch.bands import BandIndex, bands_for_recall, collision_probability
+from repro.sketch.index import (
+    DEFAULT_TARGET_RECALL,
+    SketchIndex,
+    SketchProbe,
+    calibrate_design_similarity,
+)
+from repro.sketch.signer import SIGNATURE_SENTINEL, SuperMinHasher
+
+__all__ = [
+    "BandIndex",
+    "DEFAULT_TARGET_RECALL",
+    "SIGNATURE_SENTINEL",
+    "SketchIndex",
+    "SketchProbe",
+    "SuperMinHasher",
+    "bands_for_recall",
+    "calibrate_design_similarity",
+    "collision_probability",
+]

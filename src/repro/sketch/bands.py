@@ -1,0 +1,125 @@
+"""LSH banding over SuperMinHash signatures.
+
+A :class:`BandIndex` slices each ``(num_hashes,)`` signature into
+``num_bands`` contiguous bands of ``rows_per_band`` slots and buckets
+transactions by the byte pattern of each band.  Probing the first ``b``
+bands of a query signature returns every transaction sharing at least
+one of those band patterns — the classic ``1 - (1 - s**r)**b`` S-curve.
+
+The band *shape* ``(num_bands, rows_per_band)`` is fixed at build time;
+``target_recall`` selects only *how many* of the bands a query probes.
+Probing more bands can only add buckets, so candidate sets are supersets
+under increasing ``target_recall`` by construction — the monotonicity
+the differential suites pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = ["BandIndex", "collision_probability", "bands_for_recall"]
+
+
+def collision_probability(
+    similarity: float, num_bands: int, rows_per_band: int
+) -> float:
+    """Probability that two sets with Jaccard ``similarity`` share at least
+    one of the first ``num_bands`` bands: ``1 - (1 - s**r)**b``."""
+    s = min(max(float(similarity), 0.0), 1.0)
+    return float(1.0 - (1.0 - s**rows_per_band) ** num_bands)
+
+
+def bands_for_recall(
+    target_recall: float,
+    design_similarity: float,
+    num_bands: int,
+    rows_per_band: int,
+) -> int:
+    """Smallest number of bands whose S-curve reaches ``target_recall`` at
+    the design similarity; capped at ``num_bands`` (best effort) when the
+    target is unreachable with the built shape."""
+    if not 0.0 < target_recall <= 1.0:
+        raise ValueError(f"target_recall must be in (0, 1], got {target_recall}")
+    for bands in range(1, num_bands + 1):
+        if collision_probability(design_similarity, bands, rows_per_band) >= target_recall:
+            return bands
+    return num_bands
+
+
+class BandIndex:
+    """Bucketed LSH bands over a packed signature matrix.
+
+    Parameters
+    ----------
+    signatures:
+        ``(n, num_hashes)`` uint32 signature matrix, row-indexed by tid.
+    num_bands, rows_per_band:
+        Band shape; ``num_bands * rows_per_band`` must not exceed the
+        signature width.
+    """
+
+    def __init__(
+        self, signatures: np.ndarray, num_bands: int, rows_per_band: int
+    ) -> None:
+        check_positive(num_bands, "num_bands")
+        check_positive(rows_per_band, "rows_per_band")
+        signatures = np.ascontiguousarray(signatures, dtype=np.uint32)
+        if signatures.ndim != 2:
+            raise ValueError(f"signatures must be 2-D, got shape {signatures.shape}")
+        if num_bands * rows_per_band > signatures.shape[1]:
+            raise ValueError(
+                f"band shape {num_bands}x{rows_per_band} exceeds signature "
+                f"width {signatures.shape[1]}"
+            )
+        self.num_bands = int(num_bands)
+        self.rows_per_band = int(rows_per_band)
+        self.num_transactions = int(signatures.shape[0])
+        self._buckets = [
+            self._group_band(signatures, band) for band in range(self.num_bands)
+        ]
+
+    def _group_band(self, signatures: np.ndarray, band: int) -> dict:
+        lo = band * self.rows_per_band
+        view = np.ascontiguousarray(signatures[:, lo : lo + self.rows_per_band])
+        if view.shape[0] == 0:
+            return {}
+        keys = view.view(np.dtype((np.void, view.dtype.itemsize * self.rows_per_band)))
+        keys = keys.reshape(-1)
+        uniq, inverse = np.unique(keys, return_inverse=True)
+        order = np.argsort(inverse, kind="stable").astype(np.int64)
+        counts = np.bincount(inverse, minlength=len(uniq))
+        groups = np.split(order, np.cumsum(counts)[:-1])
+        return {uniq[i].tobytes(): groups[i] for i in range(len(uniq))}
+
+    def candidates(
+        self, signature: np.ndarray, bands: Optional[int] = None
+    ) -> np.ndarray:
+        """Sorted unique tids sharing at least one of the first ``bands``
+        band patterns with ``signature`` (all bands when ``None``)."""
+        probe = self.num_bands if bands is None else int(bands)
+        if not 1 <= probe <= self.num_bands:
+            raise ValueError(f"bands must be in [1, {self.num_bands}], got {probe}")
+        sig = np.ascontiguousarray(np.asarray(signature, dtype=np.uint32))
+        if sig.ndim != 1 or sig.size < self.num_bands * self.rows_per_band:
+            raise ValueError(
+                f"signature of width >= {self.num_bands * self.rows_per_band} "
+                f"required, got shape {sig.shape}"
+            )
+        hits = []
+        for band in range(probe):
+            lo = band * self.rows_per_band
+            bucket = self._buckets[band].get(sig[lo : lo + self.rows_per_band].tobytes())
+            if bucket is not None:
+                hits.append(bucket)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(np.concatenate(hits))
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Sizes of every bucket across all bands (occupancy diagnostics)."""
+        sizes = [len(group) for bucket in self._buckets for group in bucket.values()]
+        return np.asarray(sizes, dtype=np.int64)

@@ -75,6 +75,23 @@ class TestKnn:
         _, stats = InvertedIndex(db).nearest([0], repro.HammingSimilarity())
         assert not stats.guaranteed_optimal
 
+    def test_approximate_path_reports_lossy_tier_stats(self, db):
+        """Regression: the best-candidate approximation must report the
+        same lossy-tier stats fields the engine's sketch tier uses."""
+        _, stats = InvertedIndex(db).nearest([0], repro.HammingSimilarity())
+        assert stats.candidate_tier == "inverted"
+        assert stats.sketch_candidates == stats.transactions_accessed
+        assert stats.estimated_recall is not None
+        assert 0.0 <= stats.estimated_recall <= 1.0
+
+    def test_exact_path_keeps_default_tier_stats(self, db):
+        """Exact answers keep the pristine stats defaults — wire encoding
+        relies on this to stay byte-identical for exact queries."""
+        _, stats = InvertedIndex(db).nearest([0], repro.MatchCountSimilarity())
+        assert stats.candidate_tier == "exact"
+        assert stats.estimated_recall is None
+        assert stats.sketch_candidates is None
+
     def test_is_exact_for(self):
         assert InvertedIndex.is_exact_for(repro.MatchCountSimilarity())
         assert InvertedIndex.is_exact_for(repro.ContainmentSimilarity())

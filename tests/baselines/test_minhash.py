@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 import repro
+from repro.baselines import minhash
 from repro.baselines.minhash import MinHasher, MinHashLSHIndex
 from repro.data.transaction import TransactionDatabase
 
@@ -28,7 +29,7 @@ class TestMinHasher:
     def test_empty_transaction_sentinel(self):
         hasher = MinHasher(8, universe_size=100, rng=0)
         signature = hasher.signature([])
-        assert np.all(signature == (1 << 31) - 1)
+        assert np.all(signature == minhash.SENTINEL)
 
     def test_batch_matches_individual(self, small_db):
         hasher = MinHasher(24, universe_size=small_db.universe_size, rng=1)
@@ -41,7 +42,7 @@ class TestMinHasher:
         db = TransactionDatabase([[0, 1], [], [2]], universe_size=3)
         hasher = MinHasher(8, universe_size=3, rng=0)
         batch = hasher.signatures_batch(db)
-        assert np.all(batch[1] == (1 << 31) - 1)
+        assert np.all(batch[1] == minhash.SENTINEL)
         assert np.array_equal(batch[0], hasher.signature([0, 1]))
 
     def test_jaccard_estimate_unbiased(self):
@@ -59,9 +60,53 @@ class TestMinHasher:
         with pytest.raises(ValueError):
             MinHasher.estimate_jaccard(np.zeros(4), np.zeros(5))
 
-    def test_universe_too_large_rejected(self):
+    def test_invalid_universe_rejected(self):
         with pytest.raises(ValueError):
-            MinHasher(4, universe_size=1 << 31)
+            MinHasher(4, universe_size=0)
+
+    def test_wraps_sketch_signer(self):
+        """The baseline hasher and the sketch-tier signer are one
+        implementation: same seed, same signatures."""
+        from repro.sketch import SuperMinHasher
+
+        hasher = MinHasher(32, universe_size=200, rng=7)
+        signer = SuperMinHasher(32, universe_size=200, seed=7)
+        for items in ([1, 2, 3], [5], list(range(0, 200, 3))):
+            assert np.array_equal(hasher.signature(items), signer.sign(items))
+
+    def test_estimates_agree_with_legacy_family(self):
+        """Differential: the new signer's Jaccard estimates agree with
+        the pre-sketch linear-congruential MinHash family within
+        statistical tolerance (both estimate the same quantity)."""
+        prime = (1 << 31) - 1
+        generator = np.random.default_rng(0)
+        num_hashes = 512
+        a = generator.integers(1, prime, size=num_hashes, dtype=np.int64)
+        b = generator.integers(0, prime, size=num_hashes, dtype=np.int64)
+
+        def legacy_signature(items):
+            items = np.asarray(items, dtype=np.int64)
+            return ((a[:, None] * items[None, :] + b[:, None]) % prime).min(axis=1)
+
+        hasher = MinHasher(num_hashes, universe_size=1000, rng=3)
+        pair_rng = np.random.default_rng(11)
+        for _ in range(5):
+            left = np.unique(pair_rng.integers(0, 1000, size=120))
+            right = np.unique(
+                np.concatenate([left[::2], pair_rng.integers(0, 1000, size=60)])
+            )
+            true_j = len(np.intersect1d(left, right)) / len(
+                np.union1d(left, right)
+            )
+            old = MinHasher.estimate_jaccard(
+                legacy_signature(left), legacy_signature(right)
+            )
+            new = MinHasher.estimate_jaccard(
+                hasher.signature(left), hasher.signature(right)
+            )
+            assert old == pytest.approx(true_j, abs=0.1)
+            assert new == pytest.approx(true_j, abs=0.1)
+            assert new == pytest.approx(old, abs=0.15)
 
 
 class TestLSHIndex:

@@ -1,0 +1,79 @@
+"""Shared fixtures for the sketch-tier suites.
+
+The corpus is near-duplicate rich on purpose: every base row appears in
+several lightly perturbed variants, so sketch-Jaccard nearest neighbours
+are genuinely similar, the calibrated design similarity comes out high,
+and recall targets are meaningful (on uniform noise every neighbour is
+equally bad and "recall" measures nothing).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import QueryEngine
+from repro.core.partitioning import partition_items
+from repro.core.table import SignatureTable
+from repro.data.transaction import TransactionDatabase
+from repro.sketch import SketchIndex
+
+UNIVERSE = 100
+
+
+def perturb(rng, row, universe=UNIVERSE):
+    """A near-duplicate of ``row``: drop one item, add one item."""
+    row = list(row)
+    if len(row) > 2 and rng.random() < 0.8:
+        row.pop(int(rng.integers(len(row))))
+    extra = int(rng.integers(universe))
+    if extra not in row:
+        row.append(extra)
+    return sorted(row)
+
+
+def clustered_database(rng, num_clusters=40, variants=4, universe=UNIVERSE):
+    prototypes = [
+        sorted(
+            int(i)
+            for i in rng.choice(universe, size=int(rng.integers(6, 12)),
+                                replace=False)
+        )
+        for _ in range(num_clusters)
+    ]
+    rows = []
+    for proto in prototypes:
+        rows.append(proto)
+        for _ in range(variants - 1):
+            rows.append(perturb(rng, proto, universe))
+    return TransactionDatabase(rows, universe_size=universe), prototypes
+
+
+@pytest.fixture()
+def base_db():
+    from tests.live.conftest import random_database
+
+    return random_database(np.random.default_rng(7), 150)
+
+
+@pytest.fixture()
+def scheme(base_db):
+    return partition_items(base_db, num_signatures=6, rng=0)
+
+
+@pytest.fixture(scope="session")
+def sketch_corpus():
+    rng = np.random.default_rng(91)
+    db, prototypes = clustered_database(rng)
+    queries = [perturb(rng, proto) for proto in prototypes[:25]]
+    return db, queries
+
+
+@pytest.fixture(scope="session")
+def sketched_engine(sketch_corpus):
+    db, _ = sketch_corpus
+    scheme = partition_items(db, num_signatures=6, rng=0)
+    table = SignatureTable.build(db, scheme)
+    # Queries are *perturbed* prototypes, noticeably farther than the
+    # in-database near-duplicates the auto-calibration measures — pin a
+    # conservative design similarity so the band budget covers them.
+    table.attach_sketch(SketchIndex.build(db, seed=5, design_similarity=0.6))
+    return QueryEngine.for_table(table, db)

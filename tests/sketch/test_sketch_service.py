@@ -1,0 +1,200 @@
+"""The candidate-tier knob over the wire: service and cluster coverage.
+
+Pinned here:
+
+* lsh requests ride the JSON frame on *both* wire preferences — the
+  binary codec refuses sketch fields and the per-message JSON fallback
+  kicks in, so a binary-negotiated connection still gets correct
+  answers and lossy-tier stats;
+* a server whose engine has no sketch rejects lsh with ``bad_request``
+  instead of silently answering exact;
+* exact requests through a sketch-enabled server stay byte-identical to
+  a sketch-less server (the tier is opt-in per request);
+* a routed cluster forwards tier and recall to its shards and merges
+  the lossy-tier stats.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cluster import ClusterHarness
+from repro.core.engine import QueryEngine
+from repro.core.partitioning import partition_items
+from repro.core.table import SignatureTable
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import serve_in_background
+from repro.sketch import SketchIndex
+
+pytestmark = pytest.mark.cluster
+
+
+@pytest.fixture(scope="module")
+def engines(sketch_corpus):
+    db, _ = sketch_corpus
+    scheme = partition_items(db, num_signatures=6, rng=0)
+    plain = QueryEngine.for_table(SignatureTable.build(db, scheme), db)
+    sketched_table = SignatureTable.build(db, scheme)
+    sketched_table.attach_sketch(
+        SketchIndex.build(db, seed=5, design_similarity=0.6)
+    )
+    sketched = QueryEngine.for_table(sketched_table, db)
+    return plain, sketched
+
+
+class TestServedTier:
+    @pytest.mark.parametrize("wire", ["ndjson", "auto"])
+    def test_lsh_query_over_each_wire(self, engines, sketch_corpus, wire):
+        _, sketched = engines
+        _, queries = sketch_corpus
+        with serve_in_background(sketched) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port, wire=wire) as client:
+                exact, _ = client.knn(queries[0], similarity="jaccard", k=3)
+                lsh, stats = client.knn(
+                    queries[0], similarity="jaccard", k=3,
+                    candidate_tier="lsh", target_recall=0.9,
+                )
+                assert stats["candidate_tier"] == "lsh"
+                assert not stats["guaranteed_optimal"]
+                assert 0.0 <= stats["estimated_recall"] <= 1.0
+                assert stats["sketch_candidates"] >= len(lsh)
+                lsh_pairs = {(n.tid, n.similarity) for n in lsh}
+                exact_pairs = {(n.tid, n.similarity) for n in exact}
+                assert lsh_pairs <= exact_pairs | lsh_pairs  # sane shapes
+                if lsh and exact:
+                    assert lsh[0].similarity <= exact[0].similarity + 1e-12
+
+    def test_binary_wire_negotiated_yet_lsh_still_served(
+        self, engines, sketch_corpus
+    ):
+        """An ``auto`` client negotiates the binary wire; the lsh request
+        must transparently drop to the JSON frame rather than fail."""
+        _, sketched = engines
+        _, queries = sketch_corpus
+        with serve_in_background(sketched) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port, wire="auto") as client:
+                assert client.wire == "binary"
+                _, stats = client.knn(
+                    queries[1], similarity="jaccard", k=2,
+                    candidate_tier="lsh",
+                )
+                assert stats["candidate_tier"] == "lsh"
+                # The connection is still on the binary wire for exact ops.
+                _, exact_stats = client.knn(
+                    queries[1], similarity="jaccard", k=2
+                )
+                assert "candidate_tier" not in exact_stats
+
+    def test_lsh_range_query_over_wire(self, engines, sketch_corpus):
+        _, sketched = engines
+        _, queries = sketch_corpus
+        with serve_in_background(sketched) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                exact, _ = client.range_query(queries[2], "jaccard", 0.4)
+                lsh, stats = client.range_query(
+                    queries[2], "jaccard", 0.4,
+                    candidate_tier="lsh", target_recall=0.95,
+                )
+                assert stats["candidate_tier"] == "lsh"
+                assert {(n.tid, n.similarity) for n in lsh} <= {
+                    (n.tid, n.similarity) for n in exact
+                }
+
+    def test_server_without_sketch_rejects_lsh(self, engines, sketch_corpus):
+        plain, _ = engines
+        _, queries = sketch_corpus
+        with serve_in_background(plain) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.knn(
+                        queries[0], similarity="jaccard", k=1,
+                        candidate_tier="lsh",
+                    )
+                assert excinfo.value.code == "bad_request"
+                assert "sketch" in str(excinfo.value)
+
+    def test_exact_answers_identical_with_and_without_sketch(
+        self, engines, sketch_corpus
+    ):
+        plain, sketched = engines
+        _, queries = sketch_corpus
+        answers = []
+        for engine in (plain, sketched):
+            with serve_in_background(engine) as handle:
+                host, port = handle.address
+                with ServiceClient(host, port) as client:
+                    answers.append(
+                        [
+                            [
+                                (n.tid, n.similarity)
+                                for n in client.knn(
+                                    q, similarity="match_ratio", k=5
+                                )[0]
+                            ]
+                            for q in queries[:8]
+                        ]
+                    )
+        assert answers[0] == answers[1]
+
+    def test_bad_tier_values_rejected(self, engines, sketch_corpus):
+        _, sketched = engines
+        _, queries = sketch_corpus
+        with serve_in_background(sketched) as handle:
+            host, port = handle.address
+            with ServiceClient(host, port) as client:
+                with pytest.raises(ServiceError):
+                    client.knn(
+                        queries[0], similarity="jaccard",
+                        candidate_tier="bogus",
+                    )
+                with pytest.raises(ServiceError):
+                    client.knn(
+                        queries[0], similarity="jaccard",
+                        candidate_tier="lsh", target_recall=7.0,
+                    )
+
+
+class TestClusterTier:
+    def test_router_forwards_tier_and_merges_stats(
+        self, tmp_path, sketch_corpus
+    ):
+        db, queries = sketch_corpus
+        scheme = partition_items(db, num_signatures=6, rng=0)
+        rng = np.random.default_rng(0)
+        rows = [sorted(int(i) for i in db[t]) for t in range(len(db))]
+        shards = ("s0", "s1", "s2")
+        assignment = [shards[int(rng.integers(3))] for _ in rows]
+        with ClusterHarness(
+            str(tmp_path), scheme, shards=shards,
+            rows=rows, assignment=assignment,
+            sketch=dict(num_hashes=128, seed=5, design_similarity=0.6),
+        ) as harness, harness.client() as client:
+            for items in queries[:6]:
+                exact, exact_stats = client.knn(
+                    items, similarity="jaccard", k=3
+                )
+                lsh, lsh_stats = client.knn(
+                    items, similarity="jaccard", k=3,
+                    candidate_tier="lsh", target_recall=0.9,
+                )
+                assert "candidate_tier" not in exact_stats
+                assert lsh_stats["candidate_tier"] == "lsh"
+                assert lsh_stats["sketch_candidates"] >= 0
+                assert 0.0 <= lsh_stats["estimated_recall"] <= 1.0
+                if lsh and exact:
+                    assert lsh[0].similarity <= exact[0].similarity + 1e-12
+            # Range: routed lsh hits are a subset of routed exact hits.
+            for items in queries[6:10]:
+                exact, _ = client.range_query(items, "jaccard", 0.4)
+                lsh, stats = client.range_query(
+                    items, "jaccard", 0.4,
+                    candidate_tier="lsh", target_recall=0.95,
+                )
+                assert stats["candidate_tier"] == "lsh"
+                assert {(n.tid, n.similarity) for n in lsh} <= {
+                    (n.tid, n.similarity) for n in exact
+                }

@@ -1,0 +1,132 @@
+"""Persistence of the optional sketch column on :class:`SignatureTable`.
+
+Format contract (``TABLE_FORMAT_VERSION`` = 2): the sketch rides as
+optional ``sketch_*`` keys inside the table ``.npz``.  Tables without
+them — including pre-versioning legacy files — keep loading, and a
+loaded sketch probes identically to the one that was saved (band buckets
+are derived state, rebuilt on load).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.table import TABLE_FORMAT_VERSION, SignatureTable
+from repro.sketch import SketchIndex
+
+from tests.sketch.conftest import clustered_database
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    rng = np.random.default_rng(17)
+    db, _ = clustered_database(rng, num_clusters=20, variants=3)
+    return db
+
+
+@pytest.fixture(scope="module")
+def scheme(corpus):
+    from repro.core.partitioning import partition_items
+
+    return partition_items(corpus, num_signatures=5, rng=0)
+
+
+class TestRoundTrip:
+    def test_sketch_survives_save_load(self, tmp_path, corpus, scheme):
+        table = SignatureTable.build(corpus, scheme)
+        table.attach_sketch(SketchIndex.build(corpus, num_hashes=64, seed=3))
+        path = tmp_path / "table.npz"
+        table.save(path)
+        loaded = SignatureTable.load(path)
+
+        assert loaded.sketch is not None
+        assert np.array_equal(loaded.sketch.signatures, table.sketch.signatures)
+        assert loaded.sketch.hasher.seed == table.sketch.hasher.seed
+        assert loaded.sketch.bands.num_bands == table.sketch.bands.num_bands
+        assert (
+            loaded.sketch.bands.rows_per_band
+            == table.sketch.bands.rows_per_band
+        )
+        assert loaded.sketch.design_similarity == pytest.approx(
+            table.sketch.design_similarity
+        )
+
+    def test_loaded_sketch_probes_identically(self, tmp_path, corpus, scheme):
+        table = SignatureTable.build(corpus, scheme)
+        table.attach_sketch(SketchIndex.build(corpus, num_hashes=64, seed=3))
+        path = tmp_path / "table.npz"
+        table.save(path)
+        loaded = SignatureTable.load(path)
+        for tid in range(0, len(corpus), 11):
+            want = table.sketch.probe(corpus[tid], 0.9)
+            got = loaded.sketch.probe(corpus[tid], 0.9)
+            assert np.array_equal(want.candidates, got.candidates)
+            assert want.bands_probed == got.bands_probed
+
+    def test_format_version_written(self, tmp_path, corpus, scheme):
+        table = SignatureTable.build(corpus, scheme)
+        path = tmp_path / "table.npz"
+        table.save(path)
+        with np.load(path) as data:
+            assert int(data["format_version"]) == TABLE_FORMAT_VERSION == 2
+
+    def test_table_without_sketch_loads_without_sketch(
+        self, tmp_path, corpus, scheme
+    ):
+        table = SignatureTable.build(corpus, scheme)
+        path = tmp_path / "table.npz"
+        table.save(path)
+        assert SignatureTable.load(path).sketch is None
+
+    def test_legacy_file_without_version_key_loads(
+        self, tmp_path, corpus, scheme
+    ):
+        """Pre-versioning files (no ``format_version``, no sketch keys)
+        must keep loading byte-for-byte."""
+        table = SignatureTable.build(corpus, scheme)
+        path = tmp_path / "table.npz"
+        table.save(path)
+        with np.load(path) as data:
+            stripped = {
+                key: data[key]
+                for key in data.files
+                if key != "format_version"
+            }
+        legacy = tmp_path / "legacy.npz"
+        np.savez_compressed(legacy, **stripped)
+        loaded = SignatureTable.load(legacy)
+        assert loaded.sketch is None
+        assert np.array_equal(loaded.ordered_tids, table.ordered_tids)
+
+    def test_future_version_rejected(self, tmp_path, corpus, scheme):
+        table = SignatureTable.build(corpus, scheme)
+        path = tmp_path / "table.npz"
+        table.save(path)
+        with np.load(path) as data:
+            bumped = {key: data[key] for key in data.files}
+        bumped["format_version"] = np.int64(TABLE_FORMAT_VERSION + 1)
+        future = tmp_path / "future.npz"
+        np.savez_compressed(future, **bumped)
+        with pytest.raises(ValueError, match="format_version"):
+            SignatureTable.load(future)
+
+
+class TestAttach:
+    def test_row_count_mismatch_rejected(self, corpus, scheme):
+        table = SignatureTable.build(corpus, scheme)
+        sketch = SketchIndex.build(corpus, num_hashes=64)
+        truncated = SketchIndex(
+            sketch.hasher,
+            sketch.signatures[:-1],
+            num_bands=8,
+            rows_per_band=2,
+            design_similarity=0.5,
+        )
+        with pytest.raises(ValueError, match="sketch signs"):
+            table.attach_sketch(truncated)
+
+    def test_detach_with_none(self, corpus, scheme):
+        table = SignatureTable.build(corpus, scheme)
+        table.attach_sketch(SketchIndex.build(corpus, num_hashes=64))
+        assert table.sketch is not None
+        table.attach_sketch(None)
+        assert table.sketch is None
